@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The GA is run
+with the reduced ``ExperimentConfig.fast()`` settings so the full harness
+completes in minutes; the paper-scale GA (population 100, 30 generations) can
+be enabled by setting the environment variable ``COMPASS_PAPER_SCALE=1``.
+Each benchmark prints the rows it produced so the captured output doubles as
+the experimental record.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.ga import GAConfig
+from repro.evaluation.experiments import ExperimentConfig
+
+
+def benchmark_config() -> ExperimentConfig:
+    """Experiment configuration used by the benchmark harness."""
+    if os.environ.get("COMPASS_PAPER_SCALE"):
+        return ExperimentConfig()
+    return ExperimentConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """Session-wide experiment configuration."""
+    return benchmark_config()
+
+
+@pytest.fixture(scope="session")
+def tiny_ga() -> GAConfig:
+    """A very small GA for benchmarks whose focus is not the search itself."""
+    return GAConfig(population_size=16, generations=6, n_select=4, n_mutate=12,
+                    early_stop_patience=4, seed=0)

@@ -1,0 +1,63 @@
+"""Ablation: contribution of the four mutation schemes (Sec. III-C3).
+
+DESIGN.md calls out the joint use of merge/split/move/fixed-random as a
+design choice; this ablation runs the GA with restricted operator sets on
+"ResNet18-M-16" and compares the best fitness found with the same evaluation
+budget.  The full operator set should be at least as good as any single
+operator family.
+"""
+
+import pytest
+
+from repro.core.decomposition import decompose_model
+from repro.core.fitness import FitnessEvaluator
+from repro.core.ga import CompassGA, GAConfig
+from repro.core.mutation import MutationKind
+from repro.hardware import CHIP_M
+from repro.models import build_model
+from repro.sim.report import format_table
+
+ABLATIONS = {
+    "all_four": list(MutationKind),
+    "no_merge_move": [MutationKind.SPLIT, MutationKind.FIXED_RANDOM],
+    "local_only": [MutationKind.MERGE, MutationKind.SPLIT, MutationKind.MOVE],
+    "random_only": [MutationKind.FIXED_RANDOM],
+}
+
+GA = GAConfig(population_size=20, generations=10, n_select=5, n_mutate=15,
+              early_stop_patience=10, seed=0)
+
+
+def run_ablation():
+    graph = build_model("resnet18")
+    decomposition = decompose_model(graph, CHIP_M)
+    rows = []
+    results = {}
+    for name, kinds in ABLATIONS.items():
+        evaluator = FitnessEvaluator(decomposition, batch_size=16)
+        ga = CompassGA(decomposition, evaluator, GA, mutation_kinds=kinds)
+        result = ga.run()
+        results[name] = result
+        rows.append(
+            {
+                "operators": name,
+                "best_latency_ms": result.best_fitness * 1e-6,
+                "best_num_partitions": result.best_group.num_partitions,
+                "generations_run": result.generations_run,
+            }
+        )
+    return rows, results
+
+
+def test_ablation_mutation_operators(benchmark):
+    rows, results = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    print("\nAblation — mutation operator sets (ResNet18-M-16)")
+    print(format_table(rows))
+
+    best = {row["operators"]: row["best_latency_ms"] for row in rows}
+    # the full operator set is never worse than any restricted set
+    for name, value in best.items():
+        assert best["all_four"] <= value * 1.02, name
+    # every variant still produces a valid partition group
+    for result in results.values():
+        assert result.best_group.is_valid(CHIP_M.total_crossbars)

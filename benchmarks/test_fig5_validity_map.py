@@ -1,0 +1,59 @@
+"""Fig. 5: partition validity maps for the benchmark models on Chip-S and Chip-L.
+
+The paper's qualitative observation: with more weight parameters and a
+smaller in-memory capacity (towards SqueezeNet -> VGG16 and Chip-L -> Chip-S)
+the invalid portion of the validity map grows.
+"""
+
+import numpy as np
+
+from repro.evaluation.experiments import fig5_validity_maps
+from repro.sim.report import format_table
+
+
+def render_ascii_map(matrix: np.ndarray, width: int = 40) -> str:
+    """Downsample the boolean validity matrix to a small ASCII picture."""
+    n = matrix.shape[0]
+    step = max(1, n // width)
+    lines = []
+    for i in range(0, n, step):
+        row = matrix[i]
+        line = "".join("#" if row[j] else "." for j in range(0, n, step))
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def test_fig5_validity_maps(benchmark):
+    rows = benchmark.pedantic(
+        fig5_validity_maps,
+        kwargs={"models": ("squeezenet", "resnet18", "vgg16"), "chips": ("S", "L")},
+        rounds=1, iterations=1,
+    )
+    printable = [{k: v for k, v in r.items() if k != "matrix"} for r in rows]
+    print("\nFig. 5 — validity map statistics (reproduced)")
+    print(format_table(printable, columns=["model", "chip", "num_units", "valid_fraction"]))
+    smallest = next(r for r in rows if r["model"] == "squeezenet" and r["chip"] == "S")
+    print("\nSqueezeNet / Chip-S validity map (valid = '#'):")
+    print(render_ascii_map(smallest["matrix"]))
+
+    by_key = {(r["model"], r["chip"]): r for r in rows}
+
+    # SqueezeNet fits on every chip: its validity map is fully valid.
+    assert by_key[("squeezenet", "S")]["valid_fraction"] == 1.0
+    assert by_key[("squeezenet", "L")]["valid_fraction"] == 1.0
+
+    # Larger models have a larger invalid portion (Fig. 5, left-to-right).
+    for chip in ("S", "L"):
+        assert (
+            by_key[("vgg16", chip)]["valid_fraction"]
+            < by_key[("resnet18", chip)]["valid_fraction"]
+            <= by_key[("squeezenet", chip)]["valid_fraction"]
+        )
+
+    # A smaller chip has a larger invalid portion (Fig. 5, top-to-bottom).
+    for model in ("resnet18", "vgg16"):
+        assert by_key[(model, "S")]["valid_fraction"] < by_key[(model, "L")]["valid_fraction"]
+
+    # More units after decomposition for bigger models / smaller chips.
+    assert by_key[("vgg16", "S")]["num_units"] > by_key[("resnet18", "S")]["num_units"]
+    assert by_key[("vgg16", "S")]["num_units"] > by_key[("vgg16", "L")]["num_units"]

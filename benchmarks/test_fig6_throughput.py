@@ -1,0 +1,56 @@
+"""Fig. 6: inference throughput of COMPASS vs greedy vs layerwise.
+
+Sweep over the three networks, three chip configurations and batch sizes.
+Paper headline: COMPASS achieves ~1.78x higher throughput than the baselines
+(1.80x/1.71x/2.24x over greedy and 1.56x/1.31x/1.98x over layerwise for
+VGG16 / ResNet18 / SqueezeNet).  Absolute numbers differ (our substrate is an
+analytic simulator), but COMPASS must win on average, and throughput must
+grow with batch size.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import fig6_speedups, fig6_throughput_comparison
+from repro.evaluation.sweeps import SweepRunner
+from repro.sim.metrics import geometric_mean
+from repro.sim.report import format_table
+
+
+def test_fig6_throughput_comparison(benchmark, experiment_config):
+    runner = SweepRunner(ga_config=experiment_config.ga_config,
+                         input_size=experiment_config.input_size)
+    rows = benchmark.pedantic(
+        fig6_throughput_comparison,
+        kwargs={"config": experiment_config, "runner": runner},
+        rounds=1, iterations=1,
+    )
+    print("\nFig. 6 — throughput comparison (reproduced)")
+    print(format_table(rows, columns=["label", "scheme", "partitions", "throughput_ips",
+                                      "latency_ms", "energy_per_inf_mj"]))
+
+    speedups = fig6_speedups(rows)
+    print("\nCOMPASS speed-ups over the baselines:")
+    print(format_table(speedups))
+
+    # COMPASS wins (or ties) against both baselines in the vast majority of
+    # configurations and clearly on the geometric mean.
+    vs_greedy = [s["speedup_vs_greedy"] for s in speedups if "speedup_vs_greedy" in s]
+    vs_layerwise = [s["speedup_vs_layerwise"] for s in speedups if "speedup_vs_layerwise" in s]
+    assert vs_greedy and vs_layerwise
+    print(f"\ngeomean speedup vs greedy    : {geometric_mean(vs_greedy):.2f}x")
+    print(f"geomean speedup vs layerwise : {geometric_mean(vs_layerwise):.2f}x")
+    assert geometric_mean(vs_greedy) > 1.05
+    assert geometric_mean(vs_layerwise) > 1.05
+    losing = [s for s in vs_greedy + vs_layerwise if s < 0.95]
+    assert len(losing) <= len(vs_greedy + vs_layerwise) * 0.2
+
+    # Throughput increases with batch size for every (model, chip, scheme).
+    by_config = {}
+    for row in rows:
+        by_config.setdefault((row["model"], row["chip"], row["scheme"]), []).append(
+            (row["batch"], row["throughput_ips"])
+        )
+    for key, points in by_config.items():
+        points.sort()
+        throughputs = [t for _, t in points]
+        assert throughputs[-1] > throughputs[0], key

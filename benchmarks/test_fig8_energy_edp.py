@@ -1,0 +1,47 @@
+"""Fig. 8: inference energy and energy-delay product for "ResNet18-S".
+
+Paper observations: COMPASS uses somewhat more energy per inference than
+greedy (more replication means more DRAM communication) but wins on EDP —
+1.28x better than greedy and 2.08x better than layerwise on average.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import fig8_energy_and_edp
+from repro.sim.metrics import geometric_mean
+from repro.sim.report import format_table
+
+
+def test_fig8_energy_and_edp(benchmark, experiment_config, tiny_ga):
+    rows = benchmark.pedantic(
+        fig8_energy_and_edp,
+        kwargs={"model": "resnet18", "chip_name": "S",
+                "batch_sizes": tuple(experiment_config.batch_sizes), "ga_config": tiny_ga},
+        rounds=1, iterations=1,
+    )
+    print("\nFig. 8 — inference energy and EDP per sample, ResNet18-S (reproduced)")
+    print(format_table(rows, columns=["label", "scheme", "energy_per_inf_mj", "edp_mj_ms",
+                                      "throughput_ips"]))
+
+    by_batch = {}
+    for row in rows:
+        by_batch.setdefault(row["batch"], {})[row["scheme"]] = row
+
+    edp_gain_greedy = []
+    edp_gain_layerwise = []
+    for batch, schemes in by_batch.items():
+        edp_gain_greedy.append(schemes["greedy"]["edp_mj_ms"] / schemes["compass"]["edp_mj_ms"])
+        edp_gain_layerwise.append(
+            schemes["layerwise"]["edp_mj_ms"] / schemes["compass"]["edp_mj_ms"]
+        )
+    print(f"\n  geomean EDP gain vs greedy    : {geometric_mean(edp_gain_greedy):.2f}x (paper: 1.28x)")
+    print(f"  geomean EDP gain vs layerwise : {geometric_mean(edp_gain_layerwise):.2f}x (paper: 2.08x)")
+
+    # COMPASS wins EDP on average against both baselines.
+    assert geometric_mean(edp_gain_greedy) > 1.0
+    assert geometric_mean(edp_gain_layerwise) > 1.0
+
+    # Energy per inference decreases as the batch amortises weight replacement.
+    for scheme in ("greedy", "layerwise", "compass"):
+        energies = [by_batch[b][scheme]["energy_per_inf_mj"] for b in sorted(by_batch)]
+        assert energies[-1] < energies[0]

@@ -1,0 +1,49 @@
+"""Fig. 9: energy of weight writes and loads relative to MVMUL energy.
+
+Paper observations for ResNet18: at batch size 1 the weight load energy
+dominates compute (≈4x for the large chip, ≈3.65x for the small chip); by
+batch 16 the replacement overhead is amortised to ≈1.2x.  The overhead is
+larger for larger chips at the same batch size (more capacity gets rewritten)
+and strictly decreases with batch size.
+"""
+
+import pytest
+
+from repro.evaluation.experiments import fig9_weight_energy_vs_batch
+from repro.sim.report import format_table
+
+
+def test_fig9_weight_energy_vs_batch(benchmark, experiment_config, tiny_ga):
+    rows = benchmark.pedantic(
+        fig9_weight_energy_vs_batch,
+        kwargs={"model": "resnet18", "chips": ("S", "M", "L"),
+                "batch_sizes": tuple(experiment_config.batch_sizes),
+                "scheme": "compass", "ga_config": tiny_ga},
+        rounds=1, iterations=1,
+    )
+    print("\nFig. 9 — weight write/load energy relative to MVMUL, ResNet18 (reproduced)")
+    print(format_table(rows, columns=["label", "chip", "batch", "weight_load_rel",
+                                      "weight_write_rel", "total_overhead_rel"]))
+
+    by_chip = {}
+    for row in rows:
+        by_chip.setdefault(row["chip"], {})[row["batch"]] = row
+
+    batches = sorted({row["batch"] for row in rows})
+    smallest, largest = batches[0], batches[-1]
+
+    for chip, per_batch in by_chip.items():
+        overheads = [per_batch[b]["total_overhead_rel"] for b in batches]
+        # overhead strictly decreases with batch size
+        assert all(b <= a * 1.001 for a, b in zip(overheads, overheads[1:])), chip
+        # at batch 1 weight traffic dominates MVM energy
+        if smallest == 1:
+            assert per_batch[1]["total_overhead_rel"] > 1.0, chip
+        # at batch 16 it is amortised well below the batch-1 level
+        assert per_batch[largest]["total_overhead_rel"] < per_batch[smallest][
+            "total_overhead_rel"
+        ] / 2, chip
+
+    # load energy exceeds write energy (DRAM traffic is the expensive part)
+    for row in rows:
+        assert row["weight_load_rel"] > row["weight_write_rel"]

@@ -1,0 +1,38 @@
+"""Table I: hardware configurations of the S/M/L chips.
+
+Regenerates the capacity/power rows of Table I from the hardware model and
+checks they match the paper exactly (this table is configuration, not
+measurement, so exact agreement is expected).
+"""
+
+import pytest
+
+from repro.evaluation.experiments import table1_hardware_configuration
+from repro.sim.report import format_table
+
+PAPER_TABLE1 = {
+    "S": {"num_cores": 16, "crossbars_per_core": 9, "capacity_mb": 1.125, "power_w": 1.57},
+    "M": {"num_cores": 16, "crossbars_per_core": 16, "capacity_mb": 2.0, "power_w": 2.80},
+    "L": {"num_cores": 36, "crossbars_per_core": 16, "capacity_mb": 4.5, "power_w": 6.30},
+}
+
+
+def test_table1_hardware_configuration(benchmark):
+    rows = benchmark.pedantic(table1_hardware_configuration, rounds=1, iterations=1)
+    print("\nTable I — hardware configuration (reproduced)")
+    print(format_table(rows, columns=["chip", "num_cores", "crossbars_per_core",
+                                      "capacity_mb", "nominal_power_w", "vfu_power_mw",
+                                      "local_memory_kb", "control_power_mw"]))
+
+    by_chip = {r["chip"]: r for r in rows}
+    for chip, expected in PAPER_TABLE1.items():
+        row = by_chip[chip]
+        assert row["num_cores"] == expected["num_cores"]
+        assert row["crossbars_per_core"] == expected["crossbars_per_core"]
+        assert row["capacity_mb"] == pytest.approx(expected["capacity_mb"])
+        assert row["nominal_power_w"] == pytest.approx(expected["power_w"])
+    # per-core component specs from Table I
+    assert by_chip["S"]["vfu_power_mw"] == pytest.approx(22.8)
+    assert by_chip["S"]["local_memory_kb"] == 64
+    assert by_chip["S"]["local_memory_power_mw"] == pytest.approx(18.0)
+    assert by_chip["S"]["control_power_mw"] == pytest.approx(8.0)

@@ -1,0 +1,57 @@
+"""Explore the batch-size trade-off for partitioned execution (Sec. II-B).
+
+Executing each partition over a batch of inputs amortises the weight
+replacement cost (higher throughput, lower energy per inference) but makes
+every sample wait for its batch-mates before the next partition starts
+(higher end-to-end latency).  This example sweeps the batch size for
+ResNet18 on each chip configuration and prints the resulting throughput,
+per-sample latency, energy and EDP, plus the weight-traffic/compute energy
+ratio of Fig. 9.
+
+Run with:  python examples/batch_size_exploration.py
+"""
+
+from repro import build_model, compile_model, get_chip_config
+from repro.core.ga import GAConfig
+from repro.sim.report import format_table
+
+
+def main() -> None:
+    model = build_model("resnet18")
+    ga_config = GAConfig(population_size=16, generations=6, n_select=4, n_mutate=12, seed=0)
+    batch_sizes = (1, 2, 4, 8, 16)
+
+    rows = []
+    for chip_name in ("S", "M", "L"):
+        chip = get_chip_config(chip_name)
+        for batch in batch_sizes:
+            result = compile_model(model, chip, scheme="compass", batch_size=batch,
+                                   ga_config=ga_config, generate_instructions=False)
+            report = result.report
+            breakdown = report.energy_breakdown
+            rows.append({
+                "config": f"{chip_name}-{batch}",
+                "partitions": result.num_partitions,
+                "throughput_ips": report.throughput,
+                "latency_per_inf_ms": report.latency_per_inference_ms,
+                "energy_per_inf_mj": report.energy_per_inference_mj,
+                "edp_mj_ms": report.edp_per_inference,
+                "weight_over_mvm": (breakdown.weight_load_pj + breakdown.weight_write_pj)
+                / max(breakdown.mvm_pj, 1e-9),
+            })
+
+    print("ResNet18 with COMPASS partitioning — batch-size exploration")
+    print(format_table(rows, columns=["config", "partitions", "throughput_ips",
+                                      "latency_per_inf_ms", "energy_per_inf_mj",
+                                      "edp_mj_ms", "weight_over_mvm"]))
+
+    print("\nObservations (cf. Figs. 6, 8, 9 of the paper):")
+    print("  * throughput rises with batch size as weight replacement is amortised;")
+    print("  * energy per inference falls with batch size for the same reason;")
+    print("  * at batch 1 the weight write/load energy dominates the MVM energy,")
+    print("    by batch 16 it is a small fraction of it;")
+    print("  * the sweet spot balances throughput against end-to-end latency.")
+
+
+if __name__ == "__main__":
+    main()

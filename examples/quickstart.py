@@ -1,0 +1,58 @@
+"""Quickstart: compile SqueezeNet onto the small (1.125 MB) PIM chip.
+
+This is the smallest end-to-end use of the public API:
+
+1. build a model graph from the model zoo,
+2. pick a chip configuration (Table I of the paper),
+3. compile with the COMPASS genetic algorithm,
+4. inspect throughput, energy and the generated instruction streams.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import CHIP_S, build_model, compile_model
+from repro.core.ga import GAConfig
+from repro.sim.report import render_execution_report
+
+
+def main() -> None:
+    # 1. a model graph: SqueezeNet v1.1 (0.59 MB of 4-bit weights)
+    model = build_model("squeezenet")
+    print(f"model {model.name}: {len(model)} layers, "
+          f"{model.crossbar_weight_bytes(4) / 2**20:.3f} MiB of crossbar weights")
+
+    # 2. the chip: Chip-S has 16 cores x 9 crossbars = 1.125 MB of capacity
+    print(CHIP_S.describe())
+
+    # 3. compile with the COMPASS GA (a small GA keeps the example snappy)
+    result = compile_model(
+        model,
+        CHIP_S,
+        scheme="compass",
+        batch_size=8,
+        ga_config=GAConfig(population_size=20, generations=8, n_select=5, n_mutate=15, seed=0),
+    )
+
+    # 4. results
+    print()
+    print(result.summary())
+    print()
+    print(render_execution_report(result.report))
+
+    print("\nChosen partitioning:")
+    for index, partition in enumerate(result.group.partitions()):
+        layers = ", ".join(partition.layer_names())
+        print(f"  partition {index}: {partition.num_units} units, "
+              f"{partition.weight_bytes / 1024:.1f} KiB -> layers: {layers}")
+
+    schedule = result.schedule
+    print(f"\ninstruction streams: {schedule.total_instructions:,} instructions "
+          f"across {sum(len(s.programs) for s in schedule.partitions)} core programs")
+    first_core = min(schedule.partitions[0].programs)
+    print(f"first instructions on core {first_core}:")
+    for instruction in list(schedule.partitions[0].programs[first_core])[:6]:
+        print(f"  {instruction}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Compare COMPASS against the greedy and layerwise baselines on ResNet18.
+
+Reproduces the scenario behind Fig. 7 of the paper ("ResNet18-M-16"): the
+5.6 MB network does not fit on the 2 MB Chip-M, so it must be split into
+partitions executed back-to-back with weight replacement in between.  The
+example prints, for each partitioning scheme, the partition count, the
+per-partition latency breakdown and the end-to-end throughput/EDP.
+
+Run with:  python examples/resnet18_scheme_comparison.py
+"""
+
+from repro import CHIP_M, build_model, compile_model
+from repro.core.ga import GAConfig
+from repro.sim.report import format_table
+
+
+def main() -> None:
+    model = build_model("resnet18")
+    batch_size = 16
+    print(f"{model.name}: {model.crossbar_weight_bytes(4) / 2**20:.2f} MiB of weights, "
+          f"Chip-M capacity {CHIP_M.weight_capacity_mb:.1f} MB, batch {batch_size}")
+
+    ga_config = GAConfig(population_size=30, generations=12, n_select=8, n_mutate=22, seed=0)
+    results = {}
+    for scheme in ("greedy", "layerwise", "compass"):
+        results[scheme] = compile_model(
+            model, CHIP_M, scheme=scheme, batch_size=batch_size,
+            ga_config=ga_config, generate_instructions=False,
+        )
+
+    rows = [r.report.summary_row() for r in results.values()]
+    print()
+    print(format_table(rows, columns=["scheme", "partitions", "latency_ms",
+                                      "throughput_ips", "energy_per_inf_mj", "edp_mj_ms"]))
+
+    print("\nPer-partition latency breakdown (ms):")
+    for scheme, result in results.items():
+        latencies = result.report.partition_latencies_ns()
+        total = sum(latencies)
+        shares = ", ".join(f"{v / total:.0%}" for v in latencies[:8])
+        more = " ..." if len(latencies) > 8 else ""
+        print(f"  {scheme:<10s}: {shares}{more}")
+
+    compass = results["compass"].report
+    for baseline in ("greedy", "layerwise"):
+        report = results[baseline].report
+        print(f"\nCOMPASS vs {baseline}: "
+              f"{compass.throughput / report.throughput:.2f}x throughput, "
+              f"{report.edp_per_inference / compass.edp_per_inference:.2f}x EDP gain")
+
+    print("\nDRAM traffic per batch (activations staged between partitions):")
+    for scheme, result in results.items():
+        print(f"  {scheme:<10s}: weights {result.report.weight_traffic_bytes() / 2**20:.2f} MiB, "
+              f"features {result.report.feature_traffic_bytes() / 2**20:.2f} MiB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so legacy (non-PEP-517) editable installs work offline.
+
+The runtime environment has no network access and no ``wheel`` package, so
+``pip install -e . --no-use-pep517 --no-build-isolation`` is the supported
+install path; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

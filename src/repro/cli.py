@@ -1,0 +1,159 @@
+"""Command-line interface for the COMPASS reproduction.
+
+Subcommands
+-----------
+
+``compile``
+    Compile one model for one chip with a chosen partitioning scheme and
+    print the execution summary (optionally dumping the full result to JSON).
+``sweep``
+    Run a throughput sweep (Fig. 6 style) over models / chips / batch sizes.
+``models``
+    List the models available in the zoo with their weight footprints.
+``chips``
+    Print the Table I chip configurations.
+
+Examples
+--------
+
+::
+
+    python -m repro compile resnet18 --chip M --scheme compass --batch 16
+    python -m repro sweep --models squeezenet resnet18 --chips S M --batches 1 4 16
+    python -m repro models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.compiler import compile_model
+from repro.core.ga import GAConfig
+from repro.evaluation.sweeps import SweepRunner
+from repro.hardware.config import get_chip_config, hardware_configuration_table
+from repro.models import build_model, list_models
+from repro.serialization import dump_compilation_result
+from repro.sim.report import format_table, render_execution_report
+
+
+def _ga_config_from_args(args: argparse.Namespace) -> GAConfig:
+    return GAConfig(
+        population_size=args.population,
+        generations=args.generations,
+        n_select=max(1, args.population // 5),
+        n_mutate=args.population - max(1, args.population // 5),
+        seed=args.seed,
+    )
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    graph = build_model(args.model)
+    chip = get_chip_config(args.chip)
+    result = compile_model(
+        graph,
+        chip,
+        scheme=args.scheme,
+        batch_size=args.batch,
+        ga_config=_ga_config_from_args(args),
+        generate_instructions=not args.no_instructions,
+    )
+    print(result.summary())
+    print()
+    print(render_execution_report(result.report))
+    if args.output:
+        dump_compilation_result(result, args.output)
+        print(f"\nfull result written to {args.output}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    runner = SweepRunner(ga_config=_ga_config_from_args(args))
+    rows = runner.run(
+        models=args.models,
+        chips=args.chips,
+        schemes=args.schemes,
+        batch_sizes=args.batches,
+    )
+    print(format_table(rows, columns=["label", "scheme", "partitions", "throughput_ips",
+                                      "latency_ms", "energy_per_inf_mj", "edp_mj_ms"]))
+    return 0
+
+
+def _cmd_models(_: argparse.Namespace) -> int:
+    rows = []
+    for name in list_models():
+        graph = build_model(name)
+        rows.append(
+            {
+                "model": name,
+                "layers": len(graph),
+                "conv_mb": graph.conv_weight_bytes(4) / 2**20,
+                "linear_mb": graph.linear_weight_bytes(4) / 2**20,
+                "total_mb": graph.crossbar_weight_bytes(4) / 2**20,
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_chips(_: argparse.Namespace) -> int:
+    print(format_table(hardware_configuration_table()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COMPASS: compiler for resource-constrained crossbar PIM accelerators",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_ga_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--population", type=int, default=30, help="GA population size")
+        p.add_argument("--generations", type=int, default=10, help="GA generations")
+        p.add_argument("--seed", type=int, default=0, help="GA random seed")
+
+    compile_parser = subparsers.add_parser("compile", help="compile one model for one chip")
+    compile_parser.add_argument("model", choices=list_models())
+    compile_parser.add_argument("--chip", default="M", help="chip configuration: S, M or L")
+    compile_parser.add_argument("--scheme", default="compass",
+                                choices=["compass", "greedy", "layerwise"])
+    compile_parser.add_argument("--batch", type=int, default=1, help="batch size")
+    compile_parser.add_argument("--no-instructions", action="store_true",
+                                help="skip instruction generation (faster)")
+    compile_parser.add_argument("--output", help="write the full result to this JSON file")
+    add_ga_options(compile_parser)
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    sweep_parser = subparsers.add_parser("sweep", help="run a Fig. 6 style sweep")
+    sweep_parser.add_argument("--models", nargs="+", default=["squeezenet", "resnet18"],
+                              choices=list_models())
+    sweep_parser.add_argument("--chips", nargs="+", default=["S", "M", "L"])
+    sweep_parser.add_argument("--schemes", nargs="+",
+                              default=["greedy", "layerwise", "compass"],
+                              choices=["greedy", "layerwise", "compass"])
+    sweep_parser.add_argument("--batches", nargs="+", type=int, default=[1, 4, 16])
+    add_ga_options(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    models_parser = subparsers.add_parser("models", help="list available models")
+    models_parser.set_defaults(func=_cmd_models)
+
+    chips_parser = subparsers.add_parser("chips", help="print the Table I chip configurations")
+    chips_parser.set_defaults(func=_cmd_chips)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the ``compass-repro`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

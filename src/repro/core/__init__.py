@@ -1,0 +1,46 @@
+"""COMPASS core: model partitioning for resource-constrained PIM chips.
+
+This package implements the paper's primary contribution:
+
+* model decomposition into partition units (:mod:`repro.core.decomposition`)
+* the partition validity map (:mod:`repro.core.validity`)
+* partitions / partition groups and their DRAM entry/exit analysis
+  (:mod:`repro.core.partition`)
+* greedy and layerwise baseline partitioners (:mod:`repro.core.baselines`)
+* the partition-score and mutation operators (:mod:`repro.core.score`,
+  :mod:`repro.core.mutation`)
+* the COMPASS genetic algorithm (:mod:`repro.core.ga`)
+* the end-to-end compiler driver (:mod:`repro.core.compiler`)
+"""
+
+from repro.core.decomposition import PartitionUnit, ModelDecomposition, decompose_model
+from repro.core.validity import ValidityMap
+from repro.core.partition import Partition, PartitionGroup, PartitionIO
+from repro.core.baselines import greedy_partition, layerwise_partition
+from repro.core.ga import CompassGA, GAConfig, GAResult, GenerationRecord
+from repro.core.compiler import (
+    CompassCompiler,
+    CompilerOptions,
+    CompilationResult,
+    compile_model,
+)
+
+__all__ = [
+    "PartitionUnit",
+    "ModelDecomposition",
+    "decompose_model",
+    "ValidityMap",
+    "Partition",
+    "PartitionGroup",
+    "PartitionIO",
+    "greedy_partition",
+    "layerwise_partition",
+    "CompassGA",
+    "GAConfig",
+    "GAResult",
+    "GenerationRecord",
+    "CompassCompiler",
+    "CompilerOptions",
+    "CompilationResult",
+    "compile_model",
+]

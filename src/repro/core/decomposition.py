@@ -1,0 +1,213 @@
+"""Model decomposition into partition units (Sec. III-B, Fig. 4).
+
+The weight matrix of every Conv/Linear layer is divided along its *output*
+dimension into partition units sized to fit within the in-memory footprint of
+a single PIM core (validity condition 1).  The ordered list of units — in the
+topological order of their layers — is the string the genetic algorithm
+partitions: a partition is a span of consecutive units.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.graph.graph import Graph, GraphNode
+from repro.graph.traversal import attach_non_crossbar_layers, crossbar_layer_order
+from repro.hardware.chip import ChipConfig
+from repro.mapping.geometry import WeightMatrixGeometry, layer_geometry
+
+
+class DecompositionError(ValueError):
+    """Raised when a model cannot be decomposed for the given chip."""
+
+
+@dataclass(frozen=True)
+class PartitionUnit:
+    """The minimum granularity of partitioning: a slice of one layer.
+
+    A unit covers output columns ``[col_start, col_end)`` of its layer's
+    im2col weight matrix and fits within a single core's crossbar capacity.
+    """
+
+    index: int
+    layer_name: str
+    unit_in_layer: int
+    units_in_layer: int
+    col_start: int
+    col_end: int
+    weight_bytes: int
+    crossbars: int
+    #: MVM tile operations needed per sliding window for this unit
+    tile_ops_per_window: int
+    #: sliding windows per inference (shared by all units of the layer)
+    windows: int
+
+    @property
+    def cols(self) -> int:
+        """Output columns covered by this unit."""
+        return self.col_end - self.col_start
+
+    def __str__(self) -> str:
+        return (
+            f"x{self.index}({self.layer_name}[{self.col_start}:{self.col_end}], "
+            f"{self.weight_bytes}B, {self.crossbars}xb)"
+        )
+
+
+@dataclass
+class ModelDecomposition:
+    """A model decomposed into partition units for a specific chip.
+
+    Holds everything partitioning needs: the ordered unit list, per-layer
+    geometry, the attachment of non-crossbar layers to their producing
+    Conv/Linear layer, and per-layer unit index ranges.
+    """
+
+    graph: Graph
+    chip: ChipConfig
+    weight_bits: int
+    activation_bits: int
+    units: List[PartitionUnit]
+    geometries: Dict[str, WeightMatrixGeometry]
+    #: crossbar layer name -> names of attached non-crossbar layers
+    attachments: Dict[str, List[str]]
+    #: layer name -> (first unit index, last unit index + 1)
+    layer_unit_ranges: Dict[str, tuple]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_units(self) -> int:
+        """Number of partition units (M in Fig. 5)."""
+        return len(self.units)
+
+    @property
+    def crossbar_layers(self) -> List[str]:
+        """Crossbar-mapped layer names in decomposition order."""
+        return list(self.layer_unit_ranges.keys())
+
+    def units_of_layer(self, layer_name: str) -> List[PartitionUnit]:
+        """All units belonging to the given layer."""
+        start, end = self.layer_unit_ranges[layer_name]
+        return self.units[start:end]
+
+    def layer_of_unit(self, unit_index: int) -> str:
+        """Layer owning the given unit index."""
+        return self.units[unit_index].layer_name
+
+    def node(self, layer_name: str) -> GraphNode:
+        """Graph node for a layer name."""
+        return self.graph.node(layer_name)
+
+    def span_weight_bytes(self, start: int, end: int) -> int:
+        """Single-copy weight bytes of units in ``[start, end)``."""
+        return sum(u.weight_bytes for u in self.units[start:end])
+
+    def span_crossbars(self, start: int, end: int) -> int:
+        """Single-copy crossbar count of units in ``[start, end)``."""
+        return sum(u.crossbars for u in self.units[start:end])
+
+    def total_weight_bytes(self) -> int:
+        """Single-copy weight bytes of the whole decomposed model."""
+        return self.span_weight_bytes(0, self.num_units)
+
+    def fits_fully_on_chip(self) -> bool:
+        """Whether the entire model fits on chip without partitioning."""
+        return self.total_weight_bytes() <= self.chip.weight_capacity_bytes
+
+
+def _split_columns(total_cols: int, num_units: int) -> List[tuple]:
+    """Split ``total_cols`` into ``num_units`` near-equal contiguous ranges."""
+    base = total_cols // num_units
+    extra = total_cols % num_units
+    ranges = []
+    start = 0
+    for i in range(num_units):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def decompose_model(
+    graph: Graph,
+    chip: ChipConfig,
+    weight_bits: int = 4,
+    activation_bits: int = 4,
+) -> ModelDecomposition:
+    """Decompose a model into partition units for the given chip.
+
+    Every Conv/Linear layer is split along the output dimension into the
+    smallest number of units whose weight bytes fit within one core's
+    crossbar capacity (validity condition 1 of Sec. III-B).
+
+    Raises :class:`DecompositionError` if any single output column of a layer
+    exceeds a core's capacity (the model cannot run on this chip at all).
+    """
+    xbar = chip.core.crossbar
+    if xbar.weight_bits != weight_bits:
+        # The crossbar capacity model depends on the weight precision; keep
+        # them consistent rather than silently mixing precisions.
+        raise DecompositionError(
+            f"weight_bits={weight_bits} does not match the crossbar configuration "
+            f"({xbar.weight_bits}-bit weights)"
+        )
+
+    core_capacity = chip.core.weight_capacity_bytes
+    units: List[PartitionUnit] = []
+    geometries: Dict[str, WeightMatrixGeometry] = {}
+    layer_unit_ranges: Dict[str, tuple] = {}
+
+    for layer_name in crossbar_layer_order(graph):
+        node = graph.node(layer_name)
+        geom = layer_geometry(node, xbar)
+        geometries[layer_name] = geom
+
+        total_cols = geom.cols * geom.groups
+        bytes_per_col = (geom.rows * weight_bits + 7) // 8
+        if bytes_per_col > core_capacity:
+            raise DecompositionError(
+                f"layer {layer_name!r}: a single output column needs {bytes_per_col} B "
+                f"but a core only holds {core_capacity} B"
+            )
+
+        max_cols_per_unit = max(1, core_capacity // bytes_per_col)
+        num_layer_units = math.ceil(total_cols / max_cols_per_unit)
+        col_ranges = _split_columns(total_cols, num_layer_units)
+
+        first_index = len(units)
+        for unit_in_layer, (col_start, col_end) in enumerate(col_ranges):
+            cols = col_end - col_start
+            weight_bytes = cols * bytes_per_col
+            crossbars = max(1, math.ceil(weight_bytes / xbar.capacity_bytes))
+            tile_ops = geom.row_tiles * math.ceil(cols / xbar.weight_cols)
+            units.append(
+                PartitionUnit(
+                    index=len(units),
+                    layer_name=layer_name,
+                    unit_in_layer=unit_in_layer,
+                    units_in_layer=num_layer_units,
+                    col_start=col_start,
+                    col_end=col_end,
+                    weight_bytes=weight_bytes,
+                    crossbars=crossbars,
+                    tile_ops_per_window=tile_ops,
+                    windows=geom.windows,
+                )
+            )
+        layer_unit_ranges[layer_name] = (first_index, len(units))
+
+    if not units:
+        raise DecompositionError("model has no crossbar-mapped (Conv/Linear) layers")
+
+    return ModelDecomposition(
+        graph=graph,
+        chip=chip,
+        weight_bits=weight_bits,
+        activation_bits=activation_bits,
+        units=units,
+        geometries=geometries,
+        attachments=attach_non_crossbar_layers(graph),
+        layer_unit_ranges=layer_unit_ranges,
+    )

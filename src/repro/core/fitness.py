@@ -1,0 +1,124 @@
+"""Fitness evaluation of partitions and partition groups (Sec. III-C1).
+
+The model is optimised for the fitness the user specifies — latency
+(throughput) or energy-delay product.  Each partition is a sub-model fully
+mapped on chip, so its fitness comes from the on-chip optimizer/estimator
+(:mod:`repro.onchip`); the partition-group fitness (PGF) is the sum of its
+partitions' fitnesses.  Lower is better, matching the ascending sorts of
+Algorithm 1.
+
+Partition estimates are cached by span so the genetic algorithm can evaluate
+thousands of partition groups without recomputing shared partitions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.decomposition import ModelDecomposition
+from repro.core.partition import Partition, PartitionGroup
+from repro.hardware.chip import ChipConfig
+from repro.hardware.dram import DRAMConfig, LPDDR3_8GB
+from repro.onchip.estimator import PartitionEstimate, PartitionEstimator
+
+
+class FitnessMode(enum.Enum):
+    """What the optimiser minimises."""
+
+    LATENCY = "latency"
+    EDP = "edp"
+
+
+@dataclass
+class GroupEvaluation:
+    """Fitness of a partition group and of each of its partitions."""
+
+    group: PartitionGroup
+    partition_fitness: List[float]
+    estimates: List[PartitionEstimate]
+
+    @property
+    def fitness(self) -> float:
+        """Partition-group fitness (PGF): sum of partition fitnesses."""
+        return sum(self.partition_fitness)
+
+    @property
+    def total_latency_ns(self) -> float:
+        """Total latency of executing all partitions sequentially."""
+        return sum(e.latency_ns for e in self.estimates)
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Total energy of executing all partitions."""
+        return sum(e.energy_pj for e in self.estimates)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product of the whole execution (pJ * ns)."""
+        return self.total_energy_pj * self.total_latency_ns
+
+
+class FitnessEvaluator:
+    """Cached fitness oracle used by the GA and the baseline partitioners."""
+
+    def __init__(
+        self,
+        decomposition: ModelDecomposition,
+        batch_size: int = 1,
+        mode: FitnessMode = FitnessMode.LATENCY,
+        dram_config: DRAMConfig = LPDDR3_8GB,
+    ) -> None:
+        self.decomposition = decomposition
+        self.chip: ChipConfig = decomposition.chip
+        self.batch_size = batch_size
+        self.mode = mode
+        self.estimator = PartitionEstimator(self.chip, dram_config, batch_size)
+        self._cache: Dict[Tuple[int, int], PartitionEstimate] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_size(self) -> int:
+        """Number of distinct partition spans evaluated so far."""
+        return len(self._cache)
+
+    def estimate_span(self, start: int, end: int) -> PartitionEstimate:
+        """Estimate (with caching) the partition covering units [start, end)."""
+        key = (start, end)
+        estimate = self._cache.get(key)
+        if estimate is None:
+            partition = Partition(self.decomposition, start, end)
+            estimate = self.estimator.estimate(partition, batch_size=self.batch_size)
+            self._cache[key] = estimate
+        return estimate
+
+    def partition_fitness(self, estimate: PartitionEstimate) -> float:
+        """Scalar fitness of one partition (lower is better)."""
+        if self.mode is FitnessMode.LATENCY:
+            return estimate.latency_ns
+        # EDP mode: scale to keep magnitudes manageable (pJ*ns -> uJ*us)
+        return estimate.edp * 1e-12
+
+    def evaluate(self, group: PartitionGroup) -> GroupEvaluation:
+        """Evaluate a partition group: per-partition fitness and the PGF.
+
+        In latency mode the PGF (sum of partition fitnesses) is exactly the
+        end-to-end latency.  In EDP mode the end-to-end metric is
+        ``(sum of energies) x (sum of latencies)``, which is not additive over
+        partitions, so the per-partition fitnesses are rescaled to keep their
+        sum equal to the group EDP while preserving their relative ordering
+        (which is what the partition score of Sec. III-C2 consumes).
+        """
+        estimates = [self.estimate_span(s, e) for s, e in group.spans()]
+        fitness = [self.partition_fitness(est) for est in estimates]
+        if self.mode is FitnessMode.EDP:
+            group_edp = (
+                sum(e.energy_pj for e in estimates)
+                * sum(e.latency_ns for e in estimates)
+                * 1e-12
+            )
+            share_total = sum(fitness)
+            if share_total > 0 and group_edp > 0:
+                fitness = [f / share_total * group_edp for f in fitness]
+        return GroupEvaluation(group=group, partition_fitness=fitness, estimates=estimates)

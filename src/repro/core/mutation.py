@@ -1,0 +1,203 @@
+"""Mutation operators of the COMPASS genetic algorithm (Sec. III-C3).
+
+Four schemes operate on a partition group's boundary list:
+
+* **Merge** joins the worst-performing pair of neighbouring partitions into
+  one (removing small, inefficient partitions).
+* **Split** cuts a selected partition into two at a random internal position
+  (breaking up ill-performing partitions with too many layers and low
+  replication).
+* **Move** shifts one partition unit across the boundary between a partition
+  and its neighbour (fine-grained boundary search).
+* **FixedRandom** keeps the best-scoring partition fixed and randomly
+  regenerates everything before and after it (global exploration to escape
+  local optima).
+
+All operators return a *new* boundary tuple and never produce a partition
+that violates the validity map; if an operator cannot apply (e.g. a merge
+would overflow the chip), it returns ``None`` and the caller picks another
+scheme.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.partition import PartitionGroup
+from repro.core.validity import ValidityMap
+
+
+class MutationKind(enum.Enum):
+    """The four mutation schemes of the COMPASS algorithm."""
+
+    MERGE = "merge"
+    SPLIT = "split"
+    MOVE = "move"
+    FIXED_RANDOM = "fixed_random"
+
+
+def _spans(boundaries: Sequence[int]) -> List[Tuple[int, int]]:
+    result = []
+    start = 0
+    for end in boundaries:
+        result.append((start, end))
+        start = end
+    return result
+
+
+def _valid_group(validity: ValidityMap, boundaries: Sequence[int]) -> bool:
+    return all(validity.is_valid(start, end) for start, end in _spans(boundaries))
+
+
+def mutate_merge(
+    boundaries: Sequence[int],
+    validity: ValidityMap,
+    pair_index: int,
+) -> Optional[Tuple[int, ...]]:
+    """Merge partitions ``pair_index`` and ``pair_index + 1``.
+
+    Returns ``None`` if there is no such pair or the merged span is invalid.
+    """
+    bounds = list(boundaries)
+    if pair_index < 0 or pair_index >= len(bounds) - 1:
+        return None
+    merged = bounds[:pair_index] + bounds[pair_index + 1:]
+    if not _valid_group(validity, merged):
+        return None
+    return tuple(merged)
+
+
+def mutate_split(
+    boundaries: Sequence[int],
+    validity: ValidityMap,
+    partition_index: int,
+    rng: np.random.Generator,
+) -> Optional[Tuple[int, ...]]:
+    """Split the selected partition at a random internal position."""
+    bounds = list(boundaries)
+    spans = _spans(bounds)
+    if not 0 <= partition_index < len(spans):
+        return None
+    start, end = spans[partition_index]
+    if end - start < 2:
+        return None  # single-unit partitions cannot be split
+    cut = int(rng.integers(start + 1, end))
+    new_bounds = sorted(set(bounds) | {cut})
+    if not _valid_group(validity, new_bounds):
+        return None
+    return tuple(new_bounds)
+
+
+def mutate_move(
+    boundaries: Sequence[int],
+    validity: ValidityMap,
+    pair_index: int,
+    rng: np.random.Generator,
+) -> Optional[Tuple[int, ...]]:
+    """Move one unit across the boundary between partitions ``pair_index`` and +1."""
+    bounds = list(boundaries)
+    if pair_index < 0 or pair_index >= len(bounds) - 1:
+        return None
+    boundary = bounds[pair_index]
+    left_start = bounds[pair_index - 1] if pair_index > 0 else 0
+    right_end = bounds[pair_index + 1]
+    directions = [1, -1] if rng.random() < 0.5 else [-1, 1]
+    for direction in directions:
+        candidate = boundary + direction
+        if candidate <= left_start or candidate >= right_end:
+            continue
+        new_bounds = list(bounds)
+        new_bounds[pair_index] = candidate
+        if _valid_group(validity, new_bounds):
+            return tuple(new_bounds)
+    return None
+
+
+def mutate_fixed_random(
+    boundaries: Sequence[int],
+    validity: ValidityMap,
+    fixed_partition_index: int,
+    rng: np.random.Generator,
+) -> Optional[Tuple[int, ...]]:
+    """Keep the best partition fixed; randomly regenerate all others."""
+    spans = _spans(boundaries)
+    if not 0 <= fixed_partition_index < len(spans):
+        return None
+    fixed_start, fixed_end = spans[fixed_partition_index]
+
+    new_bounds: List[int] = []
+    # random prefix covering [0, fixed_start)
+    start = 0
+    while start < fixed_start:
+        end = min(validity.random_valid_end(start, rng), fixed_start)
+        new_bounds.append(end)
+        start = end
+    # the fixed partition itself
+    new_bounds.append(fixed_end)
+    # random suffix covering [fixed_end, num_units)
+    start = fixed_end
+    while start < validity.num_units:
+        end = validity.random_valid_end(start, rng)
+        new_bounds.append(end)
+        start = end
+    if not _valid_group(validity, new_bounds):
+        return None
+    return tuple(new_bounds)
+
+
+def apply_mutation(
+    kind: MutationKind,
+    group: PartitionGroup,
+    validity: ValidityMap,
+    partition_scores: Sequence[float],
+    rng: np.random.Generator,
+) -> Optional[Tuple[int, ...]]:
+    """Apply one mutation scheme to a group, guided by partition scores.
+
+    ``partition_scores`` are the per-partition R values (higher = worse).
+    Merge targets the worst-scoring *pair*; split/move target the worst
+    partition; fixed-random keeps the *best* partition.
+    """
+    bounds = group.boundaries
+    scores = list(partition_scores)
+    if len(scores) != group.num_partitions:
+        raise ValueError("partition_scores length must match the number of partitions")
+
+    if kind is MutationKind.MERGE:
+        if group.num_partitions < 2:
+            return None
+        pair_scores = [scores[i] + scores[i + 1] for i in range(len(scores) - 1)]
+        order = np.argsort(pair_scores)[::-1]
+        for pair_index in order:
+            result = mutate_merge(bounds, validity, int(pair_index))
+            if result is not None:
+                return result
+        return None
+
+    if kind is MutationKind.SPLIT:
+        order = np.argsort(scores)[::-1]
+        for partition_index in order:
+            result = mutate_split(bounds, validity, int(partition_index), rng)
+            if result is not None:
+                return result
+        return None
+
+    if kind is MutationKind.MOVE:
+        if group.num_partitions < 2:
+            return None
+        pair_scores = [scores[i] + scores[i + 1] for i in range(len(scores) - 1)]
+        order = np.argsort(pair_scores)[::-1]
+        for pair_index in order:
+            result = mutate_move(bounds, validity, int(pair_index), rng)
+            if result is not None:
+                return result
+        return None
+
+    if kind is MutationKind.FIXED_RANDOM:
+        best_index = int(np.argmin(scores))
+        return mutate_fixed_random(bounds, validity, best_index, rng)
+
+    raise ValueError(f"unknown mutation kind {kind!r}")

@@ -1,0 +1,277 @@
+"""Partitions and partition groups, with global-memory entry/exit analysis.
+
+A *partition* is a span of consecutive partition units plus the non-crossbar
+layers attached to them.  A *partition group* is an ordered list of
+partitions covering the entire decomposed model; partitions execute
+sequentially with weight replacement in between (Sec. II-B).
+
+Unlike a fully on-chip model, each partition can have multiple entry and exit
+nodes (Sec. III-B3): e.g. a ResNet residual connection that is not fully
+contained in a partition forces the producing partition to store the skip
+feature map to global memory and the consuming partition to load it back.
+This module computes those load/store attributes, which feed DRAM latency
+and energy estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.decomposition import ModelDecomposition, PartitionUnit
+from repro.graph.layers import LayerKind
+
+
+@dataclass(frozen=True)
+class PartitionIO:
+    """Global-memory traffic of one partition, per input sample."""
+
+    #: (source node name, bytes loaded from global memory) per entry
+    entries: Tuple[Tuple[str, int], ...]
+    #: (node name, bytes stored to global memory) per exit
+    exits: Tuple[Tuple[str, int], ...]
+
+    @property
+    def load_bytes(self) -> int:
+        """Bytes loaded from global memory per sample."""
+        return sum(b for _, b in self.entries)
+
+    @property
+    def store_bytes(self) -> int:
+        """Bytes stored to global memory per sample."""
+        return sum(b for _, b in self.exits)
+
+    @property
+    def num_entries(self) -> int:
+        """Number of entry nodes (multi-endpoint dependences)."""
+        return len(self.entries)
+
+    @property
+    def num_exits(self) -> int:
+        """Number of exit nodes."""
+        return len(self.exits)
+
+
+@dataclass
+class Partition:
+    """A span ``[start, end)`` of partition units."""
+
+    decomposition: ModelDecomposition
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end <= self.decomposition.num_units:
+            raise ValueError(
+                f"invalid partition span [{self.start}, {self.end}) for "
+                f"{self.decomposition.num_units} units"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def units(self) -> List[PartitionUnit]:
+        """Units contained in this partition."""
+        return self.decomposition.units[self.start:self.end]
+
+    @property
+    def num_units(self) -> int:
+        """Number of units in this partition (|P| in the paper)."""
+        return self.end - self.start
+
+    @property
+    def weight_bytes(self) -> int:
+        """Single-copy weight bytes of this partition."""
+        return self.decomposition.span_weight_bytes(self.start, self.end)
+
+    @property
+    def crossbars(self) -> int:
+        """Single-copy crossbar count of this partition."""
+        return self.decomposition.span_crossbars(self.start, self.end)
+
+    def layer_names(self) -> List[str]:
+        """Crossbar layers with at least one unit in this partition, in order."""
+        seen: List[str] = []
+        for unit in self.units:
+            if unit.layer_name not in seen:
+                seen.append(unit.layer_name)
+        return seen
+
+    def layer_units(self) -> Dict[str, List[PartitionUnit]]:
+        """Units grouped by layer, preserving order."""
+        grouped: Dict[str, List[PartitionUnit]] = {}
+        for unit in self.units:
+            grouped.setdefault(unit.layer_name, []).append(unit)
+        return grouped
+
+    def layer_fraction(self, layer_name: str) -> float:
+        """Fraction of the layer's output columns held by this partition."""
+        owned = sum(u.cols for u in self.units if u.layer_name == layer_name)
+        total_range = self.decomposition.layer_unit_ranges.get(layer_name)
+        if total_range is None or owned == 0:
+            return 0.0
+        start, end = total_range
+        total = sum(u.cols for u in self.decomposition.units[start:end])
+        return owned / total if total else 0.0
+
+    def owned_nodes(self) -> Set[str]:
+        """Graph nodes executed by this partition.
+
+        Crossbar layers with units here plus their attached non-crossbar
+        layers (ReLU/BatchNorm/Pool/Add/...).
+        """
+        owned: Set[str] = set(self.layer_names())
+        for layer in self.layer_names():
+            owned.update(self.decomposition.attachments.get(layer, []))
+        return owned
+
+    # ------------------------------------------------------------------
+    def io(self) -> PartitionIO:
+        """Compute the entry/exit nodes and their DRAM traffic.
+
+        Entry: any input edge whose producer is a model input or a node not
+        executed by this partition.  Exit: any node executed here whose output
+        is a model output or is consumed by a node outside this partition.
+        Feature-map bytes of a layer split across partitions are scaled by the
+        fraction of output columns this partition owns.
+        """
+        decomposition = self.decomposition
+        graph = decomposition.graph
+        bits = decomposition.activation_bits
+        owned = self.owned_nodes()
+
+        def partially_owned(name: str) -> bool:
+            """A crossbar layer with only part of its output columns here."""
+            node = graph.node(name)
+            return node.layer.is_crossbar_mapped and self.layer_fraction(name) < 1.0
+
+        entries: Dict[str, int] = {}
+        for name in sorted(owned):
+            node = graph.node(name)
+            for src in node.inputs:
+                src_node = graph.node(src)
+                assert src_node.output_shape is not None
+                full_size = src_node.output_shape.size_bytes(bits)
+                if src not in owned:
+                    size = full_size
+                elif partially_owned(src) and node.layer.is_crossbar_mapped:
+                    # a Conv/Linear consumer needs the producer's full output,
+                    # but this partition only computed a slice of it; the rest
+                    # was produced elsewhere and must be fetched from DRAM.
+                    # (Element-wise consumers operate slice-locally and need
+                    # no such load.)
+                    size = max(1, int(round(full_size * (1.0 - self.layer_fraction(src)))))
+                else:
+                    continue
+                entries[src] = max(entries.get(src, 0), size)
+
+        exits: Dict[str, int] = {}
+        for name in sorted(owned):
+            node = graph.node(name)
+            is_model_output = not node.outputs
+            consumed_outside = any(
+                succ not in owned or partially_owned(succ) for succ in node.outputs
+            )
+            if not (is_model_output or consumed_outside):
+                continue
+            assert node.output_shape is not None
+            size = node.output_shape.size_bytes(bits)
+            # a partition holding only a slice of the producing layer stores
+            # only its slice of the feature map
+            if node.layer.is_crossbar_mapped:
+                size = int(round(size * self.layer_fraction(name)))
+            exits[name] = max(size, 1)
+
+        return PartitionIO(
+            entries=tuple(sorted(entries.items())),
+            exits=tuple(sorted(exits.items())),
+        )
+
+    def __str__(self) -> str:
+        return f"P[{self.start}:{self.end}]({self.num_units} units, {self.weight_bytes}B)"
+
+
+@dataclass
+class PartitionGroup:
+    """An ordered list of partitions covering the whole decomposed model.
+
+    Represented compactly by the partition end positions (``boundaries``);
+    the i-th partition is ``[boundaries[i-1], boundaries[i])`` with an
+    implicit leading 0.
+    """
+
+    decomposition: ModelDecomposition
+    boundaries: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        bounds = tuple(self.boundaries)
+        self.boundaries = bounds
+        if not bounds:
+            raise ValueError("partition group needs at least one partition")
+        prev = 0
+        for b in bounds:
+            if b <= prev:
+                raise ValueError(f"boundaries must be strictly increasing, got {bounds}")
+            prev = b
+        if bounds[-1] != self.decomposition.num_units:
+            raise ValueError(
+                f"boundaries must cover all {self.decomposition.num_units} units, got {bounds}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_boundaries(cls, decomposition: ModelDecomposition,
+                        boundaries: Sequence[int]) -> "PartitionGroup":
+        """Build a group from partition end positions."""
+        return cls(decomposition=decomposition, boundaries=tuple(boundaries))
+
+    @classmethod
+    def single_partition(cls, decomposition: ModelDecomposition) -> "PartitionGroup":
+        """A group with everything in one partition (only valid if it fits)."""
+        return cls(decomposition=decomposition, boundaries=(decomposition.num_units,))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        """Number of partitions in the group."""
+        return len(self.boundaries)
+
+    def spans(self) -> List[Tuple[int, int]]:
+        """(start, end) spans of all partitions."""
+        result = []
+        start = 0
+        for end in self.boundaries:
+            result.append((start, end))
+            start = end
+        return result
+
+    def partitions(self) -> List[Partition]:
+        """Materialised :class:`Partition` objects."""
+        return [Partition(self.decomposition, s, e) for s, e in self.spans()]
+
+    def partition(self, index: int) -> Partition:
+        """The i-th partition."""
+        spans = self.spans()
+        start, end = spans[index]
+        return Partition(self.decomposition, start, end)
+
+    def is_valid(self, capacity_crossbars: int) -> bool:
+        """Whether every partition fits on chip at a single copy (in crossbars)."""
+        return all(
+            self.decomposition.span_crossbars(s, e) <= capacity_crossbars
+            for s, e in self.spans()
+        )
+
+    def total_dram_feature_bytes(self) -> int:
+        """Total per-sample activation bytes moved to/from DRAM."""
+        return sum(p.io().load_bytes + p.io().store_bytes for p in self.partitions())
+
+    def total_weight_bytes(self) -> int:
+        """Single-copy weight bytes across partitions (equals the model's)."""
+        return sum(p.weight_bytes for p in self.partitions())
+
+    def signature(self) -> Tuple[int, ...]:
+        """Hashable identity of the partitioning (for caching/dedup)."""
+        return self.boundaries
+
+    def __str__(self) -> str:
+        return f"PartitionGroup({self.num_partitions} partitions, boundaries={list(self.boundaries)})"

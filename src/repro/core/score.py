@@ -1,0 +1,61 @@
+"""Partition score used to select mutation targets (Sec. III-C2).
+
+For a partition ``P = {x_i | a <= i < b}``:
+
+* the partition-unit fitness is ``m(x_i) = f(P) / |P|`` — the partition's
+  fitness spread evenly over its units;
+* ``F[p, q]`` is the *expected* fitness of the span ``[p, q)``: the
+  population mean of ``sum_{i in [p,q)} m(x_i)``;
+* the partition score is ``R = f(P) / F[a, b]``.
+
+A score above one means these units perform worse here than they do on
+average across the population, so the partition is a good mutation target;
+Algorithm 1 sorts partitions ascending by R and mutates the last (worst) one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.fitness import GroupEvaluation
+
+
+def unit_fitness_profile(evaluation: GroupEvaluation, num_units: int) -> np.ndarray:
+    """Per-unit fitness m(x_i) for every unit index of one partition group."""
+    profile = np.zeros(num_units, dtype=float)
+    for (start, end), fitness in zip(evaluation.group.spans(), evaluation.partition_fitness):
+        size = end - start
+        if size > 0:
+            profile[start:end] = fitness / size
+    return profile
+
+
+def population_unit_expectation(
+    evaluations: Sequence[GroupEvaluation], num_units: int
+) -> np.ndarray:
+    """Population mean of m(x_i) for every unit index (the E[...] of the paper)."""
+    if not evaluations:
+        raise ValueError("population is empty")
+    profiles = np.stack([unit_fitness_profile(ev, num_units) for ev in evaluations])
+    return profiles.mean(axis=0)
+
+
+def partition_scores(
+    evaluation: GroupEvaluation,
+    expectation: np.ndarray,
+) -> List[float]:
+    """Score R of every partition in a group against the population expectation.
+
+    ``expectation`` is the array returned by
+    :func:`population_unit_expectation`.  A small epsilon guards against a
+    zero expected fitness (cannot happen with physical latencies, but keeps
+    the math total).
+    """
+    prefix = np.concatenate(([0.0], np.cumsum(expectation)))
+    scores: List[float] = []
+    for (start, end), fitness in zip(evaluation.group.spans(), evaluation.partition_fitness):
+        expected = prefix[end] - prefix[start]
+        scores.append(fitness / max(expected, 1e-12))
+    return scores

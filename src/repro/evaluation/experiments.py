@@ -1,0 +1,366 @@
+"""Experiment definitions: one function per table/figure of the paper.
+
+All functions return plain Python data structures (rows of dictionaries or
+numpy arrays) so that benchmarks can assert on them and examples can print
+them.  The heavyweight sweeps (Fig. 6) accept an :class:`ExperimentConfig`
+whose ``fast`` preset shrinks the GA and the batch-size list to keep CI fast;
+the paper-scale settings are the defaults of :class:`GAConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.baselines import greedy_partition, layerwise_partition
+from repro.core.compiler import CompilerOptions, CompassCompiler
+from repro.core.decomposition import decompose_model
+from repro.core.fitness import FitnessEvaluator, FitnessMode
+from repro.core.ga import CompassGA, GAConfig, GAResult
+from repro.core.validity import ValidityMap
+from repro.evaluation.sweeps import SweepPoint, SweepRunner
+from repro.hardware.config import CHIP_PRESETS, get_chip_config, hardware_configuration_table
+from repro.models import build_model
+
+#: The three benchmark networks of the paper (Table II).
+PAPER_MODELS = ("vgg16", "resnet18", "squeezenet")
+#: The three chip configurations of the paper (Table I).
+PAPER_CHIPS = ("S", "M", "L")
+#: Batch sizes evaluated in the paper (Figs. 6, 8, 9).
+PAPER_BATCH_SIZES = (1, 2, 4, 8, 16)
+#: Partitioning schemes compared in the paper.
+PAPER_SCHEMES = ("greedy", "layerwise", "compass")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared configuration for the experiment suite."""
+
+    models: Sequence[str] = PAPER_MODELS
+    chips: Sequence[str] = PAPER_CHIPS
+    batch_sizes: Sequence[int] = PAPER_BATCH_SIZES
+    schemes: Sequence[str] = PAPER_SCHEMES
+    ga_config: GAConfig = field(default_factory=GAConfig)
+    input_size: int = 224
+    seed: int = 0
+
+    @classmethod
+    def fast(cls) -> "ExperimentConfig":
+        """Reduced configuration for CI and pytest-benchmark runs.
+
+        The GA population/generation counts are scaled down (the paper uses
+        100x30); the qualitative ordering between schemes is preserved, only
+        the search is shallower.
+        """
+        return cls(
+            batch_sizes=(1, 4, 16),
+            ga_config=GAConfig(
+                population_size=24, generations=8, n_select=6, n_mutate=18,
+                early_stop_patience=4, seed=0,
+            ),
+            input_size=224,
+        )
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+def table1_hardware_configuration() -> List[Dict[str, object]]:
+    """Rows of Table I: the S/M/L chip configurations."""
+    return hardware_configuration_table()
+
+
+# ----------------------------------------------------------------------
+# Table II
+# ----------------------------------------------------------------------
+def table2_model_support(
+    models: Sequence[str] = PAPER_MODELS,
+    chips: Sequence[str] = PAPER_CHIPS,
+    weight_bits: int = 4,
+) -> List[Dict[str, object]]:
+    """Rows of Table II: per-model weight sizes and compiler support.
+
+    "prev" reproduces the all-on-chip compilers (PUMA/PIMCOMP): a model is
+    supported only if a single copy of all its weights fits on the chip.
+    "ours" is COMPASS: supported whenever the model can be decomposed into
+    partition units (i.e. every unit fits within one core).
+    """
+    rows: List[Dict[str, object]] = []
+    for model in models:
+        graph = build_model(model)
+        linear_mb = graph.linear_weight_bytes(weight_bits) / 2 ** 20
+        conv_mb = graph.conv_weight_bytes(weight_bits) / 2 ** 20
+        total_mb = graph.crossbar_weight_bytes(weight_bits) / 2 ** 20
+        row: Dict[str, object] = {
+            "network": model,
+            "linear_mb": round(linear_mb, 3),
+            "conv_mb": round(conv_mb, 3),
+            "total_mb": round(total_mb, 3),
+        }
+        for chip_name in chips:
+            chip = get_chip_config(chip_name)
+            fits_fully = graph.crossbar_weight_bytes(weight_bits) <= chip.weight_capacity_bytes
+            try:
+                decompose_model(graph, chip, weight_bits=weight_bits)
+                ours = True
+            except Exception:
+                ours = False
+            row[f"prev_{chip_name}"] = fits_fully
+            row[f"ours_{chip_name}"] = ours
+        row["prev"] = all(row[f"prev_{c}"] for c in chips)
+        row["ours"] = all(row[f"ours_{c}"] for c in chips)
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 5
+# ----------------------------------------------------------------------
+def fig5_validity_maps(
+    models: Sequence[str] = PAPER_MODELS,
+    chips: Sequence[str] = ("S", "L"),
+) -> List[Dict[str, object]]:
+    """Validity-map statistics for every (model, chip) pair of Fig. 5.
+
+    Returns one row per pair with the number of partition units (M), the
+    valid fraction of the (start, end) triangle and the boolean matrix
+    itself (under the ``matrix`` key) for plotting.
+    """
+    rows: List[Dict[str, object]] = []
+    for model in models:
+        graph = build_model(model)
+        for chip_name in chips:
+            chip = get_chip_config(chip_name)
+            decomposition = decompose_model(graph, chip)
+            validity = ValidityMap(decomposition)
+            matrix = validity.as_matrix()
+            rows.append(
+                {
+                    "model": model,
+                    "chip": chip_name,
+                    "num_units": decomposition.num_units,
+                    "valid_fraction": validity.valid_fraction(),
+                    "matrix": matrix,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 6
+# ----------------------------------------------------------------------
+def fig6_throughput_comparison(config: ExperimentConfig = ExperimentConfig.fast(),
+                               runner: Optional[SweepRunner] = None) -> List[Dict[str, object]]:
+    """Throughput of COMPASS vs greedy vs layerwise across the sweep (Fig. 6)."""
+    runner = runner if runner is not None else SweepRunner(
+        ga_config=config.ga_config, input_size=config.input_size
+    )
+    return runner.run(config.models, config.chips, config.schemes, config.batch_sizes)
+
+
+def fig6_speedups(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Per-configuration COMPASS speed-up over each baseline (from Fig. 6 rows)."""
+    by_key: Dict[tuple, Dict[str, float]] = {}
+    for row in rows:
+        key = (row["model"], row["chip"], row["batch"])
+        by_key.setdefault(key, {})[str(row["scheme"])] = float(row["throughput_ips"])
+    speedups: List[Dict[str, object]] = []
+    for (model, chip, batch), schemes in sorted(by_key.items()):
+        if "compass" not in schemes:
+            continue
+        entry: Dict[str, object] = {"model": model, "chip": chip, "batch": batch}
+        for baseline in ("greedy", "layerwise"):
+            if baseline in schemes and schemes[baseline] > 0:
+                entry[f"speedup_vs_{baseline}"] = schemes["compass"] / schemes[baseline]
+        speedups.append(entry)
+    return speedups
+
+
+# ----------------------------------------------------------------------
+# Fig. 7
+# ----------------------------------------------------------------------
+def fig7_latency_breakdown(
+    model: str = "resnet18",
+    chip_name: str = "M",
+    batch_size: int = 16,
+    ga_config: Optional[GAConfig] = None,
+    input_size: int = 224,
+) -> Dict[str, Dict[str, object]]:
+    """Per-partition latency breakdown of "ResNet18-M-16" for every scheme.
+
+    Returns a mapping scheme -> {"latencies_ms": [...], "total_ms": float,
+    "first_partition_share": float}.
+    """
+    graph = build_model(model, input_size=input_size)
+    chip = get_chip_config(chip_name)
+    ga_config = ga_config if ga_config is not None else ExperimentConfig.fast().ga_config
+    breakdown: Dict[str, Dict[str, object]] = {}
+    for scheme in PAPER_SCHEMES:
+        options = CompilerOptions(
+            scheme=scheme, batch_size=batch_size, ga_config=ga_config,
+            generate_instructions=False,
+        )
+        result = CompassCompiler(chip, options).compile(graph)
+        latencies = result.report.partition_latencies_ns()
+        total = sum(latencies)
+        breakdown[scheme] = {
+            "latencies_ms": [v * 1e-6 for v in latencies],
+            "total_ms": total * 1e-6,
+            "num_partitions": len(latencies),
+            "first_partition_share": (latencies[0] / total) if total else 0.0,
+        }
+    return breakdown
+
+
+# ----------------------------------------------------------------------
+# Fig. 8
+# ----------------------------------------------------------------------
+def fig8_energy_and_edp(
+    model: str = "resnet18",
+    chip_name: str = "S",
+    batch_sizes: Sequence[int] = PAPER_BATCH_SIZES,
+    ga_config: Optional[GAConfig] = None,
+    input_size: int = 224,
+) -> List[Dict[str, object]]:
+    """Inference energy and EDP per sample for "ResNet18-S" (Fig. 8)."""
+    graph = build_model(model, input_size=input_size)
+    chip = get_chip_config(chip_name)
+    ga_config = ga_config if ga_config is not None else ExperimentConfig.fast().ga_config
+    rows: List[Dict[str, object]] = []
+    for batch in batch_sizes:
+        for scheme in PAPER_SCHEMES:
+            options = CompilerOptions(
+                scheme=scheme, batch_size=batch, ga_config=ga_config,
+                generate_instructions=False,
+            )
+            result = CompassCompiler(chip, options).compile(graph)
+            rows.append(
+                {
+                    "label": f"{model}-{chip_name}-{batch}",
+                    "scheme": scheme,
+                    "batch": batch,
+                    "energy_per_inf_mj": result.report.energy_per_inference_mj,
+                    "edp_mj_ms": result.report.edp_per_inference,
+                    "throughput_ips": result.report.throughput,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 9
+# ----------------------------------------------------------------------
+def fig9_weight_energy_vs_batch(
+    model: str = "resnet18",
+    chips: Sequence[str] = PAPER_CHIPS,
+    batch_sizes: Sequence[int] = PAPER_BATCH_SIZES,
+    scheme: str = "compass",
+    ga_config: Optional[GAConfig] = None,
+    input_size: int = 224,
+) -> List[Dict[str, object]]:
+    """Weight write/load energy relative to MVMUL energy (Fig. 9).
+
+    One row per "Chip-Batch" combination with the energy of weight loads and
+    weight writes normalised to the MVM energy of the same execution.
+    """
+    graph = build_model(model, input_size=input_size)
+    ga_config = ga_config if ga_config is not None else ExperimentConfig.fast().ga_config
+    rows: List[Dict[str, object]] = []
+    for chip_name in chips:
+        chip = get_chip_config(chip_name)
+        for batch in batch_sizes:
+            options = CompilerOptions(
+                scheme=scheme, batch_size=batch, ga_config=ga_config,
+                generate_instructions=False,
+            )
+            result = CompassCompiler(chip, options).compile(graph)
+            breakdown = result.report.energy_breakdown
+            mvm = max(breakdown.mvm_pj, 1e-9)
+            rows.append(
+                {
+                    "label": f"{chip_name}-{batch}",
+                    "chip": chip_name,
+                    "batch": batch,
+                    "weight_load_rel": breakdown.weight_load_pj / mvm,
+                    "weight_write_rel": breakdown.weight_write_pj / mvm,
+                    "total_overhead_rel": (breakdown.weight_load_pj + breakdown.weight_write_pj) / mvm,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 10
+# ----------------------------------------------------------------------
+def fig10_ga_convergence(
+    model: str = "resnet18",
+    chip_name: str = "M",
+    batch_size: int = 16,
+    ga_config: Optional[GAConfig] = None,
+    input_size: int = 224,
+) -> GAResult:
+    """Run the COMPASS GA for "ResNet18-M-16" and return its full history.
+
+    The :class:`~repro.core.ga.GAResult` history carries, per generation, the
+    fitness of every individual, its partition count and whether it was a
+    selected survivor — exactly the data plotted in Fig. 10.
+    """
+    graph = build_model(model, input_size=input_size)
+    chip = get_chip_config(chip_name)
+    ga_config = ga_config if ga_config is not None else GAConfig(
+        population_size=40, generations=20, n_select=10, n_mutate=30, seed=0
+    )
+    decomposition = decompose_model(graph, chip)
+    evaluator = FitnessEvaluator(decomposition, batch_size=batch_size, mode=FitnessMode.LATENCY)
+    ga = CompassGA(decomposition, evaluator, ga_config)
+    return ga.run()
+
+
+# ----------------------------------------------------------------------
+# Suite
+# ----------------------------------------------------------------------
+class ExperimentSuite:
+    """Convenience wrapper running all experiments with one configuration."""
+
+    def __init__(self, config: ExperimentConfig = ExperimentConfig.fast()) -> None:
+        self.config = config
+        self.runner = SweepRunner(ga_config=config.ga_config, input_size=config.input_size)
+
+    def table1(self) -> List[Dict[str, object]]:
+        """Table I rows."""
+        return table1_hardware_configuration()
+
+    def table2(self) -> List[Dict[str, object]]:
+        """Table II rows."""
+        return table2_model_support(self.config.models, self.config.chips)
+
+    def fig5(self) -> List[Dict[str, object]]:
+        """Fig. 5 validity-map rows."""
+        return fig5_validity_maps(self.config.models, ("S", "L"))
+
+    def fig6(self) -> List[Dict[str, object]]:
+        """Fig. 6 throughput rows."""
+        return fig6_throughput_comparison(self.config, self.runner)
+
+    def fig7(self) -> Dict[str, Dict[str, object]]:
+        """Fig. 7 per-partition latency breakdown."""
+        return fig7_latency_breakdown(ga_config=self.config.ga_config)
+
+    def fig8(self) -> List[Dict[str, object]]:
+        """Fig. 8 energy/EDP rows."""
+        return fig8_energy_and_edp(
+            batch_sizes=self.config.batch_sizes, ga_config=self.config.ga_config
+        )
+
+    def fig9(self) -> List[Dict[str, object]]:
+        """Fig. 9 weight-energy rows."""
+        return fig9_weight_energy_vs_batch(
+            chips=self.config.chips, batch_sizes=self.config.batch_sizes,
+            ga_config=self.config.ga_config,
+        )
+
+    def fig10(self) -> GAResult:
+        """Fig. 10 GA convergence history."""
+        return fig10_ga_convergence(ga_config=self.config.ga_config)

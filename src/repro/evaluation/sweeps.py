@@ -1,0 +1,96 @@
+"""Parameter-sweep runner used by the figure experiments.
+
+A sweep point is one (model, chip, scheme, batch size) combination; the
+runner compiles it, simulates the execution and returns the flat summary row
+used by the figures.  Decompositions and model graphs are cached so a sweep
+over many batch sizes does not rebuild them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.compiler import CompilationResult, CompilerOptions, CompassCompiler
+from repro.core.fitness import FitnessMode
+from repro.core.ga import GAConfig
+from repro.graph.graph import Graph
+from repro.hardware.config import get_chip_config
+from repro.models import build_model
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of a sweep: Network-ChipConfig-BatchSize + scheme."""
+
+    model: str
+    chip: str
+    scheme: str
+    batch_size: int
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``ResNet18-S-4``."""
+        return f"{self.model}-{self.chip}-{self.batch_size}"
+
+
+class SweepRunner:
+    """Compiles and simulates sweep points, caching model graphs."""
+
+    def __init__(
+        self,
+        ga_config: GAConfig = GAConfig(),
+        fitness_mode: FitnessMode = FitnessMode.LATENCY,
+        generate_instructions: bool = False,
+        input_size: int = 224,
+    ) -> None:
+        self.ga_config = ga_config
+        self.fitness_mode = fitness_mode
+        self.generate_instructions = generate_instructions
+        self.input_size = input_size
+        self._graphs: Dict[str, Graph] = {}
+        self._results: Dict[SweepPoint, CompilationResult] = {}
+
+    # ------------------------------------------------------------------
+    def graph(self, model: str) -> Graph:
+        """Build (and cache) the model graph for a model name."""
+        if model not in self._graphs:
+            kwargs = {} if model == "lenet5" else {"input_size": self.input_size}
+            self._graphs[model] = build_model(model, **kwargs)
+        return self._graphs[model]
+
+    def run_point(self, point: SweepPoint) -> CompilationResult:
+        """Compile and simulate one sweep point (cached)."""
+        if point in self._results:
+            return self._results[point]
+        chip = get_chip_config(point.chip)
+        options = CompilerOptions(
+            scheme=point.scheme,
+            batch_size=point.batch_size,
+            ga_config=self.ga_config,
+            fitness_mode=self.fitness_mode,
+            generate_instructions=self.generate_instructions,
+        )
+        result = CompassCompiler(chip, options).compile(self.graph(point.model))
+        self._results[point] = result
+        return result
+
+    def run(
+        self,
+        models: Iterable[str],
+        chips: Iterable[str],
+        schemes: Iterable[str],
+        batch_sizes: Iterable[int],
+    ) -> List[Dict[str, object]]:
+        """Run the full cross product and return summary rows."""
+        rows: List[Dict[str, object]] = []
+        for model in models:
+            for chip in chips:
+                for batch in batch_sizes:
+                    for scheme in schemes:
+                        point = SweepPoint(model=model, chip=chip, scheme=scheme, batch_size=batch)
+                        result = self.run_point(point)
+                        row = result.report.summary_row()
+                        row["label"] = point.label
+                        rows.append(row)
+        return rows

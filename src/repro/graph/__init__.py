@@ -1,0 +1,70 @@
+"""DNN graph intermediate representation.
+
+This package provides the self-contained graph IR that the COMPASS compiler
+operates on.  It replaces the role of PyTorch/ONNX in the original paper:
+only layer topology, weight shapes and feature-map shapes matter to the
+compiler, so the IR captures exactly those.
+
+Main entry points:
+
+* :class:`~repro.graph.layers.Layer` and the ``make_*`` layer constructors
+* :class:`~repro.graph.graph.Graph` — the DAG of layers
+* :class:`~repro.graph.builder.GraphBuilder` — convenient sequential/branching
+  construction with automatic shape inference
+"""
+
+from repro.graph.tensor import TensorShape
+from repro.graph.layers import (
+    Layer,
+    LayerKind,
+    make_input,
+    make_conv2d,
+    make_linear,
+    make_maxpool,
+    make_avgpool,
+    make_global_avgpool,
+    make_relu,
+    make_batchnorm,
+    make_add,
+    make_concat,
+    make_flatten,
+    make_dropout,
+    make_softmax,
+)
+from repro.graph.graph import Graph, GraphNode, GraphValidationError
+from repro.graph.builder import GraphBuilder
+from repro.graph.traversal import (
+    topological_order,
+    reverse_topological_order,
+    ancestors,
+    descendants,
+    crossbar_layer_order,
+)
+
+__all__ = [
+    "TensorShape",
+    "Layer",
+    "LayerKind",
+    "Graph",
+    "GraphNode",
+    "GraphValidationError",
+    "GraphBuilder",
+    "make_input",
+    "make_conv2d",
+    "make_linear",
+    "make_maxpool",
+    "make_avgpool",
+    "make_global_avgpool",
+    "make_relu",
+    "make_batchnorm",
+    "make_add",
+    "make_concat",
+    "make_flatten",
+    "make_dropout",
+    "make_softmax",
+    "topological_order",
+    "reverse_topological_order",
+    "ancestors",
+    "descendants",
+    "crossbar_layer_order",
+]

@@ -1,0 +1,175 @@
+"""Convenience builder for constructing model graphs.
+
+The builder keeps track of the "current" node so that sequential networks can
+be written as a simple chain of calls, while still allowing explicit wiring
+for branches (residual connections, fire modules, ...).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.graph.graph import Graph
+from repro.graph.layers import (
+    make_add,
+    make_avgpool,
+    make_batchnorm,
+    make_concat,
+    make_conv2d,
+    make_dropout,
+    make_flatten,
+    make_global_avgpool,
+    make_input,
+    make_linear,
+    make_maxpool,
+    make_relu,
+    make_softmax,
+)
+
+
+class GraphBuilder:
+    """Fluent helper for building :class:`~repro.graph.graph.Graph` objects.
+
+    Every ``add_*`` method appends a layer, wires it to the current node (or
+    the explicitly given ``inputs``), updates the current node and returns the
+    new node's name so branches can be captured::
+
+        b = GraphBuilder("tiny")
+        b.add_input(3, 32, 32)
+        trunk = b.add_conv("conv1", 3, 16, kernel_size=3, padding=1)
+        b.add_relu()
+        b.add_conv("conv2", 16, 16, kernel_size=3, padding=1)
+        b.add_add("res1", inputs=[b.current, trunk])
+    """
+
+    def __init__(self, name: str = "model") -> None:
+        self.graph = Graph(name)
+        self.current: Optional[str] = None
+        self._auto_index = 0
+
+    # ------------------------------------------------------------------
+    def _resolve_inputs(self, inputs: Optional[Sequence[str]]) -> List[str]:
+        if inputs is not None:
+            return list(inputs)
+        if self.current is None:
+            raise ValueError("no current node; add an input layer first or pass inputs=")
+        return [self.current]
+
+    def _auto_name(self, prefix: str) -> str:
+        self._auto_index += 1
+        return f"{prefix}_{self._auto_index}"
+
+    def _add(self, layer, inputs: Optional[Sequence[str]]) -> str:
+        node = self.graph.add_layer(layer, self._resolve_inputs(inputs) if layer.kind.value != "input" else ())
+        self.current = node.name
+        return node.name
+
+    # ------------------------------------------------------------------
+    # layer helpers
+    # ------------------------------------------------------------------
+    def add_input(self, channels: int, height: int, width: int, name: str = "input") -> str:
+        """Add the model input node."""
+        node = self.graph.add_layer(make_input(name, channels, height, width))
+        self.current = node.name
+        return node.name
+
+    def add_conv(
+        self,
+        name: str,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        groups: int = 1,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Add a Conv2d layer."""
+        return self._add(
+            make_conv2d(name, in_channels, out_channels, kernel_size, stride, padding, bias, groups),
+            inputs,
+        )
+
+    def add_linear(
+        self,
+        name: str,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Add a fully-connected layer."""
+        return self._add(make_linear(name, in_features, out_features, bias), inputs)
+
+    def add_relu(self, name: Optional[str] = None, inputs: Optional[Sequence[str]] = None) -> str:
+        """Add a ReLU activation."""
+        return self._add(make_relu(name or self._auto_name("relu")), inputs)
+
+    def add_batchnorm(
+        self, num_features: int, name: Optional[str] = None, inputs: Optional[Sequence[str]] = None
+    ) -> str:
+        """Add a batch-normalisation layer."""
+        return self._add(make_batchnorm(name or self._auto_name("bn"), num_features), inputs)
+
+    def add_maxpool(
+        self,
+        kernel_size: int,
+        stride: Optional[int] = None,
+        padding: int = 0,
+        name: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Add a max-pooling layer."""
+        return self._add(
+            make_maxpool(name or self._auto_name("maxpool"), kernel_size, stride, padding), inputs
+        )
+
+    def add_avgpool(
+        self,
+        kernel_size: int,
+        stride: Optional[int] = None,
+        padding: int = 0,
+        name: Optional[str] = None,
+        inputs: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Add an average-pooling layer."""
+        return self._add(
+            make_avgpool(name or self._auto_name("avgpool"), kernel_size, stride, padding), inputs
+        )
+
+    def add_global_avgpool(
+        self, name: Optional[str] = None, inputs: Optional[Sequence[str]] = None
+    ) -> str:
+        """Add a global average-pooling layer."""
+        return self._add(make_global_avgpool(name or self._auto_name("gap")), inputs)
+
+    def add_add(self, name: Optional[str] = None, inputs: Optional[Sequence[str]] = None) -> str:
+        """Add an element-wise addition (residual join)."""
+        if inputs is None or len(inputs) < 2:
+            raise ValueError("add_add requires an explicit list of at least two inputs")
+        return self._add(make_add(name or self._auto_name("add")), inputs)
+
+    def add_concat(self, name: Optional[str] = None, inputs: Optional[Sequence[str]] = None) -> str:
+        """Add a channel-wise concatenation."""
+        if inputs is None or len(inputs) < 2:
+            raise ValueError("add_concat requires an explicit list of at least two inputs")
+        return self._add(make_concat(name or self._auto_name("concat")), inputs)
+
+    def add_flatten(self, name: Optional[str] = None, inputs: Optional[Sequence[str]] = None) -> str:
+        """Add a flatten layer."""
+        return self._add(make_flatten(name or self._auto_name("flatten")), inputs)
+
+    def add_dropout(self, name: Optional[str] = None, inputs: Optional[Sequence[str]] = None) -> str:
+        """Add a dropout layer (inference no-op)."""
+        return self._add(make_dropout(name or self._auto_name("dropout")), inputs)
+
+    def add_softmax(self, name: Optional[str] = None, inputs: Optional[Sequence[str]] = None) -> str:
+        """Add a softmax layer."""
+        return self._add(make_softmax(name or self._auto_name("softmax")), inputs)
+
+    # ------------------------------------------------------------------
+    def build(self) -> Graph:
+        """Validate and return the constructed graph."""
+        self.graph.validate()
+        return self.graph

@@ -1,0 +1,388 @@
+"""Layer definitions for the DNN graph IR.
+
+Each layer records the attributes the compiler needs:
+
+* weight geometry (for Conv/Linear — everything that maps onto crossbars),
+* output-shape computation (shape inference),
+* the number of matrix-vector multiplications required per inference
+  (``num_windows``), which drives replication and pipeline balancing,
+* whether the layer maps onto crossbars at all (Sec. III-B2 of the paper
+  places non-crossbar layers, e.g. BatchNorm/ReLU/Pool, in the partition of
+  their producing Conv/Linear layer).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.tensor import TensorShape
+
+
+class LayerKind(enum.Enum):
+    """Enumeration of supported layer types."""
+
+    INPUT = "input"
+    CONV2D = "conv2d"
+    LINEAR = "linear"
+    MAXPOOL = "maxpool"
+    AVGPOOL = "avgpool"
+    GLOBAL_AVGPOOL = "global_avgpool"
+    RELU = "relu"
+    BATCHNORM = "batchnorm"
+    ADD = "add"
+    CONCAT = "concat"
+    FLATTEN = "flatten"
+    DROPOUT = "dropout"
+    SOFTMAX = "softmax"
+
+
+#: Layer kinds whose weights are mapped onto crossbar arrays.
+CROSSBAR_KINDS = frozenset({LayerKind.CONV2D, LayerKind.LINEAR})
+
+#: Layer kinds executed on the vector functional units (VFU) of a core.
+VFU_KINDS = frozenset(
+    {
+        LayerKind.RELU,
+        LayerKind.BATCHNORM,
+        LayerKind.ADD,
+        LayerKind.SOFTMAX,
+        LayerKind.MAXPOOL,
+        LayerKind.AVGPOOL,
+        LayerKind.GLOBAL_AVGPOOL,
+    }
+)
+
+
+class ShapeInferenceError(ValueError):
+    """Raised when a layer cannot infer its output shape from its inputs."""
+
+
+@dataclass
+class Layer:
+    """A single layer of a DNN model.
+
+    Attributes
+    ----------
+    name:
+        Unique layer name within its graph.
+    kind:
+        The :class:`LayerKind` of this layer.
+    attrs:
+        Layer-specific attributes (kernel size, stride, channels, ...).
+    """
+
+    name: str
+    kind: LayerKind
+    attrs: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_crossbar_mapped(self) -> bool:
+        """True if this layer's weights are written into crossbar arrays."""
+        return self.kind in CROSSBAR_KINDS
+
+    @property
+    def is_vfu_op(self) -> bool:
+        """True if this layer executes on a core's vector functional units."""
+        return self.kind in VFU_KINDS
+
+    @property
+    def has_weights(self) -> bool:
+        """True if the layer carries trainable parameters."""
+        return self.kind in CROSSBAR_KINDS or self.kind is LayerKind.BATCHNORM
+
+    # ------------------------------------------------------------------
+    # weight geometry
+    # ------------------------------------------------------------------
+    def weight_count(self) -> int:
+        """Number of weight parameters carried by this layer.
+
+        BatchNorm scale/shift parameters are counted but are tiny and stay in
+        core-local memory, never in crossbars.
+        """
+        a = self.attrs
+        if self.kind is LayerKind.CONV2D:
+            groups = a.get("groups", 1)
+            weights = a["out_channels"] * (a["in_channels"] // groups) * a["kernel_size"] ** 2
+            if a.get("bias", 1):
+                weights += a["out_channels"]
+            return weights
+        if self.kind is LayerKind.LINEAR:
+            weights = a["in_features"] * a["out_features"]
+            if a.get("bias", 1):
+                weights += a["out_features"]
+            return weights
+        if self.kind is LayerKind.BATCHNORM:
+            return 2 * a["num_features"]
+        return 0
+
+    def weight_bytes(self, weight_bits: int) -> int:
+        """Weight storage footprint in bytes at the given precision."""
+        return (self.weight_count() * weight_bits + 7) // 8
+
+    def matrix_rows(self) -> int:
+        """Rows of the layer's im2col weight matrix (input dimension)."""
+        a = self.attrs
+        if self.kind is LayerKind.CONV2D:
+            groups = a.get("groups", 1)
+            return (a["in_channels"] // groups) * a["kernel_size"] ** 2
+        if self.kind is LayerKind.LINEAR:
+            return a["in_features"]
+        return 0
+
+    def matrix_cols(self) -> int:
+        """Columns of the layer's im2col weight matrix (output dimension)."""
+        a = self.attrs
+        if self.kind is LayerKind.CONV2D:
+            return a["out_channels"]
+        if self.kind is LayerKind.LINEAR:
+            return a["out_features"]
+        return 0
+
+    # ------------------------------------------------------------------
+    # shape inference
+    # ------------------------------------------------------------------
+    def infer_output_shape(self, input_shapes: Sequence[TensorShape]) -> TensorShape:
+        """Compute the output shape of this layer from its input shapes."""
+        kind = self.kind
+        a = self.attrs
+        if kind is LayerKind.INPUT:
+            return TensorShape.of(
+                (a["channels"], a["height"], a["width"])
+                if "height" in a
+                else (a["features"],)
+            )
+
+        if not input_shapes:
+            raise ShapeInferenceError(f"layer {self.name!r} ({kind.value}) has no inputs")
+        first = input_shapes[0]
+
+        if kind is LayerKind.CONV2D:
+            self._expect_single_input(input_shapes)
+            if not first.is_feature_map:
+                raise ShapeInferenceError(
+                    f"conv layer {self.name!r} expects a CHW input, got {first}"
+                )
+            if first.channels != a["in_channels"]:
+                raise ShapeInferenceError(
+                    f"conv layer {self.name!r} expects {a['in_channels']} input channels, "
+                    f"got {first.channels}"
+                )
+            out_h = _conv_out(first.height, a["kernel_size"], a["stride"], a["padding"])
+            out_w = _conv_out(first.width, a["kernel_size"], a["stride"], a["padding"])
+            return TensorShape.chw(a["out_channels"], out_h, out_w)
+
+        if kind is LayerKind.LINEAR:
+            self._expect_single_input(input_shapes)
+            if first.num_elements != a["in_features"]:
+                raise ShapeInferenceError(
+                    f"linear layer {self.name!r} expects {a['in_features']} input features, "
+                    f"got {first.num_elements}"
+                )
+            return TensorShape.flat(a["out_features"])
+
+        if kind in (LayerKind.MAXPOOL, LayerKind.AVGPOOL):
+            self._expect_single_input(input_shapes)
+            if not first.is_feature_map:
+                raise ShapeInferenceError(
+                    f"pool layer {self.name!r} expects a CHW input, got {first}"
+                )
+            out_h = _conv_out(first.height, a["kernel_size"], a["stride"], a.get("padding", 0))
+            out_w = _conv_out(first.width, a["kernel_size"], a["stride"], a.get("padding", 0))
+            return TensorShape.chw(first.channels, out_h, out_w)
+
+        if kind is LayerKind.GLOBAL_AVGPOOL:
+            self._expect_single_input(input_shapes)
+            return TensorShape.chw(first.channels, 1, 1)
+
+        if kind in (LayerKind.RELU, LayerKind.BATCHNORM, LayerKind.DROPOUT, LayerKind.SOFTMAX):
+            self._expect_single_input(input_shapes)
+            return first
+
+        if kind is LayerKind.ADD:
+            if len(input_shapes) < 2:
+                raise ShapeInferenceError(f"add layer {self.name!r} needs at least two inputs")
+            for other in input_shapes[1:]:
+                if other.dims != first.dims:
+                    raise ShapeInferenceError(
+                        f"add layer {self.name!r} has mismatched inputs {first} and {other}"
+                    )
+            return first
+
+        if kind is LayerKind.CONCAT:
+            if len(input_shapes) < 2:
+                raise ShapeInferenceError(f"concat layer {self.name!r} needs at least two inputs")
+            if not all(s.is_feature_map for s in input_shapes):
+                raise ShapeInferenceError(f"concat layer {self.name!r} expects CHW inputs")
+            h, w = first.height, first.width
+            for other in input_shapes[1:]:
+                if (other.height, other.width) != (h, w):
+                    raise ShapeInferenceError(
+                        f"concat layer {self.name!r} has mismatched spatial dims"
+                    )
+            channels = sum(s.channels for s in input_shapes)
+            return TensorShape.chw(channels, h, w)
+
+        if kind is LayerKind.FLATTEN:
+            self._expect_single_input(input_shapes)
+            return first.flattened()
+
+        raise ShapeInferenceError(f"unsupported layer kind {kind!r}")
+
+    def _expect_single_input(self, input_shapes: Sequence[TensorShape]) -> None:
+        if len(input_shapes) != 1:
+            raise ShapeInferenceError(
+                f"layer {self.name!r} ({self.kind.value}) expects exactly one input, "
+                f"got {len(input_shapes)}"
+            )
+
+    # ------------------------------------------------------------------
+    # execution geometry
+    # ------------------------------------------------------------------
+    def num_windows(self, output_shape: TensorShape) -> int:
+        """Number of MVM operations needed per inference for this layer.
+
+        For convolutions this is the number of sliding-window positions
+        (output H × W); for fully-connected layers it is one.  Non-crossbar
+        layers return zero.
+        """
+        if self.kind is LayerKind.CONV2D:
+            return output_shape.height * output_shape.width
+        if self.kind is LayerKind.LINEAR:
+            return 1
+        return 0
+
+    def vfu_elements(self, output_shape: TensorShape) -> int:
+        """Number of scalar elements processed by the VFU for this layer."""
+        if self.is_vfu_op:
+            return output_shape.num_elements
+        return 0
+
+    def __str__(self) -> str:
+        attr_str = ", ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+        return f"{self.name}[{self.kind.value}]({attr_str})"
+
+
+def _conv_out(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Standard convolution/pooling output-size formula."""
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeInferenceError(
+            f"non-positive output size for input={size}, kernel={kernel}, "
+            f"stride={stride}, padding={padding}"
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# layer constructors
+# ----------------------------------------------------------------------
+def make_input(name: str, channels: int, height: int, width: int) -> Layer:
+    """Create a model input layer producing a (C, H, W) feature map."""
+    return Layer(name, LayerKind.INPUT, {"channels": channels, "height": height, "width": width})
+
+
+def make_conv2d(
+    name: str,
+    in_channels: int,
+    out_channels: int,
+    kernel_size: int,
+    stride: int = 1,
+    padding: int = 0,
+    bias: bool = True,
+    groups: int = 1,
+) -> Layer:
+    """Create a 2-D convolution layer (square kernels).
+
+    ``groups`` follows the usual grouped-convolution semantics; depthwise
+    convolutions use ``groups == in_channels == out_channels``.
+    """
+    if in_channels % groups != 0 or out_channels % groups != 0:
+        raise ValueError(
+            f"conv {name!r}: in/out channels ({in_channels}/{out_channels}) "
+            f"must be divisible by groups ({groups})"
+        )
+    return Layer(
+        name,
+        LayerKind.CONV2D,
+        {
+            "in_channels": in_channels,
+            "out_channels": out_channels,
+            "kernel_size": kernel_size,
+            "stride": stride,
+            "padding": padding,
+            "bias": int(bias),
+            "groups": groups,
+        },
+    )
+
+
+def make_linear(name: str, in_features: int, out_features: int, bias: bool = True) -> Layer:
+    """Create a fully-connected layer."""
+    return Layer(
+        name,
+        LayerKind.LINEAR,
+        {"in_features": in_features, "out_features": out_features, "bias": int(bias)},
+    )
+
+
+def make_maxpool(name: str, kernel_size: int, stride: Optional[int] = None, padding: int = 0) -> Layer:
+    """Create a max-pooling layer."""
+    return Layer(
+        name,
+        LayerKind.MAXPOOL,
+        {"kernel_size": kernel_size, "stride": stride if stride is not None else kernel_size, "padding": padding},
+    )
+
+
+def make_avgpool(name: str, kernel_size: int, stride: Optional[int] = None, padding: int = 0) -> Layer:
+    """Create an average-pooling layer."""
+    return Layer(
+        name,
+        LayerKind.AVGPOOL,
+        {"kernel_size": kernel_size, "stride": stride if stride is not None else kernel_size, "padding": padding},
+    )
+
+
+def make_global_avgpool(name: str) -> Layer:
+    """Create a global average-pooling layer (output spatial dims 1×1)."""
+    return Layer(name, LayerKind.GLOBAL_AVGPOOL)
+
+
+def make_relu(name: str) -> Layer:
+    """Create a ReLU activation layer."""
+    return Layer(name, LayerKind.RELU)
+
+
+def make_batchnorm(name: str, num_features: int) -> Layer:
+    """Create a batch-normalisation layer."""
+    return Layer(name, LayerKind.BATCHNORM, {"num_features": num_features})
+
+
+def make_add(name: str) -> Layer:
+    """Create an element-wise add layer (residual connections)."""
+    return Layer(name, LayerKind.ADD)
+
+
+def make_concat(name: str) -> Layer:
+    """Create a channel-wise concatenation layer (e.g. SqueezeNet fire modules)."""
+    return Layer(name, LayerKind.CONCAT)
+
+
+def make_flatten(name: str) -> Layer:
+    """Create a flatten layer (CHW feature map → vector)."""
+    return Layer(name, LayerKind.FLATTEN)
+
+
+def make_dropout(name: str) -> Layer:
+    """Create a dropout layer (a no-op at inference time)."""
+    return Layer(name, LayerKind.DROPOUT)
+
+
+def make_softmax(name: str) -> Layer:
+    """Create a softmax layer."""
+    return Layer(name, LayerKind.SOFTMAX)

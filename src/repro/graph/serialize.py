@@ -1,0 +1,59 @@
+"""Graph (de)serialization to plain dictionaries / JSON.
+
+Lets users define custom networks outside Python (or persist generated ones)
+and feed them to the compiler: a graph is a name plus an ordered list of
+nodes, each carrying its layer kind, attributes and input names.  Shapes are
+re-inferred on load, so a malformed description fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.graph.graph import Graph
+from repro.graph.layers import Layer, LayerKind
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, Any]:
+    """Convert a graph to a JSON-serialisable dictionary."""
+    return {
+        "name": graph.name,
+        "nodes": [
+            {
+                "name": node.name,
+                "kind": node.kind.value,
+                "attrs": dict(node.layer.attrs),
+                "inputs": list(node.inputs),
+            }
+            for node in graph.nodes()
+        ],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output (shapes re-inferred)."""
+    if "nodes" not in data:
+        raise ValueError("graph dictionary is missing the 'nodes' list")
+    graph = Graph(data.get("name", "model"))
+    for entry in data["nodes"]:
+        try:
+            kind = LayerKind(entry["kind"])
+        except ValueError:
+            raise ValueError(f"unknown layer kind {entry.get('kind')!r}") from None
+        layer = Layer(entry["name"], kind, dict(entry.get("attrs", {})))
+        graph.add_layer(layer, inputs=entry.get("inputs", []))
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: Graph, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle, indent=2)
+
+
+def load_graph(path: str) -> Graph:
+    """Read a graph from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_dict(json.load(handle))

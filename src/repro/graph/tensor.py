@@ -1,0 +1,110 @@
+"""Tensor shape representation used throughout the graph IR.
+
+The compiler never manipulates tensor *values*; it only needs shapes to size
+feature maps (for DRAM traffic and local-memory allocation) and weight
+matrices (for crossbar mapping).  Shapes are therefore lightweight immutable
+tuples of positive integers with a few convenience helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Shape of an activation tensor, excluding the batch dimension.
+
+    Two layouts are used by the IR:
+
+    * feature maps: ``(channels, height, width)``
+    * flat vectors:  ``(features,)``
+
+    The batch dimension is handled by the execution model (samples stream
+    through the pipeline one by one), so it never appears here.
+    """
+
+    dims: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError("TensorShape requires at least one dimension")
+        for d in self.dims:
+            if not isinstance(d, int) or d <= 0:
+                raise ValueError(f"TensorShape dimensions must be positive ints, got {self.dims}")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def chw(cls, channels: int, height: int, width: int) -> "TensorShape":
+        """Build a channel/height/width feature-map shape."""
+        return cls((channels, height, width))
+
+    @classmethod
+    def flat(cls, features: int) -> "TensorShape":
+        """Build a flat (fully-connected) vector shape."""
+        return cls((features,))
+
+    @classmethod
+    def of(cls, dims: Iterable[int]) -> "TensorShape":
+        """Build a shape from any iterable of dimensions."""
+        return cls(tuple(int(d) for d in dims))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.dims)
+
+    @property
+    def is_feature_map(self) -> bool:
+        """True for (C, H, W) shapes."""
+        return len(self.dims) == 3
+
+    @property
+    def is_flat(self) -> bool:
+        """True for 1-D vector shapes."""
+        return len(self.dims) == 1
+
+    @property
+    def channels(self) -> int:
+        """Channel count (C for feature maps, feature count for vectors)."""
+        return self.dims[0]
+
+    @property
+    def height(self) -> int:
+        """Spatial height; 1 for flat vectors."""
+        return self.dims[1] if self.is_feature_map else 1
+
+    @property
+    def width(self) -> int:
+        """Spatial width; 1 for flat vectors."""
+        return self.dims[2] if self.is_feature_map else 1
+
+    @property
+    def num_elements(self) -> int:
+        """Total number of scalar elements."""
+        total = 1
+        for d in self.dims:
+            total *= d
+        return total
+
+    def size_bytes(self, bits_per_element: int) -> int:
+        """Storage footprint in bytes at the given precision (rounded up)."""
+        if bits_per_element <= 0:
+            raise ValueError("bits_per_element must be positive")
+        return (self.num_elements * bits_per_element + 7) // 8
+
+    def flattened(self) -> "TensorShape":
+        """Return the flat view of this shape."""
+        return TensorShape.flat(self.num_elements)
+
+    def __str__(self) -> str:
+        return "x".join(str(d) for d in self.dims)
+
+    def __iter__(self):
+        return iter(self.dims)

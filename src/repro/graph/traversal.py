@@ -1,0 +1,128 @@
+"""Graph traversal utilities.
+
+These helpers are used by the partition generator (Sec. III-B of the paper) to
+walk the model DAG: crossbar-mapped layers define the partition-unit order,
+and non-crossbar layers are attached to their producing Conv/Linear layer by
+walking backwards over the dependence graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from repro.graph.graph import Graph, GraphNode
+
+
+def topological_order(graph: Graph) -> List[str]:
+    """Return node names in a valid topological order (Kahn's algorithm).
+
+    The graph's own insertion order is already topological, but this function
+    recomputes it from the edge structure, which doubles as a cycle check for
+    graphs deserialised or manipulated externally.
+    """
+    indegree: Dict[str, int] = {n.name: len(n.inputs) for n in graph.nodes()}
+    ready = deque(sorted(name for name, deg in indegree.items() if deg == 0))
+    order: List[str] = []
+    while ready:
+        name = ready.popleft()
+        order.append(name)
+        for succ in graph.node(name).outputs:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(graph):
+        raise ValueError("graph contains a cycle")
+    return order
+
+
+def reverse_topological_order(graph: Graph) -> List[str]:
+    """Topological order reversed (consumers before producers)."""
+    return list(reversed(topological_order(graph)))
+
+
+def ancestors(graph: Graph, name: str) -> Set[str]:
+    """All transitive producers of the named node (excluding itself)."""
+    result: Set[str] = set()
+    stack = list(graph.node(name).inputs)
+    while stack:
+        cur = stack.pop()
+        if cur in result:
+            continue
+        result.add(cur)
+        stack.extend(graph.node(cur).inputs)
+    return result
+
+
+def descendants(graph: Graph, name: str) -> Set[str]:
+    """All transitive consumers of the named node (excluding itself)."""
+    result: Set[str] = set()
+    stack = list(graph.node(name).outputs)
+    while stack:
+        cur = stack.pop()
+        if cur in result:
+            continue
+        result.add(cur)
+        stack.extend(graph.node(cur).outputs)
+    return result
+
+
+def crossbar_layer_order(graph: Graph) -> List[str]:
+    """Names of Conv/Linear layers in topological order.
+
+    This is the order in which the model is decomposed into partition units.
+    """
+    topo = topological_order(graph)
+    return [name for name in topo if graph.node(name).layer.is_crossbar_mapped]
+
+
+def producing_crossbar_layer(graph: Graph, name: str) -> str:
+    """Find the nearest crossbar-mapped ancestor of a non-crossbar node.
+
+    Used to attach BatchNorm/ReLU/Pool/... layers to the partition of the
+    Conv/Linear layer that produces their input (Sec. III-B2).  If a node has
+    several crossbar ancestors at the same distance (e.g. an Add joining two
+    branches), the one appearing latest in topological order is chosen, since
+    the join can only execute after both producers.
+    """
+    node = graph.node(name)
+    if node.layer.is_crossbar_mapped:
+        return name
+    topo_index = {n: i for i, n in enumerate(topological_order(graph))}
+    best: str = ""
+    best_index = -1
+    stack = list(node.inputs)
+    visited: Set[str] = set()
+    while stack:
+        cur = stack.pop()
+        if cur in visited:
+            continue
+        visited.add(cur)
+        cur_node = graph.node(cur)
+        if cur_node.layer.is_crossbar_mapped:
+            if topo_index[cur] > best_index:
+                best, best_index = cur, topo_index[cur]
+            continue
+        stack.extend(cur_node.inputs)
+    if not best:
+        raise ValueError(f"node {name!r} has no crossbar-mapped ancestor")
+    return best
+
+
+def attach_non_crossbar_layers(graph: Graph) -> Dict[str, List[str]]:
+    """Map each crossbar layer to the non-crossbar layers attached to it.
+
+    Input nodes are not attached to anything (they only define model inputs).
+    Every other non-crossbar node is attached to its nearest crossbar-mapped
+    ancestor, so that a partition containing that ancestor also executes the
+    attached vector/pooling/normalisation work.
+    """
+    attachment: Dict[str, List[str]] = {name: [] for name in crossbar_layer_order(graph)}
+    for node in graph.nodes():
+        if node.layer.is_crossbar_mapped:
+            continue
+        if node.kind.value == "input":
+            continue
+        owner = producing_crossbar_layer(graph, node.name)
+        attachment[owner].append(node.name)
+    return attachment

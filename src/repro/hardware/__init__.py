@@ -1,0 +1,46 @@
+"""Hardware model of the crossbar-array PIM accelerator.
+
+The architecture follows the Macro-Core-Chip hierarchy of Fig. 1 in the paper
+(itself adopted from PUMA and PIMCOMP): a chip contains multiple PIM cores
+connected by a bus to a global memory (DRAM); each core contains a matrix
+unit built from crossbar CIM macros, vector functional units (VFUs), local
+memory and an instruction store.
+
+Three chip presets — ``CHIP_S``, ``CHIP_M`` and ``CHIP_L`` — reproduce
+Table I of the paper (1.125 MB, 2.0 MB and 4.5 MB of in-memory weight
+capacity respectively).
+"""
+
+from repro.hardware.crossbar import CrossbarConfig
+from repro.hardware.core import CoreConfig
+from repro.hardware.chip import ChipConfig, InterconnectConfig
+from repro.hardware.config import (
+    CHIP_S,
+    CHIP_M,
+    CHIP_L,
+    CHIP_PRESETS,
+    get_chip_config,
+    hardware_configuration_table,
+)
+from repro.hardware.power import PowerModel, EnergyBreakdown
+from repro.hardware.dram import DRAMConfig, DRAMModel, DRAMRequest, DRAMStats, LPDDR3_8GB
+
+__all__ = [
+    "CrossbarConfig",
+    "CoreConfig",
+    "ChipConfig",
+    "InterconnectConfig",
+    "CHIP_S",
+    "CHIP_M",
+    "CHIP_L",
+    "CHIP_PRESETS",
+    "get_chip_config",
+    "hardware_configuration_table",
+    "PowerModel",
+    "EnergyBreakdown",
+    "DRAMConfig",
+    "DRAMModel",
+    "DRAMRequest",
+    "DRAMStats",
+    "LPDDR3_8GB",
+]

@@ -1,0 +1,86 @@
+"""Chip-level model: cores, bus interconnect and global-memory interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.core import CoreConfig
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """On-chip bus connecting PIM cores to each other and to global memory.
+
+    The paper uses a shared bus (Sec. IV-A1), so inter-core transfers and
+    DRAM traffic contend for the same bandwidth.
+    """
+
+    #: usable bus bandwidth in bytes per ns (GB/s)
+    bandwidth_bytes_per_ns: float = 16.0
+    #: fixed per-transfer latency (arbitration + flit setup), ns
+    transfer_latency_ns: float = 10.0
+    #: bus energy per byte moved, picojoules
+    energy_per_byte_pj: float = 0.2
+
+    def transfer_time_ns(self, num_bytes: int) -> float:
+        """Latency to move ``num_bytes`` over the bus."""
+        if num_bytes <= 0:
+            return 0.0
+        return self.transfer_latency_ns + num_bytes / self.bandwidth_bytes_per_ns
+
+    def transfer_energy_pj(self, num_bytes: int) -> float:
+        """Energy to move ``num_bytes`` over the bus."""
+        return max(num_bytes, 0) * self.energy_per_byte_pj
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """A complete PIM chip: N cores + bus + global memory interface.
+
+    Instances for the paper's Chip-S/M/L configurations are provided in
+    :mod:`repro.hardware.config`.
+    """
+
+    name: str
+    num_cores: int
+    core: CoreConfig = field(default_factory=CoreConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+
+    #: total chip power budget from Table I (W); used for reporting only
+    nominal_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("chip needs at least one core")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_crossbars(self) -> int:
+        """Number of crossbar macros on the chip."""
+        return self.num_cores * self.core.crossbars_per_core
+
+    @property
+    def weight_capacity_bytes(self) -> int:
+        """Total on-chip weight capacity in bytes."""
+        return self.num_cores * self.core.weight_capacity_bytes
+
+    @property
+    def weight_capacity_mb(self) -> float:
+        """Total on-chip weight capacity in megabytes (MB = 2**20 bytes)."""
+        return self.weight_capacity_bytes / (1024.0 * 1024.0)
+
+    @property
+    def static_power_mw(self) -> float:
+        """Static power of all cores combined, milliwatts."""
+        return self.num_cores * self.core.static_power_mw
+
+    def fits_on_chip(self, weight_bytes: int) -> bool:
+        """Whether a weight footprint fits fully on chip (no replication)."""
+        return weight_bytes <= self.weight_capacity_bytes
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return (
+            f"{self.name}: {self.num_cores} cores x {self.core.crossbars_per_core} crossbars, "
+            f"capacity {self.weight_capacity_mb:.3f} MB"
+        )

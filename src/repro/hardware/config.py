@@ -1,0 +1,72 @@
+"""Chip configuration presets reproducing Table I of the paper.
+
+========  =======  ================  ============  =========
+Chip      # Cores  # Crossbar/Core   Capacity(MB)  Power (W)
+========  =======  ================  ============  =========
+S         16       9                 1.125         1.57
+M         16       16                2.0           2.80
+L         36       16                4.5           6.30
+========  =======  ================  ============  =========
+
+Capacity follows from the crossbar capacity model: a 256×256 array with 1-bit
+cells and 4-bit weights stores 8 KiB, so e.g. Chip-S = 16 × 9 × 8 KiB
+= 1.125 MB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hardware.chip import ChipConfig, InterconnectConfig
+from repro.hardware.core import CoreConfig
+from repro.hardware.crossbar import CrossbarConfig
+
+_CROSSBAR = CrossbarConfig()
+
+_CORE_9XB = CoreConfig(crossbars_per_core=9, crossbar=_CROSSBAR)
+_CORE_16XB = CoreConfig(crossbars_per_core=16, crossbar=_CROSSBAR)
+
+_BUS = InterconnectConfig()
+
+#: Small chip: 16 cores × 9 crossbars = 1.125 MB.
+CHIP_S = ChipConfig(name="S", num_cores=16, core=_CORE_9XB, interconnect=_BUS, nominal_power_w=1.57)
+
+#: Medium chip: 16 cores × 16 crossbars = 2.0 MB.
+CHIP_M = ChipConfig(name="M", num_cores=16, core=_CORE_16XB, interconnect=_BUS, nominal_power_w=2.80)
+
+#: Large chip: 36 cores × 16 crossbars = 4.5 MB.
+CHIP_L = ChipConfig(name="L", num_cores=36, core=_CORE_16XB, interconnect=_BUS, nominal_power_w=6.30)
+
+#: All Table I presets keyed by name.
+CHIP_PRESETS: Dict[str, ChipConfig] = {"S": CHIP_S, "M": CHIP_M, "L": CHIP_L}
+
+
+def get_chip_config(name: str) -> ChipConfig:
+    """Look up a chip preset by name ("S", "M" or "L"), case-insensitively."""
+    key = name.strip().upper()
+    try:
+        return CHIP_PRESETS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown chip configuration {name!r}; available: {', '.join(sorted(CHIP_PRESETS))}"
+        ) from None
+
+
+def hardware_configuration_table() -> List[Dict[str, object]]:
+    """Rows of Table I as dictionaries, for reporting and benchmarks."""
+    rows: List[Dict[str, object]] = []
+    for name, chip in sorted(CHIP_PRESETS.items()):
+        rows.append(
+            {
+                "chip": name,
+                "num_cores": chip.num_cores,
+                "crossbars_per_core": chip.core.crossbars_per_core,
+                "capacity_mb": round(chip.weight_capacity_mb, 3),
+                "nominal_power_w": chip.nominal_power_w,
+                "vfu_power_mw": chip.core.vfu_power_mw,
+                "local_memory_kb": chip.core.local_memory_bytes // 1024,
+                "local_memory_power_mw": chip.core.local_memory_power_mw,
+                "control_power_mw": chip.core.control_power_mw,
+            }
+        )
+    return rows

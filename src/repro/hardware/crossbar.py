@@ -1,0 +1,114 @@
+"""Crossbar CIM macro model.
+
+The paper uses a 256×256 crossbar array with 4-bit weights and activations,
+with energy calibrated to the 16 nm IMC-SRAM prototype of Jia et al.
+(ISSCC 2021).  A single physical cell stores one bit, so a 4-bit weight
+occupies ``weight_bits`` adjacent columns: a 256×256 array holds a
+256-row × 64-weight-column tile (8 KiB of weights at 4-bit) — this capacity
+model is what makes the Table I chip capacities (1.125/2.0/4.5 MB) come out
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Geometry, timing and energy parameters of one crossbar CIM macro.
+
+    Timing values are in nanoseconds, energies in picojoules.  The defaults
+    model the 16 nm SRAM-CIM macro used in the paper; ReRAM/MRAM variants can
+    be expressed by changing the write latency/energy (Sec. V-B).
+    """
+
+    rows: int = 256
+    cols: int = 256
+    cell_bits: int = 1
+    weight_bits: int = 4
+    activation_bits: int = 4
+
+    #: latency of one analog matrix-vector multiplication over the full array
+    mvm_latency_ns: float = 100.0
+    #: energy of one MVM, including DAC/ADC and bitline switching
+    mvm_energy_pj: float = 400.0
+    #: latency to write one row of cells (all columns in parallel)
+    write_row_latency_ns: float = 50.0
+    #: energy to write one cell
+    write_energy_per_cell_pj: float = 1.0
+    #: static leakage of one macro in milliwatts
+    static_power_mw: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("crossbar dimensions must be positive")
+        if self.cell_bits <= 0 or self.weight_bits <= 0:
+            raise ValueError("bit widths must be positive")
+        if self.weight_bits % self.cell_bits != 0:
+            raise ValueError("weight_bits must be a multiple of cell_bits")
+
+    # ------------------------------------------------------------------
+    # capacity
+    # ------------------------------------------------------------------
+    @property
+    def cells_per_weight(self) -> int:
+        """Number of physical cells (columns) used per weight."""
+        return self.weight_bits // self.cell_bits
+
+    @property
+    def weight_rows(self) -> int:
+        """Number of weight-matrix rows a single crossbar can hold."""
+        return self.rows
+
+    @property
+    def weight_cols(self) -> int:
+        """Number of weight-matrix columns a single crossbar can hold."""
+        return self.cols // self.cells_per_weight
+
+    @property
+    def weights_per_crossbar(self) -> int:
+        """Total weights stored in one crossbar."""
+        return self.weight_rows * self.weight_cols
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Weight storage capacity of one crossbar, in bytes."""
+        return (self.weights_per_crossbar * self.weight_bits) // 8
+
+    # ------------------------------------------------------------------
+    # timing / energy
+    # ------------------------------------------------------------------
+    @property
+    def write_latency_full_ns(self) -> float:
+        """Latency to (re)write the entire crossbar array."""
+        return self.rows * self.write_row_latency_ns
+
+    @property
+    def write_energy_full_pj(self) -> float:
+        """Energy to (re)write the entire crossbar array."""
+        return self.rows * self.cols * self.write_energy_per_cell_pj
+
+    def mvm_energy_for_rows(self, active_rows: int) -> float:
+        """Energy of one MVM when only ``active_rows`` wordlines are used.
+
+        The paper scales the non-ADC portion of the inference power with the
+        number of active wordlines; we apply the same linear scaling with a
+        fixed ADC floor of 40 %.
+        """
+        if active_rows <= 0:
+            return 0.0
+        active_rows = min(active_rows, self.rows)
+        adc_fraction = 0.4
+        scaled = (1.0 - adc_fraction) * (active_rows / self.rows) + adc_fraction
+        return self.mvm_energy_pj * scaled
+
+    def write_energy_for(self, rows: int, weight_cols: int) -> float:
+        """Energy to write a sub-tile of ``rows`` × ``weight_cols`` weights."""
+        rows = min(rows, self.rows)
+        cells = rows * min(weight_cols, self.weight_cols) * self.cells_per_weight
+        return cells * self.write_energy_per_cell_pj
+
+    def write_latency_for(self, rows: int) -> float:
+        """Latency to write ``rows`` rows of the array (columns in parallel)."""
+        return min(rows, self.rows) * self.write_row_latency_ns

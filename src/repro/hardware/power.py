@@ -1,0 +1,137 @@
+"""Chip power/energy model.
+
+Accumulates the energy of every activity class used in the paper's
+evaluation — MVM compute, crossbar weight writes, DRAM weight loads,
+activation loads/stores, VFU work, on-chip interconnect and static power —
+into an :class:`EnergyBreakdown` so figures 8 and 9 (energy, EDP and the
+weight-write/load vs MVMUL comparison) can be reproduced directly.
+
+Energies are tracked in picojoules internally; helpers convert to millijoules
+for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+from repro.hardware.chip import ChipConfig
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy consumed by each activity class, in picojoules."""
+
+    mvm_pj: float = 0.0
+    weight_write_pj: float = 0.0
+    weight_load_pj: float = 0.0
+    data_load_pj: float = 0.0
+    data_store_pj: float = 0.0
+    vfu_pj: float = 0.0
+    interconnect_pj: float = 0.0
+    local_memory_pj: float = 0.0
+    static_pj: float = 0.0
+    dram_background_pj: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def total_pj(self) -> float:
+        """Total energy in picojoules."""
+        return sum(getattr(self, f.name) for f in fields(self))
+
+    @property
+    def total_mj(self) -> float:
+        """Total energy in millijoules."""
+        return self.total_pj * 1e-9
+
+    @property
+    def dram_pj(self) -> float:
+        """All DRAM-related energy (weight loads + feature traffic + background)."""
+        return self.weight_load_pj + self.data_load_pj + self.data_store_pj + self.dram_background_pj
+
+    def add(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Accumulate another breakdown into this one (in place) and return self."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Return a copy with every component multiplied by ``factor``."""
+        result = EnergyBreakdown()
+        for f in fields(self):
+            setattr(result, f.name, getattr(self, f.name) * factor)
+        return result
+
+    def as_dict(self) -> Dict[str, float]:
+        """Component energies as a plain dictionary (picojoules)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v/1e6:.3f}uJ" for k, v in self.as_dict().items() if v)
+        return f"EnergyBreakdown({parts}, total={self.total_pj/1e6:.3f}uJ)"
+
+
+class PowerModel:
+    """Computes per-activity energies for a given chip configuration.
+
+    The model keeps the *relative* magnitudes the paper relies on: crossbar
+    weight writes are far more expensive than MVMs per bit moved, and DRAM
+    traffic costs an order of magnitude more per byte than on-chip transfers.
+    """
+
+    #: DRAM access energy per byte (pJ/B); ~20 pJ/bit for LPDDR3 including I/O
+    DRAM_ENERGY_PER_BYTE_PJ = 160.0
+
+    def __init__(self, chip: ChipConfig) -> None:
+        self.chip = chip
+        self.core = chip.core
+        self.crossbar = chip.core.crossbar
+
+    # ------------------------------------------------------------------
+    # compute
+    # ------------------------------------------------------------------
+    def mvm_energy_pj(self, num_mvms: int, active_rows: int) -> float:
+        """Energy of ``num_mvms`` matrix-vector multiplications."""
+        return num_mvms * self.crossbar.mvm_energy_for_rows(active_rows)
+
+    def vfu_energy_pj(self, elements: int) -> float:
+        """Energy of processing ``elements`` scalars on the VFUs."""
+        return self.core.vfu_energy_pj(elements)
+
+    # ------------------------------------------------------------------
+    # weight replacement
+    # ------------------------------------------------------------------
+    def weight_write_energy_pj(self, weight_count: int) -> float:
+        """Energy to program ``weight_count`` weights into crossbars."""
+        cells = weight_count * self.crossbar.cells_per_weight
+        return cells * self.crossbar.write_energy_per_cell_pj
+
+    def weight_load_energy_pj(self, weight_bytes: int) -> float:
+        """Energy to fetch ``weight_bytes`` of weights from DRAM over the bus."""
+        return weight_bytes * self.DRAM_ENERGY_PER_BYTE_PJ + self.chip.interconnect.transfer_energy_pj(weight_bytes)
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def dram_data_energy_pj(self, num_bytes: int) -> float:
+        """Energy to move ``num_bytes`` of activations to/from DRAM."""
+        return num_bytes * self.DRAM_ENERGY_PER_BYTE_PJ + self.chip.interconnect.transfer_energy_pj(num_bytes)
+
+    def interconnect_energy_pj(self, num_bytes: int) -> float:
+        """Energy of an on-chip (core-to-core) transfer."""
+        return self.chip.interconnect.transfer_energy_pj(num_bytes)
+
+    def local_memory_energy_pj(self, num_bytes: int) -> float:
+        """Energy of core-local memory traffic."""
+        return self.core.local_memory_energy_pj(num_bytes)
+
+    # ------------------------------------------------------------------
+    # static
+    # ------------------------------------------------------------------
+    def static_energy_pj(self, duration_ns: float, active_cores: int) -> float:
+        """Static energy of ``active_cores`` cores over ``duration_ns``.
+
+        mW × ns = pJ, so the conversion is a straight multiply.
+        """
+        active_cores = max(0, min(active_cores, self.chip.num_cores))
+        return self.core.static_power_mw * active_cores * max(duration_ns, 0.0)

@@ -1,0 +1,23 @@
+"""Instruction set and scheduler for the PIM accelerator.
+
+The scheduler is COMPASS's third component (Fig. 3): once the optimal
+partition group is found, it generates the per-core instruction streams that
+execute each partition — weight loads and writes for the replacement phase,
+activation loads/stores at partition boundaries, MVM and vector operations,
+and inter-core SEND/RECV for pipelined execution.
+"""
+
+from repro.isa.instructions import Opcode, Instruction, CoreProgram
+from repro.isa.memory import LocalMemoryAllocator, AllocationError
+from repro.isa.scheduler import InstructionScheduler, PartitionSchedule, ModelSchedule
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "CoreProgram",
+    "LocalMemoryAllocator",
+    "AllocationError",
+    "InstructionScheduler",
+    "PartitionSchedule",
+    "ModelSchedule",
+]

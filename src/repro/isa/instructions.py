@@ -1,0 +1,117 @@
+"""Instruction set of the crossbar PIM accelerator.
+
+The opcodes mirror the instruction classes shown in Fig. 3 of the paper:
+LOAD WEIGHT / WRITE WEIGHT for the weight-replacement phase, LOAD DATA /
+STORE DATA for global-memory traffic, MVMUL for the matrix unit, VFU_OP for
+vector work and SEND / RECV for inter-core transfers over the bus.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes."""
+
+    LOAD_WEIGHT = "load_weight"
+    WRITE_WEIGHT = "write_weight"
+    LOAD_DATA = "load_data"
+    STORE_DATA = "store_data"
+    MVMUL = "mvmul"
+    VFU_OP = "vfu_op"
+    SEND = "send"
+    RECV = "recv"
+    SYNC = "sync"
+
+
+#: Opcodes that access global memory (DRAM).
+GLOBAL_MEMORY_OPCODES = frozenset({Opcode.LOAD_WEIGHT, Opcode.LOAD_DATA, Opcode.STORE_DATA})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction executed by a PIM core.
+
+    ``size_bytes`` carries the data volume for memory/communication
+    instructions; ``count`` lets one MVMUL/VFU_OP instruction stand for a
+    run of identical operations (the hardware's repeat field), which keeps
+    instruction streams compact without losing operation counts.
+    """
+
+    opcode: Opcode
+    core_id: int
+    layer: str = ""
+    size_bytes: int = 0
+    count: int = 1
+    #: peer core for SEND/RECV
+    peer_core: Optional[int] = None
+    #: crossbar index within the core for WRITE_WEIGHT / MVMUL
+    crossbar: Optional[int] = None
+    #: free-form tag (e.g. "sample3", "entry:conv2")
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("instruction count must be positive")
+        if self.size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        if self.opcode in (Opcode.SEND, Opcode.RECV) and self.peer_core is None:
+            raise ValueError(f"{self.opcode.value} requires a peer core")
+
+    @property
+    def is_memory_access(self) -> bool:
+        """True for instructions that touch global memory."""
+        return self.opcode in GLOBAL_MEMORY_OPCODES
+
+    def __str__(self) -> str:
+        parts = [self.opcode.value.upper(), f"core={self.core_id}"]
+        if self.layer:
+            parts.append(f"layer={self.layer}")
+        if self.size_bytes:
+            parts.append(f"bytes={self.size_bytes}")
+        if self.count > 1:
+            parts.append(f"x{self.count}")
+        if self.peer_core is not None:
+            parts.append(f"peer={self.peer_core}")
+        return " ".join(parts)
+
+
+@dataclass
+class CoreProgram:
+    """Ordered instruction stream for one core."""
+
+    core_id: int
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, instruction: Instruction) -> None:
+        """Append an instruction, checking it targets this core."""
+        if instruction.core_id != self.core_id:
+            raise ValueError(
+                f"instruction for core {instruction.core_id} appended to program of core {self.core_id}"
+            )
+        self.instructions.append(instruction)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def count_by_opcode(self) -> Dict[Opcode, int]:
+        """Number of instructions per opcode (repeat counts expanded)."""
+        counts: Dict[Opcode, int] = {}
+        for instruction in self.instructions:
+            counts[instruction.opcode] = counts.get(instruction.opcode, 0) + instruction.count
+        return counts
+
+    def bytes_by_opcode(self) -> Dict[Opcode, int]:
+        """Data volume per opcode."""
+        volumes: Dict[Opcode, int] = {}
+        for instruction in self.instructions:
+            volumes[instruction.opcode] = (
+                volumes.get(instruction.opcode, 0) + instruction.size_bytes * instruction.count
+            )
+        return volumes

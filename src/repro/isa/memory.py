@@ -1,0 +1,95 @@
+"""Core-local memory allocator used during instruction scheduling.
+
+Each PIM core has a small local data memory (64 kB in Table I) that holds
+input activations, partial sums and outputs while a partition executes.  The
+scheduler uses this allocator to reserve space for every buffer it touches;
+the peak usage per core tells us whether the schedule fits, and by how much
+it overflows (overflow would force extra DRAM spills on real hardware, which
+the simulator charges as additional global-memory traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class AllocationError(ValueError):
+    """Raised when an allocation request is malformed (not when memory is full)."""
+
+
+@dataclass
+class _Block:
+    offset: int
+    size: int
+    tag: str
+
+
+class LocalMemoryAllocator:
+    """First-fit allocator with peak tracking for one core's local memory.
+
+    Overflowing the physical capacity does not raise: the allocator keeps
+    allocating past the end and records the overshoot, because the scheduler
+    wants to *measure* pressure rather than fail.  ``peak_usage`` and
+    ``overflow_bytes`` summarise the result.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise AllocationError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._blocks: Dict[int, _Block] = {}
+        self._next_handle = 0
+        self.peak_usage = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return sum(block.size for block in self._blocks.values())
+
+    @property
+    def overflow_bytes(self) -> int:
+        """How far the peak usage exceeded the physical capacity."""
+        return max(0, self.peak_usage - self.capacity_bytes)
+
+    @property
+    def fits(self) -> bool:
+        """Whether the schedule's peak footprint fit in local memory."""
+        return self.peak_usage <= self.capacity_bytes
+
+    # ------------------------------------------------------------------
+    def _find_offset(self, size: int) -> int:
+        """First-fit search over the gaps between live blocks."""
+        blocks = sorted(self._blocks.values(), key=lambda b: b.offset)
+        cursor = 0
+        for block in blocks:
+            if block.offset - cursor >= size:
+                return cursor
+            cursor = max(cursor, block.offset + block.size)
+        return cursor
+
+    def allocate(self, size: int, tag: str = "") -> int:
+        """Allocate ``size`` bytes; returns an opaque handle."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        offset = self._find_offset(size)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._blocks[handle] = _Block(offset=offset, size=size, tag=tag)
+        self.peak_usage = max(self.peak_usage, offset + size)
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Release a previously allocated block."""
+        if handle not in self._blocks:
+            raise AllocationError(f"unknown allocation handle {handle}")
+        del self._blocks[handle]
+
+    def reset(self) -> None:
+        """Free everything but keep the peak statistics."""
+        self._blocks.clear()
+
+    def live_tags(self) -> List[str]:
+        """Tags of currently live blocks (debugging aid)."""
+        return [block.tag for block in sorted(self._blocks.values(), key=lambda b: b.offset)]

@@ -1,0 +1,142 @@
+"""Assignment of crossbar tiles to physical PIM cores.
+
+After replication is decided, every (layer, replica) pair owns a number of
+crossbar tiles.  The mapper packs these tiles onto cores, trying to keep all
+tiles of one replica on as few cores as possible (so that partial-sum
+reduction stays core-local) while spreading different layers across cores
+(so the pipeline stages run on different cores and can overlap).
+
+The resulting :class:`CoreMapping` is consumed by the instruction scheduler
+(to emit SEND/RECV between producer and consumer cores) and by the latency
+estimator (core utilisation and inter-core traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.chip import ChipConfig
+from repro.mapping.geometry import WeightMatrixGeometry
+from repro.mapping.replication import ReplicationPlan
+
+
+@dataclass
+class CoreAssignment:
+    """Crossbar tiles placed on one physical core."""
+
+    core_id: int
+    #: (layer_name, replica_index, num_crossbar_tiles) entries on this core
+    entries: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    @property
+    def crossbars_used(self) -> int:
+        """Total crossbar tiles occupied on this core."""
+        return sum(tiles for _, _, tiles in self.entries)
+
+    @property
+    def layers(self) -> List[str]:
+        """Distinct layer names present on this core."""
+        seen: List[str] = []
+        for layer, _, _ in self.entries:
+            if layer not in seen:
+                seen.append(layer)
+        return seen
+
+
+@dataclass
+class CoreMapping:
+    """Complete core mapping for one partition."""
+
+    assignments: List[CoreAssignment] = field(default_factory=list)
+    #: layer name -> list of core ids hosting at least one of its tiles
+    layer_cores: Dict[str, List[int]] = field(default_factory=dict)
+    #: crossbars available per core (from the chip config)
+    crossbars_per_core: int = 0
+
+    @property
+    def cores_used(self) -> int:
+        """Number of cores holding at least one tile."""
+        return sum(1 for a in self.assignments if a.entries)
+
+    @property
+    def total_crossbars_used(self) -> int:
+        """Crossbar tiles occupied across all cores."""
+        return sum(a.crossbars_used for a in self.assignments)
+
+    def utilization(self) -> float:
+        """Fraction of crossbars used on the cores that are active."""
+        active = [a for a in self.assignments if a.entries]
+        if not active or self.crossbars_per_core == 0:
+            return 0.0
+        capacity = len(active) * self.crossbars_per_core
+        return self.total_crossbars_used / capacity
+
+    def cores_for_layer(self, layer_name: str) -> List[int]:
+        """Cores hosting tiles of the given layer."""
+        return self.layer_cores.get(layer_name, [])
+
+    def inter_core_edges(self, producer: str, consumer: str) -> int:
+        """Number of distinct producer-core → consumer-core pairs.
+
+        Used to estimate inter-core (SEND/RECV) traffic: an activation
+        produced by layer ``producer`` must reach every core holding a tile of
+        ``consumer`` that is not the producing core itself.
+        """
+        src = set(self.cores_for_layer(producer))
+        dst = set(self.cores_for_layer(consumer))
+        return sum(1 for s in src for d in dst if s != d)
+
+
+class MappingError(ValueError):
+    """Raised when a partition's tiles do not fit on the chip's cores."""
+
+
+def map_partition_to_cores(
+    geometries: Sequence[WeightMatrixGeometry],
+    replication: ReplicationPlan,
+    chip: ChipConfig,
+) -> CoreMapping:
+    """Pack the (replicated) crossbar tiles of a partition onto cores.
+
+    A first-fit-decreasing bin packing is used at replica granularity:
+    replicas with many tiles are placed first, each on the core with the most
+    free crossbars (splitting across cores only when a replica is larger than
+    a whole core).
+    """
+    per_core = chip.core.crossbars_per_core
+    assignments = [CoreAssignment(core_id=i) for i in range(chip.num_cores)]
+    free = [per_core] * chip.num_cores
+    layer_cores: Dict[str, List[int]] = {}
+
+    # Build the list of replicas to place, largest first for better packing.
+    replicas: List[Tuple[str, int, int]] = []
+    for geom in geometries:
+        factor = replication.factor(geom.layer_name)
+        for replica_index in range(factor):
+            replicas.append((geom.layer_name, replica_index, geom.crossbars_per_copy))
+    replicas.sort(key=lambda item: item[2], reverse=True)
+
+    for layer_name, replica_index, tiles in replicas:
+        remaining = tiles
+        # Prefer the core with the largest free space (keeps replicas together).
+        while remaining > 0:
+            best_core = max(range(chip.num_cores), key=lambda c: free[c])
+            if free[best_core] == 0:
+                raise MappingError(
+                    f"partition does not fit: layer {layer_name!r} replica {replica_index} "
+                    f"needs {remaining} more crossbars but all cores are full"
+                )
+            placed = min(remaining, free[best_core])
+            assignments[best_core].entries.append((layer_name, replica_index, placed))
+            free[best_core] -= placed
+            remaining -= placed
+            cores = layer_cores.setdefault(layer_name, [])
+            if best_core not in cores:
+                cores.append(best_core)
+
+    return CoreMapping(
+        assignments=assignments,
+        layer_cores=layer_cores,
+        crossbars_per_core=per_core,
+    )

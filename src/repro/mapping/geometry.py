@@ -1,0 +1,109 @@
+"""Weight-matrix geometry: how a layer's weights tile onto crossbars.
+
+Conv/Linear weights are viewed as im2col matrices of shape
+``(rows = Cin·K·K or in_features, cols = Cout or out_features)``.  A crossbar
+stores a ``weight_rows × weight_cols`` tile (256 × 64 at the default 4-bit
+precision), so a layer needs ``ceil(rows/256) × ceil(cols/64)`` crossbars per
+copy.  Grouped convolutions are block-diagonal; their per-group blocks are
+packed into crossbars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graph.graph import GraphNode
+from repro.graph.layers import Layer, LayerKind
+from repro.hardware.crossbar import CrossbarConfig
+
+
+@dataclass(frozen=True)
+class WeightMatrixGeometry:
+    """Crossbar-tiling geometry for one Conv/Linear layer."""
+
+    layer_name: str
+    rows: int
+    cols: int
+    groups: int
+    #: crossbars needed for ONE copy of the weights
+    crossbars_per_copy: int
+    #: weight parameters in one copy (excluding bias, which lives in VFU regs)
+    weights_per_copy: int
+    #: MVM operations per inference per copy (sliding-window count)
+    windows: int
+    #: bytes of one copy of the weights at the crossbar's weight precision
+    weight_bytes: int
+    #: number of row-tiles the input vector is split into (partial sums to add)
+    row_tiles: int
+    #: number of column-tiles the output vector is split into
+    col_tiles: int
+
+    @property
+    def total_mvms(self) -> int:
+        """MVM invocations per inference counting every crossbar tile."""
+        return self.windows * self.crossbars_per_copy
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations per inference."""
+        return self.windows * self.rows * self.cols * self.groups
+
+
+def _tiles_for_dense(rows: int, cols: int, xbar: CrossbarConfig) -> int:
+    return math.ceil(rows / xbar.weight_rows) * math.ceil(cols / xbar.weight_cols)
+
+
+def _tiles_for_grouped(rows_per_group: int, cols_per_group: int, groups: int,
+                       xbar: CrossbarConfig) -> int:
+    """Pack block-diagonal group blocks into crossbars.
+
+    Each group's block is ``rows_per_group × cols_per_group``.  Blocks from
+    different groups can share a crossbar as long as both dimensions fit
+    (they occupy disjoint row and column ranges, diagonal packing), which is
+    how depthwise convolutions avoid wasting a whole crossbar per channel.
+    """
+    if rows_per_group > xbar.weight_rows or cols_per_group > xbar.weight_cols:
+        # each group itself needs tiling; fall back to per-group dense tiling
+        per_group = _tiles_for_dense(rows_per_group, cols_per_group, xbar)
+        return per_group * groups
+    groups_per_xbar_rows = xbar.weight_rows // rows_per_group
+    groups_per_xbar_cols = xbar.weight_cols // cols_per_group
+    groups_per_xbar = max(1, min(groups_per_xbar_rows, groups_per_xbar_cols))
+    return math.ceil(groups / groups_per_xbar)
+
+
+def layer_geometry(node: GraphNode, xbar: CrossbarConfig) -> WeightMatrixGeometry:
+    """Compute the crossbar-tiling geometry of a Conv/Linear graph node."""
+    layer = node.layer
+    if not layer.is_crossbar_mapped:
+        raise ValueError(f"layer {layer.name!r} ({layer.kind.value}) is not crossbar-mapped")
+    assert node.output_shape is not None
+
+    groups = layer.attrs.get("groups", 1) if layer.kind is LayerKind.CONV2D else 1
+    rows = layer.matrix_rows()
+    if layer.kind is LayerKind.CONV2D:
+        cols = layer.attrs["out_channels"] // groups
+    else:
+        cols = layer.matrix_cols()
+
+    if groups == 1:
+        crossbars = _tiles_for_dense(rows, cols, xbar)
+    else:
+        crossbars = _tiles_for_grouped(rows, cols, groups, xbar)
+
+    weights = rows * cols * groups
+    weight_bytes = (weights * xbar.weight_bits + 7) // 8
+    windows = layer.num_windows(node.output_shape)
+    return WeightMatrixGeometry(
+        layer_name=layer.name,
+        rows=rows,
+        cols=cols,
+        groups=groups,
+        crossbars_per_copy=crossbars,
+        weights_per_copy=weights,
+        windows=windows,
+        weight_bytes=weight_bytes,
+        row_tiles=math.ceil(rows / xbar.weight_rows),
+        col_tiles=math.ceil(cols * groups / xbar.weight_cols),
+    )

@@ -1,0 +1,119 @@
+"""Weight-replication allocation within a partition.
+
+Inside a partition the layers execute as a pipeline over the MVM window
+stream, so the slowest layer (most sliding windows per replica) limits
+throughput.  Replicating a layer's weights R times lets R windows be
+processed in parallel, cutting its service time to ``ceil(windows / R)``
+MVM slots.  The allocator spends the partition's leftover crossbar budget on
+replicas of whichever layer is currently the bottleneck — the same
+"replication balances pipelined layers" policy the paper inherits from
+PipeLayer/PIMCOMP, here applied per partition (Sec. II-B).
+
+Constraint 2 of Sec. III-B is honoured by construction: replication is
+allocated per *layer*, so every partition unit originating from the same
+kernel shares the replication count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.mapping.geometry import WeightMatrixGeometry
+
+
+@dataclass
+class ReplicationPlan:
+    """Result of replication allocation for one partition."""
+
+    #: replication factor per layer name (>= 1)
+    factors: Dict[str, int] = field(default_factory=dict)
+    #: crossbars consumed by each layer including replication
+    crossbars_used: Dict[str, int] = field(default_factory=dict)
+    #: total crossbars consumed by the partition
+    total_crossbars: int = 0
+    #: pipeline bottleneck: max over layers of ceil(windows / replication)
+    bottleneck_slots: int = 0
+
+    def factor(self, layer_name: str) -> int:
+        """Replication factor of a layer (1 if the layer is not in the plan)."""
+        return self.factors.get(layer_name, 1)
+
+
+def _bottleneck(geometries: Sequence[WeightMatrixGeometry], factors: Mapping[str, int]) -> int:
+    slots = 0
+    for geom in geometries:
+        slots = max(slots, math.ceil(geom.windows / factors[geom.layer_name]))
+    return slots
+
+
+def allocate_replication(
+    geometries: Sequence[WeightMatrixGeometry],
+    crossbar_budget: int,
+    max_replication: int = 64,
+) -> ReplicationPlan:
+    """Allocate replication factors for the layers of one partition.
+
+    Parameters
+    ----------
+    geometries:
+        Geometry of every crossbar-mapped layer (or layer slice) in the
+        partition.  Layers with zero windows (e.g. unused) are kept at one
+        copy.
+    crossbar_budget:
+        Total crossbars available to the partition (normally the whole chip).
+    max_replication:
+        Upper bound on any single layer's replication factor; replicating a
+        layer beyond its window count is never useful, so the effective bound
+        is ``min(max_replication, windows)``.
+
+    Raises
+    ------
+    ValueError
+        If even a single copy of every layer does not fit in the budget
+        (the partition is invalid).
+    """
+    if not geometries:
+        return ReplicationPlan(factors={}, crossbars_used={}, total_crossbars=0, bottleneck_slots=0)
+
+    factors: Dict[str, int] = {g.layer_name: 1 for g in geometries}
+    used = sum(g.crossbars_per_copy for g in geometries)
+    if used > crossbar_budget:
+        raise ValueError(
+            f"partition needs {used} crossbars for a single copy of each layer "
+            f"but only {crossbar_budget} are available"
+        )
+
+    # Greedily replicate the current bottleneck layer while budget remains.
+    while True:
+        # find the bottleneck layer that can still be replicated
+        best_geom = None
+        best_slots = -1
+        for geom in geometries:
+            factor = factors[geom.layer_name]
+            slots = math.ceil(geom.windows / factor) if geom.windows else 0
+            limit = min(max_replication, max(geom.windows, 1))
+            if factor >= limit:
+                continue
+            if used + geom.crossbars_per_copy > crossbar_budget:
+                continue
+            if slots > best_slots:
+                best_slots = slots
+                best_geom = geom
+        if best_geom is None or best_slots <= 1:
+            break
+        # check that replicating actually reduces the global bottleneck or the
+        # layer's own service time (avoid burning budget for nothing)
+        factors[best_geom.layer_name] += 1
+        used += best_geom.crossbars_per_copy
+
+    crossbars_used = {
+        g.layer_name: g.crossbars_per_copy * factors[g.layer_name] for g in geometries
+    }
+    return ReplicationPlan(
+        factors=factors,
+        crossbars_used=crossbars_used,
+        total_crossbars=sum(crossbars_used.values()),
+        bottleneck_slots=_bottleneck(geometries, factors),
+    )

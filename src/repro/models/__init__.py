@@ -1,0 +1,29 @@
+"""Model zoo: graph builders for the networks evaluated in the paper.
+
+The paper evaluates VGG16, ResNet18 and SqueezeNet (Table II).  We also
+include AlexNet, MobileNet-v1, ResNet34 and LeNet-5 as extra workloads for
+examples and stress tests.
+"""
+
+from repro.models.vgg import vgg11, vgg16
+from repro.models.resnet import resnet18, resnet34
+from repro.models.squeezenet import squeezenet1_0, squeezenet1_1
+from repro.models.alexnet import alexnet
+from repro.models.mobilenet import mobilenet_v1
+from repro.models.lenet import lenet5
+from repro.models.registry import MODEL_REGISTRY, build_model, list_models
+
+__all__ = [
+    "vgg11",
+    "vgg16",
+    "resnet18",
+    "resnet34",
+    "squeezenet1_0",
+    "squeezenet1_1",
+    "alexnet",
+    "mobilenet_v1",
+    "lenet5",
+    "MODEL_REGISTRY",
+    "build_model",
+    "list_models",
+]

@@ -1,0 +1,38 @@
+"""AlexNet model builder (extra workload, not in the paper's benchmark set)."""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+
+
+def alexnet(input_size: int = 224, num_classes: int = 1000) -> Graph:
+    """Build the AlexNet graph (single-column variant)."""
+    builder = GraphBuilder("alexnet")
+    builder.add_input(3, input_size, input_size)
+    builder.add_conv("conv1", 3, 64, kernel_size=11, stride=4, padding=2)
+    builder.add_relu(name="relu1")
+    builder.add_maxpool(3, 2, name="pool1")
+    builder.add_conv("conv2", 64, 192, kernel_size=5, padding=2)
+    builder.add_relu(name="relu2")
+    builder.add_maxpool(3, 2, name="pool2")
+    builder.add_conv("conv3", 192, 384, kernel_size=3, padding=1)
+    builder.add_relu(name="relu3")
+    builder.add_conv("conv4", 384, 256, kernel_size=3, padding=1)
+    builder.add_relu(name="relu4")
+    builder.add_conv("conv5", 256, 256, kernel_size=3, padding=1)
+    builder.add_relu(name="relu5")
+    builder.add_maxpool(3, 2, name="pool5")
+    builder.add_flatten(name="flatten")
+
+    spatial = builder.graph.node("pool5").output_shape
+    assert spatial is not None
+    flat_features = spatial.num_elements
+    builder.add_dropout(name="drop1")
+    builder.add_linear("fc1", flat_features, 4096)
+    builder.add_relu(name="fc1_relu")
+    builder.add_dropout(name="drop2")
+    builder.add_linear("fc2", 4096, 4096)
+    builder.add_relu(name="fc2_relu")
+    builder.add_linear("fc3", 4096, num_classes)
+    builder.add_softmax(name="softmax")
+    return builder.build()

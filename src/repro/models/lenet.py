@@ -1,0 +1,27 @@
+"""LeNet-5 model builder (tiny workload used in quick tests and examples)."""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+
+
+def lenet5(input_size: int = 32, num_classes: int = 10) -> Graph:
+    """Build the classic LeNet-5 graph (Conv-Pool-Conv-Pool-FC-FC-FC)."""
+    builder = GraphBuilder("lenet5")
+    builder.add_input(1, input_size, input_size)
+    builder.add_conv("conv1", 1, 6, kernel_size=5)
+    builder.add_relu(name="relu1")
+    builder.add_avgpool(2, 2, name="pool1")
+    builder.add_conv("conv2", 6, 16, kernel_size=5)
+    builder.add_relu(name="relu2")
+    builder.add_avgpool(2, 2, name="pool2")
+    builder.add_flatten(name="flatten")
+    spatial = builder.graph.node("pool2").output_shape
+    assert spatial is not None
+    builder.add_linear("fc1", spatial.num_elements, 120)
+    builder.add_relu(name="relu3")
+    builder.add_linear("fc2", 120, 84)
+    builder.add_relu(name="relu4")
+    builder.add_linear("fc3", 84, num_classes)
+    builder.add_softmax(name="softmax")
+    return builder.build()

@@ -1,0 +1,52 @@
+"""MobileNet-v1 model builder (extra workload).
+
+Depthwise convolutions are modelled as grouped convolutions with
+``groups == channels``: weight count is ``channels × 3 × 3`` and the im2col
+matrix has 9 rows per group, which is what matters to the crossbar mapper.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+
+
+def _conv_bn_relu(builder: GraphBuilder, name: str, cin: int, cout: int, kernel: int,
+                  stride: int, padding: int) -> None:
+    builder.add_conv(name, cin, cout, kernel_size=kernel, stride=stride, padding=padding, bias=False)
+    builder.add_batchnorm(cout, name=f"{name}_bn")
+    builder.add_relu(name=f"{name}_relu")
+
+
+def _depthwise_separable(builder: GraphBuilder, prefix: str, cin: int, cout: int, stride: int) -> None:
+    builder.add_conv(f"{prefix}_dw", cin, cin, kernel_size=3, stride=stride, padding=1, bias=False,
+                     groups=cin, inputs=[builder.current])
+    builder.add_batchnorm(cin, name=f"{prefix}_dw_bn")
+    builder.add_relu(name=f"{prefix}_dw_relu")
+    _conv_bn_relu(builder, f"{prefix}_pw", cin, cout, kernel=1, stride=1, padding=0)
+
+
+def mobilenet_v1(input_size: int = 224, num_classes: int = 1000, width_multiplier: float = 1.0) -> Graph:
+    """Build the MobileNet-v1 graph."""
+    def c(channels: int) -> int:
+        return max(8, int(channels * width_multiplier))
+
+    builder = GraphBuilder("mobilenet_v1")
+    builder.add_input(3, input_size, input_size)
+    _conv_bn_relu(builder, "conv1", 3, c(32), kernel=3, stride=2, padding=1)
+
+    # (out_channels, stride) per depthwise-separable block
+    blocks = [
+        (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+        (512, 1), (512, 1), (512, 1), (512, 1), (512, 1),
+        (1024, 2), (1024, 1),
+    ]
+    cin = c(32)
+    for index, (cout, stride) in enumerate(blocks, start=2):
+        _depthwise_separable(builder, f"block{index}", cin, c(cout), stride)
+        cin = c(cout)
+
+    builder.add_global_avgpool(name="gap")
+    builder.add_flatten(name="flatten")
+    builder.add_linear("fc", cin, num_classes)
+    builder.add_softmax(name="softmax")
+    return builder.build()

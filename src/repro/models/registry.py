@@ -1,0 +1,48 @@
+"""Model registry: build any supported model by name.
+
+The evaluation harness and examples refer to workloads by string name
+(e.g. ``"resnet18"``); this registry maps those names to graph builders.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.graph import Graph
+from repro.models.alexnet import alexnet
+from repro.models.lenet import lenet5
+from repro.models.mobilenet import mobilenet_v1
+from repro.models.resnet import resnet18, resnet34
+from repro.models.squeezenet import squeezenet1_0, squeezenet1_1
+from repro.models.vgg import vgg11, vgg16
+
+#: Map of model name → zero/keyword-argument builder callable.
+MODEL_REGISTRY: Dict[str, Callable[..., Graph]] = {
+    "vgg11": vgg11,
+    "vgg16": vgg16,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "squeezenet": squeezenet1_1,
+    "squeezenet1_0": squeezenet1_0,
+    "squeezenet1_1": squeezenet1_1,
+    "alexnet": alexnet,
+    "mobilenet_v1": mobilenet_v1,
+    "lenet5": lenet5,
+}
+
+
+def list_models() -> List[str]:
+    """Names of all registered models."""
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> Graph:
+    """Build a registered model by name.
+
+    Raises :class:`KeyError` with the list of valid names if unknown.
+    """
+    try:
+        builder = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {', '.join(list_models())}") from None
+    return builder(**kwargs)

@@ -1,0 +1,87 @@
+"""ResNet model builders (basic-block variants: ResNet18 and ResNet34).
+
+ResNet18 is the paper's mid-size benchmark (Table II: 5.569 MB total at
+4-bit).  The residual connections are what exercise COMPASS's multi-endpoint
+dependency handling: when a residual skip crosses a partition boundary, the
+partition gains an extra entry/exit node whose feature map must be staged in
+global memory (Sec. III-B3).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.graph import Graph, GraphBuilder
+
+
+def _basic_block(
+    builder: GraphBuilder,
+    prefix: str,
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+) -> str:
+    """Append one basic residual block; returns the name of the output node."""
+    block_input = builder.current
+    assert block_input is not None
+
+    builder.add_conv(
+        f"{prefix}_conv1", in_channels, out_channels, kernel_size=3, stride=stride, padding=1,
+        bias=False,
+    )
+    builder.add_batchnorm(out_channels, name=f"{prefix}_bn1")
+    builder.add_relu(name=f"{prefix}_relu1")
+    builder.add_conv(
+        f"{prefix}_conv2", out_channels, out_channels, kernel_size=3, stride=1, padding=1,
+        bias=False,
+    )
+    builder.add_batchnorm(out_channels, name=f"{prefix}_bn2")
+    main_path = builder.current
+    assert main_path is not None
+
+    if stride != 1 or in_channels != out_channels:
+        # projection shortcut
+        shortcut = builder.add_conv(
+            f"{prefix}_down_conv", in_channels, out_channels, kernel_size=1, stride=stride,
+            padding=0, bias=False, inputs=[block_input],
+        )
+        shortcut = builder.add_batchnorm(out_channels, name=f"{prefix}_down_bn")
+    else:
+        shortcut = block_input
+
+    builder.add_add(name=f"{prefix}_add", inputs=[main_path, shortcut])
+    builder.add_relu(name=f"{prefix}_relu2")
+    return builder.current  # type: ignore[return-value]
+
+
+def _build_resnet(name: str, layers_per_stage: List[int], input_size: int, num_classes: int) -> Graph:
+    builder = GraphBuilder(name)
+    builder.add_input(3, input_size, input_size)
+    builder.add_conv("conv1", 3, 64, kernel_size=7, stride=2, padding=3, bias=False)
+    builder.add_batchnorm(64, name="bn1")
+    builder.add_relu(name="relu1")
+    builder.add_maxpool(3, 2, padding=1, name="maxpool")
+
+    channels = [64, 128, 256, 512]
+    in_channels = 64
+    for stage, (out_channels, num_blocks) in enumerate(zip(channels, layers_per_stage), start=1):
+        for block in range(num_blocks):
+            stride = 2 if stage > 1 and block == 0 else 1
+            _basic_block(builder, f"layer{stage}_{block}", in_channels, out_channels, stride)
+            in_channels = out_channels
+
+    builder.add_global_avgpool(name="avgpool")
+    builder.add_flatten(name="flatten")
+    builder.add_linear("fc", 512, num_classes)
+    builder.add_softmax(name="softmax")
+    return builder.build()
+
+
+def resnet18(input_size: int = 224, num_classes: int = 1000) -> Graph:
+    """Build the ResNet18 graph (basic blocks, [2, 2, 2, 2])."""
+    return _build_resnet("resnet18", [2, 2, 2, 2], input_size, num_classes)
+
+
+def resnet34(input_size: int = 224, num_classes: int = 1000) -> Graph:
+    """Build the ResNet34 graph (basic blocks, [3, 4, 6, 3])."""
+    return _build_resnet("resnet34", [3, 4, 6, 3], input_size, num_classes)

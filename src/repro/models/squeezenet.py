@@ -1,0 +1,98 @@
+"""SqueezeNet model builders (v1.0 and v1.1).
+
+SqueezeNet is the paper's smallest benchmark (Table II: 0.587 MB at 4-bit);
+it is the only network that prior all-on-chip compilers can map onto the
+resource-constrained chip configurations.  The fire modules (squeeze 1×1 conv
+feeding parallel 1×1 and 3×3 expand convs joined by a channel concat) exercise
+COMPASS's handling of branching inside a partition.
+"""
+
+from __future__ import annotations
+
+from repro.graph import Graph, GraphBuilder
+
+
+def _fire_module(
+    builder: GraphBuilder,
+    prefix: str,
+    in_channels: int,
+    squeeze_channels: int,
+    expand1x1_channels: int,
+    expand3x3_channels: int,
+) -> int:
+    """Append one fire module; returns its output channel count."""
+    builder.add_conv(f"{prefix}_squeeze", in_channels, squeeze_channels, kernel_size=1)
+    builder.add_relu(name=f"{prefix}_squeeze_relu")
+    squeeze_out = builder.current
+    assert squeeze_out is not None
+
+    e1 = builder.add_conv(
+        f"{prefix}_expand1x1", squeeze_channels, expand1x1_channels, kernel_size=1,
+        inputs=[squeeze_out],
+    )
+    e1 = builder.add_relu(name=f"{prefix}_expand1x1_relu")
+
+    e3 = builder.add_conv(
+        f"{prefix}_expand3x3", squeeze_channels, expand3x3_channels, kernel_size=3, padding=1,
+        inputs=[squeeze_out],
+    )
+    e3 = builder.add_relu(name=f"{prefix}_expand3x3_relu")
+
+    builder.add_concat(name=f"{prefix}_concat", inputs=[e1, e3])
+    return expand1x1_channels + expand3x3_channels
+
+
+def squeezenet1_0(input_size: int = 224, num_classes: int = 1000) -> Graph:
+    """Build the SqueezeNet v1.0 graph."""
+    builder = GraphBuilder("squeezenet1_0")
+    builder.add_input(3, input_size, input_size)
+    builder.add_conv("conv1", 3, 96, kernel_size=7, stride=2)
+    builder.add_relu(name="conv1_relu")
+    builder.add_maxpool(3, 2, name="pool1")
+
+    channels = _fire_module(builder, "fire2", 96, 16, 64, 64)
+    channels = _fire_module(builder, "fire3", channels, 16, 64, 64)
+    channels = _fire_module(builder, "fire4", channels, 32, 128, 128)
+    builder.add_maxpool(3, 2, name="pool4")
+    channels = _fire_module(builder, "fire5", channels, 32, 128, 128)
+    channels = _fire_module(builder, "fire6", channels, 48, 192, 192)
+    channels = _fire_module(builder, "fire7", channels, 48, 192, 192)
+    channels = _fire_module(builder, "fire8", channels, 64, 256, 256)
+    builder.add_maxpool(3, 2, name="pool8")
+    channels = _fire_module(builder, "fire9", channels, 64, 256, 256)
+
+    builder.add_dropout(name="drop")
+    builder.add_conv("conv10", channels, num_classes, kernel_size=1)
+    builder.add_relu(name="conv10_relu")
+    builder.add_global_avgpool(name="gap")
+    builder.add_flatten(name="flatten")
+    builder.add_softmax(name="softmax")
+    return builder.build()
+
+
+def squeezenet1_1(input_size: int = 224, num_classes: int = 1000) -> Graph:
+    """Build the SqueezeNet v1.1 graph (earlier pooling, 3×3 stem)."""
+    builder = GraphBuilder("squeezenet1_1")
+    builder.add_input(3, input_size, input_size)
+    builder.add_conv("conv1", 3, 64, kernel_size=3, stride=2)
+    builder.add_relu(name="conv1_relu")
+    builder.add_maxpool(3, 2, name="pool1")
+
+    channels = _fire_module(builder, "fire2", 64, 16, 64, 64)
+    channels = _fire_module(builder, "fire3", channels, 16, 64, 64)
+    builder.add_maxpool(3, 2, name="pool3")
+    channels = _fire_module(builder, "fire4", channels, 32, 128, 128)
+    channels = _fire_module(builder, "fire5", channels, 32, 128, 128)
+    builder.add_maxpool(3, 2, name="pool5")
+    channels = _fire_module(builder, "fire6", channels, 48, 192, 192)
+    channels = _fire_module(builder, "fire7", channels, 48, 192, 192)
+    channels = _fire_module(builder, "fire8", channels, 64, 256, 256)
+    channels = _fire_module(builder, "fire9", channels, 64, 256, 256)
+
+    builder.add_dropout(name="drop")
+    builder.add_conv("conv10", channels, num_classes, kernel_size=1)
+    builder.add_relu(name="conv10_relu")
+    builder.add_global_avgpool(name="gap")
+    builder.add_flatten(name="flatten")
+    builder.add_softmax(name="softmax")
+    return builder.build()

@@ -1,0 +1,75 @@
+"""VGG model builders.
+
+VGG16 is the largest network of the paper's benchmark suite (Table II:
+58.95 MB of Linear weights + 7.02 MB of Conv weights at 4-bit precision).
+The convolutional trunk follows the standard configuration "D"; the
+classifier uses the standard 4096/4096/1000 fully-connected stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.graph import Graph, GraphBuilder
+
+# Standard VGG configurations: integers are conv output channels, "M" is a
+# 2x2/stride-2 max pool.
+_VGG11_CFG: Sequence[Union[int, str]] = (64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M")
+_VGG16_CFG: Sequence[Union[int, str]] = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, "M",
+    512, 512, 512, "M",
+    512, 512, 512, "M",
+)
+
+
+def _build_vgg(
+    name: str,
+    cfg: Sequence[Union[int, str]],
+    input_size: int,
+    num_classes: int,
+    with_batchnorm: bool,
+) -> Graph:
+    builder = GraphBuilder(name)
+    builder.add_input(3, input_size, input_size)
+    in_channels = 3
+    conv_index = 0
+    pool_index = 0
+    spatial = input_size
+    for item in cfg:
+        if item == "M":
+            pool_index += 1
+            builder.add_maxpool(2, 2, name=f"pool{pool_index}")
+            spatial //= 2
+        else:
+            conv_index += 1
+            out_channels = int(item)
+            builder.add_conv(
+                f"conv{conv_index}", in_channels, out_channels, kernel_size=3, stride=1, padding=1
+            )
+            if with_batchnorm:
+                builder.add_batchnorm(out_channels, name=f"bn{conv_index}")
+            builder.add_relu(name=f"relu{conv_index}")
+            in_channels = out_channels
+    builder.add_flatten(name="flatten")
+    flat_features = in_channels * spatial * spatial
+    builder.add_linear("fc1", flat_features, 4096)
+    builder.add_relu(name="fc1_relu")
+    builder.add_dropout(name="fc1_drop")
+    builder.add_linear("fc2", 4096, 4096)
+    builder.add_relu(name="fc2_relu")
+    builder.add_dropout(name="fc2_drop")
+    builder.add_linear("fc3", 4096, num_classes)
+    builder.add_softmax(name="softmax")
+    return builder.build()
+
+
+def vgg16(input_size: int = 224, num_classes: int = 1000, with_batchnorm: bool = False) -> Graph:
+    """Build the VGG16 graph (configuration "D")."""
+    return _build_vgg("vgg16", _VGG16_CFG, input_size, num_classes, with_batchnorm)
+
+
+def vgg11(input_size: int = 224, num_classes: int = 1000, with_batchnorm: bool = False) -> Graph:
+    """Build the VGG11 graph (configuration "A")."""
+    return _build_vgg("vgg11", _VGG11_CFG, input_size, num_classes, with_batchnorm)

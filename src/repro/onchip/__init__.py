@@ -1,0 +1,25 @@
+"""On-chip (per-partition) optimizer and performance estimator.
+
+This plays the role PIMCOMP plays in the paper (Sec. III-C1): given a
+partition that fits on chip, decide weight replication and core mapping, then
+estimate the latency and energy of executing that partition for a batch of
+inputs, including the weight-replacement phase and the DRAM accesses at the
+partition boundary.  The COMPASS genetic algorithm uses these estimates as
+its fitness oracle.
+"""
+
+from repro.onchip.plan import LayerSlice, PartitionPlan, build_partition_plan
+from repro.onchip.estimator import (
+    PartitionEstimate,
+    PhaseLatency,
+    PartitionEstimator,
+)
+
+__all__ = [
+    "LayerSlice",
+    "PartitionPlan",
+    "build_partition_plan",
+    "PartitionEstimate",
+    "PhaseLatency",
+    "PartitionEstimator",
+]

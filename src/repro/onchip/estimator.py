@@ -1,0 +1,287 @@
+"""Latency and energy estimation of one partition's execution.
+
+Model (Sec. II of the paper):
+
+* Weight-replace phase: a single copy of the partition's weights is streamed
+  from DRAM and broadcast-written into the crossbars of all replicas.  DRAM
+  streaming and crossbar programming overlap, so the phase takes the maximum
+  of the two.
+* Weight-reuse (compute) phase: the partition's layers execute as a pipeline
+  over the batch.  Each layer-slice stage needs
+  ``ceil(windows / replication) x ceil(tile_ops / crossbars) x t_mvm`` of
+  matrix-unit time per sample plus VFU time for its attached layers; entry
+  loads and exit stores form extra pipeline stages bound by DRAM bandwidth.
+  Pipeline latency for a batch of B samples is ``fill + (B-1) x bottleneck``.
+
+The estimator returns both a per-phase latency breakdown (used for Fig. 7)
+and a full :class:`~repro.hardware.power.EnergyBreakdown` (Figs. 8 and 9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.partition import Partition, PartitionIO
+from repro.hardware.chip import ChipConfig
+from repro.hardware.dram import DRAMConfig, DRAMModel, LPDDR3_8GB
+from repro.hardware.power import EnergyBreakdown, PowerModel
+from repro.onchip.plan import LayerSlice, PartitionPlan, build_partition_plan
+
+
+@dataclass
+class PhaseLatency:
+    """Latency of each execution phase of one partition, in nanoseconds."""
+
+    weight_load_ns: float = 0.0
+    weight_write_ns: float = 0.0
+    weight_replace_ns: float = 0.0
+    input_load_ns: float = 0.0
+    compute_ns: float = 0.0
+    output_store_ns: float = 0.0
+    pipeline_ns: float = 0.0
+
+    @property
+    def total_ns(self) -> float:
+        """End-to-end latency of the partition: weight replace + pipeline."""
+        return self.weight_replace_ns + self.pipeline_ns
+
+
+@dataclass
+class PartitionEstimate:
+    """Complete performance/energy estimate for one partition."""
+
+    plan: PartitionPlan
+    io: PartitionIO
+    batch_size: int
+    latency: PhaseLatency
+    energy: EnergyBreakdown
+    #: per-sample service time of every pipeline stage, keyed by stage name
+    stage_latency_ns: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def partition(self) -> Partition:
+        """The partition this estimate describes."""
+        return self.plan.partition
+
+    @property
+    def latency_ns(self) -> float:
+        """Total latency of the partition for the whole batch."""
+        return self.latency.total_ns
+
+    @property
+    def energy_pj(self) -> float:
+        """Total energy of the partition for the whole batch."""
+        return self.energy.total_pj
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product of this partition (pJ * ns)."""
+        return self.energy_pj * self.latency_ns
+
+    @property
+    def latency_per_sample_ns(self) -> float:
+        """Amortised latency per sample."""
+        return self.latency_ns / self.batch_size
+
+    @property
+    def energy_per_sample_pj(self) -> float:
+        """Amortised energy per sample."""
+        return self.energy_pj / self.batch_size
+
+
+class PartitionEstimator:
+    """Estimates latency/energy of partitions on a given chip.
+
+    A single estimator instance caches nothing across calls and is safe to
+    reuse for many partitions; the genetic algorithm creates one per run.
+    """
+
+    def __init__(
+        self,
+        chip: ChipConfig,
+        dram_config: DRAMConfig = LPDDR3_8GB,
+        batch_size: int = 1,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.chip = chip
+        self.batch_size = batch_size
+        self.dram = DRAMModel(dram_config)
+        self.power = PowerModel(chip)
+
+    # ------------------------------------------------------------------
+    # stage-level helpers
+    # ------------------------------------------------------------------
+    def _slice_compute_latency_ns(self, layer_slice: LayerSlice, replication: int) -> float:
+        """Matrix-unit + VFU time for one sample of one layer slice."""
+        xbar = self.chip.core.crossbar
+        core = self.chip.core
+        windows_per_replica = math.ceil(layer_slice.windows / max(1, replication))
+        serial_factor = math.ceil(
+            layer_slice.tile_ops_per_window / max(1, layer_slice.crossbars)
+        )
+        mvm_ns = windows_per_replica * serial_factor * xbar.mvm_latency_ns
+
+        graph = None
+        vfu_elements = 0
+        # partial-sum accumulation across row tiles
+        row_tiles = math.ceil(layer_slice.rows / xbar.weight_rows)
+        if row_tiles > 1:
+            vfu_elements += (row_tiles - 1) * layer_slice.cols * layer_slice.windows
+        vfu_ns = core.vfu_latency_ns(vfu_elements)
+        return mvm_ns + vfu_ns
+
+    def _attached_vfu_latency_ns(self, partition: Partition, layer_slice: LayerSlice) -> float:
+        """VFU time of the non-crossbar layers attached to a slice, per sample."""
+        graph = partition.decomposition.graph
+        core = self.chip.core
+        elements = 0
+        for name in layer_slice.attached:
+            node = graph.node(name)
+            assert node.output_shape is not None
+            elements += node.output_shape.num_elements
+        # a partition holding a slice of the layer only processes its share
+        return core.vfu_latency_ns(int(elements * max(layer_slice.fraction, 0.0)))
+
+    def _intercore_latency_ns(self, partition: Partition, plan: PartitionPlan,
+                              layer_slice: LayerSlice) -> float:
+        """Bus time to gather this slice's inputs from producer cores, per sample."""
+        graph = partition.decomposition.graph
+        bits = partition.decomposition.activation_bits
+        node = graph.node(layer_slice.layer_name)
+        owned = partition.owned_nodes()
+        bus = self.chip.interconnect
+        total_ns = 0.0
+        for src in node.inputs:
+            if src not in owned:
+                continue  # comes from DRAM, accounted in the load stage
+            src_node = graph.node(src)
+            assert src_node.output_shape is not None
+            num_bytes = src_node.output_shape.size_bytes(bits)
+            total_ns += bus.transfer_time_ns(num_bytes)
+        return total_ns
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def estimate(self, partition: Partition, plan: Optional[PartitionPlan] = None,
+                 batch_size: Optional[int] = None) -> PartitionEstimate:
+        """Estimate latency and energy of one partition for a batch."""
+        batch = batch_size if batch_size is not None else self.batch_size
+        if batch <= 0:
+            raise ValueError("batch_size must be positive")
+        plan = plan if plan is not None else build_partition_plan(partition, self.chip)
+        io = partition.io()
+        chip = self.chip
+        xbar = chip.core.crossbar
+        power = self.power
+
+        # ---------------- pipeline stage latencies (per sample) ----------
+        stages: Dict[str, float] = {}
+        load_ns = self.dram.bulk_transfer_latency_ns(io.load_bytes, sequential=True)
+        # several entry nodes mean scattered accesses; add a per-entry penalty
+        load_ns += max(0, io.num_entries - 1) * chip.interconnect.transfer_latency_ns
+        stages["__load__"] = load_ns
+
+        for layer_slice in plan.slices:
+            replication = plan.replication.factor(layer_slice.layer_name)
+            stage_ns = self._slice_compute_latency_ns(layer_slice, replication)
+            stage_ns += self._attached_vfu_latency_ns(partition, layer_slice)
+            stage_ns += self._intercore_latency_ns(partition, plan, layer_slice)
+            stages[layer_slice.layer_name] = stage_ns
+
+        store_ns = self.dram.bulk_transfer_latency_ns(io.store_bytes, sequential=True)
+        store_ns += max(0, io.num_exits - 1) * chip.interconnect.transfer_latency_ns
+        stages["__store__"] = store_ns
+
+        fill_ns = sum(stages.values())
+        bottleneck_ns = max(stages.values()) if stages else 0.0
+        pipeline_ns = fill_ns + (batch - 1) * bottleneck_ns
+
+        # ---------------- weight-replace phase ----------------------------
+        single_copy_bytes = plan.single_copy_weight_bytes
+        replicated_bytes = plan.replicated_weight_bytes
+        weight_load_ns = self.dram.bulk_transfer_latency_ns(single_copy_bytes, sequential=True)
+        max_core_crossbars = max(
+            (a.crossbars_used for a in plan.core_mapping.assignments), default=0
+        )
+        weight_write_ns = max_core_crossbars * xbar.write_latency_full_ns
+        weight_replace_ns = max(weight_load_ns, weight_write_ns)
+
+        latency = PhaseLatency(
+            weight_load_ns=weight_load_ns,
+            weight_write_ns=weight_write_ns,
+            weight_replace_ns=weight_replace_ns,
+            input_load_ns=load_ns * batch,
+            compute_ns=pipeline_ns - (load_ns + store_ns) * batch
+            if pipeline_ns > (load_ns + store_ns) * batch
+            else pipeline_ns,
+            output_store_ns=store_ns * batch,
+            pipeline_ns=pipeline_ns,
+        )
+
+        # ---------------- energy ------------------------------------------
+        energy = EnergyBreakdown()
+        weight_bits = partition.decomposition.weight_bits
+        replicated_weights = (replicated_bytes * 8) // weight_bits
+        energy.weight_write_pj = power.weight_write_energy_pj(replicated_weights)
+        energy.weight_load_pj = (
+            self.dram.bulk_transfer_energy_pj(single_copy_bytes, is_write=False, sequential=True)
+            + power.interconnect_energy_pj(single_copy_bytes)
+        )
+
+        mvm_pj = 0.0
+        vfu_pj = 0.0
+        local_pj = 0.0
+        intercore_pj = 0.0
+        bits = partition.decomposition.activation_bits
+        graph = partition.decomposition.graph
+        for layer_slice in plan.slices:
+            tile_mvms = layer_slice.windows * layer_slice.tile_ops_per_window
+            active_rows = min(layer_slice.rows, xbar.weight_rows)
+            mvm_pj += power.mvm_energy_pj(tile_mvms, active_rows)
+            # attached VFU work
+            elements = 0
+            for name in layer_slice.attached:
+                node = graph.node(name)
+                assert node.output_shape is not None
+                elements += node.output_shape.num_elements
+            vfu_pj += power.vfu_energy_pj(int(elements * layer_slice.fraction))
+            # local memory traffic: inputs and outputs of the slice
+            node = graph.node(layer_slice.layer_name)
+            assert node.output_shape is not None
+            out_bytes = int(node.output_shape.size_bytes(bits) * layer_slice.fraction)
+            in_bytes = sum(
+                graph.node(src).output_shape.size_bytes(bits) for src in node.inputs
+            )
+            local_pj += power.local_memory_energy_pj(in_bytes + out_bytes)
+            intercore_pj += power.interconnect_energy_pj(in_bytes)
+        energy.mvm_pj = mvm_pj * batch
+        energy.vfu_pj = vfu_pj * batch
+        energy.local_memory_pj = local_pj * batch
+        energy.interconnect_pj = intercore_pj * batch
+
+        energy.data_load_pj = batch * (
+            self.dram.bulk_transfer_energy_pj(io.load_bytes, is_write=False, sequential=True)
+            + power.interconnect_energy_pj(io.load_bytes)
+        )
+        energy.data_store_pj = batch * (
+            self.dram.bulk_transfer_energy_pj(io.store_bytes, is_write=True, sequential=True)
+            + power.interconnect_energy_pj(io.store_bytes)
+        )
+
+        total_ns = latency.total_ns
+        energy.static_pj = power.static_energy_pj(total_ns, plan.core_mapping.cores_used)
+        energy.dram_background_pj = self.dram.config.background_power_mw * total_ns
+
+        return PartitionEstimate(
+            plan=plan,
+            io=io,
+            batch_size=batch,
+            latency=latency,
+            energy=energy,
+            stage_latency_ns=stages,
+        )

@@ -1,0 +1,143 @@
+"""Per-partition execution plan: layer slices, replication and core mapping.
+
+A :class:`PartitionPlan` is the on-chip view of one partition: for every
+Conv/Linear layer with units in the partition it aggregates the units into a
+*layer slice* (the columns of that layer mapped here), allocates weight
+replication across the chip's crossbar budget, and packs the replicated tiles
+onto cores.  The plan is consumed by the latency/energy estimator and by the
+instruction scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.partition import Partition
+from repro.hardware.chip import ChipConfig
+from repro.mapping.core_mapping import CoreMapping, map_partition_to_cores
+from repro.mapping.geometry import WeightMatrixGeometry
+from repro.mapping.replication import ReplicationPlan, allocate_replication
+
+
+@dataclass(frozen=True)
+class LayerSlice:
+    """The portion of one layer mapped into a partition."""
+
+    layer_name: str
+    #: output columns of the layer held by this partition
+    cols: int
+    #: fraction of the layer's output columns held by this partition
+    fraction: float
+    #: weight bytes of one copy of this slice
+    weight_bytes: int
+    #: crossbars of one copy of this slice
+    crossbars: int
+    #: crossbar-tile MVM operations per sliding window
+    tile_ops_per_window: int
+    #: sliding windows per inference
+    windows: int
+    #: im2col rows of the layer (activated wordlines per MVM)
+    rows: int
+    #: names of attached non-crossbar layers executed with this slice
+    attached: tuple
+
+    def as_geometry(self) -> WeightMatrixGeometry:
+        """View this slice as a geometry object for the mapping allocators."""
+        return WeightMatrixGeometry(
+            layer_name=self.layer_name,
+            rows=self.rows,
+            cols=self.cols,
+            groups=1,
+            crossbars_per_copy=self.crossbars,
+            weights_per_copy=(self.weight_bytes * 8) // max(1, 4),
+            windows=self.windows,
+            weight_bytes=self.weight_bytes,
+            row_tiles=max(1, self.tile_ops_per_window // max(1, math.ceil(self.cols / 64))),
+            col_tiles=max(1, math.ceil(self.cols / 64)),
+        )
+
+
+@dataclass
+class PartitionPlan:
+    """Replication + core mapping decisions for one partition."""
+
+    partition: Partition
+    chip: ChipConfig
+    slices: List[LayerSlice]
+    replication: ReplicationPlan
+    core_mapping: CoreMapping
+
+    # ------------------------------------------------------------------
+    @property
+    def replicated_weight_bytes(self) -> int:
+        """Weight bytes written into crossbars, counting every replica."""
+        return sum(s.weight_bytes * self.replication.factor(s.layer_name) for s in self.slices)
+
+    @property
+    def single_copy_weight_bytes(self) -> int:
+        """Weight bytes loaded from DRAM (replicas are broadcast on chip)."""
+        return sum(s.weight_bytes for s in self.slices)
+
+    @property
+    def crossbars_used(self) -> int:
+        """Crossbar tiles occupied including replication."""
+        return self.replication.total_crossbars
+
+    @property
+    def core_utilization(self) -> float:
+        """Fraction of crossbars used on active cores."""
+        return self.core_mapping.utilization()
+
+    def slice_for(self, layer_name: str) -> LayerSlice:
+        """The slice of the given layer (raises KeyError if absent)."""
+        for s in self.slices:
+            if s.layer_name == layer_name:
+                return s
+        raise KeyError(f"layer {layer_name!r} has no slice in this partition")
+
+
+def build_partition_plan(partition: Partition, chip: ChipConfig) -> PartitionPlan:
+    """Build the on-chip plan (slices, replication, core mapping) for a partition.
+
+    Replication honours the paper's validity conditions: factors are per
+    layer (units from one kernel share a count) and the replicated total
+    cannot exceed the chip's crossbar budget; the allocator keeps a single
+    copy when the budget is tight.
+    """
+    decomposition = partition.decomposition
+    xbar = chip.core.crossbar
+    attachments = decomposition.attachments
+
+    slices: List[LayerSlice] = []
+    for layer_name, units in partition.layer_units().items():
+        geom = decomposition.geometries[layer_name]
+        cols = sum(u.cols for u in units)
+        weight_bytes = sum(u.weight_bytes for u in units)
+        crossbars = sum(u.crossbars for u in units)
+        tile_ops = sum(u.tile_ops_per_window for u in units)
+        slices.append(
+            LayerSlice(
+                layer_name=layer_name,
+                cols=cols,
+                fraction=partition.layer_fraction(layer_name),
+                weight_bytes=weight_bytes,
+                crossbars=crossbars,
+                tile_ops_per_window=tile_ops,
+                windows=geom.windows,
+                rows=geom.rows,
+                attached=tuple(attachments.get(layer_name, [])),
+            )
+        )
+
+    geometries = [s.as_geometry() for s in slices]
+    replication = allocate_replication(geometries, crossbar_budget=chip.total_crossbars)
+    core_mapping = map_partition_to_cores(geometries, replication, chip)
+    return PartitionPlan(
+        partition=partition,
+        chip=chip,
+        slices=slices,
+        replication=replication,
+        core_mapping=core_mapping,
+    )

@@ -1,0 +1,143 @@
+"""Serialization of compilation results to plain JSON-compatible dictionaries.
+
+The compiler produces rich nested objects (plans, estimates, GA history);
+this module flattens them into dictionaries of built-in types so results can
+be dumped to JSON, compared across runs, or post-processed by plotting
+scripts without importing the whole library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.core.compiler import CompilationResult
+from repro.core.ga import GAResult
+from repro.onchip.estimator import PartitionEstimate
+from repro.sim.simulator import ExecutionReport
+
+
+def partition_estimate_to_dict(estimate: PartitionEstimate) -> Dict[str, Any]:
+    """Flatten one partition estimate (latency phases, energy, plan summary)."""
+    plan = estimate.plan
+    latency = estimate.latency
+    return {
+        "span": [plan.partition.start, plan.partition.end],
+        "num_units": plan.partition.num_units,
+        "layers": plan.partition.layer_names(),
+        "weight_bytes": plan.single_copy_weight_bytes,
+        "replicated_weight_bytes": plan.replicated_weight_bytes,
+        "crossbars_used": plan.crossbars_used,
+        "cores_used": plan.core_mapping.cores_used,
+        "replication": dict(plan.replication.factors),
+        "batch_size": estimate.batch_size,
+        "io": {
+            "load_bytes": estimate.io.load_bytes,
+            "store_bytes": estimate.io.store_bytes,
+            "num_entries": estimate.io.num_entries,
+            "num_exits": estimate.io.num_exits,
+        },
+        "latency_ns": {
+            "weight_load": latency.weight_load_ns,
+            "weight_write": latency.weight_write_ns,
+            "weight_replace": latency.weight_replace_ns,
+            "pipeline": latency.pipeline_ns,
+            "total": latency.total_ns,
+        },
+        "energy_pj": estimate.energy.as_dict(),
+        "total_energy_pj": estimate.energy_pj,
+    }
+
+
+def execution_report_to_dict(report: ExecutionReport) -> Dict[str, Any]:
+    """Flatten an execution report (the whole-model summary plus partitions)."""
+    result: Dict[str, Any] = {
+        "model": report.model_name,
+        "chip": report.chip_name,
+        "scheme": report.scheme,
+        "batch_size": report.batch_size,
+        "num_partitions": report.num_partitions,
+        "total_latency_ns": report.total_latency_ns,
+        "latency_per_inference_ms": report.latency_per_inference_ms,
+        "throughput_ips": report.throughput,
+        "total_energy_pj": report.total_energy_pj,
+        "energy_per_inference_mj": report.energy_per_inference_mj,
+        "edp_per_inference_mj_ms": report.edp_per_inference,
+        "energy_breakdown_pj": report.energy_breakdown.as_dict(),
+        "weight_traffic_bytes": report.weight_traffic_bytes(),
+        "feature_traffic_bytes": report.feature_traffic_bytes(),
+        "partitions": [partition_estimate_to_dict(e) for e in report.estimates],
+    }
+    if report.dram_stats is not None:
+        stats = report.dram_stats
+        result["dram"] = {
+            "num_requests": stats.num_requests,
+            "read_bytes": stats.read_bytes,
+            "write_bytes": stats.write_bytes,
+            "row_hit_rate": stats.row_hit_rate,
+            "average_latency_ns": stats.average_latency_ns,
+            "energy_pj": stats.energy_pj,
+        }
+    return result
+
+
+def ga_result_to_dict(ga_result: GAResult) -> Dict[str, Any]:
+    """Flatten a GA run: best group and full per-generation history (Fig. 10)."""
+    return {
+        "best_boundaries": list(ga_result.best_group.boundaries),
+        "best_fitness": ga_result.best_fitness,
+        "generations_run": ga_result.generations_run,
+        "evaluations": ga_result.evaluations,
+        "history": [
+            {
+                "generation": record.generation,
+                "best_fitness": record.best_fitness,
+                "mean_fitness": record.mean_fitness,
+                "fitnesses": list(record.fitnesses),
+                "num_partitions": list(record.num_partitions),
+                "selected_mask": list(record.selected_mask),
+            }
+            for record in ga_result.history
+        ],
+    }
+
+
+def compilation_result_to_dict(result: CompilationResult,
+                               include_ga_history: bool = True) -> Dict[str, Any]:
+    """Flatten a full compilation result."""
+    data: Dict[str, Any] = {
+        "model": result.graph.name,
+        "chip": result.chip.name,
+        "scheme": result.options.scheme,
+        "batch_size": result.options.batch_size,
+        "weight_bits": result.options.weight_bits,
+        "num_units": result.decomposition.num_units,
+        "model_weight_bytes": result.decomposition.total_weight_bytes(),
+        "chip_capacity_bytes": result.chip.weight_capacity_bytes,
+        "boundaries": list(result.group.boundaries),
+        "num_partitions": result.num_partitions,
+        "valid_fraction": result.validity.valid_fraction(),
+        "report": execution_report_to_dict(result.report),
+    }
+    if result.schedule is not None:
+        data["instructions"] = {
+            opcode.value: count
+            for opcode, count in result.schedule.count_by_opcode().items()
+        }
+        data["total_instructions"] = result.schedule.total_instructions
+    if include_ga_history and result.ga_result is not None:
+        data["ga"] = ga_result_to_dict(result.ga_result)
+    return data
+
+
+def dump_compilation_result(result: CompilationResult, path: str,
+                            include_ga_history: bool = True) -> None:
+    """Write a compilation result to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(compilation_result_to_dict(result, include_ga_history), handle, indent=2)
+
+
+def load_result_dict(path: str) -> Dict[str, Any]:
+    """Read back a previously dumped result."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,28 @@
+"""Execution simulator for partitioned models.
+
+Combines the per-partition estimates of :mod:`repro.onchip` into whole-model
+latency, throughput, energy and EDP numbers, optionally replaying the
+scheduler's DRAM trace through the LPDDR3 model for memory statistics.
+"""
+
+from repro.sim.simulator import ExecutionReport, ExecutionSimulator
+from repro.sim.metrics import (
+    throughput_inferences_per_sec,
+    energy_per_inference_mj,
+    edp_mj_ms,
+    speedup,
+    geometric_mean,
+)
+from repro.sim.report import format_table, render_execution_report
+
+__all__ = [
+    "ExecutionReport",
+    "ExecutionSimulator",
+    "throughput_inferences_per_sec",
+    "energy_per_inference_mj",
+    "edp_mj_ms",
+    "speedup",
+    "geometric_mean",
+    "format_table",
+    "render_execution_report",
+]

@@ -1,0 +1,48 @@
+"""Metric helpers shared by the simulator, evaluation harness and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def throughput_inferences_per_sec(batch_size: int, total_latency_ns: float) -> float:
+    """Inferences per second for a batch completing in ``total_latency_ns``."""
+    if total_latency_ns <= 0:
+        raise ValueError("total latency must be positive")
+    return batch_size / (total_latency_ns * 1e-9)
+
+
+def energy_per_inference_mj(total_energy_pj: float, batch_size: int) -> float:
+    """Energy per inference in millijoules."""
+    if batch_size <= 0:
+        raise ValueError("batch size must be positive")
+    return (total_energy_pj / batch_size) * 1e-9
+
+
+def edp_mj_ms(total_energy_pj: float, total_latency_ns: float, batch_size: int) -> float:
+    """Energy-delay product per inference, in mJ x ms.
+
+    Both energy and latency are amortised per inference before multiplying,
+    matching the per-sample EDP the paper reports in Fig. 8.
+    """
+    energy_mj = energy_per_inference_mj(total_energy_pj, batch_size)
+    latency_ms = (total_latency_ns / batch_size) * 1e-6
+    return energy_mj * latency_ms
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Ratio baseline/improved (e.g. latency speed-up or EDP gain)."""
+    if improved <= 0:
+        raise ValueError("improved value must be positive")
+    return baseline / improved
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (used for cross-workload averages)."""
+    items = [v for v in values]
+    if not items:
+        raise ValueError("geometric_mean of an empty sequence")
+    if any(v <= 0 for v in items):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))

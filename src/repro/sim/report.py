@@ -1,0 +1,65 @@
+"""Plain-text reporting helpers for execution results and benchmark tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.sim.simulator import ExecutionReport
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render a list of dictionaries as an aligned text table.
+
+    ``columns`` selects and orders the columns; by default the keys of the
+    first row are used.  Floats are formatted with ``float_format``.
+    """
+    if not rows:
+        return "(empty table)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(r[i].ljust(widths[i]) for i in range(len(columns))) for r in rendered
+    ]
+    return "\n".join([header, separator] + body)
+
+
+def render_execution_report(report: ExecutionReport) -> str:
+    """Multi-line human-readable summary of one execution report."""
+    lines = [
+        f"Execution of {report.model_name} on Chip-{report.chip_name} "
+        f"({report.scheme or 'unspecified scheme'}, batch {report.batch_size})",
+        f"  partitions            : {report.num_partitions}",
+        f"  total latency         : {report.total_latency_ns * 1e-6:.3f} ms",
+        f"  throughput            : {report.throughput:.1f} inferences/s",
+        f"  energy per inference  : {report.energy_per_inference_mj:.3f} mJ",
+        f"  EDP per inference     : {report.edp_per_inference:.4f} mJ*ms",
+        f"  DRAM weight traffic   : {report.weight_traffic_bytes() / 1e6:.2f} MB",
+        f"  DRAM feature traffic  : {report.feature_traffic_bytes() / 1e6:.2f} MB",
+    ]
+    breakdown = report.energy_breakdown
+    lines.append("  energy breakdown (uJ):")
+    for key, value in breakdown.as_dict().items():
+        if value:
+            lines.append(f"    {key:<20s}: {value / 1e6:.2f}")
+    if report.dram_stats is not None:
+        stats = report.dram_stats
+        lines.append(
+            f"  DRAM trace: {stats.num_requests} requests, "
+            f"row-hit rate {stats.row_hit_rate:.2f}, "
+            f"avg latency {stats.average_latency_ns:.1f} ns"
+        )
+    lines.append("  per-partition latency (ms): "
+                 + ", ".join(f"{v * 1e-6:.3f}" for v in report.partition_latencies_ns()))
+    return "\n".join(lines)

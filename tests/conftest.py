@@ -1,0 +1,125 @@
+"""Shared fixtures for the test suite.
+
+Most tests run on small models (LeNet-5 or a hand-built CNN) and either the
+paper's Chip-S or a deliberately tiny chip so that decomposition produces
+several partition units quickly.  The heavyweight paper networks are
+session-scoped fixtures so they are built only once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decomposition import decompose_model
+from repro.graph import GraphBuilder
+from repro.hardware import CHIP_L, CHIP_M, CHIP_S
+from repro.hardware.chip import ChipConfig, InterconnectConfig
+from repro.hardware.core import CoreConfig
+from repro.hardware.crossbar import CrossbarConfig
+from repro.models import build_model
+
+
+# ----------------------------------------------------------------------
+# hardware fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def chip_s() -> ChipConfig:
+    """Paper Chip-S (16 cores x 9 crossbars, 1.125 MB)."""
+    return CHIP_S
+
+
+@pytest.fixture(scope="session")
+def chip_m() -> ChipConfig:
+    """Paper Chip-M (16 cores x 16 crossbars, 2.0 MB)."""
+    return CHIP_M
+
+
+@pytest.fixture(scope="session")
+def chip_l() -> ChipConfig:
+    """Paper Chip-L (36 cores x 16 crossbars, 4.5 MB)."""
+    return CHIP_L
+
+
+@pytest.fixture(scope="session")
+def tiny_chip() -> ChipConfig:
+    """A deliberately tiny chip (4 cores x 2 crossbars = 64 KiB).
+
+    Small enough that even LeNet-5 and the hand-built CNN need several
+    partitions, which exercises the partitioning machinery cheaply.
+    """
+    return ChipConfig(
+        name="tiny",
+        num_cores=4,
+        core=CoreConfig(crossbars_per_core=2, crossbar=CrossbarConfig()),
+        interconnect=InterconnectConfig(),
+    )
+
+
+# ----------------------------------------------------------------------
+# model fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def lenet_graph():
+    """LeNet-5 graph (tiny, fast to decompose)."""
+    return build_model("lenet5")
+
+
+@pytest.fixture(scope="session")
+def small_cnn_graph():
+    """A hand-built 4-conv CNN with a residual connection and a classifier."""
+    b = GraphBuilder("small_cnn")
+    b.add_input(3, 32, 32)
+    b.add_conv("conv1", 3, 16, kernel_size=3, padding=1)
+    b.add_relu(name="relu1")
+    trunk = b.add_conv("conv2", 16, 16, kernel_size=3, padding=1)
+    b.add_relu(name="relu2")
+    b.add_conv("conv3", 16, 16, kernel_size=3, padding=1)
+    b.add_add(name="res_add", inputs=[b.current, trunk])
+    b.add_relu(name="relu3")
+    b.add_maxpool(2, 2, name="pool")
+    b.add_conv("conv4", 16, 32, kernel_size=3, padding=1)
+    b.add_relu(name="relu4")
+    b.add_global_avgpool(name="gap")
+    b.add_flatten(name="flatten")
+    b.add_linear("fc", 32, 10)
+    b.add_softmax(name="softmax")
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def squeezenet_graph():
+    """SqueezeNet v1.1 graph (the paper's smallest benchmark)."""
+    return build_model("squeezenet")
+
+
+@pytest.fixture(scope="session")
+def resnet18_graph():
+    """ResNet18 graph (the paper's mid-size benchmark)."""
+    return build_model("resnet18")
+
+
+@pytest.fixture(scope="session")
+def vgg16_graph():
+    """VGG16 graph (the paper's largest benchmark)."""
+    return build_model("vgg16")
+
+
+# ----------------------------------------------------------------------
+# decomposition fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def small_cnn_decomposition(small_cnn_graph, tiny_chip):
+    """Small CNN decomposed for the tiny chip (several units, several layers)."""
+    return decompose_model(small_cnn_graph, tiny_chip)
+
+
+@pytest.fixture(scope="session")
+def squeezenet_decomposition_s(squeezenet_graph, chip_s):
+    """SqueezeNet decomposed for Chip-S (fits fully on chip)."""
+    return decompose_model(squeezenet_graph, chip_s)
+
+
+@pytest.fixture(scope="session")
+def resnet18_decomposition_m(resnet18_graph, chip_m):
+    """ResNet18 decomposed for Chip-M (needs several partitions)."""
+    return decompose_model(resnet18_graph, chip_m)

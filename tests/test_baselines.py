@@ -1,0 +1,77 @@
+"""Tests for the greedy and layerwise baseline partitioners."""
+
+import pytest
+
+from repro.core.baselines import greedy_partition, layerwise_partition
+from repro.core.decomposition import decompose_model
+from repro.core.validity import ValidityMap
+from repro.hardware import CHIP_L, CHIP_S
+
+
+class TestGreedy:
+    def test_covers_model(self, resnet18_decomposition_m):
+        group = greedy_partition(resnet18_decomposition_m)
+        assert group.boundaries[-1] == resnet18_decomposition_m.num_units
+
+    def test_every_partition_valid(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        group = greedy_partition(d)
+        assert group.is_valid(d.chip.total_crossbars)
+
+    def test_partitions_are_maximal(self, resnet18_decomposition_m):
+        """Greedy packs as much as possible: extending any partition is invalid."""
+        d = resnet18_decomposition_m
+        vm = ValidityMap(d)
+        group = greedy_partition(d, vm)
+        for start, end in group.spans():
+            if end < d.num_units:
+                assert not vm.is_valid(start, end + 1)
+
+    def test_single_partition_when_model_fits(self, squeezenet_decomposition_s):
+        group = greedy_partition(squeezenet_decomposition_s)
+        assert group.num_partitions == 1
+
+    def test_fewest_partitions_property(self, resnet18_decomposition_m):
+        """Greedy never uses more partitions than layerwise."""
+        d = resnet18_decomposition_m
+        assert greedy_partition(d).num_partitions <= layerwise_partition(d).num_partitions
+
+
+class TestLayerwise:
+    def test_covers_model(self, resnet18_decomposition_m):
+        group = layerwise_partition(resnet18_decomposition_m)
+        assert group.boundaries[-1] == resnet18_decomposition_m.num_units
+
+    def test_every_partition_valid(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        assert layerwise_partition(d).is_valid(d.chip.total_crossbars)
+
+    def test_one_layer_per_partition_when_layers_fit(self, squeezenet_decomposition_s):
+        d = squeezenet_decomposition_s
+        group = layerwise_partition(d)
+        assert group.num_partitions == len(d.crossbar_layers)
+        for partition in group.partitions():
+            assert len(partition.layer_names()) == 1
+
+    def test_partition_boundaries_align_with_layers_when_possible(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        group = layerwise_partition(d)
+        layer_ends = {end for _, end in d.layer_unit_ranges.values()}
+        # every layer end must be a partition boundary (layers are never merged)
+        assert layer_ends.issubset(set(group.boundaries))
+
+    def test_oversized_layer_split_into_valid_chunks(self, vgg16_graph):
+        """VGG16 fc1 exceeds Chip-S by itself and must be split."""
+        d = decompose_model(vgg16_graph, CHIP_S)
+        group = layerwise_partition(d)
+        assert group.is_valid(d.chip.total_crossbars)
+        fc1_units = d.layer_unit_ranges["fc1"]
+        fc1_partitions = [
+            (s, e) for s, e in group.spans() if s >= fc1_units[0] and e <= fc1_units[1]
+        ]
+        assert len(fc1_partitions) > 1
+
+    def test_at_least_one_partition_per_crossbar_layer(self, vgg16_graph):
+        d = decompose_model(vgg16_graph, CHIP_L)
+        group = layerwise_partition(d)
+        assert group.num_partitions >= len(d.crossbar_layers)

@@ -1,0 +1,102 @@
+"""Tests for repro.graph.builder.GraphBuilder."""
+
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.graph.tensor import TensorShape
+
+
+class TestSequentialConstruction:
+    def test_simple_chain(self):
+        b = GraphBuilder("m")
+        b.add_input(3, 16, 16)
+        b.add_conv("c1", 3, 8, 3, padding=1)
+        b.add_relu()
+        b.add_maxpool(2, 2)
+        b.add_flatten()
+        b.add_linear("fc", 8 * 8 * 8, 10)
+        g = b.build()
+        assert len(g) == 6
+        assert g.node("fc").output_shape == TensorShape.flat(10)
+
+    def test_current_tracks_last_added(self):
+        b = GraphBuilder()
+        b.add_input(1, 8, 8)
+        name = b.add_conv("c", 1, 2, 3, padding=1)
+        assert b.current == name == "c"
+
+    def test_auto_names_are_unique(self):
+        b = GraphBuilder()
+        b.add_input(1, 8, 8)
+        b.add_conv("c", 1, 2, 3, padding=1)
+        r1 = b.add_relu()
+        b.add_conv("c2", 2, 2, 3, padding=1)
+        r2 = b.add_relu()
+        assert r1 != r2
+
+    def test_no_input_raises(self):
+        b = GraphBuilder()
+        with pytest.raises(ValueError):
+            b.add_relu()
+
+
+class TestBranching:
+    def test_residual_block(self):
+        b = GraphBuilder()
+        b.add_input(4, 8, 8)
+        trunk = b.add_conv("c1", 4, 4, 3, padding=1)
+        b.add_relu()
+        b.add_conv("c2", 4, 4, 3, padding=1)
+        b.add_add("res", inputs=[b.current, trunk])
+        g = b.build()
+        assert set(n.name for n in g.predecessors("res")) == {"c2", "c1"}
+
+    def test_add_requires_two_inputs(self):
+        b = GraphBuilder()
+        b.add_input(4, 8, 8)
+        b.add_conv("c1", 4, 4, 3, padding=1)
+        with pytest.raises(ValueError):
+            b.add_add("res", inputs=[b.current])
+        with pytest.raises(ValueError):
+            b.add_add("res2")
+
+    def test_concat_requires_two_inputs(self):
+        b = GraphBuilder()
+        b.add_input(4, 8, 8)
+        b.add_conv("c1", 4, 4, 1)
+        with pytest.raises(ValueError):
+            b.add_concat("cat", inputs=["c1"])
+
+    def test_fire_like_branch(self):
+        b = GraphBuilder()
+        b.add_input(8, 8, 8)
+        squeeze = b.add_conv("squeeze", 8, 4, 1)
+        e1 = b.add_conv("e1", 4, 8, 1, inputs=[squeeze])
+        e3 = b.add_conv("e3", 4, 8, 3, padding=1, inputs=[squeeze])
+        b.add_concat("cat", inputs=[e1, e3])
+        g = b.build()
+        assert g.node("cat").output_shape == TensorShape.chw(16, 8, 8)
+
+    def test_explicit_inputs_override_current(self):
+        b = GraphBuilder()
+        b.add_input(3, 8, 8)
+        b.add_conv("c1", 3, 4, 3, padding=1)
+        b.add_conv("c2", 4, 4, 3, padding=1)
+        # branch back from c1 explicitly
+        b.add_conv("c3", 4, 4, 3, padding=1, inputs=["c1"])
+        g = b.build()
+        assert [n.name for n in g.predecessors("c3")] == ["c1"]
+
+
+class TestBuild:
+    def test_build_validates(self):
+        b = GraphBuilder()
+        b.add_input(1, 4, 4)
+        b.add_conv("c", 1, 1, 3, padding=1)
+        g = b.build()
+        assert g.name == "model"
+
+    def test_named_builder(self):
+        b = GraphBuilder("custom")
+        b.add_input(1, 4, 4)
+        assert b.build().name == "custom"

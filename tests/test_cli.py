@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "squeezenet"])
+        assert args.model == "squeezenet"
+        assert args.chip == "M"
+        assert args.scheme == "compass"
+        assert args.batch == 1
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "not_a_model"])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "resnet18", "--scheme", "magic"])
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "--models", "squeezenet", "--chips", "S", "--batches", "1", "4"]
+        )
+        assert args.models == ["squeezenet"]
+        assert args.batches == [1, 4]
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg16" in out
+        assert "squeezenet" in out
+
+    def test_chips_command(self, capsys):
+        assert main(["chips"]) == 0
+        out = capsys.readouterr().out
+        assert "1.125" in out
+        assert "4.5" in out
+
+    def test_compile_command_greedy(self, capsys):
+        code = main(["compile", "squeezenet", "--chip", "S", "--scheme", "greedy",
+                     "--batch", "2", "--no-instructions"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "Chip-S" in out
+
+    def test_compile_command_writes_json(self, capsys, tmp_path):
+        output = tmp_path / "out.json"
+        code = main(["compile", "lenet5", "--chip", "S", "--scheme", "greedy",
+                     "--batch", "1", "--no-instructions", "--output", str(output)])
+        assert code == 0
+        data = json.loads(output.read_text())
+        assert data["model"] == "lenet5"
+        assert data["scheme"] == "greedy"
+
+    def test_sweep_command(self, capsys):
+        code = main(["sweep", "--models", "squeezenet", "--chips", "S",
+                     "--schemes", "greedy", "layerwise", "--batches", "1",
+                     "--population", "8", "--generations", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "squeezenet" in out
+        assert "greedy" in out
+
+    def test_compile_compass_small_ga(self, capsys):
+        code = main(["compile", "squeezenet", "--chip", "S", "--scheme", "compass",
+                     "--batch", "2", "--no-instructions",
+                     "--population", "8", "--generations", "2"])
+        assert code == 0
+        assert "GA generations" in capsys.readouterr().out

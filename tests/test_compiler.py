@@ -1,0 +1,109 @@
+"""Tests for the end-to-end CompassCompiler driver."""
+
+import pytest
+
+from repro.core.compiler import CompassCompiler, CompilerOptions, compile_model
+from repro.core.fitness import FitnessMode
+from repro.core.ga import GAConfig
+from repro.hardware import CHIP_M, CHIP_S
+
+TINY_GA = GAConfig(population_size=10, generations=4, n_select=3, n_mutate=7,
+                   early_stop_patience=3, seed=0)
+
+
+class TestOptions:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerOptions(scheme="random")
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerOptions(batch_size=0)
+
+    def test_defaults(self):
+        options = CompilerOptions()
+        assert options.scheme == "compass"
+        assert options.weight_bits == 4
+        assert options.fitness_mode is FitnessMode.LATENCY
+
+
+class TestBaselineCompilation:
+    @pytest.mark.parametrize("scheme", ["greedy", "layerwise"])
+    def test_baseline_compile_squeezenet(self, squeezenet_graph, scheme):
+        result = compile_model(squeezenet_graph, CHIP_S, scheme=scheme, batch_size=2)
+        assert result.supported
+        assert result.num_partitions >= 1
+        assert result.report.throughput > 0
+        assert result.schedule is not None
+        assert result.ga_result is None
+
+    def test_group_covers_all_units(self, resnet18_graph):
+        result = compile_model(resnet18_graph, CHIP_M, scheme="greedy", batch_size=1,
+                               generate_instructions=False)
+        assert result.group.boundaries[-1] == result.decomposition.num_units
+
+    def test_plans_match_partitions(self, resnet18_graph):
+        result = compile_model(resnet18_graph, CHIP_M, scheme="greedy", batch_size=1,
+                               generate_instructions=False)
+        assert len(result.plans) == result.num_partitions
+
+    def test_summary_text(self, squeezenet_graph):
+        result = compile_model(squeezenet_graph, CHIP_S, scheme="greedy", batch_size=2)
+        text = result.summary()
+        assert "partitions" in text
+        assert "throughput" in text
+        assert "Chip-S" in text
+
+    def test_instruction_generation_toggle(self, squeezenet_graph):
+        with_instr = compile_model(squeezenet_graph, CHIP_S, scheme="greedy", batch_size=1)
+        without = compile_model(squeezenet_graph, CHIP_S, scheme="greedy", batch_size=1,
+                                generate_instructions=False)
+        assert with_instr.schedule is not None
+        assert without.schedule is None
+
+    def test_dram_trace_simulation_option(self, squeezenet_graph):
+        result = compile_model(squeezenet_graph, CHIP_S, scheme="greedy", batch_size=1,
+                               simulate_dram_trace=True)
+        assert result.report.dram_stats is not None
+
+
+class TestCompassCompilation:
+    def test_compass_compile_resnet18(self, resnet18_graph):
+        result = compile_model(resnet18_graph, CHIP_M, scheme="compass", batch_size=4,
+                               ga_config=TINY_GA, generate_instructions=False)
+        assert result.supported
+        assert result.ga_result is not None
+        assert result.group.is_valid(CHIP_M.total_crossbars)
+
+    def test_compass_beats_baselines_on_resnet18(self, resnet18_graph):
+        """The paper's headline: COMPASS >= greedy and layerwise throughput."""
+        kwargs = dict(batch_size=8, generate_instructions=False)
+        compass = compile_model(resnet18_graph, CHIP_M, scheme="compass",
+                                ga_config=TINY_GA, **kwargs)
+        greedy = compile_model(resnet18_graph, CHIP_M, scheme="greedy", **kwargs)
+        layerwise = compile_model(resnet18_graph, CHIP_M, scheme="layerwise", **kwargs)
+        assert compass.throughput >= greedy.throughput * 0.999
+        assert compass.throughput >= layerwise.throughput * 0.999
+
+    def test_edp_fitness_mode(self, resnet18_graph):
+        result = compile_model(resnet18_graph, CHIP_M, scheme="compass", batch_size=4,
+                               ga_config=TINY_GA, fitness_mode=FitnessMode.EDP,
+                               generate_instructions=False)
+        assert result.supported
+        assert result.edp_per_inference > 0
+
+    def test_compiler_reusable_across_models(self, squeezenet_graph, lenet_graph):
+        compiler = CompassCompiler(CHIP_S, CompilerOptions(scheme="greedy", batch_size=1,
+                                                           generate_instructions=False))
+        first = compiler.compile(squeezenet_graph)
+        second = compiler.compile(lenet_graph)
+        assert first.graph.name != second.graph.name
+        assert first.report.throughput != second.report.throughput
+
+    def test_throughput_increases_with_batch(self, resnet18_graph):
+        """Fig. 6: batching amortises weight replacement."""
+        small = compile_model(resnet18_graph, CHIP_M, scheme="greedy", batch_size=1,
+                              generate_instructions=False)
+        large = compile_model(resnet18_graph, CHIP_M, scheme="greedy", batch_size=16,
+                              generate_instructions=False)
+        assert large.throughput > small.throughput

@@ -1,0 +1,81 @@
+"""Tests for repro.hardware.crossbar.CrossbarConfig."""
+
+import pytest
+
+from repro.hardware.crossbar import CrossbarConfig
+
+
+class TestCapacityModel:
+    def test_default_geometry(self):
+        xbar = CrossbarConfig()
+        assert xbar.rows == 256
+        assert xbar.cols == 256
+        assert xbar.weight_bits == 4
+
+    def test_cells_per_weight(self):
+        assert CrossbarConfig().cells_per_weight == 4
+        assert CrossbarConfig(weight_bits=8).cells_per_weight == 8
+        assert CrossbarConfig(cell_bits=2, weight_bits=4).cells_per_weight == 2
+
+    def test_weight_columns(self):
+        assert CrossbarConfig().weight_cols == 64
+        assert CrossbarConfig(weight_bits=8).weight_cols == 32
+
+    def test_capacity_is_8kib_at_4bit(self):
+        """The capacity model that makes Table I come out exactly."""
+        assert CrossbarConfig().capacity_bytes == 8 * 1024
+
+    def test_weights_per_crossbar(self):
+        assert CrossbarConfig().weights_per_crossbar == 256 * 64
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(rows=0)
+        with pytest.raises(ValueError):
+            CrossbarConfig(cols=-1)
+
+    def test_weight_bits_multiple_of_cell_bits(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(cell_bits=3, weight_bits=4)
+
+
+class TestTimingEnergy:
+    def test_full_write_latency(self):
+        xbar = CrossbarConfig()
+        assert xbar.write_latency_full_ns == 256 * xbar.write_row_latency_ns
+
+    def test_partial_write_latency(self):
+        xbar = CrossbarConfig()
+        assert xbar.write_latency_for(10) == 10 * xbar.write_row_latency_ns
+        assert xbar.write_latency_for(1000) == xbar.write_latency_full_ns
+
+    def test_full_write_energy(self):
+        xbar = CrossbarConfig()
+        assert xbar.write_energy_full_pj == 256 * 256 * xbar.write_energy_per_cell_pj
+
+    def test_partial_write_energy(self):
+        xbar = CrossbarConfig()
+        energy = xbar.write_energy_for(rows=128, weight_cols=32)
+        assert energy == 128 * 32 * 4 * xbar.write_energy_per_cell_pj
+
+    def test_mvm_energy_scales_with_rows(self):
+        xbar = CrossbarConfig()
+        full = xbar.mvm_energy_for_rows(256)
+        half = xbar.mvm_energy_for_rows(128)
+        assert full == pytest.approx(xbar.mvm_energy_pj)
+        assert half < full
+        # ADC floor: even tiny activations cost a sizable fraction
+        assert xbar.mvm_energy_for_rows(1) > 0.3 * full
+
+    def test_mvm_energy_zero_rows(self):
+        assert CrossbarConfig().mvm_energy_for_rows(0) == 0.0
+
+    def test_mvm_energy_clamps_rows(self):
+        xbar = CrossbarConfig()
+        assert xbar.mvm_energy_for_rows(10_000) == xbar.mvm_energy_for_rows(256)
+
+    def test_write_costs_more_than_mvm_per_crossbar(self):
+        """The PIM trade-off the paper leans on: writes are expensive."""
+        xbar = CrossbarConfig()
+        assert xbar.write_energy_full_pj > 10 * xbar.mvm_energy_pj
+        assert xbar.write_latency_full_ns > 10 * xbar.mvm_latency_ns

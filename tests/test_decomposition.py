@@ -1,0 +1,108 @@
+"""Tests for repro.core.decomposition: model -> partition units."""
+
+import pytest
+
+from repro.core.decomposition import DecompositionError, decompose_model
+from repro.hardware import CHIP_L, CHIP_M, CHIP_S
+
+
+class TestUnitInvariants:
+    def test_units_cover_all_crossbar_layers(self, small_cnn_decomposition):
+        d = small_cnn_decomposition
+        layers_with_units = {u.layer_name for u in d.units}
+        assert layers_with_units == set(d.crossbar_layers)
+
+    def test_unit_indices_sequential(self, small_cnn_decomposition):
+        for i, unit in enumerate(small_cnn_decomposition.units):
+            assert unit.index == i
+
+    def test_units_fit_single_core(self, small_cnn_decomposition):
+        core_capacity = small_cnn_decomposition.chip.core.weight_capacity_bytes
+        for unit in small_cnn_decomposition.units:
+            assert unit.weight_bytes <= core_capacity
+            assert unit.crossbars <= small_cnn_decomposition.chip.core.crossbars_per_core
+
+    def test_unit_columns_partition_layer(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        for layer in d.crossbar_layers:
+            units = d.units_of_layer(layer)
+            # column ranges are contiguous and non-overlapping
+            assert units[0].col_start == 0
+            for prev, cur in zip(units, units[1:]):
+                assert cur.col_start == prev.col_end
+            geom = d.geometries[layer]
+            assert units[-1].col_end == geom.cols * geom.groups
+
+    def test_unit_weight_bytes_sum_close_to_layer(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        for layer in d.crossbar_layers:
+            geom = d.geometries[layer]
+            layer_bytes = geom.weight_bytes
+            unit_bytes = sum(u.weight_bytes for u in d.units_of_layer(layer))
+            # units are sized from per-column byte counts, so rounding can add
+            # at most one byte per output column
+            assert layer_bytes <= unit_bytes <= layer_bytes + geom.cols * geom.groups
+
+    def test_units_share_layer_windows(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        for layer in d.crossbar_layers:
+            windows = {u.windows for u in d.units_of_layer(layer)}
+            assert len(windows) == 1
+
+    def test_layer_of_unit(self, small_cnn_decomposition):
+        d = small_cnn_decomposition
+        assert d.layer_of_unit(0) == d.units[0].layer_name
+
+
+class TestChipDependence:
+    def test_smaller_chip_more_units(self, vgg16_graph):
+        units_s = decompose_model(vgg16_graph, CHIP_S).num_units
+        units_l = decompose_model(vgg16_graph, CHIP_L).num_units
+        assert units_s > units_l
+
+    def test_squeezenet_fits_fully_on_s(self, squeezenet_decomposition_s):
+        assert squeezenet_decomposition_s.fits_fully_on_chip()
+
+    def test_resnet18_does_not_fit_on_m(self, resnet18_decomposition_m):
+        assert not resnet18_decomposition_m.fits_fully_on_chip()
+
+    def test_vgg16_does_not_fit_on_l(self, vgg16_graph):
+        assert not decompose_model(vgg16_graph, CHIP_L).fits_fully_on_chip()
+
+    def test_span_helpers(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        n = d.num_units
+        assert d.span_weight_bytes(0, n) == d.total_weight_bytes()
+        assert d.span_crossbars(0, 0) == 0
+        assert d.span_weight_bytes(0, 1) == d.units[0].weight_bytes
+
+
+class TestAttachments:
+    def test_attachments_keyed_by_crossbar_layers(self, small_cnn_decomposition):
+        d = small_cnn_decomposition
+        assert set(d.attachments) == set(d.crossbar_layers)
+
+    def test_every_non_crossbar_layer_attached(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        attached = {n for names in d.attachments.values() for n in names}
+        non_crossbar = {
+            n.name for n in d.graph.nodes()
+            if not n.layer.is_crossbar_mapped and n.kind.value != "input"
+        }
+        assert attached == non_crossbar
+
+
+class TestErrors:
+    def test_weight_bits_must_match_crossbar(self, squeezenet_graph):
+        with pytest.raises(DecompositionError):
+            decompose_model(squeezenet_graph, CHIP_S, weight_bits=8)
+
+    def test_model_without_crossbar_layers(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder("no_weights")
+        b.add_input(3, 8, 8)
+        b.add_relu()
+        b.add_maxpool(2, 2)
+        with pytest.raises(DecompositionError):
+            decompose_model(b.graph, CHIP_S)

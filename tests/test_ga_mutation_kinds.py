@@ -1,0 +1,35 @@
+"""Tests for the GA's mutation-operator restriction hook (used by ablations)."""
+
+import pytest
+
+from repro.core.fitness import FitnessEvaluator
+from repro.core.ga import CompassGA, GAConfig
+from repro.core.mutation import MutationKind
+
+SMALL = GAConfig(population_size=8, generations=3, n_select=3, n_mutate=5, seed=0)
+
+
+class TestMutationKindsOption:
+    def test_default_uses_all_four(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        ga = CompassGA(d, FitnessEvaluator(d, batch_size=4), SMALL)
+        assert set(ga.mutation_kinds) == set(MutationKind)
+
+    def test_restricted_set_runs(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        ga = CompassGA(d, FitnessEvaluator(d, batch_size=4), SMALL,
+                       mutation_kinds=[MutationKind.SPLIT, MutationKind.FIXED_RANDOM])
+        result = ga.run()
+        assert result.best_group.is_valid(d.chip.total_crossbars)
+
+    def test_single_operator_runs(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        ga = CompassGA(d, FitnessEvaluator(d, batch_size=4), SMALL,
+                       mutation_kinds=[MutationKind.FIXED_RANDOM])
+        result = ga.run()
+        assert result.best_group.boundaries[-1] == d.num_units
+
+    def test_empty_set_rejected(self, resnet18_decomposition_m):
+        d = resnet18_decomposition_m
+        with pytest.raises(ValueError):
+            CompassGA(d, FitnessEvaluator(d, batch_size=4), SMALL, mutation_kinds=[])

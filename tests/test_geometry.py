@@ -1,0 +1,123 @@
+"""Tests for repro.mapping.geometry: weight-matrix to crossbar tiling."""
+
+import math
+
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.hardware.crossbar import CrossbarConfig
+from repro.mapping.geometry import layer_geometry
+
+
+def node_for(layer_builder):
+    """Build a minimal graph around a single conv/linear layer and return its node."""
+    return layer_builder
+
+
+def build_conv_node(in_c, out_c, k, size=32, stride=1, padding=0, groups=1):
+    b = GraphBuilder()
+    b.add_input(in_c, size, size)
+    b.add_conv("layer", in_c, out_c, k, stride=stride, padding=padding, groups=groups)
+    return b.build().node("layer")
+
+
+def build_linear_node(in_f, out_f):
+    b = GraphBuilder()
+    b.add_input(1, 1, in_f)
+    b.add_flatten()
+    b.add_linear("layer", in_f, out_f)
+    return b.build().node("layer")
+
+
+XBAR = CrossbarConfig()
+
+
+class TestDenseGeometry:
+    def test_small_conv_fits_one_crossbar(self):
+        node = build_conv_node(3, 16, 3, size=8, padding=1)
+        geom = layer_geometry(node, XBAR)
+        assert geom.rows == 27
+        assert geom.cols == 16
+        assert geom.crossbars_per_copy == 1
+
+    def test_conv_tiling_rows(self):
+        # 64*9 = 576 rows -> 3 row tiles; 64 cols -> 1 col tile
+        node = build_conv_node(64, 64, 3, size=16, padding=1)
+        geom = layer_geometry(node, XBAR)
+        assert geom.row_tiles == 3
+        assert geom.col_tiles == 1
+        assert geom.crossbars_per_copy == 3
+
+    def test_conv_tiling_cols(self):
+        # 3*9=27 rows -> 1 row tile; 128 cols -> 2 col tiles
+        node = build_conv_node(3, 128, 3, size=16, padding=1)
+        geom = layer_geometry(node, XBAR)
+        assert geom.col_tiles == 2
+        assert geom.crossbars_per_copy == 2
+
+    def test_linear_tiling(self):
+        node = build_linear_node(512, 1000)
+        geom = layer_geometry(node, XBAR)
+        assert geom.row_tiles == 2
+        assert geom.col_tiles == math.ceil(1000 / 64)
+        assert geom.crossbars_per_copy == 2 * 16
+
+    def test_vgg_fc1_tiling(self):
+        node = build_linear_node(25088, 4096)
+        geom = layer_geometry(node, XBAR)
+        assert geom.row_tiles == 98
+        assert geom.col_tiles == 64
+        assert geom.crossbars_per_copy == 98 * 64
+
+    def test_windows_conv(self):
+        node = build_conv_node(3, 16, 3, size=32, padding=1)
+        geom = layer_geometry(node, XBAR)
+        assert geom.windows == 32 * 32
+
+    def test_windows_linear(self):
+        geom = layer_geometry(build_linear_node(128, 64), XBAR)
+        assert geom.windows == 1
+
+    def test_weight_bytes_excludes_bias(self):
+        node = build_conv_node(3, 16, 3, size=8, padding=1)
+        geom = layer_geometry(node, XBAR)
+        assert geom.weight_bytes == (3 * 9 * 16 * 4 + 7) // 8
+
+    def test_macs(self):
+        node = build_conv_node(3, 16, 3, size=8, padding=1)
+        geom = layer_geometry(node, XBAR)
+        assert geom.macs == 8 * 8 * 27 * 16
+
+    def test_total_mvms(self):
+        node = build_conv_node(64, 64, 3, size=16, padding=1)
+        geom = layer_geometry(node, XBAR)
+        assert geom.total_mvms == geom.windows * geom.crossbars_per_copy
+
+    def test_non_crossbar_layer_rejected(self):
+        b = GraphBuilder()
+        b.add_input(3, 8, 8)
+        b.add_relu(name="relu")
+        with pytest.raises(ValueError):
+            layer_geometry(b.graph.node("relu"), XBAR)
+
+
+class TestGroupedGeometry:
+    def test_depthwise_blocks_share_crossbars(self):
+        # depthwise 3x3 over 64 channels: 9 rows x 1 col per group.
+        node = build_conv_node(64, 64, 3, size=16, padding=1, groups=64)
+        geom = layer_geometry(node, XBAR)
+        # 28 groups fit per crossbar row-wise (256//9), 64 col-wise; min=28
+        assert geom.crossbars_per_copy == math.ceil(64 / 28)
+        assert geom.groups == 64
+
+    def test_grouped_conv_weight_count(self):
+        node = build_conv_node(32, 64, 3, size=16, padding=1, groups=4)
+        geom = layer_geometry(node, XBAR)
+        assert geom.weights_per_copy == (32 // 4) * 9 * (64 // 4) * 4
+
+    def test_large_group_blocks_tile_densely(self):
+        # each group block is 512*9=4608 rows x 16 cols -> needs per-group tiling
+        node = build_conv_node(1024, 32, 3, size=8, padding=1, groups=2)
+        geom = layer_geometry(node, XBAR)
+        per_group = math.ceil(512 * 9 / 256) * math.ceil(16 / 64)
+        assert geom.crossbars_per_copy == per_group * 2

@@ -1,0 +1,63 @@
+"""Tests for graph (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.graph.serialize import graph_from_dict, graph_to_dict, load_graph, save_graph
+
+
+class TestRoundTrip:
+    def test_small_cnn_round_trip(self, small_cnn_graph):
+        data = graph_to_dict(small_cnn_graph)
+        rebuilt = graph_from_dict(data)
+        assert rebuilt.name == small_cnn_graph.name
+        assert rebuilt.node_names() == small_cnn_graph.node_names()
+        for name in small_cnn_graph.node_names():
+            assert rebuilt.node(name).output_shape == small_cnn_graph.node(name).output_shape
+            assert rebuilt.node(name).inputs == small_cnn_graph.node(name).inputs
+
+    def test_paper_models_round_trip(self, resnet18_graph, squeezenet_graph):
+        for graph in (resnet18_graph, squeezenet_graph):
+            rebuilt = graph_from_dict(graph_to_dict(graph))
+            assert rebuilt.total_weight_count() == graph.total_weight_count()
+            assert len(rebuilt) == len(graph)
+
+    def test_dict_is_json_serialisable(self, lenet_graph):
+        json.dumps(graph_to_dict(lenet_graph))
+
+    def test_file_round_trip(self, lenet_graph, tmp_path):
+        path = tmp_path / "lenet.json"
+        save_graph(lenet_graph, str(path))
+        rebuilt = load_graph(str(path))
+        assert rebuilt.node_names() == lenet_graph.node_names()
+
+
+class TestErrors:
+    def test_missing_nodes_key(self):
+        with pytest.raises(ValueError):
+            graph_from_dict({"name": "x"})
+
+    def test_unknown_kind(self):
+        data = {"name": "x", "nodes": [{"name": "in", "kind": "hologram", "attrs": {}, "inputs": []}]}
+        with pytest.raises(ValueError, match="unknown layer kind"):
+            graph_from_dict(data)
+
+    def test_inconsistent_shapes_rejected(self, lenet_graph):
+        data = graph_to_dict(lenet_graph)
+        # corrupt a conv layer's channel count so shape inference fails on load
+        for node in data["nodes"]:
+            if node["kind"] == "conv2d":
+                node["attrs"]["in_channels"] += 1
+                break
+        with pytest.raises(Exception):
+            graph_from_dict(data)
+
+    def test_compiles_after_round_trip(self, squeezenet_graph):
+        from repro.core.compiler import compile_model
+        from repro.hardware import CHIP_S
+
+        rebuilt = graph_from_dict(graph_to_dict(squeezenet_graph))
+        result = compile_model(rebuilt, CHIP_S, scheme="greedy", batch_size=1,
+                               generate_instructions=False)
+        assert result.throughput > 0

@@ -1,0 +1,79 @@
+"""Tests for the ISA: Instruction and CoreProgram."""
+
+import pytest
+
+from repro.isa.instructions import CoreProgram, Instruction, Opcode
+
+
+class TestInstruction:
+    def test_basic_construction(self):
+        inst = Instruction(Opcode.MVMUL, core_id=3, layer="conv1", count=10)
+        assert inst.opcode is Opcode.MVMUL
+        assert inst.count == 10
+
+    def test_memory_access_classification(self):
+        assert Instruction(Opcode.LOAD_WEIGHT, 0, size_bytes=8).is_memory_access
+        assert Instruction(Opcode.LOAD_DATA, 0, size_bytes=8).is_memory_access
+        assert Instruction(Opcode.STORE_DATA, 0, size_bytes=8).is_memory_access
+        assert not Instruction(Opcode.MVMUL, 0).is_memory_access
+        assert not Instruction(Opcode.WRITE_WEIGHT, 0).is_memory_access
+
+    def test_send_requires_peer(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.SEND, 0, size_bytes=16)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.RECV, 0, size_bytes=16)
+        Instruction(Opcode.SEND, 0, size_bytes=16, peer_core=1)  # ok
+
+    def test_invalid_count_and_size(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.MVMUL, 0, count=0)
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LOAD_DATA, 0, size_bytes=-1)
+
+    def test_str_includes_opcode_and_core(self):
+        text = str(Instruction(Opcode.LOAD_DATA, 2, layer="conv", size_bytes=64))
+        assert "LOAD_DATA" in text
+        assert "core=2" in text
+        assert "bytes=64" in text
+
+    def test_str_repeat_and_peer(self):
+        text = str(Instruction(Opcode.SEND, 1, size_bytes=8, peer_core=4, count=3))
+        assert "x3" in text
+        assert "peer=4" in text
+
+
+class TestCoreProgram:
+    def test_append_and_len(self):
+        program = CoreProgram(core_id=0)
+        program.append(Instruction(Opcode.MVMUL, 0, count=5))
+        program.append(Instruction(Opcode.VFU_OP, 0, count=2))
+        assert len(program) == 2
+
+    def test_append_wrong_core_rejected(self):
+        program = CoreProgram(core_id=0)
+        with pytest.raises(ValueError):
+            program.append(Instruction(Opcode.MVMUL, 1))
+
+    def test_count_by_opcode_expands_repeats(self):
+        program = CoreProgram(core_id=0)
+        program.append(Instruction(Opcode.MVMUL, 0, count=5))
+        program.append(Instruction(Opcode.MVMUL, 0, count=3))
+        program.append(Instruction(Opcode.VFU_OP, 0, count=2))
+        counts = program.count_by_opcode()
+        assert counts[Opcode.MVMUL] == 8
+        assert counts[Opcode.VFU_OP] == 2
+
+    def test_bytes_by_opcode(self):
+        program = CoreProgram(core_id=1)
+        program.append(Instruction(Opcode.LOAD_DATA, 1, size_bytes=100))
+        program.append(Instruction(Opcode.LOAD_DATA, 1, size_bytes=50, count=2))
+        assert program.bytes_by_opcode()[Opcode.LOAD_DATA] == 200
+
+    def test_iteration_preserves_order(self):
+        program = CoreProgram(core_id=0)
+        first = Instruction(Opcode.LOAD_DATA, 0, size_bytes=1)
+        second = Instruction(Opcode.MVMUL, 0)
+        program.append(first)
+        program.append(second)
+        assert list(program) == [first, second]

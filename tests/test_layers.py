@@ -1,0 +1,258 @@
+"""Tests for repro.graph.layers: layer constructors, weights, shape inference."""
+
+import pytest
+
+from repro.graph.layers import (
+    Layer,
+    LayerKind,
+    ShapeInferenceError,
+    make_add,
+    make_avgpool,
+    make_batchnorm,
+    make_concat,
+    make_conv2d,
+    make_dropout,
+    make_flatten,
+    make_global_avgpool,
+    make_input,
+    make_linear,
+    make_maxpool,
+    make_relu,
+    make_softmax,
+)
+from repro.graph.tensor import TensorShape
+
+
+class TestClassification:
+    def test_conv_is_crossbar_mapped(self):
+        assert make_conv2d("c", 3, 8, 3).is_crossbar_mapped
+
+    def test_linear_is_crossbar_mapped(self):
+        assert make_linear("l", 16, 8).is_crossbar_mapped
+
+    def test_relu_is_not_crossbar_mapped(self):
+        assert not make_relu("r").is_crossbar_mapped
+
+    def test_relu_is_vfu_op(self):
+        assert make_relu("r").is_vfu_op
+
+    def test_pool_is_vfu_op(self):
+        assert make_maxpool("p", 2).is_vfu_op
+        assert make_avgpool("p2", 2).is_vfu_op
+
+    def test_conv_is_not_vfu_op(self):
+        assert not make_conv2d("c", 3, 8, 3).is_vfu_op
+
+    def test_batchnorm_has_weights_but_not_crossbar(self):
+        bn = make_batchnorm("bn", 32)
+        assert bn.has_weights
+        assert not bn.is_crossbar_mapped
+
+    def test_dropout_flatten_have_no_weights(self):
+        assert not make_dropout("d").has_weights
+        assert not make_flatten("f").has_weights
+
+
+class TestWeightCounts:
+    def test_conv_weight_count_with_bias(self):
+        conv = make_conv2d("c", in_channels=3, out_channels=64, kernel_size=3)
+        assert conv.weight_count() == 64 * 3 * 9 + 64
+
+    def test_conv_weight_count_without_bias(self):
+        conv = make_conv2d("c", 3, 64, 3, bias=False)
+        assert conv.weight_count() == 64 * 3 * 9
+
+    def test_grouped_conv_weight_count(self):
+        conv = make_conv2d("c", 32, 32, 3, bias=False, groups=32)
+        assert conv.weight_count() == 32 * 1 * 9
+
+    def test_linear_weight_count(self):
+        fc = make_linear("fc", 512, 1000)
+        assert fc.weight_count() == 512 * 1000 + 1000
+
+    def test_linear_weight_count_no_bias(self):
+        fc = make_linear("fc", 512, 1000, bias=False)
+        assert fc.weight_count() == 512 * 1000
+
+    def test_batchnorm_weight_count(self):
+        assert make_batchnorm("bn", 64).weight_count() == 128
+
+    def test_relu_weight_count_zero(self):
+        assert make_relu("r").weight_count() == 0
+
+    def test_weight_bytes_4bit(self):
+        fc = make_linear("fc", 100, 10, bias=False)
+        assert fc.weight_bytes(4) == 500
+
+    def test_weight_bytes_rounds_up(self):
+        fc = make_linear("fc", 3, 3, bias=False)  # 9 weights * 4 bits = 36 bits
+        assert fc.weight_bytes(4) == 5
+
+    def test_conv_groups_must_divide_channels(self):
+        with pytest.raises(ValueError):
+            make_conv2d("c", 10, 12, 3, groups=4)
+
+
+class TestMatrixGeometry:
+    def test_conv_matrix_rows_cols(self):
+        conv = make_conv2d("c", 64, 128, 3)
+        assert conv.matrix_rows() == 64 * 9
+        assert conv.matrix_cols() == 128
+
+    def test_depthwise_matrix_rows(self):
+        conv = make_conv2d("c", 64, 64, 3, groups=64)
+        assert conv.matrix_rows() == 9
+
+    def test_linear_matrix_rows_cols(self):
+        fc = make_linear("fc", 4096, 1000)
+        assert fc.matrix_rows() == 4096
+        assert fc.matrix_cols() == 1000
+
+    def test_relu_matrix_dims_zero(self):
+        assert make_relu("r").matrix_rows() == 0
+        assert make_relu("r").matrix_cols() == 0
+
+
+class TestShapeInference:
+    def test_input_shape(self):
+        layer = make_input("in", 3, 224, 224)
+        assert layer.infer_output_shape([]) == TensorShape.chw(3, 224, 224)
+
+    def test_conv_same_padding(self):
+        conv = make_conv2d("c", 3, 64, 3, stride=1, padding=1)
+        out = conv.infer_output_shape([TensorShape.chw(3, 32, 32)])
+        assert out == TensorShape.chw(64, 32, 32)
+
+    def test_conv_stride_two(self):
+        conv = make_conv2d("c", 3, 64, 7, stride=2, padding=3)
+        out = conv.infer_output_shape([TensorShape.chw(3, 224, 224)])
+        assert out == TensorShape.chw(64, 112, 112)
+
+    def test_conv_no_padding(self):
+        conv = make_conv2d("c", 1, 6, 5)
+        out = conv.infer_output_shape([TensorShape.chw(1, 32, 32)])
+        assert out == TensorShape.chw(6, 28, 28)
+
+    def test_conv_channel_mismatch(self):
+        conv = make_conv2d("c", 3, 8, 3)
+        with pytest.raises(ShapeInferenceError):
+            conv.infer_output_shape([TensorShape.chw(4, 32, 32)])
+
+    def test_conv_rejects_flat_input(self):
+        conv = make_conv2d("c", 3, 8, 3)
+        with pytest.raises(ShapeInferenceError):
+            conv.infer_output_shape([TensorShape.flat(100)])
+
+    def test_conv_rejects_multiple_inputs(self):
+        conv = make_conv2d("c", 3, 8, 3)
+        shape = TensorShape.chw(3, 8, 8)
+        with pytest.raises(ShapeInferenceError):
+            conv.infer_output_shape([shape, shape])
+
+    def test_conv_too_small_input(self):
+        conv = make_conv2d("c", 3, 8, 7)
+        with pytest.raises(ShapeInferenceError):
+            conv.infer_output_shape([TensorShape.chw(3, 4, 4)])
+
+    def test_linear(self):
+        fc = make_linear("fc", 100, 10)
+        assert fc.infer_output_shape([TensorShape.flat(100)]) == TensorShape.flat(10)
+
+    def test_linear_accepts_unflattened_input_of_right_size(self):
+        fc = make_linear("fc", 64, 10)
+        assert fc.infer_output_shape([TensorShape.chw(4, 4, 4)]) == TensorShape.flat(10)
+
+    def test_linear_feature_mismatch(self):
+        fc = make_linear("fc", 100, 10)
+        with pytest.raises(ShapeInferenceError):
+            fc.infer_output_shape([TensorShape.flat(99)])
+
+    def test_maxpool(self):
+        pool = make_maxpool("p", 2, 2)
+        out = pool.infer_output_shape([TensorShape.chw(64, 32, 32)])
+        assert out == TensorShape.chw(64, 16, 16)
+
+    def test_maxpool_with_padding(self):
+        pool = make_maxpool("p", 3, 2, padding=1)
+        out = pool.infer_output_shape([TensorShape.chw(64, 112, 112)])
+        assert out == TensorShape.chw(64, 56, 56)
+
+    def test_maxpool_stride_defaults_to_kernel(self):
+        pool = make_maxpool("p", 2)
+        out = pool.infer_output_shape([TensorShape.chw(8, 8, 8)])
+        assert out == TensorShape.chw(8, 4, 4)
+
+    def test_global_avgpool(self):
+        gap = make_global_avgpool("gap")
+        out = gap.infer_output_shape([TensorShape.chw(512, 7, 7)])
+        assert out == TensorShape.chw(512, 1, 1)
+
+    def test_relu_preserves_shape(self):
+        relu = make_relu("r")
+        shape = TensorShape.chw(64, 56, 56)
+        assert relu.infer_output_shape([shape]) == shape
+
+    def test_batchnorm_preserves_shape(self):
+        bn = make_batchnorm("bn", 64)
+        shape = TensorShape.chw(64, 56, 56)
+        assert bn.infer_output_shape([shape]) == shape
+
+    def test_add_requires_matching_shapes(self):
+        add = make_add("a")
+        shape = TensorShape.chw(64, 56, 56)
+        assert add.infer_output_shape([shape, shape]) == shape
+        with pytest.raises(ShapeInferenceError):
+            add.infer_output_shape([shape, TensorShape.chw(64, 28, 28)])
+
+    def test_add_requires_two_inputs(self):
+        with pytest.raises(ShapeInferenceError):
+            make_add("a").infer_output_shape([TensorShape.chw(1, 2, 2)])
+
+    def test_concat_sums_channels(self):
+        concat = make_concat("c")
+        a = TensorShape.chw(64, 28, 28)
+        b = TensorShape.chw(32, 28, 28)
+        assert concat.infer_output_shape([a, b]) == TensorShape.chw(96, 28, 28)
+
+    def test_concat_rejects_spatial_mismatch(self):
+        concat = make_concat("c")
+        with pytest.raises(ShapeInferenceError):
+            concat.infer_output_shape([TensorShape.chw(8, 28, 28), TensorShape.chw(8, 14, 14)])
+
+    def test_flatten(self):
+        flat = make_flatten("f")
+        assert flat.infer_output_shape([TensorShape.chw(512, 7, 7)]) == TensorShape.flat(25088)
+
+    def test_dropout_softmax_preserve_shape(self):
+        shape = TensorShape.flat(1000)
+        assert make_dropout("d").infer_output_shape([shape]) == shape
+        assert make_softmax("s").infer_output_shape([shape]) == shape
+
+    def test_layer_with_no_inputs_fails(self):
+        with pytest.raises(ShapeInferenceError):
+            make_relu("r").infer_output_shape([])
+
+
+class TestExecutionGeometry:
+    def test_conv_num_windows(self):
+        conv = make_conv2d("c", 3, 8, 3, padding=1)
+        out = conv.infer_output_shape([TensorShape.chw(3, 32, 32)])
+        assert conv.num_windows(out) == 32 * 32
+
+    def test_linear_num_windows_is_one(self):
+        fc = make_linear("fc", 100, 10)
+        assert fc.num_windows(TensorShape.flat(10)) == 1
+
+    def test_relu_num_windows_zero(self):
+        assert make_relu("r").num_windows(TensorShape.flat(10)) == 0
+
+    def test_vfu_elements(self):
+        relu = make_relu("r")
+        assert relu.vfu_elements(TensorShape.chw(4, 4, 4)) == 64
+        conv = make_conv2d("c", 3, 8, 3)
+        assert conv.vfu_elements(TensorShape.chw(8, 4, 4)) == 0
+
+    def test_str_contains_name_and_kind(self):
+        text = str(make_conv2d("conv1", 3, 8, 3))
+        assert "conv1" in text
+        assert "conv2d" in text

@@ -1,0 +1,78 @@
+"""Tests for the core-local memory allocator."""
+
+import pytest
+
+from repro.isa.memory import AllocationError, LocalMemoryAllocator
+
+
+class TestAllocation:
+    def test_simple_alloc_free(self):
+        alloc = LocalMemoryAllocator(1024)
+        handle = alloc.allocate(256, tag="buf")
+        assert alloc.used_bytes == 256
+        alloc.free(handle)
+        assert alloc.used_bytes == 0
+
+    def test_peak_tracking(self):
+        alloc = LocalMemoryAllocator(1024)
+        a = alloc.allocate(400)
+        b = alloc.allocate(400)
+        alloc.free(a)
+        alloc.free(b)
+        assert alloc.peak_usage == 800
+        assert alloc.fits
+
+    def test_overflow_recorded_not_raised(self):
+        alloc = LocalMemoryAllocator(100)
+        alloc.allocate(80)
+        alloc.allocate(80)
+        assert alloc.peak_usage == 160
+        assert alloc.overflow_bytes == 60
+        assert not alloc.fits
+
+    def test_first_fit_reuses_freed_space(self):
+        alloc = LocalMemoryAllocator(1000)
+        a = alloc.allocate(100)
+        b = alloc.allocate(100)
+        alloc.free(a)
+        c = alloc.allocate(50)
+        # c should slot into the freed region, not extend the peak
+        assert alloc.peak_usage == 200
+        alloc.free(b)
+        alloc.free(c)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(AllocationError):
+            LocalMemoryAllocator(0)
+
+    def test_invalid_size(self):
+        alloc = LocalMemoryAllocator(100)
+        with pytest.raises(AllocationError):
+            alloc.allocate(0)
+        with pytest.raises(AllocationError):
+            alloc.allocate(-10)
+
+    def test_double_free_rejected(self):
+        alloc = LocalMemoryAllocator(100)
+        handle = alloc.allocate(10)
+        alloc.free(handle)
+        with pytest.raises(AllocationError):
+            alloc.free(handle)
+
+    def test_unknown_handle(self):
+        alloc = LocalMemoryAllocator(100)
+        with pytest.raises(AllocationError):
+            alloc.free(1234)
+
+    def test_reset_keeps_peak(self):
+        alloc = LocalMemoryAllocator(100)
+        alloc.allocate(60)
+        alloc.reset()
+        assert alloc.used_bytes == 0
+        assert alloc.peak_usage == 60
+
+    def test_live_tags(self):
+        alloc = LocalMemoryAllocator(100)
+        alloc.allocate(10, tag="a")
+        alloc.allocate(10, tag="b")
+        assert alloc.live_tags() == ["a", "b"]

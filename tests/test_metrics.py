@@ -1,0 +1,73 @@
+"""Tests for repro.sim.metrics."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import (
+    edp_mj_ms,
+    energy_per_inference_mj,
+    geometric_mean,
+    speedup,
+    throughput_inferences_per_sec,
+)
+
+
+class TestThroughput:
+    def test_one_inference_per_ms(self):
+        assert throughput_inferences_per_sec(1, 1e6) == pytest.approx(1000.0)
+
+    def test_batch_scales_throughput(self):
+        assert throughput_inferences_per_sec(16, 1e6) == pytest.approx(16_000.0)
+
+    def test_invalid_latency(self):
+        with pytest.raises(ValueError):
+            throughput_inferences_per_sec(1, 0)
+
+
+class TestEnergy:
+    def test_energy_per_inference(self):
+        # 2e9 pJ over 2 inferences = 1e9 pJ = 1 mJ each
+        assert energy_per_inference_mj(2e9, 2) == pytest.approx(1.0)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            energy_per_inference_mj(1.0, 0)
+
+    def test_edp(self):
+        # 1 mJ per inference, 1 ms per inference -> EDP 1 mJ*ms
+        assert edp_mj_ms(total_energy_pj=1e9, total_latency_ns=1e6, batch_size=1) == pytest.approx(1.0)
+
+    def test_edp_batch_amortisation(self):
+        single = edp_mj_ms(1e9, 1e6, 1)
+        batched = edp_mj_ms(1e9, 1e6, 4)  # same totals spread over 4 samples
+        assert batched == pytest.approx(single / 16)
+
+
+class TestSpeedup:
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == pytest.approx(2.0)
+        assert speedup(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.5]) == pytest.approx(3.5)
+
+    def test_matches_math(self):
+        values = [1.2, 3.4, 5.6, 7.8]
+        expected = math.exp(sum(math.log(v) for v in values) / len(values))
+        assert geometric_mean(values) == pytest.approx(expected)
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,155 @@
+"""Tests for the model zoo: structure and Table II weight footprints."""
+
+import pytest
+
+from repro.graph.layers import LayerKind
+from repro.graph.tensor import TensorShape
+from repro.models import (
+    alexnet,
+    build_model,
+    lenet5,
+    list_models,
+    mobilenet_v1,
+    resnet18,
+    resnet34,
+    squeezenet1_0,
+    squeezenet1_1,
+    vgg11,
+    vgg16,
+)
+
+MB = 2 ** 20
+
+
+class TestRegistry:
+    def test_list_models_contains_paper_networks(self):
+        names = list_models()
+        assert "vgg16" in names
+        assert "resnet18" in names
+        assert "squeezenet" in names
+
+    def test_build_model_by_name(self):
+        g = build_model("lenet5")
+        assert g.name == "lenet5"
+
+    def test_unknown_model_raises_with_hint(self):
+        with pytest.raises(KeyError, match="available"):
+            build_model("resnet1000")
+
+    def test_build_model_kwargs_forwarded(self):
+        g = build_model("resnet18", num_classes=10)
+        assert g.node("fc").output_shape == TensorShape.flat(10)
+
+    def test_all_registered_models_build_and_validate(self):
+        for name in list_models():
+            graph = build_model(name)
+            graph.validate()
+            assert len(graph) > 5
+
+
+class TestVGG16:
+    def test_table2_weight_sizes(self, vgg16_graph):
+        """Table II: VGG16 Linear 58.95 MB, Conv 7.02 MB, Total 65.97 MB at 4-bit."""
+        linear_mb = vgg16_graph.linear_weight_bytes(4) / MB
+        conv_mb = vgg16_graph.conv_weight_bytes(4) / MB
+        total_mb = vgg16_graph.crossbar_weight_bytes(4) / MB
+        assert linear_mb == pytest.approx(58.95, rel=0.01)
+        assert conv_mb == pytest.approx(7.02, rel=0.01)
+        assert total_mb == pytest.approx(65.97, rel=0.01)
+
+    def test_has_16_weight_layers(self, vgg16_graph):
+        convs = [n for n in vgg16_graph.nodes() if n.kind is LayerKind.CONV2D]
+        fcs = [n for n in vgg16_graph.nodes() if n.kind is LayerKind.LINEAR]
+        assert len(convs) == 13
+        assert len(fcs) == 3
+
+    def test_output_is_1000_classes(self, vgg16_graph):
+        assert vgg16_graph.node("fc3").output_shape == TensorShape.flat(1000)
+
+    def test_spatial_reduction(self, vgg16_graph):
+        assert vgg16_graph.node("pool5").output_shape == TensorShape.chw(512, 7, 7)
+
+    def test_vgg11_smaller_than_vgg16(self):
+        assert vgg11().total_weight_count() < vgg16().total_weight_count()
+
+    def test_batchnorm_variant(self):
+        g = vgg16(with_batchnorm=True)
+        bn_count = sum(1 for n in g.nodes() if n.kind is LayerKind.BATCHNORM)
+        assert bn_count == 13
+
+
+class TestResNet18:
+    def test_table2_weight_sizes(self, resnet18_graph):
+        """Table II: ResNet18 Linear 0.244 MB, Conv 5.324 MB, Total 5.569 MB."""
+        linear_mb = resnet18_graph.linear_weight_bytes(4) / MB
+        conv_mb = resnet18_graph.conv_weight_bytes(4) / MB
+        total_mb = resnet18_graph.crossbar_weight_bytes(4) / MB
+        assert linear_mb == pytest.approx(0.244, abs=0.005)
+        assert conv_mb == pytest.approx(5.324, rel=0.01)
+        assert total_mb == pytest.approx(5.569, rel=0.01)
+
+    def test_has_residual_adds(self, resnet18_graph):
+        adds = [n for n in resnet18_graph.nodes() if n.kind is LayerKind.ADD]
+        assert len(adds) == 8  # two blocks per stage, four stages
+
+    def test_downsample_convs(self, resnet18_graph):
+        downsamples = [n for n in resnet18_graph.nodes() if "down_conv" in n.name]
+        assert len(downsamples) == 3  # stages 2-4
+
+    def test_final_feature_map(self, resnet18_graph):
+        assert resnet18_graph.node("avgpool").output_shape == TensorShape.chw(512, 1, 1)
+
+    def test_resnet34_deeper(self):
+        g34 = resnet34()
+        g18 = resnet18()
+        assert len(g34) > len(g18)
+        assert g34.total_weight_count() > g18.total_weight_count()
+
+
+class TestSqueezeNet:
+    def test_table2_weight_size(self, squeezenet_graph):
+        """Table II: SqueezeNet total 0.58725 MB at 4-bit (conv only)."""
+        total_mb = squeezenet_graph.crossbar_weight_bytes(4) / MB
+        assert total_mb == pytest.approx(0.587, abs=0.01)
+        assert squeezenet_graph.linear_weight_bytes(4) == 0
+
+    def test_fire_modules_present(self, squeezenet_graph):
+        concats = [n for n in squeezenet_graph.nodes() if n.kind is LayerKind.CONCAT]
+        assert len(concats) == 8  # fire2..fire9
+
+    def test_v10_larger_than_v11(self):
+        assert squeezenet1_0().total_weight_count() > squeezenet1_1().total_weight_count()
+
+    def test_classifier_conv_output(self, squeezenet_graph):
+        out = squeezenet_graph.node("conv10").output_shape
+        assert out.channels == 1000
+
+
+class TestExtraModels:
+    def test_alexnet_structure(self):
+        g = alexnet()
+        convs = [n for n in g.nodes() if n.kind is LayerKind.CONV2D]
+        fcs = [n for n in g.nodes() if n.kind is LayerKind.LINEAR]
+        assert len(convs) == 5
+        assert len(fcs) == 3
+
+    def test_mobilenet_depthwise_layers(self):
+        g = mobilenet_v1()
+        depthwise = [
+            n for n in g.nodes()
+            if n.kind is LayerKind.CONV2D and n.layer.attrs.get("groups", 1) > 1
+        ]
+        assert len(depthwise) == 13
+
+    def test_mobilenet_width_multiplier(self):
+        full = mobilenet_v1()
+        half = mobilenet_v1(width_multiplier=0.5)
+        assert half.total_weight_count() < full.total_weight_count()
+
+    def test_lenet_output(self):
+        g = lenet5()
+        assert g.node("fc3").output_shape == TensorShape.flat(10)
+
+    def test_input_size_parameter(self):
+        g = resnet18(input_size=160)
+        assert g.node("input").output_shape == TensorShape.chw(3, 160, 160)

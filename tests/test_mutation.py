@@ -1,0 +1,174 @@
+"""Tests for the four mutation operators (Sec. III-C3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import decompose_model
+from repro.core.mutation import (
+    MutationKind,
+    apply_mutation,
+    mutate_fixed_random,
+    mutate_merge,
+    mutate_move,
+    mutate_split,
+)
+from repro.core.partition import PartitionGroup
+from repro.core.validity import ValidityMap
+
+
+@pytest.fixture(scope="module")
+def setup(resnet18_graph, chip_m):
+    d = decompose_model(resnet18_graph, chip_m)
+    vm = ValidityMap(d)
+    return d, vm
+
+
+def spans_of(boundaries):
+    start = 0
+    result = []
+    for end in boundaries:
+        result.append((start, end))
+        start = end
+    return result
+
+
+def assert_valid_cover(d, vm, boundaries):
+    assert boundaries[-1] == d.num_units
+    assert all(b > a for a, b in zip(boundaries, boundaries[1:]))
+    for start, end in spans_of(boundaries):
+        assert vm.is_valid(start, end)
+
+
+class TestMerge:
+    def test_merge_reduces_partition_count(self, setup):
+        d, vm = setup
+        bounds = tuple(range(1, d.num_units + 1))  # fully split
+        merged = mutate_merge(bounds, vm, pair_index=0)
+        assert merged is not None
+        assert len(merged) == len(bounds) - 1
+        assert_valid_cover(d, vm, merged)
+
+    def test_merge_invalid_pair_returns_none(self, setup):
+        d, vm = setup
+        greedy_bounds = []
+        start = 0
+        while start < d.num_units:
+            end = vm.max_end(start)
+            greedy_bounds.append(end)
+            start = end
+        if len(greedy_bounds) < 2:
+            pytest.skip("model fits in one partition")
+        # merging two maximal partitions must overflow the chip
+        assert mutate_merge(tuple(greedy_bounds), vm, pair_index=0) is None
+
+    def test_merge_out_of_range_pair(self, setup):
+        d, vm = setup
+        bounds = (d.num_units,)
+        assert mutate_merge(bounds, vm, pair_index=0) is None
+        assert mutate_merge(bounds, vm, pair_index=-1) is None
+
+
+class TestSplit:
+    def test_split_increases_partition_count(self, setup):
+        d, vm = setup
+        rng = np.random.default_rng(0)
+        bounds = vm.random_partition_boundaries(rng)
+        # pick a partition with more than one unit
+        for index, (start, end) in enumerate(spans_of(bounds)):
+            if end - start >= 2:
+                result = mutate_split(tuple(bounds), vm, index, rng)
+                assert result is not None
+                assert len(result) == len(bounds) + 1
+                assert_valid_cover(d, vm, result)
+                return
+        pytest.skip("no splittable partition")
+
+    def test_split_single_unit_partition_returns_none(self, setup):
+        d, vm = setup
+        bounds = tuple(range(1, d.num_units + 1))
+        rng = np.random.default_rng(0)
+        assert mutate_split(bounds, vm, 0, rng) is None
+
+    def test_split_out_of_range(self, setup):
+        d, vm = setup
+        rng = np.random.default_rng(0)
+        assert mutate_split((d.num_units,), vm, 5, rng) is None
+
+
+class TestMove:
+    def test_move_preserves_partition_count(self, setup):
+        d, vm = setup
+        rng = np.random.default_rng(1)
+        bounds = vm.random_partition_boundaries(rng)
+        if len(bounds) < 2:
+            pytest.skip("need at least two partitions")
+        result = mutate_move(tuple(bounds), vm, 0, rng)
+        if result is None:
+            pytest.skip("no legal move for this boundary")
+        assert len(result) == len(bounds)
+        assert_valid_cover(d, vm, result)
+        # exactly one boundary changed, by one unit
+        diffs = [abs(a - b) for a, b in zip(result, bounds)]
+        assert sum(1 for x in diffs if x) == 1
+        assert max(diffs) == 1
+
+    def test_move_out_of_range(self, setup):
+        d, vm = setup
+        rng = np.random.default_rng(1)
+        assert mutate_move((d.num_units,), vm, 0, rng) is None
+
+
+class TestFixedRandom:
+    def test_fixed_partition_preserved(self, setup):
+        d, vm = setup
+        rng = np.random.default_rng(2)
+        bounds = vm.random_partition_boundaries(rng)
+        spans = spans_of(bounds)
+        fixed_index = len(spans) // 2
+        result = mutate_fixed_random(tuple(bounds), vm, fixed_index, rng)
+        assert result is not None
+        assert_valid_cover(d, vm, result)
+        # the fixed span still exists as a partition in the result
+        assert spans[fixed_index] in spans_of(result)
+
+    def test_out_of_range_index(self, setup):
+        d, vm = setup
+        rng = np.random.default_rng(2)
+        assert mutate_fixed_random((d.num_units,), vm, 7, rng) is None
+
+
+class TestApplyMutation:
+    @pytest.mark.parametrize("kind", list(MutationKind))
+    def test_apply_each_kind_yields_valid_group_or_none(self, setup, kind):
+        d, vm = setup
+        rng = np.random.default_rng(3)
+        bounds = vm.random_partition_boundaries(rng)
+        group = PartitionGroup.from_boundaries(d, bounds)
+        scores = list(rng.uniform(0.5, 1.5, size=group.num_partitions))
+        result = apply_mutation(kind, group, vm, scores, rng)
+        if result is not None:
+            assert_valid_cover(d, vm, result)
+
+    def test_scores_length_mismatch(self, setup):
+        d, vm = setup
+        rng = np.random.default_rng(3)
+        group = PartitionGroup.from_boundaries(d, vm.random_partition_boundaries(rng))
+        with pytest.raises(ValueError):
+            apply_mutation(MutationKind.SPLIT, group, vm, [1.0], rng)
+
+    def test_merge_single_partition_returns_none(self, squeezenet_decomposition_s):
+        d = squeezenet_decomposition_s
+        vm = ValidityMap(d)
+        rng = np.random.default_rng(0)
+        group = PartitionGroup.single_partition(d)
+        assert apply_mutation(MutationKind.MERGE, group, vm, [1.0], rng) is None
+        assert apply_mutation(MutationKind.MOVE, group, vm, [1.0], rng) is None
+
+    def test_mutations_deterministic_given_seed(self, setup):
+        d, vm = setup
+        bounds = vm.random_partition_boundaries(np.random.default_rng(9))
+        group = PartitionGroup.from_boundaries(d, bounds)
+        scores = [1.0] * group.num_partitions
+        a = apply_mutation(MutationKind.SPLIT, group, vm, scores, np.random.default_rng(5))
+        b = apply_mutation(MutationKind.SPLIT, group, vm, scores, np.random.default_rng(5))
+        assert a == b

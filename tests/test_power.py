@@ -1,0 +1,99 @@
+"""Tests for repro.hardware.power: EnergyBreakdown and PowerModel."""
+
+import pytest
+
+from repro.hardware import CHIP_S
+from repro.hardware.power import EnergyBreakdown, PowerModel
+
+
+class TestEnergyBreakdown:
+    def test_total_is_sum_of_components(self):
+        e = EnergyBreakdown(mvm_pj=10.0, weight_write_pj=5.0, static_pj=2.5)
+        assert e.total_pj == pytest.approx(17.5)
+
+    def test_total_mj_conversion(self):
+        e = EnergyBreakdown(mvm_pj=1e9)
+        assert e.total_mj == pytest.approx(1.0)
+
+    def test_add_accumulates_in_place(self):
+        a = EnergyBreakdown(mvm_pj=1.0, vfu_pj=2.0)
+        b = EnergyBreakdown(mvm_pj=3.0, data_load_pj=4.0)
+        result = a.add(b)
+        assert result is a
+        assert a.mvm_pj == 4.0
+        assert a.vfu_pj == 2.0
+        assert a.data_load_pj == 4.0
+
+    def test_scaled_returns_copy(self):
+        a = EnergyBreakdown(mvm_pj=2.0, static_pj=4.0)
+        b = a.scaled(0.5)
+        assert b.mvm_pj == 1.0
+        assert b.static_pj == 2.0
+        assert a.mvm_pj == 2.0
+
+    def test_dram_pj_aggregates_memory_terms(self):
+        e = EnergyBreakdown(weight_load_pj=1, data_load_pj=2, data_store_pj=3, dram_background_pj=4)
+        assert e.dram_pj == 10
+
+    def test_as_dict_roundtrip(self):
+        e = EnergyBreakdown(mvm_pj=1.5)
+        d = e.as_dict()
+        assert d["mvm_pj"] == 1.5
+        assert set(d) >= {"mvm_pj", "weight_write_pj", "weight_load_pj", "static_pj"}
+
+    def test_str_mentions_total(self):
+        assert "total" in str(EnergyBreakdown(mvm_pj=1.0))
+
+
+class TestPowerModel:
+    @pytest.fixture()
+    def power(self):
+        return PowerModel(CHIP_S)
+
+    def test_mvm_energy_scales_with_count(self, power):
+        one = power.mvm_energy_pj(1, 256)
+        ten = power.mvm_energy_pj(10, 256)
+        assert ten == pytest.approx(10 * one)
+
+    def test_vfu_energy(self, power):
+        assert power.vfu_energy_pj(1000) == pytest.approx(
+            1000 * CHIP_S.core.vfu_energy_per_element_pj
+        )
+
+    def test_weight_write_energy_per_weight(self, power):
+        per_weight = power.weight_write_energy_pj(1)
+        assert per_weight == pytest.approx(
+            CHIP_S.core.crossbar.cells_per_weight * CHIP_S.core.crossbar.write_energy_per_cell_pj
+        )
+
+    def test_weight_load_more_expensive_than_interconnect(self, power):
+        num_bytes = 4096
+        assert power.weight_load_energy_pj(num_bytes) > power.interconnect_energy_pj(num_bytes)
+
+    def test_dram_data_energy_positive_and_linear(self, power):
+        assert power.dram_data_energy_pj(0) == pytest.approx(
+            power.chip.interconnect.transfer_energy_pj(0)
+        )
+        assert power.dram_data_energy_pj(2000) > power.dram_data_energy_pj(1000)
+
+    def test_static_energy_mw_times_ns(self, power):
+        # 1 core for 1000 ns at static_power_mw mW
+        expected = CHIP_S.core.static_power_mw * 1000.0
+        assert power.static_energy_pj(1000.0, 1) == pytest.approx(expected)
+
+    def test_static_energy_clamps_core_count(self, power):
+        all_cores = power.static_energy_pj(100.0, CHIP_S.num_cores)
+        assert power.static_energy_pj(100.0, CHIP_S.num_cores + 50) == pytest.approx(all_cores)
+        assert power.static_energy_pj(100.0, -1) == 0.0
+
+    def test_local_memory_energy(self, power):
+        assert power.local_memory_energy_pj(100) == pytest.approx(
+            100 * CHIP_S.core.local_memory_energy_per_byte_pj
+        )
+
+    def test_relative_cost_ordering(self, power):
+        """Per byte: DRAM traffic >> on-chip bus traffic."""
+        num_bytes = 1 << 16
+        dram = power.dram_data_energy_pj(num_bytes)
+        bus = power.interconnect_energy_pj(num_bytes)
+        assert dram > 10 * bus

@@ -1,0 +1,39 @@
+"""Tests for the plain-text table formatter."""
+
+from repro.sim.report import format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_header_and_rows(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "1" in lines[2]
+        assert "y" in lines[3]
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0].split()
+        assert header == ["c", "a"]
+        assert "b" not in text.splitlines()[0]
+
+    def test_float_formatting(self):
+        rows = [{"v": 3.14159}]
+        text = format_table(rows, float_format="{:.2f}")
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 5}]
+        text = format_table(rows, columns=["a", "b"])
+        assert text  # does not raise
+
+    def test_alignment_widths(self):
+        rows = [{"name": "x", "value": 1}, {"name": "longer_name", "value": 22}]
+        lines = format_table(rows).splitlines()
+        assert len(lines[2]) == len(lines[3]) or abs(len(lines[2]) - len(lines[3])) <= 1

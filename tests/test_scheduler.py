@@ -1,0 +1,128 @@
+"""Tests for the instruction scheduler."""
+
+import pytest
+
+from repro.core.baselines import greedy_partition, layerwise_partition
+from repro.isa.instructions import Opcode
+from repro.isa.scheduler import InstructionScheduler
+from repro.onchip.plan import build_partition_plan
+
+
+@pytest.fixture(scope="module")
+def scheduled_partition(resnet18_decomposition_m, chip_m):
+    d = resnet18_decomposition_m
+    group = greedy_partition(d)
+    plan = build_partition_plan(group.partition(0), chip_m)
+    scheduler = InstructionScheduler(chip_m, batch_size=2)
+    return d, plan, scheduler.schedule_partition(plan, partition_index=0)
+
+
+class TestPartitionSchedule:
+    def test_programs_only_for_active_cores(self, scheduled_partition, chip_m):
+        _, plan, schedule = scheduled_partition
+        assert schedule.programs
+        assert set(schedule.programs) <= set(range(chip_m.num_cores))
+        for core_id, program in schedule.programs.items():
+            assert program.core_id == core_id
+            assert len(program) > 0
+
+    def test_weight_prologue_on_every_mapped_core(self, scheduled_partition):
+        _, plan, schedule = scheduled_partition
+        mapped_cores = {a.core_id for a in plan.core_mapping.assignments if a.entries}
+        for core_id in mapped_cores:
+            opcodes = [inst.opcode for inst in schedule.programs[core_id]]
+            assert Opcode.LOAD_WEIGHT in opcodes
+            assert Opcode.WRITE_WEIGHT in opcodes
+
+    def test_write_weight_tiles_match_mapping(self, scheduled_partition):
+        _, plan, schedule = scheduled_partition
+        written = schedule.count_by_opcode()[Opcode.WRITE_WEIGHT]
+        assert written == plan.crossbars_used
+
+    def test_mvmul_present_for_every_slice(self, scheduled_partition):
+        _, plan, schedule = scheduled_partition
+        mvm_layers = {
+            inst.layer
+            for program in schedule.programs.values()
+            for inst in program
+            if inst.opcode is Opcode.MVMUL
+        }
+        assert mvm_layers == {s.layer_name for s in plan.slices}
+
+    def test_entry_loads_and_exit_stores_per_sample(self, scheduled_partition):
+        _, plan, schedule = scheduled_partition
+        io = plan.partition.io()
+        counts = schedule.count_by_opcode()
+        batch = 2
+        assert counts.get(Opcode.LOAD_DATA, 0) == batch * io.num_entries
+        assert counts.get(Opcode.STORE_DATA, 0) == batch * io.num_exits
+
+    def test_dram_trace_matches_memory_instructions(self, scheduled_partition):
+        _, plan, schedule = scheduled_partition
+        trace_reads = sum(1 for r in schedule.dram_trace if not r.is_write)
+        trace_writes = sum(1 for r in schedule.dram_trace if r.is_write)
+        counts = schedule.count_by_opcode()
+        assert trace_writes == counts.get(Opcode.STORE_DATA, 0)
+        assert trace_reads == counts.get(Opcode.LOAD_DATA, 0) + sum(
+            1
+            for program in schedule.programs.values()
+            for inst in program
+            if inst.opcode is Opcode.LOAD_WEIGHT
+        )
+
+    def test_trace_times_non_decreasing(self, scheduled_partition):
+        _, _, schedule = scheduled_partition
+        times = [r.issue_time_ns for r in schedule.dram_trace]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_send_recv_paired(self, scheduled_partition):
+        _, _, schedule = scheduled_partition
+        counts = schedule.count_by_opcode()
+        assert counts.get(Opcode.SEND, 0) == counts.get(Opcode.RECV, 0)
+
+    def test_local_memory_stats_reported(self, scheduled_partition):
+        _, _, schedule = scheduled_partition
+        assert set(schedule.local_memory_peak) == set(schedule.programs)
+        assert all(v >= 0 for v in schedule.local_memory_peak.values())
+        assert all(v >= 0 for v in schedule.local_memory_overflow.values())
+
+    def test_total_instructions_positive(self, scheduled_partition):
+        _, _, schedule = scheduled_partition
+        assert schedule.total_instructions > 0
+
+
+class TestModelSchedule:
+    def test_schedule_model_all_partitions(self, resnet18_decomposition_m, chip_m):
+        d = resnet18_decomposition_m
+        group = layerwise_partition(d)
+        plans = [build_partition_plan(p, chip_m) for p in group.partitions()]
+        scheduler = InstructionScheduler(chip_m, batch_size=1)
+        model_schedule = scheduler.schedule_model(plans)
+        assert len(model_schedule.partitions) == group.num_partitions
+        assert model_schedule.total_instructions == sum(
+            s.total_instructions for s in model_schedule.partitions
+        )
+
+    def test_model_trace_sorted(self, resnet18_decomposition_m, chip_m):
+        d = resnet18_decomposition_m
+        group = greedy_partition(d)
+        plans = [build_partition_plan(p, chip_m) for p in group.partitions()]
+        schedule = InstructionScheduler(chip_m, batch_size=1).schedule_model(plans)
+        trace = schedule.dram_trace()
+        times = [r.issue_time_ns for r in trace]
+        assert times == sorted(times)
+
+    def test_weight_bytes_in_trace_cover_model(self, resnet18_decomposition_m, chip_m):
+        """Every partition's weights are loaded from DRAM at least once."""
+        d = resnet18_decomposition_m
+        group = greedy_partition(d)
+        plans = [build_partition_plan(p, chip_m) for p in group.partitions()]
+        schedule = InstructionScheduler(chip_m, batch_size=1).schedule_model(plans)
+        weight_bytes = sum(
+            r.size_bytes for r in schedule.dram_trace() if r.tag.startswith("weight:")
+        )
+        assert weight_bytes >= d.total_weight_bytes()
+
+    def test_invalid_batch(self, chip_m):
+        with pytest.raises(ValueError):
+            InstructionScheduler(chip_m, batch_size=0)

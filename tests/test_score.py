@@ -1,0 +1,82 @@
+"""Tests for repro.core.score: partition score R (Sec. III-C2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import greedy_partition, layerwise_partition
+from repro.core.fitness import FitnessEvaluator
+from repro.core.score import (
+    partition_scores,
+    population_unit_expectation,
+    unit_fitness_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def evaluated_population(resnet18_decomposition_m):
+    d = resnet18_decomposition_m
+    evaluator = FitnessEvaluator(d, batch_size=4)
+    groups = [greedy_partition(d), layerwise_partition(d)]
+    return d, [evaluator.evaluate(g) for g in groups]
+
+
+class TestUnitProfile:
+    def test_profile_length(self, evaluated_population):
+        d, evals = evaluated_population
+        profile = unit_fitness_profile(evals[0], d.num_units)
+        assert profile.shape == (d.num_units,)
+
+    def test_profile_sum_equals_group_fitness(self, evaluated_population):
+        """sum_i m(x_i) over all units equals the PGF by construction."""
+        d, evals = evaluated_population
+        for ev in evals:
+            profile = unit_fitness_profile(ev, d.num_units)
+            assert profile.sum() == pytest.approx(ev.fitness)
+
+    def test_profile_constant_within_partition(self, evaluated_population):
+        d, evals = evaluated_population
+        ev = evals[0]
+        profile = unit_fitness_profile(ev, d.num_units)
+        for (start, end), fitness in zip(ev.group.spans(), ev.partition_fitness):
+            assert np.allclose(profile[start:end], fitness / (end - start))
+
+
+class TestExpectation:
+    def test_expectation_is_mean_of_profiles(self, evaluated_population):
+        d, evals = evaluated_population
+        expectation = population_unit_expectation(evals, d.num_units)
+        manual = np.mean(
+            [unit_fitness_profile(ev, d.num_units) for ev in evals], axis=0
+        )
+        assert np.allclose(expectation, manual)
+
+    def test_empty_population_rejected(self, evaluated_population):
+        d, _ = evaluated_population
+        with pytest.raises(ValueError):
+            population_unit_expectation([], d.num_units)
+
+
+class TestScores:
+    def test_one_score_per_partition(self, evaluated_population):
+        d, evals = evaluated_population
+        expectation = population_unit_expectation(evals, d.num_units)
+        for ev in evals:
+            scores = partition_scores(ev, expectation)
+            assert len(scores) == ev.group.num_partitions
+            assert all(s > 0 for s in scores)
+
+    def test_identical_population_scores_are_one(self, evaluated_population):
+        """If every individual is the same group, every score R is exactly 1."""
+        d, evals = evaluated_population
+        ev = evals[0]
+        expectation = population_unit_expectation([ev, ev, ev], d.num_units)
+        scores = partition_scores(ev, expectation)
+        assert np.allclose(scores, 1.0)
+
+    def test_worse_partition_scores_higher(self, evaluated_population):
+        """A partition whose units do better elsewhere in the population gets R > 1."""
+        d, evals = evaluated_population
+        expectation = population_unit_expectation(evals, d.num_units)
+        all_scores = [s for ev in evals for s in partition_scores(ev, expectation)]
+        assert max(all_scores) > 1.0
+        assert min(all_scores) < 1.0 + 1e-9

@@ -1,0 +1,67 @@
+"""Tests for JSON serialization of compilation results."""
+
+import json
+
+import pytest
+
+from repro.core.compiler import compile_model
+from repro.core.ga import GAConfig
+from repro.hardware import CHIP_S
+from repro.serialization import (
+    compilation_result_to_dict,
+    dump_compilation_result,
+    execution_report_to_dict,
+    ga_result_to_dict,
+    load_result_dict,
+    partition_estimate_to_dict,
+)
+
+TINY_GA = GAConfig(population_size=8, generations=3, n_select=3, n_mutate=5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def compiled(squeezenet_graph):
+    return compile_model(squeezenet_graph, CHIP_S, scheme="compass", batch_size=4,
+                         ga_config=TINY_GA)
+
+
+class TestSerialization:
+    def test_partition_estimate_dict(self, compiled):
+        data = partition_estimate_to_dict(compiled.report.estimates[0])
+        assert data["num_units"] == compiled.report.estimates[0].partition.num_units
+        assert data["latency_ns"]["total"] > 0
+        assert set(data["io"]) == {"load_bytes", "store_bytes", "num_entries", "num_exits"}
+        json.dumps(data)  # must be JSON-serialisable
+
+    def test_execution_report_dict(self, compiled):
+        data = execution_report_to_dict(compiled.report)
+        assert data["model"] == compiled.graph.name
+        assert data["num_partitions"] == len(data["partitions"])
+        assert data["throughput_ips"] == pytest.approx(compiled.report.throughput)
+        json.dumps(data)
+
+    def test_ga_result_dict(self, compiled):
+        data = ga_result_to_dict(compiled.ga_result)
+        assert data["best_boundaries"] == list(compiled.group.boundaries)
+        assert len(data["history"]) == compiled.ga_result.generations_run
+        json.dumps(data)
+
+    def test_compilation_result_dict(self, compiled):
+        data = compilation_result_to_dict(compiled)
+        assert data["scheme"] == "compass"
+        assert data["boundaries"] == list(compiled.group.boundaries)
+        assert "ga" in data
+        assert "instructions" in data
+        assert data["total_instructions"] == compiled.schedule.total_instructions
+        json.dumps(data)
+
+    def test_ga_history_can_be_excluded(self, compiled):
+        data = compilation_result_to_dict(compiled, include_ga_history=False)
+        assert "ga" not in data
+
+    def test_dump_and_load_roundtrip(self, compiled, tmp_path):
+        path = tmp_path / "result.json"
+        dump_compilation_result(compiled, str(path))
+        loaded = load_result_dict(str(path))
+        assert loaded["model"] == compiled.graph.name
+        assert loaded["report"]["num_partitions"] == compiled.num_partitions

@@ -1,0 +1,115 @@
+"""Tests for repro.graph.tensor.TensorShape."""
+
+import pytest
+
+from repro.graph.tensor import TensorShape
+
+
+class TestConstruction:
+    def test_chw(self):
+        shape = TensorShape.chw(3, 224, 224)
+        assert shape.dims == (3, 224, 224)
+
+    def test_flat(self):
+        shape = TensorShape.flat(4096)
+        assert shape.dims == (4096,)
+
+    def test_of_iterable(self):
+        shape = TensorShape.of([1, 2, 3])
+        assert shape.dims == (1, 2, 3)
+
+    def test_of_generator(self):
+        shape = TensorShape.of(d for d in (8, 8))
+        assert shape.dims == (8, 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TensorShape(())
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorShape((3, 0, 5))
+
+    def test_negative_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorShape((-1,))
+
+    def test_non_int_dim_rejected(self):
+        with pytest.raises(ValueError):
+            TensorShape((1.5, 2))
+
+
+class TestQueries:
+    def test_rank(self):
+        assert TensorShape.chw(3, 4, 5).rank == 3
+        assert TensorShape.flat(10).rank == 1
+
+    def test_is_feature_map(self):
+        assert TensorShape.chw(3, 4, 5).is_feature_map
+        assert not TensorShape.flat(10).is_feature_map
+
+    def test_is_flat(self):
+        assert TensorShape.flat(10).is_flat
+        assert not TensorShape.chw(3, 4, 5).is_flat
+
+    def test_channels_height_width(self):
+        shape = TensorShape.chw(16, 28, 14)
+        assert shape.channels == 16
+        assert shape.height == 28
+        assert shape.width == 14
+
+    def test_flat_height_width_default_to_one(self):
+        shape = TensorShape.flat(100)
+        assert shape.height == 1
+        assert shape.width == 1
+        assert shape.channels == 100
+
+    def test_num_elements(self):
+        assert TensorShape.chw(3, 4, 5).num_elements == 60
+        assert TensorShape.flat(7).num_elements == 7
+
+    def test_iteration(self):
+        assert list(TensorShape.chw(1, 2, 3)) == [1, 2, 3]
+
+    def test_str(self):
+        assert str(TensorShape.chw(3, 32, 32)) == "3x32x32"
+
+
+class TestSizeBytes:
+    def test_8bit(self):
+        assert TensorShape.flat(100).size_bytes(8) == 100
+
+    def test_4bit(self):
+        assert TensorShape.flat(100).size_bytes(4) == 50
+
+    def test_4bit_rounds_up(self):
+        assert TensorShape.flat(101).size_bytes(4) == 51
+
+    def test_1bit(self):
+        assert TensorShape.flat(9).size_bytes(1) == 2
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            TensorShape.flat(10).size_bytes(0)
+
+    def test_feature_map_bytes(self):
+        # 64 channels x 56 x 56 at 4 bits = 64*56*56/2 bytes
+        shape = TensorShape.chw(64, 56, 56)
+        assert shape.size_bytes(4) == 64 * 56 * 56 // 2
+
+
+class TestFlatten:
+    def test_flattened_preserves_elements(self):
+        shape = TensorShape.chw(512, 7, 7)
+        assert shape.flattened() == TensorShape.flat(512 * 49)
+
+    def test_flatten_of_flat_is_identity(self):
+        shape = TensorShape.flat(128)
+        assert shape.flattened() == shape
+
+    def test_equality_and_hash(self):
+        a = TensorShape.chw(3, 4, 5)
+        b = TensorShape.chw(3, 4, 5)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != TensorShape.chw(3, 4, 6)

@@ -1,0 +1,126 @@
+"""Tests for repro.graph.traversal."""
+
+import pytest
+
+from repro.graph import GraphBuilder
+from repro.graph.traversal import (
+    ancestors,
+    attach_non_crossbar_layers,
+    crossbar_layer_order,
+    descendants,
+    producing_crossbar_layer,
+    reverse_topological_order,
+    topological_order,
+)
+
+
+@pytest.fixture()
+def residual_graph():
+    b = GraphBuilder("residual")
+    b.add_input(4, 8, 8)
+    trunk = b.add_conv("conv1", 4, 4, 3, padding=1)
+    b.add_relu(name="relu1")
+    b.add_conv("conv2", 4, 4, 3, padding=1)
+    b.add_add(name="add", inputs=[b.current, trunk])
+    b.add_relu(name="relu2")
+    b.add_flatten(name="flat")
+    b.add_linear("fc", 4 * 8 * 8, 10)
+    return b.build()
+
+
+class TestTopologicalOrder:
+    def test_order_respects_dependencies(self, residual_graph):
+        order = topological_order(residual_graph)
+        assert order.index("conv1") < order.index("conv2")
+        assert order.index("conv2") < order.index("add")
+        assert order.index("add") < order.index("fc")
+
+    def test_all_nodes_present(self, residual_graph):
+        assert set(topological_order(residual_graph)) == set(residual_graph.node_names())
+
+    def test_reverse_order(self, residual_graph):
+        assert reverse_topological_order(residual_graph) == list(
+            reversed(topological_order(residual_graph))
+        )
+
+    def test_paper_model_order(self, resnet18_graph):
+        order = topological_order(resnet18_graph)
+        assert len(order) == len(resnet18_graph)
+        assert order[0] == "input"
+
+
+class TestAncestorsDescendants:
+    def test_ancestors(self, residual_graph):
+        assert ancestors(residual_graph, "add") == {"input", "conv1", "relu1", "conv2"}
+
+    def test_descendants(self, residual_graph):
+        assert "fc" in descendants(residual_graph, "conv1")
+        assert descendants(residual_graph, "fc") == set()
+
+    def test_input_has_no_ancestors(self, residual_graph):
+        assert ancestors(residual_graph, "input") == set()
+
+
+class TestCrossbarLayerOrder:
+    def test_only_conv_linear(self, residual_graph):
+        assert crossbar_layer_order(residual_graph) == ["conv1", "conv2", "fc"]
+
+    def test_resnet18_count(self, resnet18_graph):
+        layers = crossbar_layer_order(resnet18_graph)
+        # 20 convs (incl. 3 downsample 1x1) + 1 fc = 21
+        assert len(layers) == 21
+        assert layers[0] == "conv1"
+        assert layers[-1] == "fc"
+
+    def test_vgg16_count(self, vgg16_graph):
+        assert len(crossbar_layer_order(vgg16_graph)) == 16
+
+
+class TestProducingCrossbarLayer:
+    def test_direct_consumer(self, residual_graph):
+        assert producing_crossbar_layer(residual_graph, "relu1") == "conv1"
+
+    def test_crossbar_layer_is_its_own_producer(self, residual_graph):
+        assert producing_crossbar_layer(residual_graph, "conv2") == "conv2"
+
+    def test_join_picks_latest_producer(self, residual_graph):
+        # the add joins conv1 (skip) and conv2 (trunk); conv2 is later in topo order
+        assert producing_crossbar_layer(residual_graph, "add") == "conv2"
+
+    def test_chain_through_non_crossbar(self, residual_graph):
+        assert producing_crossbar_layer(residual_graph, "flat") == "conv2"
+
+    def test_input_has_no_producer(self, residual_graph):
+        with pytest.raises(ValueError):
+            producing_crossbar_layer(residual_graph, "input")
+
+
+class TestAttachment:
+    def test_every_non_crossbar_node_attached_once(self, residual_graph):
+        attachment = attach_non_crossbar_layers(residual_graph)
+        attached = [n for nodes in attachment.values() for n in nodes]
+        non_crossbar = [
+            n.name
+            for n in residual_graph.nodes()
+            if not n.layer.is_crossbar_mapped and n.kind.value != "input"
+        ]
+        assert sorted(attached) == sorted(non_crossbar)
+
+    def test_attachment_keys_are_crossbar_layers(self, residual_graph):
+        attachment = attach_non_crossbar_layers(residual_graph)
+        assert set(attachment) == {"conv1", "conv2", "fc"}
+
+    def test_add_attached_to_conv2(self, residual_graph):
+        attachment = attach_non_crossbar_layers(residual_graph)
+        assert "add" in attachment["conv2"]
+        assert "relu1" in attachment["conv1"]
+
+    def test_resnet18_attachment_total(self, resnet18_graph):
+        attachment = attach_non_crossbar_layers(resnet18_graph)
+        attached = [n for nodes in attachment.values() for n in nodes]
+        non_crossbar = [
+            n.name
+            for n in resnet18_graph.nodes()
+            if not n.layer.is_crossbar_mapped and n.kind.value != "input"
+        ]
+        assert len(attached) == len(non_crossbar)
