@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and store a dated pytest-benchmark JSON record.
+
+Usage::
+
+    python benchmarks/run_bench.py [extra pytest args...]
+
+Writes ``BENCH_<YYYYMMDD>.json`` (pytest-benchmark's ``--benchmark-json``
+format) into the repository root, so successive runs leave a consistent
+performance trajectory in the repo.
+
+Environment variables:
+
+``REPRO_BENCH_QUICK=1``
+    Quick mode: run only the two headline benchmarks
+    (``test_fig6_throughput_comparison`` and ``test_fig10_ga_convergence``).
+``REPRO_BENCH_OUT=<path>``
+    Override the output JSON path.
+``COMPASS_PAPER_SCALE=1``
+    Forwarded to the harness (paper-scale GA instead of the fast preset,
+    see ``benchmarks/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    date = datetime.date.today().strftime("%Y%m%d")
+    out = os.environ.get("REPRO_BENCH_OUT") or os.path.join(REPO_ROOT, f"BENCH_{date}.json")
+
+    cmd = [
+        sys.executable, "-m", "pytest",
+        os.path.join(REPO_ROOT, "benchmarks"),
+        "-q",
+        f"--benchmark-json={out}",
+    ]
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        cmd += ["-k", "fig6_throughput or fig10_ga"]
+    cmd += argv
+
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    print("running:", " ".join(cmd))
+    result = subprocess.run(cmd, env=env, cwd=REPO_ROOT)
+    if result.returncode == 0:
+        print(f"benchmark record written to {out}")
+    return result.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

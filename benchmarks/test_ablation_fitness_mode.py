@@ -8,11 +8,11 @@ i.e. the fitness knob actually steers the search.
 
 import pytest
 
-from repro.core.compiler import compile_model
+from repro.core.compiler import CompilerOptions, CompassCompiler
 from repro.core.fitness import FitnessMode
 from repro.core.ga import GAConfig
+from repro.evaluation.registry import shared_decomposition, shared_graph
 from repro.hardware import CHIP_S
-from repro.models import build_model
 from repro.sim.report import format_table
 
 GA = GAConfig(population_size=20, generations=10, n_select=5, n_mutate=15,
@@ -20,12 +20,16 @@ GA = GAConfig(population_size=20, generations=10, n_select=5, n_mutate=15,
 
 
 def run_modes():
-    graph = build_model("resnet18")
+    graph = shared_graph("resnet18")
+    decomposition, validity = shared_decomposition("resnet18", "S")
     results = {}
     for mode in (FitnessMode.LATENCY, FitnessMode.EDP):
-        results[mode.value] = compile_model(
-            graph, CHIP_S, scheme="compass", batch_size=8,
+        options = CompilerOptions(
+            scheme="compass", batch_size=8,
             ga_config=GA, fitness_mode=mode, generate_instructions=False,
+        )
+        results[mode.value] = CompassCompiler(CHIP_S, options).compile(
+            graph, decomposition=decomposition, validity=validity,
         )
     return results
 

@@ -9,12 +9,11 @@ operator family.
 
 import pytest
 
-from repro.core.decomposition import decompose_model
 from repro.core.fitness import FitnessEvaluator
 from repro.core.ga import CompassGA, GAConfig
 from repro.core.mutation import MutationKind
+from repro.evaluation.registry import shared_decomposition
 from repro.hardware import CHIP_M
-from repro.models import build_model
 from repro.sim.report import format_table
 
 ABLATIONS = {
@@ -29,13 +28,12 @@ GA = GAConfig(population_size=20, generations=10, n_select=5, n_mutate=15,
 
 
 def run_ablation():
-    graph = build_model("resnet18")
-    decomposition = decompose_model(graph, CHIP_M)
+    decomposition, validity = shared_decomposition("resnet18", "M")
     rows = []
     results = {}
     for name, kinds in ABLATIONS.items():
         evaluator = FitnessEvaluator(decomposition, batch_size=16)
-        ga = CompassGA(decomposition, evaluator, GA, mutation_kinds=kinds)
+        ga = CompassGA(decomposition, evaluator, GA, validity, mutation_kinds=kinds)
         result = ga.run()
         results[name] = result
         rows.append(

@@ -10,11 +10,9 @@ validity-map sampler (which is valid by construction) for VGG16 on Chip-S.
 import numpy as np
 import pytest
 
-from repro.core.decomposition import decompose_model
 from repro.core.partition import PartitionGroup
-from repro.core.validity import ValidityMap
+from repro.evaluation.registry import shared_decomposition
 from repro.hardware import CHIP_S
-from repro.models import build_model
 from repro.sim.report import format_table
 
 
@@ -31,9 +29,7 @@ def naive_random_boundaries(num_units: int, rng: np.random.Generator,
 
 
 def run_comparison(samples: int = 200):
-    graph = build_model("vgg16")
-    decomposition = decompose_model(graph, CHIP_S)
-    validity = ValidityMap(decomposition)
+    decomposition, validity = shared_decomposition("vgg16", "S")
     rng = np.random.default_rng(0)
     capacity = CHIP_S.total_crossbars
 

@@ -25,6 +25,9 @@ def test_fig10_ga_convergence(benchmark):
 
     history = result.history
     print("\nFig. 10 — GA fitness convergence, ResNet18-M-16 (reproduced)")
+    print(f"evaluations: {result.evaluations} total, {result.unique_evaluations} unique, "
+          f"{result.dedup_hits} dedup hits ({result.dedup_hit_rate:.0%})")
+    print(f"span-table stats: {result.span_stats}")
     print("gen  best_fitness  mean_fitness  best_#partitions  population_#partitions(min-max)")
     for record in history:
         best_parts = record.num_partitions[int(np.argmin(record.fitnesses))]
@@ -46,3 +49,12 @@ def test_fig10_ga_convergence(benchmark):
     # selected survivors are marked in every generation after the first
     for record in history[1:]:
         assert any(record.selected_mask)
+
+    # the span-table engine is actually engaged: every chromosome evaluation
+    # was accounted for, and repeated span lookups were served from the table
+    assert result.evaluations == result.unique_evaluations + result.dedup_hits
+    assert result.span_stats, "GA ran without the span-table engine"
+    latency_lookups = (result.span_stats["latencies_computed"]
+                       + result.span_stats["latency_hits"])
+    assert latency_lookups > 0
+    assert result.span_stats["latency_hit_rate"] > 0.3

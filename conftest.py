@@ -1,0 +1,18 @@
+"""Repository-root pytest configuration: make ``repro`` importable.
+
+Puts ``src/`` at the front of ``sys.path`` when the package is not already
+installed, so a plain ``pytest`` (no ``PYTHONPATH=src``, no editable
+install) runs the suite.  A real install (``pip install -e .`` or
+``python setup.py develop``) takes precedence because the import system
+checks it first when the package is already importable.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401  (already installed)
+    except ImportError:
+        sys.path.insert(0, _SRC)

@@ -1,8 +1,14 @@
 """Setup shim so legacy (non-PEP-517) editable installs work offline.
 
-The runtime environment has no network access and no ``wheel`` package, so
-``pip install -e . --no-use-pep517 --no-build-isolation`` is the supported
-install path; all project metadata lives in ``pyproject.toml``.
+All project metadata lives in ``pyproject.toml`` (setuptools >= 61 reads it
+from here too).  Supported install paths:
+
+* ``pip install -e .`` — on environments with the ``wheel`` package;
+* ``python setup.py develop`` — offline fallback for environments without
+  ``wheel`` or network access (such as the pinned CI container).
+
+For running the tests no install is needed at all: the repository-root
+``conftest.py`` puts ``src/`` on ``sys.path``, so a plain ``pytest`` works.
 """
 
 from setuptools import setup

@@ -26,7 +26,8 @@ from repro.graph.graph import Graph
 from repro.hardware.chip import ChipConfig
 from repro.hardware.dram import DRAMConfig, LPDDR3_8GB
 from repro.isa.scheduler import InstructionScheduler, ModelSchedule
-from repro.onchip.plan import PartitionPlan, build_partition_plan
+from repro.onchip.plan import PartitionPlan
+from repro.perf.spantable import span_table_for
 from repro.sim.simulator import ExecutionReport, ExecutionSimulator
 
 
@@ -145,18 +146,35 @@ class CompassCompiler:
         return result.best_group, result
 
     # ------------------------------------------------------------------
-    def compile(self, graph: Graph) -> CompilationResult:
-        """Compile a model graph and return the full compilation result."""
+    def compile(
+        self,
+        graph: Graph,
+        decomposition: Optional[ModelDecomposition] = None,
+        validity: Optional[ValidityMap] = None,
+    ) -> CompilationResult:
+        """Compile a model graph and return the full compilation result.
+
+        A ``decomposition`` (and its ``validity`` map) built elsewhere may be
+        passed in to reuse them across compilations — the sweep runner does
+        this so all schemes and batch sizes of one (model, chip) pair share
+        one decomposition and hence one span table.  The caller must ensure
+        they were built for the same graph, chip and precisions.
+        """
         options = self.options
-        decomposition = decompose_model(
-            graph, self.chip, weight_bits=options.weight_bits,
-            activation_bits=options.activation_bits,
-        )
-        validity = ValidityMap(decomposition)
+        if decomposition is None:
+            decomposition = decompose_model(
+                graph, self.chip, weight_bits=options.weight_bits,
+                activation_bits=options.activation_bits,
+            )
+        if validity is None:
+            validity = ValidityMap(decomposition)
         group, ga_result = self._choose_group(decomposition, validity)
 
-        partitions = group.partitions()
-        plans = [build_partition_plan(p, self.chip) for p in partitions]
+        # Plans come from the shared span table: spans already profiled by the
+        # partition optimiser (or by a previous compilation on the same
+        # decomposition) are not re-planned.
+        span_table = span_table_for(decomposition, options.dram_config)
+        plans = [span_table.plan(s, e) for s, e in group.spans()]
 
         schedule: Optional[ModelSchedule] = None
         dram_trace = None
@@ -175,6 +193,7 @@ class CompassCompiler:
             scheme=options.scheme,
             plans=plans,
             dram_trace=dram_trace,
+            span_table=span_table,
         )
 
         return CompilationResult(

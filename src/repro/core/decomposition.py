@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.graph.graph import Graph, GraphNode
 from repro.graph.traversal import attach_non_crossbar_layers, crossbar_layer_order
@@ -56,6 +56,119 @@ class PartitionUnit:
         )
 
 
+class DecompositionIndex:
+    """Precomputed lookup tables for O(1) span queries on a decomposition.
+
+    The genetic algorithm evaluates thousands of partition spans; every span
+    quantity that is a sum over units (weight bytes, crossbars, output
+    columns, tile operations) is served from a prefix-sum array instead of
+    re-traversing the unit list, and every per-node graph attribute the
+    partition I/O analysis needs (output sizes, connectivity, crossbar
+    mapping) is resolved once here.  All sums are integer, so prefix-sum
+    results are bit-identical to direct summation.
+    """
+
+    def __init__(self, decomposition: "ModelDecomposition") -> None:
+        units = decomposition.units
+        graph = decomposition.graph
+        bits = decomposition.activation_bits
+
+        def prefix(values: List[int]) -> List[int]:
+            # plain Python ints: scalar indexing beats numpy for the O(1)
+            # span lookups this index exists to serve, and the sums stay exact
+            out = [0] * (len(values) + 1)
+            running = 0
+            for i, value in enumerate(values):
+                running += value
+                out[i + 1] = running
+            return out
+
+        #: prefix sums over the unit string (index i holds the sum of units [0, i))
+        self.weight_prefix = prefix([u.weight_bytes for u in units])
+        self.crossbar_prefix = prefix([u.crossbars for u in units])
+        self.cols_prefix = prefix([u.cols for u in units])
+        self.tile_ops_prefix = prefix([u.tile_ops_per_window for u in units])
+
+        #: crossbar layers in decomposition order and their unit ranges
+        self.layers: List[str] = list(decomposition.layer_unit_ranges.keys())
+        layer_pos = {name: i for i, name in enumerate(self.layers)}
+        #: layer index owning each unit
+        self.unit_layer: List[int] = [layer_pos[u.layer_name] for u in units]
+        #: total output columns of every crossbar layer (the layer_fraction denominator)
+        self.layer_total_cols: Dict[str, int] = {}
+        for name in self.layers:
+            start, end = decomposition.layer_unit_ranges[name]
+            self.layer_total_cols[name] = self.cols_prefix[end] - self.cols_prefix[start]
+
+        #: graph-node attributes used by partition I/O analysis and estimation
+        self.node_size_bytes: Dict[str, int] = {}
+        self.node_num_elements: Dict[str, int] = {}
+        self.node_inputs: Dict[str, Tuple[str, ...]] = {}
+        self.node_outputs: Dict[str, Tuple[str, ...]] = {}
+        self.node_is_crossbar: Dict[str, bool] = {}
+        for node in graph.nodes():
+            name = node.name
+            assert node.output_shape is not None
+            self.node_size_bytes[name] = node.output_shape.size_bytes(bits)
+            self.node_num_elements[name] = node.output_shape.num_elements
+            self.node_inputs[name] = tuple(node.inputs)
+            self.node_outputs[name] = tuple(node.outputs)
+            self.node_is_crossbar[name] = node.layer.is_crossbar_mapped
+
+        #: nodes executed with each crossbar layer (the layer plus attachments)
+        self.layer_owned: Dict[str, frozenset] = {}
+        #: total output elements of the non-crossbar layers attached to a layer
+        self.layer_attached_elements: Dict[str, int] = {}
+        for name in self.layers:
+            attached = decomposition.attachments.get(name, [])
+            self.layer_owned[name] = frozenset([name, *attached])
+            self.layer_attached_elements[name] = sum(
+                self.node_num_elements[a] for a in attached
+            )
+        #: lazily built single-layer I/O templates, see single_layer_io_template
+        self._io_templates: Dict[str, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    def single_layer_io_template(self, layer: str) -> Tuple:
+        """Entry/exit template of a span holding (part of) exactly one layer.
+
+        For a single-layer span the *structure* of the partition I/O is
+        independent of how many of the layer's units the span holds: the
+        entry set (and its byte sizes) is constant, and only the layer's own
+        exit bytes scale with the owned-column fraction — its attachments'
+        outputs are modelled at full size.  Returns
+        ``(entries, exits)`` where ``entries`` is the final sorted tuple of
+        ``(src, bytes)`` and ``exits`` is a sorted tuple of
+        ``(name, bytes, scales_with_fraction)``.
+        """
+        template = self._io_templates.get(layer)
+        if template is not None:
+            return template
+        owned = self.layer_owned[layer]
+        entries: Dict[str, int] = {}
+        exits = []
+        for name in sorted(owned):
+            for src in self.node_inputs[name]:
+                if src not in owned:
+                    size = self.node_size_bytes[src]
+                    if size > entries.get(src, 0):
+                        entries[src] = size
+            outputs = self.node_outputs[name]
+            consumed_outside = any(succ not in owned for succ in outputs)
+            if not outputs or consumed_outside:
+                exits.append((name, self.node_size_bytes[name], name == layer))
+        template = (tuple(sorted(entries.items())), tuple(sorted(exits)))
+        self._io_templates[layer] = template
+        return template
+
+    # ------------------------------------------------------------------
+    def layers_in_span(self, start: int, end: int) -> List[str]:
+        """Crossbar layers with at least one unit in ``[start, end)``, in order."""
+        if start >= end:
+            return []
+        return self.layers[self.unit_layer[start]:self.unit_layer[end - 1] + 1]
+
+
 @dataclass
 class ModelDecomposition:
     """A model decomposed into partition units for a specific chip.
@@ -77,6 +190,15 @@ class ModelDecomposition:
     layer_unit_ranges: Dict[str, tuple]
 
     # ------------------------------------------------------------------
+    @property
+    def index(self) -> DecompositionIndex:
+        """Lazily built prefix-sum/lookup index for O(1) span queries."""
+        idx = self.__dict__.get("_index")
+        if idx is None:
+            idx = DecompositionIndex(self)
+            self.__dict__["_index"] = idx
+        return idx
+
     @property
     def num_units(self) -> int:
         """Number of partition units (M in Fig. 5)."""
@@ -101,12 +223,14 @@ class ModelDecomposition:
         return self.graph.node(layer_name)
 
     def span_weight_bytes(self, start: int, end: int) -> int:
-        """Single-copy weight bytes of units in ``[start, end)``."""
-        return sum(u.weight_bytes for u in self.units[start:end])
+        """Single-copy weight bytes of units in ``[start, end)`` (O(1))."""
+        prefix = self.index.weight_prefix
+        return prefix[end] - prefix[start]
 
     def span_crossbars(self, start: int, end: int) -> int:
-        """Single-copy crossbar count of units in ``[start, end)``."""
-        return sum(u.crossbars for u in self.units[start:end])
+        """Single-copy crossbar count of units in ``[start, end)`` (O(1))."""
+        prefix = self.index.crossbar_prefix
+        return prefix[end] - prefix[start]
 
     def total_weight_bytes(self) -> int:
         """Single-copy weight bytes of the whole decomposed model."""

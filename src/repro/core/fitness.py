@@ -7,21 +7,27 @@ mapped on chip, so its fitness comes from the on-chip optimizer/estimator
 partitions' fitnesses.  Lower is better, matching the ascending sorts of
 Algorithm 1.
 
-Partition estimates are cached by span so the genetic algorithm can evaluate
-thousands of partition groups without recomputing shared partitions.
+Partition estimates are served by the shared span table
+(:mod:`repro.perf`), so the genetic algorithm can evaluate thousands of
+partition groups without recomputing shared partitions — within one run,
+across runs on the same decomposition, and across batch sizes (the
+batch-independent span profile is reused).  ``use_span_table=False``
+falls back to a private per-evaluator cache over the naive estimation
+path; both paths are bit-identical.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.decomposition import ModelDecomposition
 from repro.core.partition import Partition, PartitionGroup
 from repro.hardware.chip import ChipConfig
 from repro.hardware.dram import DRAMConfig, LPDDR3_8GB
 from repro.onchip.estimator import PartitionEstimate, PartitionEstimator
+from repro.perf.spantable import SpanTable, span_table_for
 
 
 class FitnessMode(enum.Enum):
@@ -33,11 +39,28 @@ class FitnessMode(enum.Enum):
 
 @dataclass
 class GroupEvaluation:
-    """Fitness of a partition group and of each of its partitions."""
+    """Fitness of a partition group and of each of its partitions.
+
+    ``estimates`` materialise lazily: in latency mode the GA only consumes
+    the scalar per-partition fitnesses, so the full per-partition
+    latency/energy breakdowns are fetched from the span table on first
+    access (bit-identical — the table caches, it never approximates).
+    """
 
     group: PartitionGroup
     partition_fitness: List[float]
-    estimates: List[PartitionEstimate]
+    _estimates: Optional[List[PartitionEstimate]] = None
+    _span_table: Optional["SpanTable"] = None
+    _batch_size: int = 0
+
+    @property
+    def estimates(self) -> List[PartitionEstimate]:
+        """Per-partition estimates (materialised on demand)."""
+        if self._estimates is None:
+            if self._span_table is None:
+                raise ValueError("evaluation has neither estimates nor a span table")
+            self._estimates = self._span_table.estimate_group(self.group, self._batch_size)
+        return self._estimates
 
     @property
     def fitness(self) -> float:
@@ -69,23 +92,48 @@ class FitnessEvaluator:
         batch_size: int = 1,
         mode: FitnessMode = FitnessMode.LATENCY,
         dram_config: DRAMConfig = LPDDR3_8GB,
+        use_span_table: bool = True,
     ) -> None:
         self.decomposition = decomposition
         self.chip: ChipConfig = decomposition.chip
         self.batch_size = batch_size
         self.mode = mode
         self.estimator = PartitionEstimator(self.chip, dram_config, batch_size)
+        self.span_table: Optional[SpanTable] = (
+            span_table_for(decomposition, dram_config) if use_span_table else None
+        )
+        #: naive-path span cache (used when the span table is disabled)
         self._cache: Dict[Tuple[int, int], PartitionEstimate] = {}
+        #: spans this evaluator has requested, packed as start*stride+end ints
+        #: (the span table is shared, so its size cannot serve as this
+        #: evaluator's cache footprint; ints keep the set GC-light)
+        self._span_stride = decomposition.num_units + 1
+        self._seen_spans: Set[int] = set()
 
     # ------------------------------------------------------------------
     @property
     def cache_size(self) -> int:
         """Number of distinct partition spans evaluated so far."""
+        if self.span_table is not None:
+            return len(self._seen_spans)
         return len(self._cache)
+
+    @property
+    def span_stats(self) -> Dict[str, float]:
+        """Cache statistics of the span-table engine backing this evaluator.
+
+        Returns an empty dict when the span table is disabled (naive path).
+        """
+        if self.span_table is None:
+            return {}
+        return self.span_table.stats.as_dict()
 
     def estimate_span(self, start: int, end: int) -> PartitionEstimate:
         """Estimate (with caching) the partition covering units [start, end)."""
         key = (start, end)
+        if self.span_table is not None:
+            self._seen_spans.add(start * self._span_stride + end)
+            return self.span_table.estimate(start, end, self.batch_size)
         estimate = self._cache.get(key)
         if estimate is None:
             partition = Partition(self.decomposition, start, end)
@@ -109,7 +157,23 @@ class FitnessEvaluator:
         partitions, so the per-partition fitnesses are rescaled to keep their
         sum equal to the group EDP while preserving their relative ordering
         (which is what the partition score of Sec. III-C2 consumes).
+
+        With the span table engaged, latency mode reads scalar span latencies
+        straight from the table and defers the full per-partition estimates
+        until something actually asks for them.
         """
+        if self.span_table is not None and self.mode is FitnessMode.LATENCY:
+            table = self.span_table
+            batch = self.batch_size
+            spans = group.spans()
+            fitness = [table.latency_ns(s, e, batch) for s, e in spans]
+            stride = self._span_stride
+            self._seen_spans.update(s * stride + e for s, e in spans)
+            return GroupEvaluation(
+                group=group, partition_fitness=fitness,
+                _span_table=table, _batch_size=batch,
+            )
+
         estimates = [self.estimate_span(s, e) for s, e in group.spans()]
         fitness = [self.partition_fitness(est) for est in estimates]
         if self.mode is FitnessMode.EDP:
@@ -121,4 +185,4 @@ class FitnessEvaluator:
             share_total = sum(fitness)
             if share_total > 0 and group_edp > 0:
                 fitness = [f / share_total * group_edp for f in fitness]
-        return GroupEvaluation(group=group, partition_fitness=fitness, estimates=estimates)
+        return GroupEvaluation(group=group, partition_fitness=fitness, _estimates=estimates)

@@ -73,12 +73,25 @@ class GAResult:
     best_evaluation: GroupEvaluation
     history: List[GenerationRecord]
     generations_run: int
+    #: chromosomes scored over the run (including deduplicated repeats)
     evaluations: int
+    #: distinct chromosomes actually evaluated
+    unique_evaluations: int = 0
+    #: chromosome evaluations served from the dedup cache
+    dedup_hits: int = 0
+    #: this run's span-table statistics (delta over the shared table's
+    #: counters during the run; empty on the naive path)
+    span_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def best_fitness(self) -> float:
         """Fitness (PGF) of the best partition group found."""
         return self.best_evaluation.fitness
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        """Fraction of chromosome evaluations served from the dedup cache."""
+        return self.dedup_hits / self.evaluations if self.evaluations else 0.0
 
 
 class CompassGA:
@@ -104,6 +117,10 @@ class CompassGA:
         )
         if not self.mutation_kinds:
             raise ValueError("at least one mutation kind is required")
+        #: dedup cache: cut-vector -> evaluation; identical chromosomes are
+        #: never re-scored, within a generation or across generations
+        self._eval_cache: Dict[Tuple[int, ...], GroupEvaluation] = {}
+        self._dedup_hits = 0
 
     # ------------------------------------------------------------------
     # population handling
@@ -125,10 +142,24 @@ class CompassGA:
     def _evaluate_population(
         self, population: Sequence[Tuple[int, ...]]
     ) -> List[GroupEvaluation]:
+        """Evaluate a population with chromosome-level deduplication.
+
+        Identical cut vectors — within this population or seen in any earlier
+        generation — resolve to the cached evaluation, so population
+        evaluation degenerates to a batch of dictionary lookups for repeated
+        individuals.  Evaluations are immutable downstream, so sharing one
+        object between population slots is safe.
+        """
         evaluations = []
         for bounds in population:
-            group = PartitionGroup.from_boundaries(self.decomposition, bounds)
-            evaluations.append(self.evaluator.evaluate(group))
+            evaluation = self._eval_cache.get(bounds)
+            if evaluation is None:
+                group = PartitionGroup.from_boundaries(self.decomposition, bounds)
+                evaluation = self.evaluator.evaluate(group)
+                self._eval_cache[bounds] = evaluation
+            else:
+                self._dedup_hits += 1
+            evaluations.append(evaluation)
         return evaluations
 
     def _mutate_one(
@@ -151,9 +182,31 @@ class CompassGA:
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
+    def _span_stats_delta(self, baseline: Dict[str, float]) -> Dict[str, float]:
+        """This run's share of the (shared, cumulative) span-table stats."""
+        current = getattr(self.evaluator, "span_stats", {}) or {}
+        if not current:
+            return {}
+        delta = {
+            key: value - baseline.get(key, 0)
+            for key, value in current.items()
+            if not key.endswith("_rate")
+        }
+        for kind, computed_key in (
+            ("profile", "profiles_computed"),
+            ("estimate", "estimates_computed"),
+            ("latency", "latencies_computed"),
+        ):
+            computed = delta.get(computed_key, 0)
+            hits = delta.get(f"{kind}_hits", 0)
+            requests = computed + hits
+            delta[f"{kind}_hit_rate"] = hits / requests if requests else 0.0
+        return delta
+
     def run(self) -> GAResult:
         """Run the COMPASS GA and return the best partition group found."""
         config = self.config
+        span_stats_baseline = dict(getattr(self.evaluator, "span_stats", {}) or {})
         population = self._initial_population()
         evaluations = self._evaluate_population(population)
         history: List[GenerationRecord] = []
@@ -223,4 +276,7 @@ class CompassGA:
             history=history,
             generations_run=generations_run,
             evaluations=total_evaluations,
+            unique_evaluations=len(self._eval_cache),
+            dedup_hits=self._dedup_hits,
+            span_stats=self._span_stats_delta(span_stats_baseline),
         )

@@ -22,7 +22,7 @@ from repro.core.decomposition import ModelDecomposition, PartitionUnit
 from repro.graph.layers import LayerKind
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PartitionIO:
     """Global-memory traffic of one partition, per input sample."""
 
@@ -90,11 +90,7 @@ class Partition:
 
     def layer_names(self) -> List[str]:
         """Crossbar layers with at least one unit in this partition, in order."""
-        seen: List[str] = []
-        for unit in self.units:
-            if unit.layer_name not in seen:
-                seen.append(unit.layer_name)
-        return seen
+        return self.decomposition.index.layers_in_span(self.start, self.end)
 
     def layer_units(self) -> Dict[str, List[PartitionUnit]]:
         """Units grouped by layer, preserving order."""
@@ -104,24 +100,42 @@ class Partition:
         return grouped
 
     def layer_fraction(self, layer_name: str) -> float:
-        """Fraction of the layer's output columns held by this partition."""
-        owned = sum(u.cols for u in self.units if u.layer_name == layer_name)
+        """Fraction of the layer's output columns held by this partition.
+
+        O(1) via the decomposition's prefix-sum index: a layer's units are
+        contiguous, so the columns owned here are the prefix-sum difference
+        over the intersection of the layer's unit range with this span.
+        """
         total_range = self.decomposition.layer_unit_ranges.get(layer_name)
-        if total_range is None or owned == 0:
+        if total_range is None:
             return 0.0
-        start, end = total_range
-        total = sum(u.cols for u in self.decomposition.units[start:end])
+        layer_start, layer_end = total_range
+        lo = max(self.start, layer_start)
+        hi = min(self.end, layer_end)
+        if lo >= hi:
+            return 0.0
+        index = self.decomposition.index
+        cols_prefix = index.cols_prefix
+        owned = cols_prefix[hi] - cols_prefix[lo]
+        if owned == 0:
+            return 0.0
+        total = index.layer_total_cols[layer_name]
         return owned / total if total else 0.0
 
     def owned_nodes(self) -> Set[str]:
         """Graph nodes executed by this partition.
 
         Crossbar layers with units here plus their attached non-crossbar
-        layers (ReLU/BatchNorm/Pool/Add/...).
+        layers (ReLU/BatchNorm/Pool/Add/...).  Cached per instance — the
+        estimator and the I/O analysis both need it.
         """
-        owned: Set[str] = set(self.layer_names())
-        for layer in self.layer_names():
-            owned.update(self.decomposition.attachments.get(layer, []))
+        owned = self.__dict__.get("_owned_nodes")
+        if owned is None:
+            layer_owned = self.decomposition.index.layer_owned
+            owned = set()
+            for layer in self.layer_names():
+                owned.update(layer_owned[layer])
+            self.__dict__["_owned_nodes"] = owned
         return owned
 
     # ------------------------------------------------------------------
@@ -134,51 +148,76 @@ class Partition:
         Feature-map bytes of a layer split across partitions are scaled by the
         fraction of output columns this partition owns.
         """
-        decomposition = self.decomposition
-        graph = decomposition.graph
-        bits = decomposition.activation_bits
+        index = self.decomposition.index
+        unit_layer = index.unit_layer
+        if unit_layer[self.start] == unit_layer[self.end - 1]:
+            # single-layer span: the entry set is constant and only the
+            # layer's own exit bytes scale with the owned fraction
+            layer = index.layers[unit_layer[self.start]]
+            entries_template, exits_template = index.single_layer_io_template(layer)
+            fraction_of_layer = self.layer_fraction(layer)
+            exit_items = []
+            for name, size, scales in exits_template:
+                if scales:
+                    size = int(round(size * fraction_of_layer))
+                exit_items.append((name, max(size, 1)))
+            return PartitionIO(entries=entries_template, exits=tuple(exit_items))
+
+        sizes = index.node_size_bytes
+        node_inputs = index.node_inputs
+        node_outputs = index.node_outputs
+        is_crossbar = index.node_is_crossbar
         owned = self.owned_nodes()
+        ordered = sorted(owned)
+
+        fractions: Dict[str, float] = {}
+
+        def fraction(name: str) -> float:
+            value = fractions.get(name)
+            if value is None:
+                value = self.layer_fraction(name)
+                fractions[name] = value
+            return value
 
         def partially_owned(name: str) -> bool:
             """A crossbar layer with only part of its output columns here."""
-            node = graph.node(name)
-            return node.layer.is_crossbar_mapped and self.layer_fraction(name) < 1.0
+            return is_crossbar[name] and fraction(name) < 1.0
 
         entries: Dict[str, int] = {}
-        for name in sorted(owned):
-            node = graph.node(name)
-            for src in node.inputs:
-                src_node = graph.node(src)
-                assert src_node.output_shape is not None
-                full_size = src_node.output_shape.size_bytes(bits)
+        for name in ordered:
+            consumer_is_crossbar = is_crossbar[name]
+            for src in node_inputs[name]:
+                full_size = sizes[src]
                 if src not in owned:
                     size = full_size
-                elif partially_owned(src) and node.layer.is_crossbar_mapped:
+                elif partially_owned(src) and consumer_is_crossbar:
                     # a Conv/Linear consumer needs the producer's full output,
                     # but this partition only computed a slice of it; the rest
                     # was produced elsewhere and must be fetched from DRAM.
                     # (Element-wise consumers operate slice-locally and need
                     # no such load.)
-                    size = max(1, int(round(full_size * (1.0 - self.layer_fraction(src)))))
+                    size = max(1, int(round(full_size * (1.0 - fraction(src)))))
                 else:
                     continue
-                entries[src] = max(entries.get(src, 0), size)
+                if size > entries.get(src, 0):
+                    entries[src] = size
 
         exits: Dict[str, int] = {}
-        for name in sorted(owned):
-            node = graph.node(name)
-            is_model_output = not node.outputs
-            consumed_outside = any(
-                succ not in owned or partially_owned(succ) for succ in node.outputs
-            )
+        for name in ordered:
+            outputs = node_outputs[name]
+            is_model_output = not outputs
+            consumed_outside = False
+            for succ in outputs:
+                if succ not in owned or partially_owned(succ):
+                    consumed_outside = True
+                    break
             if not (is_model_output or consumed_outside):
                 continue
-            assert node.output_shape is not None
-            size = node.output_shape.size_bytes(bits)
+            size = sizes[name]
             # a partition holding only a slice of the producing layer stores
             # only its slice of the feature map
-            if node.layer.is_crossbar_mapped:
-                size = int(round(size * self.layer_fraction(name)))
+            if is_crossbar[name]:
+                size = int(round(size * fraction(name)))
             exits[name] = max(size, 1)
 
         return PartitionIO(
@@ -263,7 +302,11 @@ class PartitionGroup:
 
     def total_dram_feature_bytes(self) -> int:
         """Total per-sample activation bytes moved to/from DRAM."""
-        return sum(p.io().load_bytes + p.io().store_bytes for p in self.partitions())
+        total = 0
+        for partition in self.partitions():
+            io = partition.io()
+            total += io.load_bytes + io.store_bytes
+        return total
 
     def total_weight_bytes(self) -> int:
         """Single-copy weight bytes across partitions (equals the model's)."""

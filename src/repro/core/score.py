@@ -24,8 +24,14 @@ from repro.core.fitness import GroupEvaluation
 
 def unit_fitness_profile(evaluation: GroupEvaluation, num_units: int) -> np.ndarray:
     """Per-unit fitness m(x_i) for every unit index of one partition group."""
+    spans = evaluation.group.spans()
+    if spans and spans[0][0] == 0 and spans[-1][1] == num_units:
+        # partitions tile [0, num_units) exactly — one vectorised repeat
+        values = [f / (e - s) for (s, e), f in zip(spans, evaluation.partition_fitness)]
+        sizes = [e - s for s, e in spans]
+        return np.repeat(np.asarray(values, dtype=float), sizes)
     profile = np.zeros(num_units, dtype=float)
-    for (start, end), fitness in zip(evaluation.group.spans(), evaluation.partition_fitness):
+    for (start, end), fitness in zip(spans, evaluation.partition_fitness):
         size = end - start
         if size > 0:
             profile[start:end] = fitness / size

@@ -9,6 +9,7 @@ configuration (GA size, batch sizes, chips) and a ``fast`` mode for CI.
 from repro.evaluation.experiments import (
     ExperimentConfig,
     ExperimentSuite,
+    make_sweep_runner,
     table1_hardware_configuration,
     table2_model_support,
     fig5_validity_maps,
@@ -18,11 +19,14 @@ from repro.evaluation.experiments import (
     fig9_weight_energy_vs_batch,
     fig10_ga_convergence,
 )
+from repro.evaluation.parallel import ParallelSweepRunner
+from repro.evaluation.registry import shared_decomposition, shared_graph
 from repro.evaluation.sweeps import SweepRunner, SweepPoint
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentSuite",
+    "make_sweep_runner",
     "table1_hardware_configuration",
     "table2_model_support",
     "fig5_validity_maps",
@@ -31,6 +35,9 @@ __all__ = [
     "fig8_energy_and_edp",
     "fig9_weight_energy_vs_batch",
     "fig10_ga_convergence",
+    "ParallelSweepRunner",
     "SweepRunner",
     "SweepPoint",
+    "shared_decomposition",
+    "shared_graph",
 ]

@@ -9,8 +9,9 @@ the paper-scale settings are the defaults of :class:`GAConfig`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -20,6 +21,8 @@ from repro.core.decomposition import decompose_model
 from repro.core.fitness import FitnessEvaluator, FitnessMode
 from repro.core.ga import CompassGA, GAConfig, GAResult
 from repro.core.validity import ValidityMap
+from repro.evaluation.parallel import ParallelSweepRunner
+from repro.evaluation.registry import shared_decomposition, shared_graph
 from repro.evaluation.sweeps import SweepPoint, SweepRunner
 from repro.hardware.config import CHIP_PRESETS, get_chip_config, hardware_configuration_table
 from repro.models import build_model
@@ -64,6 +67,29 @@ class ExperimentConfig:
         )
 
 
+def make_sweep_runner(
+    config: "ExperimentConfig",
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+) -> Union[SweepRunner, ParallelSweepRunner]:
+    """Sweep runner for an experiment configuration.
+
+    Serial by default.  Pass ``parallel=True`` (or set the environment
+    variable ``REPRO_PARALLEL_SWEEPS`` to a non-empty value other than
+    ``0``) to fan independent (model, chip) sweep chunks across worker
+    processes; the parallel runner itself falls back to the serial path
+    when only one worker is available.
+    """
+    if parallel is None:
+        parallel = os.environ.get("REPRO_PARALLEL_SWEEPS", "0") not in ("", "0")
+    if parallel:
+        return ParallelSweepRunner(
+            ga_config=config.ga_config, input_size=config.input_size,
+            max_workers=max_workers,
+        )
+    return SweepRunner(ga_config=config.ga_config, input_size=config.input_size)
+
+
 # ----------------------------------------------------------------------
 # Table I
 # ----------------------------------------------------------------------
@@ -89,7 +115,7 @@ def table2_model_support(
     """
     rows: List[Dict[str, object]] = []
     for model in models:
-        graph = build_model(model)
+        graph = shared_graph(model)
         linear_mb = graph.linear_weight_bytes(weight_bits) / 2 ** 20
         conv_mb = graph.conv_weight_bytes(weight_bits) / 2 ** 20
         total_mb = graph.crossbar_weight_bytes(weight_bits) / 2 ** 20
@@ -130,11 +156,8 @@ def fig5_validity_maps(
     """
     rows: List[Dict[str, object]] = []
     for model in models:
-        graph = build_model(model)
         for chip_name in chips:
-            chip = get_chip_config(chip_name)
-            decomposition = decompose_model(graph, chip)
-            validity = ValidityMap(decomposition)
+            decomposition, validity = shared_decomposition(model, chip_name)
             matrix = validity.as_matrix()
             rows.append(
                 {
@@ -154,9 +177,7 @@ def fig5_validity_maps(
 def fig6_throughput_comparison(config: ExperimentConfig = ExperimentConfig.fast(),
                                runner: Optional[SweepRunner] = None) -> List[Dict[str, object]]:
     """Throughput of COMPASS vs greedy vs layerwise across the sweep (Fig. 6)."""
-    runner = runner if runner is not None else SweepRunner(
-        ga_config=config.ga_config, input_size=config.input_size
-    )
+    runner = runner if runner is not None else make_sweep_runner(config)
     return runner.run(config.models, config.chips, config.schemes, config.batch_sizes)
 
 
@@ -193,8 +214,9 @@ def fig7_latency_breakdown(
     Returns a mapping scheme -> {"latencies_ms": [...], "total_ms": float,
     "first_partition_share": float}.
     """
-    graph = build_model(model, input_size=input_size)
+    graph = shared_graph(model, input_size)
     chip = get_chip_config(chip_name)
+    decomposition, validity = shared_decomposition(model, chip_name, input_size)
     ga_config = ga_config if ga_config is not None else ExperimentConfig.fast().ga_config
     breakdown: Dict[str, Dict[str, object]] = {}
     for scheme in PAPER_SCHEMES:
@@ -202,7 +224,8 @@ def fig7_latency_breakdown(
             scheme=scheme, batch_size=batch_size, ga_config=ga_config,
             generate_instructions=False,
         )
-        result = CompassCompiler(chip, options).compile(graph)
+        result = CompassCompiler(chip, options).compile(
+            graph, decomposition=decomposition, validity=validity)
         latencies = result.report.partition_latencies_ns()
         total = sum(latencies)
         breakdown[scheme] = {
@@ -225,8 +248,9 @@ def fig8_energy_and_edp(
     input_size: int = 224,
 ) -> List[Dict[str, object]]:
     """Inference energy and EDP per sample for "ResNet18-S" (Fig. 8)."""
-    graph = build_model(model, input_size=input_size)
+    graph = shared_graph(model, input_size)
     chip = get_chip_config(chip_name)
+    decomposition, validity = shared_decomposition(model, chip_name, input_size)
     ga_config = ga_config if ga_config is not None else ExperimentConfig.fast().ga_config
     rows: List[Dict[str, object]] = []
     for batch in batch_sizes:
@@ -235,7 +259,8 @@ def fig8_energy_and_edp(
                 scheme=scheme, batch_size=batch, ga_config=ga_config,
                 generate_instructions=False,
             )
-            result = CompassCompiler(chip, options).compile(graph)
+            result = CompassCompiler(chip, options).compile(
+                graph, decomposition=decomposition, validity=validity)
             rows.append(
                 {
                     "label": f"{model}-{chip_name}-{batch}",
@@ -265,17 +290,19 @@ def fig9_weight_energy_vs_batch(
     One row per "Chip-Batch" combination with the energy of weight loads and
     weight writes normalised to the MVM energy of the same execution.
     """
-    graph = build_model(model, input_size=input_size)
+    graph = shared_graph(model, input_size)
     ga_config = ga_config if ga_config is not None else ExperimentConfig.fast().ga_config
     rows: List[Dict[str, object]] = []
     for chip_name in chips:
         chip = get_chip_config(chip_name)
+        decomposition, validity = shared_decomposition(model, chip_name, input_size)
         for batch in batch_sizes:
             options = CompilerOptions(
                 scheme=scheme, batch_size=batch, ga_config=ga_config,
                 generate_instructions=False,
             )
-            result = CompassCompiler(chip, options).compile(graph)
+            result = CompassCompiler(chip, options).compile(
+                graph, decomposition=decomposition, validity=validity)
             breakdown = result.report.energy_breakdown
             mvm = max(breakdown.mvm_pj, 1e-9)
             rows.append(
@@ -307,14 +334,12 @@ def fig10_ga_convergence(
     fitness of every individual, its partition count and whether it was a
     selected survivor — exactly the data plotted in Fig. 10.
     """
-    graph = build_model(model, input_size=input_size)
-    chip = get_chip_config(chip_name)
     ga_config = ga_config if ga_config is not None else GAConfig(
         population_size=40, generations=20, n_select=10, n_mutate=30, seed=0
     )
-    decomposition = decompose_model(graph, chip)
+    decomposition, validity = shared_decomposition(model, chip_name, input_size)
     evaluator = FitnessEvaluator(decomposition, batch_size=batch_size, mode=FitnessMode.LATENCY)
-    ga = CompassGA(decomposition, evaluator, ga_config)
+    ga = CompassGA(decomposition, evaluator, ga_config, validity)
     return ga.run()
 
 

@@ -1,0 +1,123 @@
+"""Parallel sweep execution across worker processes.
+
+A figure sweep is a cross product of independent (model, chip, scheme,
+batch) points; nothing but the shared span table couples them.  The
+:class:`ParallelSweepRunner` fans the work across a
+:class:`concurrent.futures.ProcessPoolExecutor`, chunked by (model, chip)
+pair so every worker builds each decomposition once and its chunk shares
+one span table — the same amortisation the serial runner gets, minus the
+cross-pair sharing.
+
+The serial :class:`~repro.evaluation.sweeps.SweepRunner` stays the default
+everywhere; parallel execution is opt-in (pass a runner explicitly or set
+``REPRO_PARALLEL_SWEEPS=1``, see :func:`repro.evaluation.experiments.make_sweep_runner`)
+and falls back to the serial path when only one worker is available or the
+process pool cannot be created (restricted environments, missing fork).
+Row order and row values are identical to the serial runner's — each point
+is compiled with the same deterministic seed in whichever process it lands.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.fitness import FitnessMode
+from repro.core.ga import GAConfig
+from repro.evaluation.sweeps import SweepPoint, SweepRunner
+
+#: one unit of parallel work: all (scheme, batch) points of one (model, chip)
+_Chunk = Tuple[str, str, Tuple[Tuple[str, int], ...]]
+
+
+def _run_chunk(payload) -> List[Dict[str, object]]:
+    """Worker entry point: run one (model, chip) chunk serially in-process."""
+    (model, chip, points, ga_config, fitness_mode, generate_instructions,
+     input_size) = payload
+    runner = SweepRunner(
+        ga_config=ga_config,
+        fitness_mode=fitness_mode,
+        generate_instructions=generate_instructions,
+        input_size=input_size,
+    )
+    rows: List[Dict[str, object]] = []
+    for scheme, batch in points:
+        point = SweepPoint(model=model, chip=chip, scheme=scheme, batch_size=batch)
+        result = runner.run_point(point)
+        row = result.report.summary_row()
+        row["label"] = point.label
+        rows.append(row)
+    return rows
+
+
+class ParallelSweepRunner:
+    """Drop-in sweep runner fanning (model, chip) chunks across processes.
+
+    Mirrors :meth:`repro.evaluation.sweeps.SweepRunner.run`; results are
+    reassembled in the serial runner's deterministic order (model → chip →
+    batch → scheme).
+    """
+
+    def __init__(
+        self,
+        ga_config: GAConfig = GAConfig(),
+        fitness_mode: FitnessMode = FitnessMode.LATENCY,
+        generate_instructions: bool = False,
+        input_size: int = 224,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.ga_config = ga_config
+        self.fitness_mode = fitness_mode
+        self.generate_instructions = generate_instructions
+        self.input_size = input_size
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+
+    # ------------------------------------------------------------------
+    def _serial_runner(self) -> SweepRunner:
+        return SweepRunner(
+            ga_config=self.ga_config,
+            fitness_mode=self.fitness_mode,
+            generate_instructions=self.generate_instructions,
+            input_size=self.input_size,
+        )
+
+    def run(
+        self,
+        models: Iterable[str],
+        chips: Iterable[str],
+        schemes: Iterable[str],
+        batch_sizes: Iterable[int],
+    ) -> List[Dict[str, object]]:
+        """Run the full cross product and return summary rows (serial order)."""
+        models = list(models)
+        chips = list(chips)
+        schemes = list(schemes)
+        batch_sizes = list(batch_sizes)
+        points = tuple(
+            (scheme, batch) for batch in batch_sizes for scheme in schemes
+        )
+        chunks = [(model, chip) for model in models for chip in chips]
+
+        if self.max_workers <= 1 or len(chunks) <= 1:
+            return self._serial_runner().run(models, chips, schemes, batch_sizes)
+
+        payloads = [
+            (model, chip, points, self.ga_config, self.fitness_mode,
+             self.generate_instructions, self.input_size)
+            for model, chip in chunks
+        ]
+        workers = min(self.max_workers, len(payloads))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk_rows = list(pool.map(_run_chunk, payloads))
+        except (OSError, PermissionError, BrokenProcessPool):
+            # restricted environment (no fork/spawn, killed workers):
+            # serial fallback — worker-side exceptions propagate as-is
+            return self._serial_runner().run(models, chips, schemes, batch_sizes)
+
+        rows: List[Dict[str, object]] = []
+        for per_chunk in chunk_rows:
+            rows.extend(per_chunk)
+        return rows

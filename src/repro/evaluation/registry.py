@@ -1,0 +1,69 @@
+"""Process-wide registry of model graphs and decompositions.
+
+Every experiment, benchmark and sweep that works on the paper's workloads
+needs the same handful of (model, chip) decompositions.  Decompositions are
+where the span-table engine (:mod:`repro.perf`) attaches its caches, so
+sharing them process-wide means a partition span profiled by *any* consumer
+— an ablation benchmark, the Fig. 6 sweep, a GA convergence run — is free
+for every later consumer in the same process.
+
+Graphs and decompositions are immutable after construction, so sharing is
+safe; failed decompositions (model too large for the chip) are not cached
+and re-raise for every caller, preserving ``decompose_model`` semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.decomposition import ModelDecomposition, decompose_model
+from repro.core.validity import ValidityMap
+from repro.graph.graph import Graph
+from repro.hardware.config import get_chip_config
+from repro.models import build_model
+
+_GRAPHS: Dict[Tuple[str, int], Graph] = {}
+_DECOMPOSITIONS: Dict[Tuple[str, int, str, int, int],
+                      Tuple[ModelDecomposition, ValidityMap]] = {}
+
+
+def shared_graph(model: str, input_size: int = 224) -> Graph:
+    """Build (and cache process-wide) the graph of a named model."""
+    key = (model, input_size)
+    graph = _GRAPHS.get(key)
+    if graph is None:
+        kwargs = {} if model == "lenet5" else {"input_size": input_size}
+        graph = build_model(model, **kwargs)
+        _GRAPHS[key] = graph
+    return graph
+
+
+def shared_decomposition(
+    model: str,
+    chip_name: str,
+    input_size: int = 224,
+    weight_bits: int = 4,
+    activation_bits: int = 4,
+) -> Tuple[ModelDecomposition, ValidityMap]:
+    """Decomposition + validity map of a (model, chip) pair, cached process-wide.
+
+    The returned decomposition carries the shared span table, so all callers
+    amortise partition-span profiling against each other.
+    """
+    key = (model, input_size, chip_name, weight_bits, activation_bits)
+    entry = _DECOMPOSITIONS.get(key)
+    if entry is None:
+        chip = get_chip_config(chip_name)
+        decomposition = decompose_model(
+            shared_graph(model, input_size), chip,
+            weight_bits=weight_bits, activation_bits=activation_bits,
+        )
+        entry = (decomposition, ValidityMap(decomposition))
+        _DECOMPOSITIONS[key] = entry
+    return entry
+
+
+def clear_registry() -> None:
+    """Drop all cached graphs and decompositions (mainly for tests)."""
+    _GRAPHS.clear()
+    _DECOMPOSITIONS.clear()

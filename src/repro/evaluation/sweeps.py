@@ -2,8 +2,13 @@
 
 A sweep point is one (model, chip, scheme, batch size) combination; the
 runner compiles it, simulates the execution and returns the flat summary row
-used by the figures.  Decompositions and model graphs are cached so a sweep
-over many batch sizes does not rebuild them.
+used by the figures.  Model graphs, decompositions and validity maps are
+cached per (model, chip), so every scheme and batch size of a pair shares
+one decomposition — and therefore one span table (:mod:`repro.perf`): a
+partition span profiled while optimising batch 1 is free for batch 16.
+
+For multi-core fan-out of independent sweep points see
+:class:`repro.evaluation.parallel.ParallelSweepRunner`.
 """
 
 from __future__ import annotations
@@ -12,11 +17,13 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.compiler import CompilationResult, CompilerOptions, CompassCompiler
+from repro.core.decomposition import ModelDecomposition
 from repro.core.fitness import FitnessMode
 from repro.core.ga import GAConfig
+from repro.core.validity import ValidityMap
+from repro.evaluation.registry import shared_decomposition, shared_graph
 from repro.graph.graph import Graph
 from repro.hardware.config import get_chip_config
-from repro.models import build_model
 
 
 @dataclass(frozen=True)
@@ -50,14 +57,29 @@ class SweepRunner:
         self.input_size = input_size
         self._graphs: Dict[str, Graph] = {}
         self._results: Dict[SweepPoint, CompilationResult] = {}
+        self._decompositions: Dict[Tuple[str, str], Tuple[ModelDecomposition, ValidityMap]] = {}
 
     # ------------------------------------------------------------------
     def graph(self, model: str) -> Graph:
-        """Build (and cache) the model graph for a model name."""
+        """Model graph for a model name (shared process-wide)."""
         if model not in self._graphs:
-            kwargs = {} if model == "lenet5" else {"input_size": self.input_size}
-            self._graphs[model] = build_model(model, **kwargs)
+            self._graphs[model] = shared_graph(model, self.input_size)
         return self._graphs[model]
+
+    def decomposition(self, model: str, chip_name: str) -> Tuple[ModelDecomposition, ValidityMap]:
+        """Decomposition + validity map of a pair (shared process-wide).
+
+        Sharing one decomposition across all schemes and batch sizes of a
+        (model, chip) pair — and across runners in the same process — is
+        what lets the span table amortise partition profiling across the
+        whole sweep.
+        """
+        key = (model, chip_name)
+        if key not in self._decompositions:
+            self._decompositions[key] = shared_decomposition(
+                model, chip_name, input_size=self.input_size
+            )
+        return self._decompositions[key]
 
     def run_point(self, point: SweepPoint) -> CompilationResult:
         """Compile and simulate one sweep point (cached)."""
@@ -71,7 +93,10 @@ class SweepRunner:
             fitness_mode=self.fitness_mode,
             generate_instructions=self.generate_instructions,
         )
-        result = CompassCompiler(chip, options).compile(self.graph(point.model))
+        decomposition, validity = self.decomposition(point.model, point.chip)
+        result = CompassCompiler(chip, options).compile(
+            self.graph(point.model), decomposition=decomposition, validity=validity,
+        )
         self._results[point] = result
         return result
 

@@ -18,7 +18,7 @@ from typing import Dict
 from repro.hardware.chip import ChipConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class EnergyBreakdown:
     """Energy consumed by each activity class, in picojoules."""
 

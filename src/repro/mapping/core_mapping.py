@@ -21,7 +21,7 @@ from repro.mapping.geometry import WeightMatrixGeometry
 from repro.mapping.replication import ReplicationPlan
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreAssignment:
     """Crossbar tiles placed on one physical core."""
 
@@ -44,7 +44,7 @@ class CoreAssignment:
         return seen
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreMapping:
     """Complete core mapping for one partition."""
 
@@ -53,16 +53,28 @@ class CoreMapping:
     layer_cores: Dict[str, List[int]] = field(default_factory=dict)
     #: crossbars available per core (from the chip config)
     crossbars_per_core: int = 0
+    #: stats precomputed by the mapper (None -> derived from assignments)
+    _cores_used: Optional[int] = field(default=None, repr=False, compare=False)
+    _max_core_crossbars: Optional[int] = field(default=None, repr=False, compare=False)
 
     @property
     def cores_used(self) -> int:
         """Number of cores holding at least one tile."""
+        if self._cores_used is not None:
+            return self._cores_used
         return sum(1 for a in self.assignments if a.entries)
 
     @property
     def total_crossbars_used(self) -> int:
         """Crossbar tiles occupied across all cores."""
         return sum(a.crossbars_used for a in self.assignments)
+
+    @property
+    def max_core_crossbars(self) -> int:
+        """Largest number of crossbar tiles occupied on any single core."""
+        if self._max_core_crossbars is not None:
+            return self._max_core_crossbars
+        return max((a.crossbars_used for a in self.assignments), default=0)
 
     def utilization(self) -> float:
         """Fraction of crossbars used on the cores that are active."""
@@ -92,6 +104,127 @@ class MappingError(ValueError):
     """Raised when a partition's tiles do not fit on the chip's cores."""
 
 
+def map_tiles_to_cores(
+    names: Sequence[str],
+    copies: Sequence[int],
+    replication: ReplicationPlan,
+    chip: ChipConfig,
+) -> CoreMapping:
+    """Array-based core of :func:`map_partition_to_cores`.
+
+    Takes the two geometry attributes the packer actually reads (layer name
+    and crossbars per copy) as parallel sequences, so hot callers need not
+    materialise :class:`WeightMatrixGeometry` objects.
+    """
+    per_core = chip.core.crossbars_per_core
+    num_cores = chip.num_cores
+    n = len(names)
+    factors = [replication.factor(name) for name in names]
+
+    uniform_tiles = -1
+    for tiles in copies:
+        if uniform_tiles in (-1, tiles):
+            uniform_tiles = tiles
+        else:
+            uniform_tiles = -2
+            break
+
+    # Fast path: when every replica has the same tile count t <= per-core
+    # capacity and the replicas fit without splitting any of them, the
+    # max-free-core policy degenerates to exact round-robin: replica k lands
+    # on core k % C.  This is the overwhelmingly common case for spans whose
+    # layers were decomposed into equal-size units.
+    num_replicas = sum(factors)
+    if (
+        uniform_tiles > 0
+        and per_core >= uniform_tiles
+        and num_replicas <= num_cores * (per_core // uniform_tiles)
+        and (n == 1 or len(set(names)) == n)
+    ):
+        # uniform tiles -> the largest-first sort is a no-op, so replicas sit
+        # in geometry order, each layer's replicas one contiguous run
+        replicas: List[Tuple[str, int, int]] = []
+        for name, tiles, factor in zip(names, copies, factors):
+            for replica_index in range(factor):
+                replicas.append((name, replica_index, tiles))
+        touched = min(num_replicas, num_cores)
+        assignments = [
+            CoreAssignment(core_id=core_id, entries=replicas[core_id::num_cores])
+            for core_id in range(touched)
+        ]
+        # a layer run starting at global position run_start visits cores
+        # (run_start + j) % num_cores chronologically — possibly wrapping
+        layer_cores: Dict[str, List[int]] = {}
+        run_start = 0
+        for name, factor in zip(names, factors):
+            if factor > 0:
+                layer_cores[name] = [
+                    (run_start + j) % num_cores for j in range(min(factor, num_cores))
+                ]
+            run_start += factor
+        return CoreMapping(
+            assignments=assignments,
+            layer_cores=layer_cores,
+            crossbars_per_core=per_core,
+            _cores_used=touched,
+            _max_core_crossbars=(
+                uniform_tiles * len(assignments[0].entries) if assignments else 0
+            ),
+        )
+
+    free = [per_core] * num_cores
+    entries_by_core: Dict[int, List[Tuple[str, int, int]]] = {}
+    layer_cores = {}
+    layer_core_seen: Dict[str, set] = {}
+
+    # Place replicas largest-first (stable order among equal sizes), without
+    # materialising the flat replica list: geometry runs are placed whole.
+    order = sorted(range(n), key=copies.__getitem__, reverse=True)
+    for geom_index in order:
+        layer_name = names[geom_index]
+        tiles = copies[geom_index]
+        for replica_index in range(factors[geom_index]):
+            remaining = tiles
+            # Prefer the core with the largest free space (keeps replicas
+            # together).
+            while remaining > 0:
+                # first core with the maximum free space
+                best_free = max(free)
+                if best_free == 0:
+                    raise MappingError(
+                        f"partition does not fit: layer {layer_name!r} replica "
+                        f"{replica_index} needs {remaining} more crossbars but "
+                        f"all cores are full"
+                    )
+                best_core = free.index(best_free)
+                placed = remaining if remaining < best_free else best_free
+                core_entries = entries_by_core.get(best_core)
+                if core_entries is None:
+                    core_entries = entries_by_core[best_core] = []
+                core_entries.append((layer_name, replica_index, placed))
+                free[best_core] = best_free - placed
+                remaining -= placed
+                seen = layer_core_seen.get(layer_name)
+                if seen is None:
+                    seen = layer_core_seen[layer_name] = set()
+                    layer_cores[layer_name] = []
+                if best_core not in seen:
+                    seen.add(best_core)
+                    layer_cores[layer_name].append(best_core)
+
+    assignments = [
+        CoreAssignment(core_id=core_id, entries=entries_by_core[core_id])
+        for core_id in sorted(entries_by_core)
+    ]
+    return CoreMapping(
+        assignments=assignments,
+        layer_cores=layer_cores,
+        crossbars_per_core=per_core,
+        _cores_used=len(assignments),
+        _max_core_crossbars=(per_core - min(free)) if assignments else 0,
+    )
+
+
 def map_partition_to_cores(
     geometries: Sequence[WeightMatrixGeometry],
     replication: ReplicationPlan,
@@ -102,41 +235,13 @@ def map_partition_to_cores(
     A first-fit-decreasing bin packing is used at replica granularity:
     replicas with many tiles are placed first, each on the core with the most
     free crossbars (splitting across cores only when a replica is larger than
-    a whole core).
+    a whole core).  Only cores that receive tiles appear in the returned
+    mapping's ``assignments`` (in core-id order); idle cores carry no
+    information.
     """
-    per_core = chip.core.crossbars_per_core
-    assignments = [CoreAssignment(core_id=i) for i in range(chip.num_cores)]
-    free = [per_core] * chip.num_cores
-    layer_cores: Dict[str, List[int]] = {}
-
-    # Build the list of replicas to place, largest first for better packing.
-    replicas: List[Tuple[str, int, int]] = []
-    for geom in geometries:
-        factor = replication.factor(geom.layer_name)
-        for replica_index in range(factor):
-            replicas.append((geom.layer_name, replica_index, geom.crossbars_per_copy))
-    replicas.sort(key=lambda item: item[2], reverse=True)
-
-    for layer_name, replica_index, tiles in replicas:
-        remaining = tiles
-        # Prefer the core with the largest free space (keeps replicas together).
-        while remaining > 0:
-            best_core = max(range(chip.num_cores), key=lambda c: free[c])
-            if free[best_core] == 0:
-                raise MappingError(
-                    f"partition does not fit: layer {layer_name!r} replica {replica_index} "
-                    f"needs {remaining} more crossbars but all cores are full"
-                )
-            placed = min(remaining, free[best_core])
-            assignments[best_core].entries.append((layer_name, replica_index, placed))
-            free[best_core] -= placed
-            remaining -= placed
-            cores = layer_cores.setdefault(layer_name, [])
-            if best_core not in cores:
-                cores.append(best_core)
-
-    return CoreMapping(
-        assignments=assignments,
-        layer_cores=layer_cores,
-        crossbars_per_core=per_core,
+    return map_tiles_to_cores(
+        [g.layer_name for g in geometries],
+        [g.crossbars_per_copy for g in geometries],
+        replication,
+        chip,
     )

@@ -18,7 +18,7 @@ from repro.graph.layers import Layer, LayerKind
 from repro.hardware.crossbar import CrossbarConfig
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WeightMatrixGeometry:
     """Crossbar-tiling geometry for one Conv/Linear layer."""
 

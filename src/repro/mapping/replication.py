@@ -23,7 +23,7 @@ from typing import Dict, List, Mapping, Sequence
 from repro.mapping.geometry import WeightMatrixGeometry
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplicationPlan:
     """Result of replication allocation for one partition."""
 
@@ -46,6 +46,118 @@ def _bottleneck(geometries: Sequence[WeightMatrixGeometry], factors: Mapping[str
     for geom in geometries:
         slots = max(slots, math.ceil(geom.windows / factors[geom.layer_name]))
     return slots
+
+
+def allocate_replication_arrays(
+    names: Sequence[str],
+    windows: Sequence[int],
+    copies: Sequence[int],
+    crossbar_budget: int,
+    max_replication: int = 64,
+) -> ReplicationPlan:
+    """Array-based core of :func:`allocate_replication`.
+
+    Takes the three geometry attributes the allocator actually reads
+    (layer name, window count, crossbars per copy) as parallel sequences, so
+    hot callers (the span-table engine building thousands of plans) need not
+    materialise :class:`WeightMatrixGeometry` objects.
+    """
+    n = len(names)
+    if n == 0:
+        return ReplicationPlan(factors={}, crossbars_used={}, total_crossbars=0, bottleneck_slots=0)
+
+    factors: Dict[str, int] = {name: 1 for name in names}
+    used = sum(copies)
+    if used > crossbar_budget:
+        raise ValueError(
+            f"partition needs {used} crossbars for a single copy of each layer "
+            f"but only {crossbar_budget} are available"
+        )
+
+    limits = [min(max_replication, max(w, 1)) for w in windows]
+
+    if n == 1:
+        # Closed form of the greedy loop for the (very common) single-layer
+        # partition: the loop replicates its only candidate until the factor
+        # hits the limit or the next copy would blow the budget.  The
+        # service-time stop (slots <= 1) never fires first because the limit
+        # is already capped at the window count.
+        w = windows[0]
+        if w > 0:
+            factors[names[0]] = min(limits[0], crossbar_budget // copies[0])
+    else:
+        # Greedily replicate the current bottleneck layer while budget
+        # remains.  With unique layer names the selected layer keeps being
+        # the bottleneck until its service time drops below the runner-up's,
+        # so its factor is advanced in one batched jump per selection — an
+        # exact replay of the one-at-a-time greedy loop (ties select the
+        # lowest index; competitors' service times cannot change while the
+        # selected layer replicates, and validity only ever shrinks, which
+        # at worst ends a batch early before the next reselection).
+        batched = len(set(names)) == n
+        slots_cache = [
+            math.ceil(w / factors[name]) if w else 0 for w, name in zip(windows, names)
+        ]
+        while True:
+            # find the bottleneck layer that can still be replicated
+            best_index = -1
+            best_slots = -1
+            for i in range(n):
+                if factors[names[i]] >= limits[i]:
+                    continue
+                if used + copies[i] > crossbar_budget:
+                    continue
+                if slots_cache[i] > best_slots:
+                    best_slots = slots_cache[i]
+                    best_index = i
+            if best_index < 0 or best_slots <= 1:
+                break
+            best_name = names[best_index]
+            copy = copies[best_index]
+            factor = factors[best_name]
+            if batched:
+                # the selected layer stays selected while its slots beat every
+                # valid earlier index strictly and every later index weakly;
+                # replicate until its slots would fall below that threshold
+                runner_up = 1
+                for i in range(n):
+                    if i == best_index:
+                        continue
+                    if factors[names[i]] >= limits[i]:
+                        continue
+                    if used + copies[i] > crossbar_budget:
+                        continue
+                    required = slots_cache[i] + 1 if i < best_index else slots_cache[i]
+                    if required > runner_up:
+                        runner_up = required
+                threshold = runner_up if runner_up > 2 else 2
+                w = windows[best_index]
+                # smallest factor whose slots drop below the threshold
+                target_factor = -(-w // (threshold - 1))
+                budget_factor = factor + (crossbar_budget - used) // copy
+                new_factor = min(target_factor, limits[best_index], budget_factor)
+            else:
+                new_factor = factor + 1
+            used += (new_factor - factor) * copy
+            factors[best_name] = new_factor
+            for i in range(n):
+                if names[i] == best_name and windows[i]:
+                    slots_cache[i] = math.ceil(windows[i] / new_factor)
+
+    crossbars_used = {
+        name: copy * factors[name] for name, copy in zip(names, copies)
+    }
+    bottleneck = 0
+    for name, w in zip(names, windows):
+        slots = math.ceil(w / factors[name])
+        if slots > bottleneck:
+            bottleneck = slots
+    return ReplicationPlan(
+        factors=factors,
+        crossbars_used=crossbars_used,
+        total_crossbars=sum(crossbars_used.values()),
+        bottleneck_slots=bottleneck,
+    )
 
 
 def allocate_replication(
@@ -74,46 +186,10 @@ def allocate_replication(
         If even a single copy of every layer does not fit in the budget
         (the partition is invalid).
     """
-    if not geometries:
-        return ReplicationPlan(factors={}, crossbars_used={}, total_crossbars=0, bottleneck_slots=0)
-
-    factors: Dict[str, int] = {g.layer_name: 1 for g in geometries}
-    used = sum(g.crossbars_per_copy for g in geometries)
-    if used > crossbar_budget:
-        raise ValueError(
-            f"partition needs {used} crossbars for a single copy of each layer "
-            f"but only {crossbar_budget} are available"
-        )
-
-    # Greedily replicate the current bottleneck layer while budget remains.
-    while True:
-        # find the bottleneck layer that can still be replicated
-        best_geom = None
-        best_slots = -1
-        for geom in geometries:
-            factor = factors[geom.layer_name]
-            slots = math.ceil(geom.windows / factor) if geom.windows else 0
-            limit = min(max_replication, max(geom.windows, 1))
-            if factor >= limit:
-                continue
-            if used + geom.crossbars_per_copy > crossbar_budget:
-                continue
-            if slots > best_slots:
-                best_slots = slots
-                best_geom = geom
-        if best_geom is None or best_slots <= 1:
-            break
-        # check that replicating actually reduces the global bottleneck or the
-        # layer's own service time (avoid burning budget for nothing)
-        factors[best_geom.layer_name] += 1
-        used += best_geom.crossbars_per_copy
-
-    crossbars_used = {
-        g.layer_name: g.crossbars_per_copy * factors[g.layer_name] for g in geometries
-    }
-    return ReplicationPlan(
-        factors=factors,
-        crossbars_used=crossbars_used,
-        total_crossbars=sum(crossbars_used.values()),
-        bottleneck_slots=_bottleneck(geometries, factors),
+    return allocate_replication_arrays(
+        [g.layer_name for g in geometries],
+        [g.windows for g in geometries],
+        [g.crossbars_per_copy for g in geometries],
+        crossbar_budget,
+        max_replication,
     )

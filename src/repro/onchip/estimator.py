@@ -15,6 +15,18 @@ Model (Sec. II of the paper):
 
 The estimator returns both a per-phase latency breakdown (used for Fig. 7)
 and a full :class:`~repro.hardware.power.EnergyBreakdown` (Figs. 8 and 9).
+
+Estimation is split in two stages so the span-table engine
+(:mod:`repro.perf`) can amortise work across batch sizes:
+
+* :meth:`PartitionEstimator.profile` walks the partition once and produces a
+  :class:`SpanProfile` — every batch-independent quantity (plan, I/O, the
+  per-sample pipeline stage latencies and per-sample energy terms).
+* :meth:`PartitionEstimator.estimate_from_profile` turns a profile into a
+  :class:`PartitionEstimate` for a concrete batch size with O(1) arithmetic.
+
+``estimate()`` composes the two, so the single-call path is unchanged and
+the split is bit-identical to the historical monolithic implementation.
 """
 
 from __future__ import annotations
@@ -30,7 +42,7 @@ from repro.hardware.power import EnergyBreakdown, PowerModel
 from repro.onchip.plan import LayerSlice, PartitionPlan, build_partition_plan
 
 
-@dataclass
+@dataclass(slots=True)
 class PhaseLatency:
     """Latency of each execution phase of one partition, in nanoseconds."""
 
@@ -48,7 +60,52 @@ class PhaseLatency:
         return self.weight_replace_ns + self.pipeline_ns
 
 
-@dataclass
+@dataclass(slots=True)
+class SpanProfile:
+    """Batch-independent performance profile of one partition span.
+
+    Everything here depends only on (partition, chip, DRAM config): the
+    on-chip plan, the global-memory I/O, the per-sample pipeline stage
+    latencies, the weight-replace phase, and the per-sample/per-batch-constant
+    energy terms.  A :class:`PartitionEstimate` for any batch size is pure
+    O(1) arithmetic over this profile.
+    """
+
+    plan: PartitionPlan
+    io: PartitionIO
+    #: per-sample service time of every pipeline stage, keyed by stage name
+    stage_latency_ns: Dict[str, float]
+    #: sum of all per-sample stage latencies (pipeline fill time)
+    fill_ns: float
+    #: slowest per-sample stage (pipeline bottleneck)
+    bottleneck_ns: float
+    #: per-sample entry-load and exit-store stage latencies
+    load_ns: float
+    store_ns: float
+    #: weight-replace phase (batch independent)
+    weight_load_ns: float
+    weight_write_ns: float
+    weight_replace_ns: float
+    #: active cores (for static energy)
+    cores_used: int
+    #: batch-independent energies
+    weight_write_pj: float
+    weight_load_pj: float
+    #: per-sample energies (multiplied by the batch size)
+    mvm_pj_per_sample: float
+    vfu_pj_per_sample: float
+    local_memory_pj_per_sample: float
+    interconnect_pj_per_sample: float
+    data_load_pj_per_sample: float
+    data_store_pj_per_sample: float
+
+    @property
+    def partition(self) -> Partition:
+        """The partition this profile describes."""
+        return self.plan.partition
+
+
+@dataclass(slots=True)
 class PartitionEstimate:
     """Complete performance/energy estimate for one partition."""
 
@@ -96,7 +153,8 @@ class PartitionEstimator:
     """Estimates latency/energy of partitions on a given chip.
 
     A single estimator instance caches nothing across calls and is safe to
-    reuse for many partitions; the genetic algorithm creates one per run.
+    reuse for many partitions; cross-call caching lives in
+    :class:`repro.perf.SpanTable`.
     """
 
     def __init__(
@@ -113,108 +171,173 @@ class PartitionEstimator:
         self.power = PowerModel(chip)
 
     # ------------------------------------------------------------------
-    # stage-level helpers
-    # ------------------------------------------------------------------
-    def _slice_compute_latency_ns(self, layer_slice: LayerSlice, replication: int) -> float:
-        """Matrix-unit + VFU time for one sample of one layer slice."""
-        xbar = self.chip.core.crossbar
-        core = self.chip.core
-        windows_per_replica = math.ceil(layer_slice.windows / max(1, replication))
-        serial_factor = math.ceil(
-            layer_slice.tile_ops_per_window / max(1, layer_slice.crossbars)
-        )
-        mvm_ns = windows_per_replica * serial_factor * xbar.mvm_latency_ns
-
-        graph = None
-        vfu_elements = 0
-        # partial-sum accumulation across row tiles
-        row_tiles = math.ceil(layer_slice.rows / xbar.weight_rows)
-        if row_tiles > 1:
-            vfu_elements += (row_tiles - 1) * layer_slice.cols * layer_slice.windows
-        vfu_ns = core.vfu_latency_ns(vfu_elements)
-        return mvm_ns + vfu_ns
-
-    def _attached_vfu_latency_ns(self, partition: Partition, layer_slice: LayerSlice) -> float:
-        """VFU time of the non-crossbar layers attached to a slice, per sample."""
-        graph = partition.decomposition.graph
-        core = self.chip.core
-        elements = 0
-        for name in layer_slice.attached:
-            node = graph.node(name)
-            assert node.output_shape is not None
-            elements += node.output_shape.num_elements
-        # a partition holding a slice of the layer only processes its share
-        return core.vfu_latency_ns(int(elements * max(layer_slice.fraction, 0.0)))
-
-    def _intercore_latency_ns(self, partition: Partition, plan: PartitionPlan,
-                              layer_slice: LayerSlice) -> float:
-        """Bus time to gather this slice's inputs from producer cores, per sample."""
-        graph = partition.decomposition.graph
-        bits = partition.decomposition.activation_bits
-        node = graph.node(layer_slice.layer_name)
-        owned = partition.owned_nodes()
-        bus = self.chip.interconnect
-        total_ns = 0.0
-        for src in node.inputs:
-            if src not in owned:
-                continue  # comes from DRAM, accounted in the load stage
-            src_node = graph.node(src)
-            assert src_node.output_shape is not None
-            num_bytes = src_node.output_shape.size_bytes(bits)
-            total_ns += bus.transfer_time_ns(num_bytes)
-        return total_ns
-
-    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def estimate(self, partition: Partition, plan: Optional[PartitionPlan] = None,
-                 batch_size: Optional[int] = None) -> PartitionEstimate:
-        """Estimate latency and energy of one partition for a batch."""
-        batch = batch_size if batch_size is not None else self.batch_size
-        if batch <= 0:
-            raise ValueError("batch_size must be positive")
+    def profile(self, partition: Partition,
+                plan: Optional[PartitionPlan] = None) -> SpanProfile:
+        """Walk one partition and compute its batch-independent profile.
+
+        Per-sample stage latencies and energies are accumulated in a single
+        pass over the plan's layer slices with the chip constants hoisted to
+        locals — this is the innermost loop of span profiling.
+        """
         plan = plan if plan is not None else build_partition_plan(partition, self.chip)
         io = partition.io()
         chip = self.chip
-        xbar = chip.core.crossbar
+        core = chip.core
+        xbar = core.crossbar
         power = self.power
+        index = partition.decomposition.index
+        owned = partition.owned_nodes()
+
+        # hoisted chip constants
+        mvm_latency_ns = xbar.mvm_latency_ns
+        weight_rows = xbar.weight_rows
+        vfu_throughput = core.vfu_count * core.vfu_elements_per_ns
+        vfu_energy_per_element = core.vfu_energy_per_element_pj
+        local_energy_per_byte = core.local_memory_energy_per_byte_pj
+        bus = chip.interconnect
+        bus_latency_ns = bus.transfer_latency_ns
+        bus_bandwidth = bus.bandwidth_bytes_per_ns
+        bus_energy_per_byte = bus.energy_per_byte_pj
+        sizes = index.node_size_bytes
+        node_inputs = index.node_inputs
+        attached_elements = index.layer_attached_elements
+        factor_of = plan.replication.factors.get
+        ceil = math.ceil
+
+        # hoisted I/O sums (the PartitionIO properties re-sum on every access)
+        io_load_bytes = io.load_bytes
+        io_store_bytes = io.store_bytes
 
         # ---------------- pipeline stage latencies (per sample) ----------
         stages: Dict[str, float] = {}
-        load_ns = self.dram.bulk_transfer_latency_ns(io.load_bytes, sequential=True)
+        load_ns = self.dram.bulk_transfer_latency_ns(io_load_bytes, sequential=True)
         # several entry nodes mean scattered accesses; add a per-entry penalty
-        load_ns += max(0, io.num_entries - 1) * chip.interconnect.transfer_latency_ns
+        load_ns += max(0, io.num_entries - 1) * bus_latency_ns
         stages["__load__"] = load_ns
 
+        single_copy_bytes = 0
+        replicated_bytes = 0
+        mvm_pj = 0.0
+        vfu_pj = 0.0
+        local_pj = 0.0
+        intercore_pj = 0.0
         for layer_slice in plan.slices:
-            replication = plan.replication.factor(layer_slice.layer_name)
-            stage_ns = self._slice_compute_latency_ns(layer_slice, replication)
-            stage_ns += self._attached_vfu_latency_ns(partition, layer_slice)
-            stage_ns += self._intercore_latency_ns(partition, plan, layer_slice)
-            stages[layer_slice.layer_name] = stage_ns
+            layer_name = layer_slice.layer_name
+            windows = layer_slice.windows
+            fraction = layer_slice.fraction
+            replication = factor_of(layer_name, 1)
+            single_copy_bytes += layer_slice.weight_bytes
+            replicated_bytes += layer_slice.weight_bytes * replication
 
-        store_ns = self.dram.bulk_transfer_latency_ns(io.store_bytes, sequential=True)
-        store_ns += max(0, io.num_exits - 1) * chip.interconnect.transfer_latency_ns
+            # matrix-unit time: windows round-robin over replicas, tile ops
+            # serialised over the slice's crossbars
+            windows_per_replica = ceil(windows / max(1, replication))
+            serial_factor = ceil(
+                layer_slice.tile_ops_per_window / max(1, layer_slice.crossbars)
+            )
+            stage_ns = windows_per_replica * serial_factor * mvm_latency_ns
+            # partial-sum accumulation across row tiles
+            row_tiles = ceil(layer_slice.rows / weight_rows)
+            if row_tiles > 1:
+                vfu_elements = (row_tiles - 1) * layer_slice.cols * windows
+                if vfu_elements > 0:
+                    stage_ns += vfu_elements / vfu_throughput
+            # attached non-crossbar layers: this partition processes its share
+            elements = attached_elements[layer_name]
+            shared_elements = int(elements * max(fraction, 0.0))
+            if shared_elements > 0:
+                stage_ns += shared_elements / vfu_throughput
+            # bus time to gather on-chip inputs from producer cores (inputs
+            # coming from DRAM are accounted in the load stage)
+            in_bytes = 0
+            intercore_ns = 0.0
+            for src in node_inputs[layer_name]:
+                num_bytes = sizes[src]
+                in_bytes += num_bytes
+                if src in owned and num_bytes > 0:
+                    intercore_ns += bus_latency_ns + num_bytes / bus_bandwidth
+            stage_ns += intercore_ns
+            stages[layer_name] = stage_ns
+
+            # per-sample energies of the slice
+            tile_mvms = windows * layer_slice.tile_ops_per_window
+            active_rows = layer_slice.rows
+            if active_rows > weight_rows:
+                active_rows = weight_rows
+            mvm_pj += tile_mvms * xbar.mvm_energy_for_rows(active_rows)
+            vfu_pj += max(int(elements * fraction), 0) * vfu_energy_per_element
+            out_bytes = int(sizes[layer_name] * fraction)
+            local_pj += max(in_bytes + out_bytes, 0) * local_energy_per_byte
+            intercore_pj += max(in_bytes, 0) * bus_energy_per_byte
+
+        store_ns = self.dram.bulk_transfer_latency_ns(io_store_bytes, sequential=True)
+        store_ns += max(0, io.num_exits - 1) * bus_latency_ns
         stages["__store__"] = store_ns
 
         fill_ns = sum(stages.values())
         bottleneck_ns = max(stages.values()) if stages else 0.0
-        pipeline_ns = fill_ns + (batch - 1) * bottleneck_ns
 
         # ---------------- weight-replace phase ----------------------------
-        single_copy_bytes = plan.single_copy_weight_bytes
-        replicated_bytes = plan.replicated_weight_bytes
         weight_load_ns = self.dram.bulk_transfer_latency_ns(single_copy_bytes, sequential=True)
-        max_core_crossbars = max(
-            (a.crossbars_used for a in plan.core_mapping.assignments), default=0
-        )
+        max_core_crossbars = plan.core_mapping.max_core_crossbars
         weight_write_ns = max_core_crossbars * xbar.write_latency_full_ns
         weight_replace_ns = max(weight_load_ns, weight_write_ns)
 
-        latency = PhaseLatency(
+        # ---------------- energy ------------------------------------------
+        weight_bits = partition.decomposition.weight_bits
+        replicated_weights = (replicated_bytes * 8) // weight_bits
+        weight_write_pj = power.weight_write_energy_pj(replicated_weights)
+        weight_load_pj = (
+            self.dram.bulk_transfer_energy_pj(single_copy_bytes, is_write=False, sequential=True)
+            + power.interconnect_energy_pj(single_copy_bytes)
+        )
+
+        data_load_pj = (
+            self.dram.bulk_transfer_energy_pj(io_load_bytes, is_write=False, sequential=True)
+            + power.interconnect_energy_pj(io_load_bytes)
+        )
+        data_store_pj = (
+            self.dram.bulk_transfer_energy_pj(io_store_bytes, is_write=True, sequential=True)
+            + power.interconnect_energy_pj(io_store_bytes)
+        )
+
+        return SpanProfile(
+            plan=plan,
+            io=io,
+            stage_latency_ns=stages,
+            fill_ns=fill_ns,
+            bottleneck_ns=bottleneck_ns,
+            load_ns=load_ns,
+            store_ns=store_ns,
             weight_load_ns=weight_load_ns,
             weight_write_ns=weight_write_ns,
             weight_replace_ns=weight_replace_ns,
+            cores_used=plan.core_mapping.cores_used,
+            weight_write_pj=weight_write_pj,
+            weight_load_pj=weight_load_pj,
+            mvm_pj_per_sample=mvm_pj,
+            vfu_pj_per_sample=vfu_pj,
+            local_memory_pj_per_sample=local_pj,
+            interconnect_pj_per_sample=intercore_pj,
+            data_load_pj_per_sample=data_load_pj,
+            data_store_pj_per_sample=data_store_pj,
+        )
+
+    def estimate_from_profile(self, profile: SpanProfile, batch_size: int) -> PartitionEstimate:
+        """Finalise a batch-independent profile into an estimate — O(1)."""
+        batch = batch_size
+        if batch <= 0:
+            raise ValueError("batch_size must be positive")
+        load_ns = profile.load_ns
+        store_ns = profile.store_ns
+        pipeline_ns = profile.fill_ns + (batch - 1) * profile.bottleneck_ns
+
+        latency = PhaseLatency(
+            weight_load_ns=profile.weight_load_ns,
+            weight_write_ns=profile.weight_write_ns,
+            weight_replace_ns=profile.weight_replace_ns,
             input_load_ns=load_ns * batch,
             compute_ns=pipeline_ns - (load_ns + store_ns) * batch
             if pipeline_ns > (load_ns + store_ns) * batch
@@ -223,65 +346,33 @@ class PartitionEstimator:
             pipeline_ns=pipeline_ns,
         )
 
-        # ---------------- energy ------------------------------------------
-        energy = EnergyBreakdown()
-        weight_bits = partition.decomposition.weight_bits
-        replicated_weights = (replicated_bytes * 8) // weight_bits
-        energy.weight_write_pj = power.weight_write_energy_pj(replicated_weights)
-        energy.weight_load_pj = (
-            self.dram.bulk_transfer_energy_pj(single_copy_bytes, is_write=False, sequential=True)
-            + power.interconnect_energy_pj(single_copy_bytes)
-        )
-
-        mvm_pj = 0.0
-        vfu_pj = 0.0
-        local_pj = 0.0
-        intercore_pj = 0.0
-        bits = partition.decomposition.activation_bits
-        graph = partition.decomposition.graph
-        for layer_slice in plan.slices:
-            tile_mvms = layer_slice.windows * layer_slice.tile_ops_per_window
-            active_rows = min(layer_slice.rows, xbar.weight_rows)
-            mvm_pj += power.mvm_energy_pj(tile_mvms, active_rows)
-            # attached VFU work
-            elements = 0
-            for name in layer_slice.attached:
-                node = graph.node(name)
-                assert node.output_shape is not None
-                elements += node.output_shape.num_elements
-            vfu_pj += power.vfu_energy_pj(int(elements * layer_slice.fraction))
-            # local memory traffic: inputs and outputs of the slice
-            node = graph.node(layer_slice.layer_name)
-            assert node.output_shape is not None
-            out_bytes = int(node.output_shape.size_bytes(bits) * layer_slice.fraction)
-            in_bytes = sum(
-                graph.node(src).output_shape.size_bytes(bits) for src in node.inputs
-            )
-            local_pj += power.local_memory_energy_pj(in_bytes + out_bytes)
-            intercore_pj += power.interconnect_energy_pj(in_bytes)
-        energy.mvm_pj = mvm_pj * batch
-        energy.vfu_pj = vfu_pj * batch
-        energy.local_memory_pj = local_pj * batch
-        energy.interconnect_pj = intercore_pj * batch
-
-        energy.data_load_pj = batch * (
-            self.dram.bulk_transfer_energy_pj(io.load_bytes, is_write=False, sequential=True)
-            + power.interconnect_energy_pj(io.load_bytes)
-        )
-        energy.data_store_pj = batch * (
-            self.dram.bulk_transfer_energy_pj(io.store_bytes, is_write=True, sequential=True)
-            + power.interconnect_energy_pj(io.store_bytes)
-        )
-
         total_ns = latency.total_ns
-        energy.static_pj = power.static_energy_pj(total_ns, plan.core_mapping.cores_used)
-        energy.dram_background_pj = self.dram.config.background_power_mw * total_ns
+        energy = EnergyBreakdown(
+            mvm_pj=profile.mvm_pj_per_sample * batch,
+            weight_write_pj=profile.weight_write_pj,
+            weight_load_pj=profile.weight_load_pj,
+            data_load_pj=batch * profile.data_load_pj_per_sample,
+            data_store_pj=batch * profile.data_store_pj_per_sample,
+            vfu_pj=profile.vfu_pj_per_sample * batch,
+            interconnect_pj=profile.interconnect_pj_per_sample * batch,
+            local_memory_pj=profile.local_memory_pj_per_sample * batch,
+            static_pj=self.power.static_energy_pj(total_ns, profile.cores_used),
+            dram_background_pj=self.dram.config.background_power_mw * total_ns,
+        )
 
         return PartitionEstimate(
-            plan=plan,
-            io=io,
+            plan=profile.plan,
+            io=profile.io,
             batch_size=batch,
             latency=latency,
             energy=energy,
-            stage_latency_ns=stages,
+            stage_latency_ns=dict(profile.stage_latency_ns),
         )
+
+    def estimate(self, partition: Partition, plan: Optional[PartitionPlan] = None,
+                 batch_size: Optional[int] = None) -> PartitionEstimate:
+        """Estimate latency and energy of one partition for a batch."""
+        batch = batch_size if batch_size is not None else self.batch_size
+        if batch <= 0:
+            raise ValueError("batch_size must be positive")
+        return self.estimate_from_profile(self.profile(partition, plan=plan), batch)

@@ -12,18 +12,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, NamedTuple
 
 from repro.core.partition import Partition
 from repro.hardware.chip import ChipConfig
-from repro.mapping.core_mapping import CoreMapping, map_partition_to_cores
+from repro.mapping.core_mapping import CoreMapping, map_tiles_to_cores
 from repro.mapping.geometry import WeightMatrixGeometry
-from repro.mapping.replication import ReplicationPlan, allocate_replication
+from repro.mapping.replication import ReplicationPlan, allocate_replication_arrays
 
 
-@dataclass(frozen=True)
-class LayerSlice:
-    """The portion of one layer mapped into a partition."""
+class LayerSlice(NamedTuple):
+    """The portion of one layer mapped into a partition.
+
+    A NamedTuple rather than a dataclass: slices are immutable (they feed
+    process-wide span-table caches) and constructed on the span-profiling
+    hot path, where tuple construction is measurably cheaper.
+    """
 
     layer_name: str
     #: output columns of the layer held by this partition
@@ -59,7 +63,7 @@ class LayerSlice:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class PartitionPlan:
     """Replication + core mapping decisions for one partition."""
 
@@ -107,33 +111,51 @@ def build_partition_plan(partition: Partition, chip: ChipConfig) -> PartitionPla
     copy when the budget is tight.
     """
     decomposition = partition.decomposition
-    xbar = chip.core.crossbar
+    index = decomposition.index
     attachments = decomposition.attachments
+    ranges = decomposition.layer_unit_ranges
+    geometries = decomposition.geometries
+    cols_prefix = index.cols_prefix
+    weight_prefix = index.weight_prefix
+    crossbar_prefix = index.crossbar_prefix
+    tile_ops_prefix = index.tile_ops_prefix
+    layer_total_cols = index.layer_total_cols
+    start = partition.start
+    end = partition.end
 
+    # Aggregate each layer's units in the span via the prefix-sum index: a
+    # layer's units are contiguous, so every per-layer sum is O(1).
     slices: List[LayerSlice] = []
-    for layer_name, units in partition.layer_units().items():
-        geom = decomposition.geometries[layer_name]
-        cols = sum(u.cols for u in units)
-        weight_bytes = sum(u.weight_bytes for u in units)
-        crossbars = sum(u.crossbars for u in units)
-        tile_ops = sum(u.tile_ops_per_window for u in units)
+    for layer_name in partition.layer_names():
+        layer_start, layer_end = ranges[layer_name]
+        lo = layer_start if layer_start > start else start
+        hi = layer_end if layer_end < end else end
+        geom = geometries[layer_name]
+        cols = cols_prefix[hi] - cols_prefix[lo]
         slices.append(
             LayerSlice(
                 layer_name=layer_name,
                 cols=cols,
-                fraction=partition.layer_fraction(layer_name),
-                weight_bytes=weight_bytes,
-                crossbars=crossbars,
-                tile_ops_per_window=tile_ops,
+                # == partition.layer_fraction(layer_name): same ints divided
+                fraction=cols / layer_total_cols[layer_name],
+                weight_bytes=weight_prefix[hi] - weight_prefix[lo],
+                crossbars=crossbar_prefix[hi] - crossbar_prefix[lo],
+                tile_ops_per_window=tile_ops_prefix[hi] - tile_ops_prefix[lo],
                 windows=geom.windows,
                 rows=geom.rows,
                 attached=tuple(attachments.get(layer_name, [])),
             )
         )
 
-    geometries = [s.as_geometry() for s in slices]
-    replication = allocate_replication(geometries, crossbar_budget=chip.total_crossbars)
-    core_mapping = map_partition_to_cores(geometries, replication, chip)
+    # The mapping allocators read only (name, windows, crossbars); feed them
+    # directly instead of materialising WeightMatrixGeometry views.
+    names = [s.layer_name for s in slices]
+    copies = [s.crossbars for s in slices]
+    replication = allocate_replication_arrays(
+        names, [s.windows for s in slices], copies,
+        crossbar_budget=chip.total_crossbars,
+    )
+    core_mapping = map_tiles_to_cores(names, copies, replication, chip)
     return PartitionPlan(
         partition=partition,
         chip=chip,

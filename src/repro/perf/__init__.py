@@ -1,0 +1,19 @@
+"""Performance layer: the vectorized span-table evaluation engine.
+
+This package holds the cross-cutting performance machinery described in the
+"Performance architecture" section of ROADMAP.md:
+
+* :class:`~repro.perf.spantable.SpanTable` — memoised per-span partition
+  profiles and (span, batch) estimates with hit/miss statistics;
+* :func:`~repro.perf.spantable.span_table_for` — the per-decomposition
+  registry through which the fitness evaluator, the baselines, the
+  execution simulator and the compiler share one table.
+
+The engine is an exact accelerator: every value it returns is bit-identical
+to the naive per-call estimation path (enforced by
+``tests/test_perf_equivalence.py``).
+"""
+
+from repro.perf.spantable import SpanTable, SpanTableStats, span_table_for
+
+__all__ = ["SpanTable", "SpanTableStats", "span_table_for"]

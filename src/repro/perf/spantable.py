@@ -1,0 +1,271 @@
+"""Span-table evaluation engine: memoised partition-span estimation.
+
+For a model decomposed into L partition units there are only O(L²)
+contiguous spans, and the COMPASS genetic algorithm re-visits the same spans
+thousands of times — across generations, across chromosomes, across batch
+sizes and across the baseline partitioners.  The :class:`SpanTable` exploits
+this twice:
+
+* each span's batch-independent :class:`~repro.onchip.estimator.SpanProfile`
+  (partition plan, global-memory I/O, per-sample pipeline stages and energy
+  terms) is computed exactly once per (model, chip, DRAM config);
+* each concrete (span, batch) :class:`~repro.onchip.estimator.PartitionEstimate`
+  is O(1) arithmetic over the profile and is itself memoised.
+
+Both layers keep hit/miss statistics so benchmarks can assert the engine is
+actually engaged.  Tables are shared through :func:`span_table_for`, which
+attaches them to the decomposition; every consumer — the fitness evaluator,
+the execution simulator, the compiler and the baselines — therefore reads
+from the same cache.
+
+The table is filled lazily by default; :meth:`SpanTable.precompute` eagerly
+profiles every valid span (the O(L²) triangle restricted by the validity
+map) for workloads that prefer a warm table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.decomposition import ModelDecomposition
+from repro.core.partition import Partition, PartitionGroup
+from repro.hardware.dram import DRAMConfig, LPDDR3_8GB
+from repro.onchip.estimator import PartitionEstimate, PartitionEstimator, SpanProfile
+from repro.onchip.plan import PartitionPlan
+
+
+@dataclass
+class SpanTableStats:
+    """Hit/miss counters of one span table (a snapshot, see ``SpanTable.stats``)."""
+
+    #: spans whose batch-independent profile was computed (unique spans seen)
+    profiles_computed: int = 0
+    #: profile requests served from the table
+    profile_hits: int = 0
+    #: (span, batch) estimates finalised from a profile
+    estimates_computed: int = 0
+    #: (span, batch) estimate requests served from the table
+    estimate_hits: int = 0
+    #: (span, batch) scalar latencies derived from a profile
+    latencies_computed: int = 0
+    #: (span, batch) scalar latency requests served from the table
+    latency_hits: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def profile_requests(self) -> int:
+        """Total profile lookups (hits + misses)."""
+        return self.profiles_computed + self.profile_hits
+
+    @property
+    def estimate_requests(self) -> int:
+        """Total estimate lookups (hits + misses)."""
+        return self.estimates_computed + self.estimate_hits
+
+    @property
+    def latency_requests(self) -> int:
+        """Total scalar-latency lookups (hits + misses)."""
+        return self.latencies_computed + self.latency_hits
+
+    @property
+    def profile_hit_rate(self) -> float:
+        """Fraction of profile lookups served from the table."""
+        requests = self.profile_requests
+        return self.profile_hits / requests if requests else 0.0
+
+    @property
+    def estimate_hit_rate(self) -> float:
+        """Fraction of estimate lookups served from the table."""
+        requests = self.estimate_requests
+        return self.estimate_hits / requests if requests else 0.0
+
+    @property
+    def latency_hit_rate(self) -> float:
+        """Fraction of scalar-latency lookups served from the table."""
+        requests = self.latency_requests
+        return self.latency_hits / requests if requests else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary for reports and benchmark assertions."""
+        return {
+            "profiles_computed": self.profiles_computed,
+            "profile_hits": self.profile_hits,
+            "profile_hit_rate": self.profile_hit_rate,
+            "estimates_computed": self.estimates_computed,
+            "estimate_hits": self.estimate_hits,
+            "estimate_hit_rate": self.estimate_hit_rate,
+            "latencies_computed": self.latencies_computed,
+            "latency_hits": self.latency_hits,
+            "latency_hit_rate": self.latency_hit_rate,
+        }
+
+
+class SpanTable:
+    """Memoised span → (profile, estimate) table for one decomposition.
+
+    Produces values bit-identical to calling
+    :meth:`~repro.onchip.estimator.PartitionEstimator.estimate` directly —
+    the table only removes repeated work, never changes arithmetic.
+    """
+
+    def __init__(
+        self,
+        decomposition: ModelDecomposition,
+        dram_config: DRAMConfig = LPDDR3_8GB,
+    ) -> None:
+        self.decomposition = decomposition
+        self.dram_config = dram_config
+        self.estimator = PartitionEstimator(decomposition.chip, dram_config, batch_size=1)
+        self._profiles: Dict[Tuple[int, int], SpanProfile] = {}
+        self._estimates: Dict[Tuple[int, int, int], PartitionEstimate] = {}
+        #: slim latency records: span -> (weight_replace_ns, fill_ns, bottleneck_ns).
+        #: The GA's latency-mode fitness only needs these three floats per
+        #: span; keeping them instead of full profiles makes the table's
+        #: retained object graph tiny (GC pressure matters at 10⁴+ spans).
+        self._slim: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
+        # hit/miss counters (plain ints: incremented on the hottest paths)
+        self._profile_hits = 0
+        self._profile_misses = 0
+        self._estimate_hits = 0
+        self._estimate_misses = 0
+        self._latency_hits = 0
+        self._latency_misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> SpanTableStats:
+        """Snapshot of the table's hit/miss counters."""
+        return SpanTableStats(
+            profiles_computed=self._profile_misses,
+            profile_hits=self._profile_hits,
+            estimates_computed=self._estimate_misses,
+            estimate_hits=self._estimate_hits,
+            latencies_computed=self._latency_misses,
+            latency_hits=self._latency_hits,
+        )
+
+    def __len__(self) -> int:
+        return len(self._slim)
+
+    @property
+    def num_spans(self) -> int:
+        """Number of distinct spans profiled so far (slim or full)."""
+        return len(self._slim)
+
+    @property
+    def num_estimates(self) -> int:
+        """Number of distinct (span, batch) estimates materialised so far."""
+        return len(self._estimates)
+
+    # ------------------------------------------------------------------
+    def _compute_profile(self, start: int, end: int) -> SpanProfile:
+        partition = Partition(self.decomposition, start, end)
+        return self.estimator.profile(partition)
+
+    def profile(self, start: int, end: int) -> SpanProfile:
+        """Batch-independent profile of the span ``[start, end)`` (cached)."""
+        key = (start, end)
+        profile = self._profiles.get(key)
+        if profile is None:
+            profile = self._compute_profile(start, end)
+            self._profiles[key] = profile
+            self._slim[key] = (profile.weight_replace_ns, profile.fill_ns,
+                               profile.bottleneck_ns)
+            self._profile_misses += 1
+        else:
+            self._profile_hits += 1
+        return profile
+
+    def plan(self, start: int, end: int) -> PartitionPlan:
+        """On-chip plan of the span ``[start, end)`` (cached via the profile)."""
+        return self.profile(start, end).plan
+
+    def estimate(self, start: int, end: int, batch_size: int) -> PartitionEstimate:
+        """Latency/energy estimate of ``[start, end)`` for a batch (cached)."""
+        key = (start, end, batch_size)
+        estimate = self._estimates.get(key)
+        if estimate is None:
+            profile = self.profile(start, end)
+            estimate = self.estimator.estimate_from_profile(profile, batch_size)
+            self._estimates[key] = estimate
+            self._estimate_misses += 1
+        else:
+            self._estimate_hits += 1
+        return estimate
+
+    def latency_ns(self, start: int, end: int, batch_size: int) -> float:
+        """Total latency of ``[start, end)`` for a batch, as a scalar.
+
+        Bit-identical to ``estimate(...).latency_ns`` but needs only the
+        span's slim latency record — three floats — instead of a full
+        profile or estimate object.  This is the value the latency-mode
+        fitness oracle consumes for every chromosome gene, so spans that the
+        GA merely explores never pin plans, I/O analyses or energy
+        breakdowns in memory.
+        """
+        slim = self._slim.get((start, end))
+        if slim is None:
+            profile = self._compute_profile(start, end)
+            # retain only the slim record; the full profile is rebuilt (and
+            # then cached) iff an estimate or plan is requested for this span
+            slim = (profile.weight_replace_ns, profile.fill_ns, profile.bottleneck_ns)
+            self._slim[(start, end)] = slim
+            self._latency_misses += 1
+        else:
+            self._latency_hits += 1
+        weight_replace_ns, fill_ns, bottleneck_ns = slim
+        # same association as PhaseLatency.total_ns = replace + pipeline
+        return weight_replace_ns + (fill_ns + (batch_size - 1) * bottleneck_ns)
+
+    def estimate_group(self, group: PartitionGroup,
+                       batch_size: int) -> List[PartitionEstimate]:
+        """Estimates of every partition of a group, in order."""
+        return [self.estimate(s, e, batch_size) for s, e in group.spans()]
+
+    # ------------------------------------------------------------------
+    def precompute(self, validity=None,
+                   batch_sizes: Iterable[int] = ()) -> int:
+        """Eagerly profile every valid span (and optionally warm estimates).
+
+        ``validity`` is a :class:`~repro.core.validity.ValidityMap`; one is
+        built if not supplied.  Returns the number of spans profiled.
+        Lazy filling is the default everywhere — this exists for workloads
+        that prefer paying the O(L²) cost up front (e.g. before forking
+        sweep workers).
+        """
+        if validity is None:
+            from repro.core.validity import ValidityMap
+
+            validity = ValidityMap(self.decomposition)
+        batches = list(batch_sizes)
+        count = 0
+        for start in range(self.decomposition.num_units):
+            for end in range(start + 1, validity.max_end(start) + 1):
+                self.profile(start, end)
+                for batch in batches:
+                    self.estimate(start, end, batch)
+                count += 1
+        return count
+
+
+def span_table_for(
+    decomposition: ModelDecomposition,
+    dram_config: DRAMConfig = LPDDR3_8GB,
+) -> SpanTable:
+    """The shared :class:`SpanTable` of a (decomposition, DRAM config) pair.
+
+    The table is attached to the decomposition object, so its lifetime —
+    and the lifetime of everything it caches — is exactly the lifetime of
+    the decomposition.  All consumers holding the same decomposition (GA
+    fitness evaluator, baselines, simulator, compiler, sweep runner) share
+    one table and therefore one set of span profiles.
+    """
+    tables: Dict[DRAMConfig, SpanTable] = decomposition.__dict__.setdefault(
+        "_span_tables", {}
+    )
+    table = tables.get(dram_config)
+    if table is None:
+        table = SpanTable(decomposition, dram_config)
+        tables[dram_config] = table
+    return table

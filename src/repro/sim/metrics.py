@@ -39,10 +39,17 @@ def speedup(baseline: float, improved: float) -> float:
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean of positive values (used for cross-workload averages)."""
+    """Geometric mean of positive values (used for cross-workload averages).
+
+    ``exp(mean(log x))`` can drift just past ``max(values)`` (or below
+    ``min(values)``) through float rounding; the log-sum uses ``math.fsum``
+    and the result is clamped into ``[min(values), max(values)]``, which the
+    exact geometric mean always satisfies.
+    """
     items = [v for v in values]
     if not items:
         raise ValueError("geometric_mean of an empty sequence")
     if any(v <= 0 for v in items):
         raise ValueError("geometric_mean requires positive values")
-    return math.exp(sum(math.log(v) for v in items) / len(items))
+    mean = math.exp(math.fsum(math.log(v) for v in items) / len(items))
+    return min(max(mean, min(items)), max(items))

@@ -18,6 +18,7 @@ from repro.hardware.dram import DRAMConfig, DRAMModel, DRAMStats, LPDDR3_8GB
 from repro.hardware.power import EnergyBreakdown
 from repro.onchip.estimator import PartitionEstimate, PartitionEstimator
 from repro.onchip.plan import PartitionPlan, build_partition_plan
+from repro.perf.spantable import SpanTable, span_table_for
 from repro.sim.metrics import edp_mj_ms, energy_per_inference_mj, throughput_inferences_per_sec
 
 
@@ -135,24 +136,32 @@ class ExecutionSimulator:
         scheme: str = "",
         plans: Optional[List[PartitionPlan]] = None,
         dram_trace=None,
+        span_table: Optional[SpanTable] = None,
     ) -> ExecutionReport:
         """Simulate one partition group and return the execution report.
 
         ``plans`` may be passed to reuse plans built elsewhere (e.g. by the
-        compiler); otherwise they are built here.  ``dram_trace`` (an iterable
-        of :class:`~repro.hardware.dram.DRAMRequest`) is replayed through the
+        compiler); otherwise estimation goes through the decomposition's
+        shared span table (:mod:`repro.perf`), which reuses any plan and
+        profile work done by the partition optimiser.  A ``span_table`` may
+        also be passed explicitly (the compiler does) to reuse its caches
+        even when plans are supplied.  ``dram_trace`` (an iterable of
+        :class:`~repro.hardware.dram.DRAMRequest`) is replayed through the
         LPDDR3 model when provided, populating ``dram_stats``.
         """
         partitions = group.partitions()
-        if plans is None:
-            plans = [build_partition_plan(p, self.chip) for p in partitions]
-        if len(plans) != len(partitions):
+        if plans is not None and len(plans) != len(partitions):
             raise ValueError("number of plans does not match number of partitions")
+        if span_table is None and plans is None:
+            span_table = span_table_for(group.decomposition, self.dram_config)
 
-        estimates = [
-            self.estimator.estimate(partition, plan=plan, batch_size=self.batch_size)
-            for partition, plan in zip(partitions, plans)
-        ]
+        if span_table is not None:
+            estimates = span_table.estimate_group(group, self.batch_size)
+        else:
+            estimates = [
+                self.estimator.estimate(partition, plan=plan, batch_size=self.batch_size)
+                for partition, plan in zip(partitions, plans)
+            ]
 
         dram_stats = None
         if dram_trace is not None:

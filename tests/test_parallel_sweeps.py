@@ -1,0 +1,68 @@
+"""Tests for the parallel sweep runner (repro.evaluation.parallel)."""
+
+import pytest
+
+from repro.core.ga import GAConfig
+from repro.evaluation.experiments import ExperimentConfig, make_sweep_runner
+from repro.evaluation.parallel import ParallelSweepRunner
+from repro.evaluation.sweeps import SweepRunner
+
+TINY_GA = GAConfig(population_size=6, generations=2, n_select=2, n_mutate=4,
+                   early_stop_patience=2, seed=0)
+MODELS = ("lenet5",)
+CHIPS = ("S", "M")
+SCHEMES = ("greedy", "compass")
+BATCHES = (1, 4)
+
+
+def serial_rows():
+    runner = SweepRunner(ga_config=TINY_GA)
+    return runner.run(MODELS, CHIPS, SCHEMES, BATCHES)
+
+
+class TestParallelSweepRunner:
+    def test_rows_identical_to_serial(self):
+        parallel = ParallelSweepRunner(ga_config=TINY_GA, max_workers=2)
+        assert parallel.run(MODELS, CHIPS, SCHEMES, BATCHES) == serial_rows()
+
+    def test_single_worker_falls_back_to_serial(self):
+        parallel = ParallelSweepRunner(ga_config=TINY_GA, max_workers=1)
+        assert parallel.run(MODELS, CHIPS, SCHEMES, BATCHES) == serial_rows()
+
+    def test_single_chunk_falls_back_to_serial(self):
+        parallel = ParallelSweepRunner(ga_config=TINY_GA, max_workers=4)
+        rows = parallel.run(MODELS, ("S",), SCHEMES, BATCHES)
+        assert rows == SweepRunner(ga_config=TINY_GA).run(MODELS, ("S",), SCHEMES, BATCHES)
+
+    def test_row_order_is_serial_order(self):
+        parallel = ParallelSweepRunner(ga_config=TINY_GA, max_workers=2)
+        rows = parallel.run(MODELS, CHIPS, SCHEMES, BATCHES)
+        keys = [(r["model"], r["chip"], r["batch"], r["scheme"]) for r in rows]
+        expected = [
+            (model, chip, batch, scheme)
+            for model in MODELS for chip in CHIPS
+            for batch in BATCHES for scheme in SCHEMES
+        ]
+        assert keys == expected
+
+
+class TestMakeSweepRunner:
+    def test_serial_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_SWEEPS", raising=False)
+        runner = make_sweep_runner(ExperimentConfig.fast())
+        assert isinstance(runner, SweepRunner)
+
+    def test_parallel_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_SWEEPS", "1")
+        runner = make_sweep_runner(ExperimentConfig.fast())
+        assert isinstance(runner, ParallelSweepRunner)
+
+    def test_env_zero_stays_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_SWEEPS", "0")
+        assert isinstance(make_sweep_runner(ExperimentConfig.fast()), SweepRunner)
+
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_SWEEPS", "0")
+        runner = make_sweep_runner(ExperimentConfig.fast(), parallel=True, max_workers=2)
+        assert isinstance(runner, ParallelSweepRunner)
+        assert runner.max_workers == 2

@@ -1,0 +1,223 @@
+"""Equivalence of the span-table engine with the naive estimation path.
+
+The performance layer (:mod:`repro.perf`, prefix-sum span queries, the
+single-layer I/O template, the batched replication allocator and the
+round-robin core-mapping fast path) must be *exact*: every optimisation is
+a memoisation or an algebraic restructuring, never an approximation.  These
+tests pin that down:
+
+* per-span ``PartitionEstimate``s from the span table are bit-identical to
+  naive per-call estimation;
+* partition I/O matches a direct, graph-based reference implementation of
+  the Sec. III-B3 entry/exit analysis;
+* prefix-sum span aggregates match direct summation over units;
+* a fixed-seed GA run produces identical results with and without the
+  span table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.decomposition import decompose_model
+from repro.core.fitness import FitnessEvaluator, FitnessMode
+from repro.core.ga import CompassGA, GAConfig
+from repro.core.partition import Partition, PartitionGroup
+from repro.core.validity import ValidityMap
+from repro.hardware.config import get_chip_config
+from repro.models import build_model
+from repro.onchip.estimator import PartitionEstimator
+from repro.perf import span_table_for
+from repro.sim.simulator import ExecutionSimulator
+
+
+MODELS = [("lenet5", "S"), ("alexnet", "S")]
+
+
+@pytest.fixture(scope="module", params=MODELS, ids=[f"{m}-{c}" for m, c in MODELS])
+def decomposed(request):
+    model, chip_name = request.param
+    graph = build_model(model)
+    chip = get_chip_config(chip_name)
+    decomposition = decompose_model(graph, chip)
+    return decomposition, ValidityMap(decomposition)
+
+
+def random_spans(decomposition, validity, count, seed=0):
+    rng = np.random.default_rng(seed)
+    spans = []
+    for _ in range(count):
+        start = int(rng.integers(0, decomposition.num_units))
+        end = int(rng.integers(start + 1, validity.max_end(start) + 1))
+        spans.append((start, end))
+    return spans
+
+
+def estimates_equal(a, b) -> bool:
+    """Bit-exact comparison of two PartitionEstimates."""
+    return (
+        a.batch_size == b.batch_size
+        and a.io.entries == b.io.entries
+        and a.io.exits == b.io.exits
+        and a.stage_latency_ns == b.stage_latency_ns
+        and all(
+            getattr(a.latency, f) == getattr(b.latency, f)
+            for f in ("weight_load_ns", "weight_write_ns", "weight_replace_ns",
+                      "input_load_ns", "compute_ns", "output_store_ns", "pipeline_ns")
+        )
+        and a.energy.as_dict() == b.energy.as_dict()
+    )
+
+
+class TestSpanTableEquivalence:
+    def test_estimates_bit_identical_to_naive(self, decomposed):
+        decomposition, validity = decomposed
+        table = span_table_for(decomposition)
+        naive = PartitionEstimator(decomposition.chip)
+        for batch in (1, 16):
+            for start, end in random_spans(decomposition, validity, 40):
+                fast = table.estimate(start, end, batch)
+                reference = naive.estimate(
+                    Partition(decomposition, start, end), batch_size=batch
+                )
+                assert estimates_equal(fast, reference), (start, end, batch)
+
+    def test_latency_scalar_matches_estimate(self, decomposed):
+        decomposition, validity = decomposed
+        table = span_table_for(decomposition)
+        for start, end in random_spans(decomposition, validity, 40, seed=1):
+            for batch in (1, 4, 16):
+                assert table.latency_ns(start, end, batch) == (
+                    table.estimate(start, end, batch).latency_ns
+                )
+
+    def test_span_aggregates_match_direct_sums(self, decomposed):
+        decomposition, validity = decomposed
+        units = decomposition.units
+        for start, end in random_spans(decomposition, validity, 60, seed=2):
+            assert decomposition.span_weight_bytes(start, end) == sum(
+                u.weight_bytes for u in units[start:end]
+            )
+            assert decomposition.span_crossbars(start, end) == sum(
+                u.crossbars for u in units[start:end]
+            )
+            partition = Partition(decomposition, start, end)
+            for layer in partition.layer_names():
+                owned = sum(u.cols for u in units[start:end] if u.layer_name == layer)
+                total = sum(u.cols for u in decomposition.units_of_layer(layer))
+                assert partition.layer_fraction(layer) == owned / total
+
+
+class TestPartitionIOReference:
+    def test_io_matches_graph_reference(self, decomposed):
+        """Partition.io() equals a direct graph-traversal reference.
+
+        The reference is a straight port of the specification (entry: input
+        edge whose producer is outside or partially owned; exit: node output
+        consumed outside or partially owned), computed from the graph with
+        no prefix sums, templates or caches.
+        """
+        decomposition, validity = decomposed
+        graph = decomposition.graph
+        bits = decomposition.activation_bits
+
+        def reference_io(partition):
+            owned = set(partition.layer_names())
+            for layer in partition.layer_names():
+                owned.update(decomposition.attachments.get(layer, []))
+
+            def fraction(name):
+                node = graph.node(name)
+                if not node.layer.is_crossbar_mapped:
+                    return 0.0
+                owned_cols = sum(
+                    u.cols for u in decomposition.units[partition.start:partition.end]
+                    if u.layer_name == name
+                )
+                total = sum(u.cols for u in decomposition.units_of_layer(name)) \
+                    if name in decomposition.layer_unit_ranges else 0
+                return owned_cols / total if total else 0.0
+
+            def partially_owned(name):
+                node = graph.node(name)
+                return node.layer.is_crossbar_mapped and fraction(name) < 1.0
+
+            entries = {}
+            for name in sorted(owned):
+                node = graph.node(name)
+                for src in node.inputs:
+                    full = graph.node(src).output_shape.size_bytes(bits)
+                    if src not in owned:
+                        size = full
+                    elif partially_owned(src) and node.layer.is_crossbar_mapped:
+                        size = max(1, int(round(full * (1.0 - fraction(src)))))
+                    else:
+                        continue
+                    entries[src] = max(entries.get(src, 0), size)
+            exits = {}
+            for name in sorted(owned):
+                node = graph.node(name)
+                outside = any(
+                    succ not in owned or partially_owned(succ) for succ in node.outputs
+                )
+                if not (not node.outputs or outside):
+                    continue
+                size = node.output_shape.size_bytes(bits)
+                if node.layer.is_crossbar_mapped:
+                    size = int(round(size * fraction(name)))
+                exits[name] = max(size, 1)
+            return tuple(sorted(entries.items())), tuple(sorted(exits.items()))
+
+        for start, end in random_spans(decomposition, validity, 60, seed=3):
+            partition = Partition(decomposition, start, end)
+            io = partition.io()
+            ref_entries, ref_exits = reference_io(partition)
+            assert io.entries == ref_entries, (start, end)
+            assert io.exits == ref_exits, (start, end)
+
+
+class TestGAEquivalence:
+    CONFIG = GAConfig(population_size=12, generations=5, n_select=4, n_mutate=8, seed=11)
+
+    def _run(self, decomposition, use_span_table, mode=FitnessMode.LATENCY):
+        evaluator = FitnessEvaluator(
+            decomposition, batch_size=4, mode=mode, use_span_table=use_span_table
+        )
+        return CompassGA(decomposition, evaluator, self.CONFIG).run()
+
+    def test_fixed_seed_ga_identical_with_and_without_table(self, decomposed):
+        decomposition, _ = decomposed
+        fast = self._run(decomposition, use_span_table=True)
+        naive = self._run(decomposition, use_span_table=False)
+        assert fast.best_group.boundaries == naive.best_group.boundaries
+        assert fast.best_fitness == naive.best_fitness
+        assert [r.best_fitness for r in fast.history] == [
+            r.best_fitness for r in naive.history
+        ]
+        assert [r.mean_fitness for r in fast.history] == [
+            r.mean_fitness for r in naive.history
+        ]
+        assert [r.fitnesses for r in fast.history] == [r.fitnesses for r in naive.history]
+
+    def test_edp_mode_identical_with_and_without_table(self, decomposed):
+        decomposition, _ = decomposed
+        fast = self._run(decomposition, use_span_table=True, mode=FitnessMode.EDP)
+        naive = self._run(decomposition, use_span_table=False, mode=FitnessMode.EDP)
+        assert fast.best_group.boundaries == naive.best_group.boundaries
+        assert fast.best_fitness == naive.best_fitness
+
+
+class TestSimulatorEquivalence:
+    def test_simulator_table_path_matches_explicit_plans(self, decomposed):
+        decomposition, validity = decomposed
+        from repro.core.baselines import greedy_partition
+        from repro.onchip.plan import build_partition_plan
+
+        group = greedy_partition(decomposition, validity)
+
+        plans = [build_partition_plan(p, decomposition.chip) for p in group.partitions()]
+        simulator = ExecutionSimulator(decomposition.chip, batch_size=4)
+        via_plans = simulator.simulate(group, plans=plans)
+        via_table = simulator.simulate(group)
+        assert via_plans.total_latency_ns == via_table.total_latency_ns
+        assert via_plans.total_energy_pj == via_table.total_energy_pj
+        assert via_plans.partition_latencies_ns() == via_table.partition_latencies_ns()
