@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Diff two ``BENCH_<date>.json`` records and print per-benchmark speedups.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_20260729.json BENCH_20260730.json
+    python benchmarks/compare_bench.py old.json new.json --fail-above 20
+
+Reads two pytest-benchmark JSON files (as written by
+``benchmarks/run_bench.py``) and prints, per benchmark, the old and new mean
+runtime and the speedup (old / new; values below 1.0 are regressions).
+Benchmarks present in only one record are listed separately.  With
+``--fail-above P`` the exit status is non-zero when any common benchmark
+regressed by more than P percent — this is what
+``scripts/check_bench_regression.py`` builds on.
+
+A warning is printed when the two records come from different machine
+profiles (CPU brand or core count), since cross-machine timings are not
+comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Tuple
+
+
+def load_means(path: str) -> Tuple[Dict[str, float], Dict[str, object]]:
+    """(benchmark fullname -> mean seconds, machine profile) of one record."""
+    with open(path) as handle:
+        data = json.load(handle)
+    means = {
+        bench["fullname"]: bench["stats"]["mean"] for bench in data.get("benchmarks", [])
+    }
+    cpu = data.get("machine_info", {}).get("cpu", {})
+    profile = {
+        "brand": cpu.get("brand_raw", ""),
+        "count": cpu.get("count", 0),
+    }
+    return means, profile
+
+
+def compare(old_path: str, new_path: str, fail_above_pct: float = None) -> int:
+    old, old_profile = load_means(old_path)
+    new, new_profile = load_means(new_path)
+
+    if old_profile != new_profile:
+        print(f"WARNING: machine profiles differ ({old_profile} vs {new_profile}); "
+              "timings are not comparable across machines")
+
+    common = sorted(set(old) & set(new))
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+
+    regressions = []
+    if common:
+        width = max(len(name) for name in common)
+        print(f"{'benchmark':<{width}}  {'old (s)':>10}  {'new (s)':>10}  {'speedup':>8}")
+        for name in common:
+            speedup = old[name] / new[name] if new[name] else float("inf")
+            change_pct = (new[name] / old[name] - 1.0) * 100 if old[name] else 0.0
+            marker = ""
+            if fail_above_pct is not None and change_pct > fail_above_pct:
+                marker = f"  << REGRESSION (+{change_pct:.0f}%)"
+                regressions.append((name, change_pct))
+            print(f"{name:<{width}}  {old[name]:>10.4f}  {new[name]:>10.4f}  {speedup:>7.2f}x{marker}")
+    for name in only_old:
+        print(f"only in {old_path}: {name} ({old[name]:.4f}s)")
+    for name in only_new:
+        print(f"only in {new_path}: {name} ({new[name]:.4f}s)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{fail_above_pct:.0f}% vs {old_path}")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_<date>.json")
+    parser.add_argument("new", help="candidate BENCH_<date>.json")
+    parser.add_argument(
+        "--fail-above", type=float, default=None, metavar="PCT",
+        help="exit non-zero if any common benchmark regressed more than PCT percent",
+    )
+    args = parser.parse_args(argv)
+    return compare(args.old, args.new, args.fail_above)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,14 @@ Usage::
 
 Writes ``BENCH_<YYYYMMDD>.json`` (pytest-benchmark's ``--benchmark-json``
 format) into the repository root, so successive runs leave a consistent
-performance trajectory in the repo.
+performance trajectory in the repo.  Full runs include the full-size GA
+benchmark (``test_ga_fullsize.py``: paper-default population 100 x 30
+generations).  Compare two records with::
+
+    python benchmarks/compare_bench.py BENCH_<old>.json BENCH_<new>.json
+
+and guard against regressions with ``scripts/check_bench_regression.py``
+(or ``REPRO_CHECK_BENCH=1 pytest tests/test_bench_regression.py``).
 
 Environment variables:
 
@@ -19,6 +26,9 @@ Environment variables:
 ``COMPASS_PAPER_SCALE=1``
     Forwarded to the harness (paper-scale GA instead of the fast preset,
     see ``benchmarks/conftest.py``).
+``REPRO_SPAN_MATRIX=0``
+    Disable the dense span-matrix engine (scalar span-table path), e.g. to
+    measure the dense layer's contribution in isolation.
 """
 
 from __future__ import annotations

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Fail when the quick-bench headliners regress against the committed baseline.
+
+Runs the quick benchmark suite (``REPRO_BENCH_QUICK=1``, i.e. the fig6/fig10
+headliners) into a temporary JSON record and compares it against the most
+recent ``BENCH_<date>.json`` committed in the repository root.  Exits
+non-zero if any common benchmark's mean regressed by more than the threshold
+(default 20%, override with ``REPRO_BENCH_REGRESSION_PCT``).
+
+The comparison is only meaningful on the machine profile that produced the
+baseline; on a different CPU brand/core count the check is skipped (exit 0
+with a notice).  Wire-up into the test suite is opt-in:
+``REPRO_CHECK_BENCH=1 pytest tests/test_bench_regression.py``.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+
+from compare_bench import compare, load_means  # noqa: E402
+
+
+def latest_baseline() -> str:
+    """Path of the newest committed BENCH_<date>.json (by filename date)."""
+    records = glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))
+    dated = [r for r in records if re.search(r"BENCH_\d{8}\.json$", r)]
+    if not dated:
+        raise SystemExit("no BENCH_<date>.json baseline found in the repository root")
+    return max(dated, key=lambda path: os.path.basename(path))
+
+
+def main() -> int:
+    baseline = latest_baseline()
+    threshold = float(os.environ.get("REPRO_BENCH_REGRESSION_PCT", "20"))
+
+    _, baseline_profile = load_means(baseline)
+    try:
+        import cpuinfo
+
+        current = cpuinfo.get_cpu_info()
+        current_profile = {
+            "brand": current.get("brand_raw", ""),
+            "count": os.cpu_count() or 0,
+        }
+    except ImportError:
+        current_profile = None
+    if current_profile is not None and current_profile != baseline_profile:
+        print(f"machine profile differs from baseline {os.path.basename(baseline)} "
+              f"({current_profile} vs {baseline_profile}); skipping regression check")
+        return 0
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "bench_current.json")
+        env = dict(os.environ)
+        env["REPRO_BENCH_QUICK"] = "1"
+        env["REPRO_BENCH_OUT"] = out
+        print(f"running quick benchmarks against baseline {os.path.basename(baseline)} "
+              f"(threshold {threshold:.0f}%)")
+        run = subprocess.run(
+            [sys.executable, os.path.join(REPO_ROOT, "benchmarks", "run_bench.py"), "-q"],
+            env=env, cwd=REPO_ROOT,
+        )
+        if run.returncode != 0:
+            print("quick benchmark run failed")
+            return run.returncode
+        return compare(baseline, out, fail_above_pct=threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

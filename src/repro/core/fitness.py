@@ -19,14 +19,18 @@ path; both paths are bit-identical.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.decomposition import ModelDecomposition
 from repro.core.partition import Partition, PartitionGroup
 from repro.hardware.chip import ChipConfig
 from repro.hardware.dram import DRAMConfig, LPDDR3_8GB
 from repro.onchip.estimator import PartitionEstimate, PartitionEstimator
+from repro.perf.spanmatrix import SpanMatrix, span_matrix_for
 from repro.perf.spantable import SpanTable, span_table_for
 
 
@@ -52,6 +56,13 @@ class GroupEvaluation:
     _estimates: Optional[List[PartitionEstimate]] = None
     _span_table: Optional["SpanTable"] = None
     _batch_size: int = 0
+    #: cached PGF — the GA reads ``fitness`` many times per individual
+    #: (sorting, selection, records), so the sum is computed once
+    _fitness: Optional[float] = field(default=None, repr=False, compare=False)
+    _fitness_array: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+    _span_bounds: Optional[Tuple[np.ndarray, np.ndarray]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def estimates(self) -> List[PartitionEstimate]:
@@ -64,8 +75,34 @@ class GroupEvaluation:
 
     @property
     def fitness(self) -> float:
-        """Partition-group fitness (PGF): sum of partition fitnesses."""
-        return sum(self.partition_fitness)
+        """Partition-group fitness (PGF): sum of partition fitnesses (cached)."""
+        value = self._fitness
+        if value is None:
+            value = sum(self.partition_fitness)
+            self._fitness = value
+        return value
+
+    @property
+    def fitness_array(self) -> np.ndarray:
+        """Per-partition fitnesses as a float64 array (cached)."""
+        array = self._fitness_array
+        if array is None:
+            array = np.asarray(self.partition_fitness, dtype=float)
+            self._fitness_array = array
+        return array
+
+    @property
+    def span_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(starts, ends) index arrays of the group's partition spans (cached)."""
+        bounds = self._span_bounds
+        if bounds is None:
+            ends = np.asarray(self.group.boundaries, dtype=np.int64)
+            starts = np.empty_like(ends)
+            starts[0] = 0
+            starts[1:] = ends[:-1]
+            bounds = (starts, ends)
+            self._span_bounds = bounds
+        return bounds
 
     @property
     def total_latency_ns(self) -> float:
@@ -93,6 +130,7 @@ class FitnessEvaluator:
         mode: FitnessMode = FitnessMode.LATENCY,
         dram_config: DRAMConfig = LPDDR3_8GB,
         use_span_table: bool = True,
+        use_span_matrix: Optional[bool] = None,
     ) -> None:
         self.decomposition = decomposition
         self.chip: ChipConfig = decomposition.chip
@@ -101,6 +139,15 @@ class FitnessEvaluator:
         self.estimator = PartitionEstimator(self.chip, dram_config, batch_size)
         self.span_table: Optional[SpanTable] = (
             span_table_for(decomposition, dram_config) if use_span_table else None
+        )
+        # the dense matrix layer rides on the span table; default on, opt
+        # out per evaluator or globally with REPRO_SPAN_MATRIX=0
+        if use_span_matrix is None:
+            use_span_matrix = os.environ.get("REPRO_SPAN_MATRIX", "1") not in ("", "0")
+        self.span_matrix: Optional[SpanMatrix] = (
+            span_matrix_for(decomposition, dram_config)
+            if (use_span_table and use_span_matrix)
+            else None
         )
         #: naive-path span cache (used when the span table is disabled)
         self._cache: Dict[Tuple[int, int], PartitionEstimate] = {}
@@ -186,3 +233,80 @@ class FitnessEvaluator:
             if share_total > 0 and group_edp > 0:
                 fitness = [f / share_total * group_edp for f in fitness]
         return GroupEvaluation(group=group, partition_fitness=fitness, _estimates=estimates)
+
+    # ------------------------------------------------------------------
+    def evaluate_many(self, groups: Sequence[PartitionGroup]) -> List[GroupEvaluation]:
+        """Evaluate a whole population of partition groups at once.
+
+        With the dense span matrix engaged, the populations' cut vectors are
+        flattened into parallel (start, end) index arrays, missing spans are
+        profiled once (the delta), and every per-partition fitness comes from
+        one fancy-indexed gather plus elementwise math — no per-span Python.
+        The per-group fitness sums stay sequential so results are
+        bit-identical to calling :meth:`evaluate` per group (NumPy's pairwise
+        reductions are not).  Without the matrix this degenerates to exactly
+        that per-group loop.
+        """
+        matrix = self.span_matrix
+        if matrix is None or not groups:
+            return [self.evaluate(group) for group in groups]
+
+        counts = [group.num_partitions for group in groups]
+        total = sum(counts)
+        ends = np.fromiter(
+            (end for group in groups for end in group.boundaries),
+            dtype=np.int64, count=total,
+        )
+        starts = np.empty(total, dtype=np.int64)
+        starts[0] = 0
+        starts[1:] = ends[:-1]
+        first = np.zeros(len(groups), dtype=np.int64)
+        np.cumsum(counts[:-1], out=first[1:])
+        starts[first] = 0
+
+        stride = self._span_stride
+        self._seen_spans.update((starts * stride + ends).tolist())
+        table = self.span_table
+        batch = self.batch_size
+
+        if self.mode is FitnessMode.LATENCY:
+            values = matrix.gather_latency(starts, ends, batch).tolist()
+            evaluations: List[GroupEvaluation] = []
+            position = 0
+            for group, count in zip(groups, counts):
+                fitness = values[position:position + count]
+                position += count
+                evaluations.append(
+                    GroupEvaluation(
+                        group=group, partition_fitness=fitness,
+                        _span_table=table, _batch_size=batch,
+                    )
+                )
+            return evaluations
+
+        energy, latency = matrix.gather_energy_latency(starts, ends, batch)
+        # same elementwise association as estimate.edp * 1e-12 per span
+        span_fitness = ((energy * latency) * 1e-12).tolist()
+        energy_list = energy.tolist()
+        latency_list = latency.tolist()
+        evaluations = []
+        position = 0
+        for group, count in zip(groups, counts):
+            stop = position + count
+            fitness = span_fitness[position:stop]
+            group_edp = (
+                sum(energy_list[position:stop])
+                * sum(latency_list[position:stop])
+                * 1e-12
+            )
+            share_total = sum(fitness)
+            if share_total > 0 and group_edp > 0:
+                fitness = [f / share_total * group_edp for f in fitness]
+            position = stop
+            evaluations.append(
+                GroupEvaluation(
+                    group=group, partition_fitness=fitness,
+                    _span_table=table, _batch_size=batch,
+                )
+            )
+        return evaluations

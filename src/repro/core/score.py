@@ -11,11 +11,19 @@ For a partition ``P = {x_i | a <= i < b}``:
 A score above one means these units perform worse here than they do on
 average across the population, so the partition is a good mutation target;
 Algorithm 1 sorts partitions ascending by R and mutates the last (worst) one.
+
+The implementations operate on the population's span arrays in one shot:
+every partition group tiles ``[0, num_units)``, so the whole population's
+unit-fitness profiles are a single ``np.repeat`` of the concatenated
+``f / |P|`` values reshaped to ``(population, num_units)``, and the R
+scores of many groups are gathers into one prefix-sum of the expectation.
+Element values (and hence all downstream sorts) are bit-identical to the
+historical per-group loops.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -27,9 +35,9 @@ def unit_fitness_profile(evaluation: GroupEvaluation, num_units: int) -> np.ndar
     spans = evaluation.group.spans()
     if spans and spans[0][0] == 0 and spans[-1][1] == num_units:
         # partitions tile [0, num_units) exactly — one vectorised repeat
-        values = [f / (e - s) for (s, e), f in zip(spans, evaluation.partition_fitness)]
-        sizes = [e - s for s, e in spans]
-        return np.repeat(np.asarray(values, dtype=float), sizes)
+        starts, ends = evaluation.span_bounds
+        sizes = ends - starts
+        return np.repeat(evaluation.fitness_array / sizes, sizes)
     profile = np.zeros(num_units, dtype=float)
     for (start, end), fitness in zip(spans, evaluation.partition_fitness):
         size = end - start
@@ -41,9 +49,23 @@ def unit_fitness_profile(evaluation: GroupEvaluation, num_units: int) -> np.ndar
 def population_unit_expectation(
     evaluations: Sequence[GroupEvaluation], num_units: int
 ) -> np.ndarray:
-    """Population mean of m(x_i) for every unit index (the E[...] of the paper)."""
+    """Population mean of m(x_i) for every unit index (the E[...] of the paper).
+
+    When every group tiles ``[0, num_units)`` (always true for GA
+    populations) the whole population's profiles are built with one
+    concatenated repeat and reshaped to ``(population, num_units)`` — no
+    per-group Python loop.  Values and the axis-0 mean are bit-identical to
+    stacking :func:`unit_fitness_profile` rows.
+    """
     if not evaluations:
         raise ValueError("population is empty")
+    if all(ev.group.boundaries[-1] == num_units for ev in evaluations):
+        sizes = np.concatenate(
+            [ev.span_bounds[1] - ev.span_bounds[0] for ev in evaluations]
+        )
+        values = np.concatenate([ev.fitness_array for ev in evaluations]) / sizes
+        profiles = np.repeat(values, sizes).reshape(len(evaluations), num_units)
+        return profiles.mean(axis=0)
     profiles = np.stack([unit_fitness_profile(ev, num_units) for ev in evaluations])
     return profiles.mean(axis=0)
 
@@ -60,8 +82,27 @@ def partition_scores(
     the math total).
     """
     prefix = np.concatenate(([0.0], np.cumsum(expectation)))
-    scores: List[float] = []
-    for (start, end), fitness in zip(evaluation.group.spans(), evaluation.partition_fitness):
-        expected = prefix[end] - prefix[start]
-        scores.append(fitness / max(expected, 1e-12))
+    starts, ends = evaluation.span_bounds
+    expected = prefix[ends] - prefix[starts]
+    scores = evaluation.fitness_array / np.maximum(expected, 1e-12)
+    return scores.tolist()
+
+
+def population_partition_scores(
+    evaluations: Sequence[GroupEvaluation],
+    expectation: np.ndarray,
+) -> List[np.ndarray]:
+    """R scores of many groups against one expectation, as float64 arrays.
+
+    The expectation prefix sum is built once and every group's scores are a
+    pair of gathers — this is what lets the GA score all survivors once per
+    generation instead of re-deriving scores per mutation draw.  Values are
+    bit-identical to :func:`partition_scores` per group.
+    """
+    prefix = np.concatenate(([0.0], np.cumsum(expectation)))
+    scores: List[np.ndarray] = []
+    for evaluation in evaluations:
+        starts, ends = evaluation.span_bounds
+        expected = prefix[ends] - prefix[starts]
+        scores.append(evaluation.fitness_array / np.maximum(expected, 1e-12))
     return scores

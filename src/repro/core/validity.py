@@ -40,6 +40,7 @@ class ValidityMap:
             else decomposition.chip.total_crossbars
         )
         self._max_end = self._compute_max_end()
+        self._num_units = len(self._max_end)
 
     # ------------------------------------------------------------------
     def _compute_max_end(self) -> List[int]:
@@ -70,12 +71,12 @@ class ValidityMap:
     @property
     def num_units(self) -> int:
         """Number of partition units (matrix dimension M in Fig. 5)."""
-        return self.decomposition.num_units
+        return self._num_units
 
     def max_end(self, start: int) -> int:
         """Largest valid end position for a partition starting at ``start``."""
-        if not 0 <= start < self.num_units:
-            raise IndexError(f"start position {start} out of range [0, {self.num_units})")
+        if not 0 <= start < self._num_units:
+            raise IndexError(f"start position {start} out of range [0, {self._num_units})")
         return self._max_end[start]
 
     def is_valid(self, start: int, end: int) -> bool:
@@ -83,6 +84,25 @@ class ValidityMap:
         if not 0 <= start < end <= self.num_units:
             return False
         return end <= self._max_end[start]
+
+    def group_valid(self, boundaries) -> bool:
+        """Whether every span of a boundary list forms a valid partition.
+
+        Equivalent to ``all(is_valid(s, e))`` over the implied spans, but as
+        one chained sweep over the boundary list — this sits inside every
+        mutation attempt of the GA, where the per-span call overhead
+        dominates the check itself.
+        """
+        max_end = self._max_end
+        num_units = len(max_end)
+        start = 0
+        for end in boundaries:
+            # end > num_units also fails here before max_end is indexed:
+            # max_end[start] <= num_units for every start
+            if end <= start or end > num_units or end > max_end[start]:
+                return False
+            start = end
+        return True
 
     def valid_fraction(self) -> float:
         """Fraction of (start < end) position pairs that are valid.
@@ -108,16 +128,40 @@ class ValidityMap:
         hi = self.max_end(start)
         return int(rng.integers(start + 1, hi + 1))
 
+    def sampled_end(self, start: int, uniform: float) -> int:
+        """Valid end position for ``start`` from one uniform double in [0, 1).
+
+        The block-sampling kernel shared by :meth:`random_partition_boundaries`
+        and the fixed-random mutation operator: callers draw uniform doubles
+        in batches (one ``Generator.random(k)`` call instead of ``k``
+        ``integers`` calls, whose per-call overhead dominates the GA's
+        samplers) and convert each here.  The result is uniform over
+        ``[start + 1, max_end(start)]``.
+        """
+        size = self._max_end[start] - start
+        offset = int(uniform * size)
+        if offset >= size:  # guard the u -> 1.0 rounding edge
+            offset = size - 1
+        return start + 1 + offset
+
     def random_partition_boundaries(self, rng: np.random.Generator) -> List[int]:
         """Sample a random valid partitioning of the whole unit string.
 
         Returns the list of partition end positions (the last one is always
         ``num_units``).  Every partition respects the validity map.
+        Randomness is consumed as one block of uniform doubles
+        (``rng.random(num_units)``, the worst-case number of segments)
+        converted through :meth:`sampled_end`.
         """
+        num_units = self._num_units
+        uniform = rng.random(num_units)
+        sampled_end = self.sampled_end
         boundaries: List[int] = []
         start = 0
-        while start < self.num_units:
-            end = self.random_valid_end(start, rng)
+        draw = 0
+        while start < num_units:
+            end = sampled_end(start, uniform[draw])
+            draw += 1
             boundaries.append(end)
             start = end
         return boundaries

@@ -343,6 +343,27 @@ def fig10_ga_convergence(
     return ga.run()
 
 
+def ga_paper_scale(
+    model: str = "resnet18",
+    chip_name: str = "M",
+    batch_size: int = 16,
+    mode: FitnessMode = FitnessMode.LATENCY,
+    input_size: int = 224,
+) -> GAResult:
+    """Run the COMPASS GA at the paper's full scale (Sec. IV-A3 defaults).
+
+    Population 100 over 30 generations — the search the paper actually ran,
+    as opposed to the reduced presets the figure benchmarks use.  This is
+    the workload of the full-size GA benchmark
+    (``benchmarks/test_ga_fullsize.py``), exercising the dense span-matrix
+    engine at realistic chromosome volumes.
+    """
+    decomposition, validity = shared_decomposition(model, chip_name, input_size)
+    evaluator = FitnessEvaluator(decomposition, batch_size=batch_size, mode=mode)
+    ga = CompassGA(decomposition, evaluator, GAConfig(), validity)
+    return ga.run()
+
+
 # ----------------------------------------------------------------------
 # Suite
 # ----------------------------------------------------------------------

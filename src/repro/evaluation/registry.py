@@ -63,7 +63,34 @@ def shared_decomposition(
     return entry
 
 
+def shared_span_matrix(
+    model: str,
+    chip_name: str,
+    input_size: int = 224,
+    weight_bits: int = 4,
+    activation_bits: int = 4,
+):
+    """The dense :class:`~repro.perf.spanmatrix.SpanMatrix` of a shared pair.
+
+    Convenience accessor for benchmarks and experiments that want to warm or
+    inspect the dense engine directly; the matrix (and the span table under
+    it) is attached to the shared decomposition, so it is the same object
+    every evaluator on that decomposition uses.
+    """
+    from repro.perf.spanmatrix import span_matrix_for
+
+    decomposition, _ = shared_decomposition(
+        model, chip_name, input_size=input_size,
+        weight_bits=weight_bits, activation_bits=activation_bits,
+    )
+    return span_matrix_for(decomposition)
+
+
 def clear_registry() -> None:
-    """Drop all cached graphs and decompositions (mainly for tests)."""
+    """Drop all cached graphs and decompositions (mainly for tests).
+
+    Span tables and matrices attach to the decompositions, so dropping the
+    decompositions drops the whole cache hierarchy with them.
+    """
     _GRAPHS.clear()
     _DECOMPOSITIONS.clear()

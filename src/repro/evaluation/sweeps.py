@@ -4,8 +4,9 @@ A sweep point is one (model, chip, scheme, batch size) combination; the
 runner compiles it, simulates the execution and returns the flat summary row
 used by the figures.  Model graphs, decompositions and validity maps are
 cached per (model, chip), so every scheme and batch size of a pair shares
-one decomposition — and therefore one span table (:mod:`repro.perf`): a
-partition span profiled while optimising batch 1 is free for batch 16.
+one decomposition — and therefore one span table and one dense span matrix
+(:mod:`repro.perf`): a partition span profiled while optimising batch 1 is
+free for batch 16, whichever engine requested it first.
 
 For multi-core fan-out of independent sweep points see
 :class:`repro.evaluation.parallel.ParallelSweepRunner`.
@@ -50,11 +51,15 @@ class SweepRunner:
         fitness_mode: FitnessMode = FitnessMode.LATENCY,
         generate_instructions: bool = False,
         input_size: int = 224,
+        use_span_matrix: Optional[bool] = None,
     ) -> None:
         self.ga_config = ga_config
         self.fitness_mode = fitness_mode
         self.generate_instructions = generate_instructions
         self.input_size = input_size
+        #: dense span-matrix engine toggle forwarded to the compiler
+        #: (``None`` follows the ``REPRO_SPAN_MATRIX`` environment default)
+        self.use_span_matrix = use_span_matrix
         self._graphs: Dict[str, Graph] = {}
         self._results: Dict[SweepPoint, CompilationResult] = {}
         self._decompositions: Dict[Tuple[str, str], Tuple[ModelDecomposition, ValidityMap]] = {}
@@ -92,6 +97,7 @@ class SweepRunner:
             ga_config=self.ga_config,
             fitness_mode=self.fitness_mode,
             generate_instructions=self.generate_instructions,
+            use_span_matrix=self.use_span_matrix,
         )
         decomposition, validity = self.decomposition(point.model, point.chip)
         result = CompassCompiler(chip, options).compile(

@@ -225,6 +225,102 @@ def map_tiles_to_cores(
     )
 
 
+def max_core_crossbars_only(
+    names: Sequence[str],
+    copies: Sequence[int],
+    factors: Sequence[int],
+    chip: ChipConfig,
+) -> int:
+    """``map_tiles_to_cores(...).max_core_crossbars`` without the mapping.
+
+    The latency-only span profiler needs exactly one number from the core
+    mapping — the largest per-core crossbar occupancy, which bounds the
+    weight-write phase — so this replays the packer's placement decisions
+    (the round-robin fast path and the max-free-core greedy loop) while
+    tracking only the per-core free counts.  ``factors`` is the per-geometry
+    replication factor (``replication.factor(name)`` for each name).  It is
+    an exact replay: the bookkeeping skipped here (entries, layer→core
+    lists) never influences where a tile lands.  Pinned against the full
+    mapper by the perf equivalence tests.
+    """
+    per_core = chip.core.crossbars_per_core
+    num_cores = chip.num_cores
+    n = len(names)
+
+    uniform_tiles = -1
+    for tiles in copies:
+        if uniform_tiles in (-1, tiles):
+            uniform_tiles = tiles
+        else:
+            uniform_tiles = -2
+            break
+
+    num_replicas = sum(factors)
+    if (
+        uniform_tiles > 0
+        and per_core >= uniform_tiles
+        and num_replicas <= num_cores * (per_core // uniform_tiles)
+        and (n == 1 or len(set(names)) == n)
+    ):
+        if num_replicas == 0:
+            return 0
+        # round-robin: core 0 receives ceil(num_replicas / num_cores) replicas
+        return uniform_tiles * (-(-num_replicas // num_cores))
+
+    # Fresh-core fast path: replicas are placed largest-first, and a touched
+    # core's free space (per_core - tiles, tiles >= 1) is always below an
+    # untouched core's, so while empty cores remain every non-empty replica
+    # lands alone on a fresh core.  When all of them fit that way, the
+    # fullest core simply holds the largest replica.
+    max_tiles = 0
+    nonzero_replicas = 0
+    for tiles, factor in zip(copies, factors):
+        if tiles > 0:
+            nonzero_replicas += factor
+            if tiles > max_tiles:
+                max_tiles = tiles
+    if max_tiles <= per_core and nonzero_replicas <= num_cores:
+        return max_tiles
+
+    # The greedy packer's state is fully described by the *multiset* of
+    # per-core free counts: every placement takes from a core with the
+    # maximum free space, and which of several equally-free cores is chosen
+    # never changes the multiset that results.  Simulating value counts
+    # instead of a core list turns each placement into O(1) bucket updates
+    # (the max-value pointer only ever moves down).
+    free_counts = [0] * (per_core + 1)
+    free_counts[per_core] = num_cores
+    max_free = per_core
+    placed_any = False
+    order = sorted(range(n), key=copies.__getitem__, reverse=True)
+    for geom_index in order:
+        layer_name = names[geom_index]
+        tiles = copies[geom_index]
+        for replica_index in range(factors[geom_index]):
+            remaining = tiles
+            while remaining > 0:
+                while max_free > 0 and free_counts[max_free] == 0:
+                    max_free -= 1
+                if max_free == 0:
+                    raise MappingError(
+                        f"partition does not fit: layer {layer_name!r} replica "
+                        f"{replica_index} needs {remaining} more crossbars but "
+                        f"all cores are full"
+                    )
+                best_free = max_free
+                placed = remaining if remaining < best_free else best_free
+                free_counts[best_free] -= 1
+                free_counts[best_free - placed] += 1
+                remaining -= placed
+                placed_any = True
+    if not placed_any:
+        return 0
+    min_free = 0
+    while free_counts[min_free] == 0:
+        min_free += 1
+    return per_core - min_free
+
+
 def map_partition_to_cores(
     geometries: Sequence[WeightMatrixGeometry],
     replication: ReplicationPlan,

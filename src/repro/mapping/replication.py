@@ -48,6 +48,148 @@ def _bottleneck(geometries: Sequence[WeightMatrixGeometry], factors: Mapping[str
     return slots
 
 
+def replication_factor_list(
+    names: Sequence[str],
+    windows: Sequence[int],
+    copies: Sequence[int],
+    crossbar_budget: int,
+    max_replication: int = 64,
+) -> List[int]:
+    """Per-geometry replication factors for *unique* layer names, as a list.
+
+    This is the single greedy core of the allocator: with distinct layer
+    names (one slice per layer, which every span produces) factors live in
+    a parallel list, and the selected bottleneck layer keeps being selected
+    until its service time drops below the runner-up's, so its factor is
+    advanced in one batched jump per selection — an exact replay of the
+    one-at-a-time greedy loop (ties select the lowest index; competitors'
+    service times cannot change while the selected layer replicates, and
+    validity only ever shrinks, which at worst ends a batch early before
+    the next reselection).  :func:`replication_factors` wraps this for the
+    name-keyed dict API; the latency-only span profiler calls it directly.
+    """
+    n = len(names)
+    factors = [1] * n
+    if n == 0:
+        return factors
+    used = sum(copies)
+    if used > crossbar_budget:
+        raise ValueError(
+            f"partition needs {used} crossbars for a single copy of each layer "
+            f"but only {crossbar_budget} are available"
+        )
+    limits = [min(max_replication, max(w, 1)) for w in windows]
+    if n == 1:
+        # Closed form of the greedy loop for the (very common) single-layer
+        # partition: the loop replicates its only candidate until the factor
+        # hits the limit or the next copy would blow the budget.  The
+        # service-time stop (slots <= 1) never fires first because the limit
+        # is already capped at the window count.
+        w = windows[0]
+        if w > 0:
+            factors[0] = min(limits[0], crossbar_budget // copies[0])
+        return factors
+    ceil = math.ceil
+    slots_cache = [ceil(w / 1) if w else 0 for w in windows]
+    while True:
+        # find the bottleneck layer that can still be replicated
+        best_index = -1
+        best_slots = -1
+        for i in range(n):
+            if factors[i] >= limits[i]:
+                continue
+            if used + copies[i] > crossbar_budget:
+                continue
+            if slots_cache[i] > best_slots:
+                best_slots = slots_cache[i]
+                best_index = i
+        if best_index < 0 or best_slots <= 1:
+            break
+        copy = copies[best_index]
+        factor = factors[best_index]
+        # the selected layer stays selected while its slots beat every valid
+        # earlier index strictly and every later index weakly; replicate
+        # until its slots would fall below that threshold
+        runner_up = 1
+        for i in range(n):
+            if i == best_index:
+                continue
+            if factors[i] >= limits[i]:
+                continue
+            if used + copies[i] > crossbar_budget:
+                continue
+            required = slots_cache[i] + 1 if i < best_index else slots_cache[i]
+            if required > runner_up:
+                runner_up = required
+        threshold = runner_up if runner_up > 2 else 2
+        w = windows[best_index]
+        # smallest factor whose slots drop below the threshold
+        target_factor = -(-w // (threshold - 1))
+        budget_factor = factor + (crossbar_budget - used) // copy
+        new_factor = min(target_factor, limits[best_index], budget_factor)
+        used += (new_factor - factor) * copy
+        factors[best_index] = new_factor
+        if w:
+            slots_cache[best_index] = ceil(w / new_factor)
+    return factors
+
+
+def replication_factors(
+    names: Sequence[str],
+    windows: Sequence[int],
+    copies: Sequence[int],
+    crossbar_budget: int,
+    max_replication: int = 64,
+) -> Dict[str, int]:
+    """Per-layer replication factors as a name-keyed dict.
+
+    Unique names (every span's slice list) delegate to the batched greedy
+    core :func:`replication_factor_list`.  Repeated names fall back to the
+    historical one-factor-at-a-time greedy: units of one kernel share a
+    replication count, so the factor advances by one per selection with
+    every same-name slot refreshed.
+    """
+    n = len(names)
+    if len(set(names)) == n:
+        return dict(zip(names, replication_factor_list(
+            names, windows, copies, crossbar_budget, max_replication
+        )))
+
+    factors: Dict[str, int] = {name: 1 for name in names}
+    used = sum(copies)
+    if used > crossbar_budget:
+        raise ValueError(
+            f"partition needs {used} crossbars for a single copy of each layer "
+            f"but only {crossbar_budget} are available"
+        )
+    limits = [min(max_replication, max(w, 1)) for w in windows]
+    slots_cache = [
+        math.ceil(w / factors[name]) if w else 0 for w, name in zip(windows, names)
+    ]
+    while True:
+        # find the bottleneck layer that can still be replicated
+        best_index = -1
+        best_slots = -1
+        for i in range(n):
+            if factors[names[i]] >= limits[i]:
+                continue
+            if used + copies[i] > crossbar_budget:
+                continue
+            if slots_cache[i] > best_slots:
+                best_slots = slots_cache[i]
+                best_index = i
+        if best_index < 0 or best_slots <= 1:
+            break
+        best_name = names[best_index]
+        new_factor = factors[best_name] + 1
+        used += copies[best_index]
+        factors[best_name] = new_factor
+        for i in range(n):
+            if names[i] == best_name and windows[i]:
+                slots_cache[i] = math.ceil(windows[i] / new_factor)
+    return factors
+
+
 def allocate_replication_arrays(
     names: Sequence[str],
     windows: Sequence[int],
@@ -62,87 +204,9 @@ def allocate_replication_arrays(
     hot callers (the span-table engine building thousands of plans) need not
     materialise :class:`WeightMatrixGeometry` objects.
     """
-    n = len(names)
-    if n == 0:
+    factors = replication_factors(names, windows, copies, crossbar_budget, max_replication)
+    if not names:
         return ReplicationPlan(factors={}, crossbars_used={}, total_crossbars=0, bottleneck_slots=0)
-
-    factors: Dict[str, int] = {name: 1 for name in names}
-    used = sum(copies)
-    if used > crossbar_budget:
-        raise ValueError(
-            f"partition needs {used} crossbars for a single copy of each layer "
-            f"but only {crossbar_budget} are available"
-        )
-
-    limits = [min(max_replication, max(w, 1)) for w in windows]
-
-    if n == 1:
-        # Closed form of the greedy loop for the (very common) single-layer
-        # partition: the loop replicates its only candidate until the factor
-        # hits the limit or the next copy would blow the budget.  The
-        # service-time stop (slots <= 1) never fires first because the limit
-        # is already capped at the window count.
-        w = windows[0]
-        if w > 0:
-            factors[names[0]] = min(limits[0], crossbar_budget // copies[0])
-    else:
-        # Greedily replicate the current bottleneck layer while budget
-        # remains.  With unique layer names the selected layer keeps being
-        # the bottleneck until its service time drops below the runner-up's,
-        # so its factor is advanced in one batched jump per selection — an
-        # exact replay of the one-at-a-time greedy loop (ties select the
-        # lowest index; competitors' service times cannot change while the
-        # selected layer replicates, and validity only ever shrinks, which
-        # at worst ends a batch early before the next reselection).
-        batched = len(set(names)) == n
-        slots_cache = [
-            math.ceil(w / factors[name]) if w else 0 for w, name in zip(windows, names)
-        ]
-        while True:
-            # find the bottleneck layer that can still be replicated
-            best_index = -1
-            best_slots = -1
-            for i in range(n):
-                if factors[names[i]] >= limits[i]:
-                    continue
-                if used + copies[i] > crossbar_budget:
-                    continue
-                if slots_cache[i] > best_slots:
-                    best_slots = slots_cache[i]
-                    best_index = i
-            if best_index < 0 or best_slots <= 1:
-                break
-            best_name = names[best_index]
-            copy = copies[best_index]
-            factor = factors[best_name]
-            if batched:
-                # the selected layer stays selected while its slots beat every
-                # valid earlier index strictly and every later index weakly;
-                # replicate until its slots would fall below that threshold
-                runner_up = 1
-                for i in range(n):
-                    if i == best_index:
-                        continue
-                    if factors[names[i]] >= limits[i]:
-                        continue
-                    if used + copies[i] > crossbar_budget:
-                        continue
-                    required = slots_cache[i] + 1 if i < best_index else slots_cache[i]
-                    if required > runner_up:
-                        runner_up = required
-                threshold = runner_up if runner_up > 2 else 2
-                w = windows[best_index]
-                # smallest factor whose slots drop below the threshold
-                target_factor = -(-w // (threshold - 1))
-                budget_factor = factor + (crossbar_budget - used) // copy
-                new_factor = min(target_factor, limits[best_index], budget_factor)
-            else:
-                new_factor = factor + 1
-            used += (new_factor - factor) * copy
-            factors[best_name] = new_factor
-            for i in range(n):
-                if names[i] == best_name and windows[i]:
-                    slots_cache[i] = math.ceil(windows[i] / new_factor)
 
     crossbars_used = {
         name: copy * factors[name] for name, copy in zip(names, copies)

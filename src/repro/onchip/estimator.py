@@ -33,12 +33,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.partition import Partition, PartitionIO
 from repro.hardware.chip import ChipConfig
 from repro.hardware.dram import DRAMConfig, DRAMModel, LPDDR3_8GB
 from repro.hardware.power import EnergyBreakdown, PowerModel
+from repro.mapping.core_mapping import max_core_crossbars_only
+from repro.mapping.replication import replication_factor_list
 from repro.onchip.plan import LayerSlice, PartitionPlan, build_partition_plan
 
 
@@ -152,8 +154,10 @@ class PartitionEstimate:
 class PartitionEstimator:
     """Estimates latency/energy of partitions on a given chip.
 
-    A single estimator instance caches nothing across calls and is safe to
-    reuse for many partitions; cross-call caching lives in
+    A single estimator instance memoises only pure allocator results (the
+    replication factors and max per-core occupancy of a ``(windows, copies)``
+    geometry signature — many distinct spans clip their edge layers the same
+    way) and is safe to reuse for many partitions; per-span caching lives in
     :class:`repro.perf.SpanTable`.
     """
 
@@ -169,6 +173,11 @@ class PartitionEstimator:
         self.batch_size = batch_size
         self.dram = DRAMModel(dram_config)
         self.power = PowerModel(chip)
+        #: (windows..., copies...) -> (factor list, max core crossbars); the
+        #: allocators are pure functions of these (layer names only key the
+        #: returned dict in the legacy API), so sharing across spans is exact
+        self._allocation_memo: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]],
+                                    Tuple[List[int], int]] = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -324,6 +333,121 @@ class PartitionEstimator:
             data_load_pj_per_sample=data_load_pj,
             data_store_pj_per_sample=data_store_pj,
         )
+
+    def slim_profile(self, partition: Partition) -> "Tuple[float, float, float]":
+        """Latency-only profile: ``(weight_replace_ns, fill_ns, bottleneck_ns)``.
+
+        An exact replay of :meth:`profile` restricted to the three floats the
+        scalar latency record (and the dense span matrix) needs: the slice
+        aggregation, replication allocation and pipeline-stage arithmetic are
+        identical operation for operation, but no plan/slice/core-mapping
+        objects are built and every energy term is skipped.  The core mapping
+        reduces to :func:`~repro.mapping.core_mapping.max_core_crossbars_only`
+        (the only mapping quantity latency depends on).  Bit-identical to
+        ``profile(partition)`` and reading the same three fields — pinned by
+        the perf equivalence tests.
+        """
+        decomposition = partition.decomposition
+        index = decomposition.index
+        chip = self.chip
+        core = chip.core
+        xbar = core.crossbar
+        ranges = decomposition.layer_unit_ranges
+        geometries = decomposition.geometries
+        cols_prefix = index.cols_prefix
+        crossbar_prefix = index.crossbar_prefix
+        tile_ops_prefix = index.tile_ops_prefix
+        layer_total_cols = index.layer_total_cols
+        start = partition.start
+        end = partition.end
+
+        # slice aggregation (parallel lists instead of LayerSlice objects)
+        names = partition.layer_names()
+        windows_list: List[int] = []
+        copies: List[int] = []
+        cols_list: List[int] = []
+        fractions: List[float] = []
+        rows_list: List[int] = []
+        tile_ops_list: List[int] = []
+        for layer_name in names:
+            layer_start, layer_end = ranges[layer_name]
+            lo = layer_start if layer_start > start else start
+            hi = layer_end if layer_end < end else end
+            geom = geometries[layer_name]
+            cols = cols_prefix[hi] - cols_prefix[lo]
+            cols_list.append(cols)
+            fractions.append(cols / layer_total_cols[layer_name])
+            copies.append(crossbar_prefix[hi] - crossbar_prefix[lo])
+            tile_ops_list.append(tile_ops_prefix[hi] - tile_ops_prefix[lo])
+            windows_list.append(geom.windows)
+            rows_list.append(geom.rows)
+        # layers in a span are distinct, so the unique-names allocator
+        # applies; distinct spans sharing a geometry signature (same windows
+        # and per-copy crossbars, i.e. same interior layers and same edge
+        # clippings) share one allocation
+        memo_key = (tuple(windows_list), tuple(copies))
+        allocation = self._allocation_memo.get(memo_key)
+        if allocation is None:
+            factor_list = replication_factor_list(
+                names, windows_list, copies, crossbar_budget=chip.total_crossbars
+            )
+            max_core_crossbars = max_core_crossbars_only(names, copies, factor_list, chip)
+            self._allocation_memo[memo_key] = (factor_list, max_core_crossbars)
+        else:
+            factor_list, max_core_crossbars = allocation
+
+        io = partition.io()
+        owned = partition.owned_nodes()
+
+        mvm_latency_ns = xbar.mvm_latency_ns
+        weight_rows = xbar.weight_rows
+        vfu_throughput = core.vfu_count * core.vfu_elements_per_ns
+        bus = chip.interconnect
+        bus_latency_ns = bus.transfer_latency_ns
+        bus_bandwidth = bus.bandwidth_bytes_per_ns
+        sizes = index.node_size_bytes
+        node_inputs = index.node_inputs
+        attached_elements = index.layer_attached_elements
+        ceil = math.ceil
+
+        load_ns = self.dram.bulk_transfer_latency_ns(io.load_bytes, sequential=True)
+        load_ns += max(0, io.num_entries - 1) * bus_latency_ns
+        stage_values = [load_ns]
+        for i, layer_name in enumerate(names):
+            windows = windows_list[i]
+            windows_per_replica = ceil(windows / max(1, factor_list[i]))
+            serial_factor = ceil(tile_ops_list[i] / max(1, copies[i]))
+            stage_ns = windows_per_replica * serial_factor * mvm_latency_ns
+            row_tiles = ceil(rows_list[i] / weight_rows)
+            if row_tiles > 1:
+                vfu_elements = (row_tiles - 1) * cols_list[i] * windows
+                if vfu_elements > 0:
+                    stage_ns += vfu_elements / vfu_throughput
+            shared_elements = int(attached_elements[layer_name] * max(fractions[i], 0.0))
+            if shared_elements > 0:
+                stage_ns += shared_elements / vfu_throughput
+            intercore_ns = 0.0
+            for src in node_inputs[layer_name]:
+                num_bytes = sizes[src]
+                if src in owned and num_bytes > 0:
+                    intercore_ns += bus_latency_ns + num_bytes / bus_bandwidth
+            stage_ns += intercore_ns
+            stage_values.append(stage_ns)
+        store_ns = self.dram.bulk_transfer_latency_ns(io.store_bytes, sequential=True)
+        store_ns += max(0, io.num_exits - 1) * bus_latency_ns
+        stage_values.append(store_ns)
+
+        fill_ns = sum(stage_values)
+        bottleneck_ns = max(stage_values)
+
+        # single-copy weight bytes: layer ranges tile the span, so the sum of
+        # per-slice weight bytes is one prefix-sum difference (exact ints)
+        weight_prefix = index.weight_prefix
+        single_copy_bytes = weight_prefix[end] - weight_prefix[start]
+        weight_load_ns = self.dram.bulk_transfer_latency_ns(single_copy_bytes, sequential=True)
+        weight_write_ns = max_core_crossbars * xbar.write_latency_full_ns
+        weight_replace_ns = max(weight_load_ns, weight_write_ns)
+        return (weight_replace_ns, fill_ns, bottleneck_ns)
 
     def estimate_from_profile(self, profile: SpanProfile, batch_size: int) -> PartitionEstimate:
         """Finalise a batch-independent profile into an estimate — O(1)."""

@@ -1,19 +1,30 @@
-"""Performance layer: the vectorized span-table evaluation engine.
+"""Performance layer: the span-table + dense span-matrix evaluation engine.
 
 This package holds the cross-cutting performance machinery described in the
 "Performance architecture" section of ROADMAP.md:
 
 * :class:`~repro.perf.spantable.SpanTable` — memoised per-span partition
   profiles and (span, batch) estimates with hit/miss statistics;
-* :func:`~repro.perf.spantable.span_table_for` — the per-decomposition
-  registry through which the fitness evaluator, the baselines, the
-  execution simulator and the compiler share one table.
+* :class:`~repro.perf.spanmatrix.SpanMatrix` — dense ``(L+1)×(L+1)``
+  float64 span matrices over the table, letting the GA score whole
+  populations with fancy-indexed gathers instead of per-span Python;
+* :func:`~repro.perf.spantable.span_table_for` /
+  :func:`~repro.perf.spanmatrix.span_matrix_for` — the per-decomposition
+  registries through which the fitness evaluator, the baselines, the
+  execution simulator and the compiler share one cache hierarchy.
 
 The engine is an exact accelerator: every value it returns is bit-identical
 to the naive per-call estimation path (enforced by
 ``tests/test_perf_equivalence.py``).
 """
 
+from repro.perf.spanmatrix import SpanMatrix, span_matrix_for
 from repro.perf.spantable import SpanTable, SpanTableStats, span_table_for
 
-__all__ = ["SpanTable", "SpanTableStats", "span_table_for"]
+__all__ = [
+    "SpanMatrix",
+    "SpanTable",
+    "SpanTableStats",
+    "span_matrix_for",
+    "span_table_for",
+]

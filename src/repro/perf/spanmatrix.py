@@ -1,0 +1,264 @@
+"""Dense span-matrix engine: whole-population span scoring in array form.
+
+The :class:`~repro.perf.spantable.SpanTable` removed *recomputation* from
+partition-span estimation; what remains on the GA's hot path is per-span
+Python — a dict lookup, a float expression and list bookkeeping for every
+gene of every chromosome.  The :class:`SpanMatrix` removes the per-span
+Python too: for a decomposition of L units every contiguous span ``[s, e)``
+is one cell of an ``(L+1) × (L+1)`` float64 matrix, so scoring a whole
+population is a fancy-indexed gather over flat start/end index arrays
+followed by elementwise math.
+
+Three layers of matrices, all filled lazily and only for spans actually
+requested:
+
+* **slim latency components** — ``weight_replace_ns``, ``fill_ns`` and
+  ``bottleneck_ns`` per span, filled from the shared span table's exact
+  :meth:`~repro.perf.spantable.SpanTable.slim_record` (bit-identical to the
+  scalar path by construction);
+* **per-batch latency** — ``WR + (FILL + (B-1)·BN)`` materialised once per
+  batch size and invalidated by a version counter when new spans fill in;
+  the elementwise expression matches the scalar association exactly;
+* **per-batch energy** (EDP mode) — the per-sample/per-batch-constant energy
+  terms of each span's full profile plus a static-power coefficient, combined
+  in the exact field order of ``EnergyBreakdown.total_pj``.
+
+**Delta re-scoring** falls out of the representation: a mutation changes at
+most a few cut points, so a child's spans are almost all already-filled
+matrix cells — ``ensure_spans`` profiles only the set difference (the few
+spans the mutation actually touched) and everything else is a pure gather.
+The final per-group fitness *sums* deliberately stay sequential Python sums
+over the gathered values: NumPy reductions use pairwise summation, which is
+not bit-identical to the naive path's left-to-right ``sum``; the sums are
+O(#partitions) and cheap, the per-span math is the hot part.
+
+Fills and gathers are accounted on the shared table's counters
+(``matrix_fills`` / ``matrix_hits``, with gathers folded into
+``latency_hits``), so ``SpanTable.stats`` never silently reads zero when the
+dense path is engaged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import numpy.ma  # noqa: F401  (np.unique touches np.ma lazily; load at import,
+#                  not inside the first timed population gather)
+
+from repro.core.decomposition import ModelDecomposition
+from repro.hardware.dram import DRAMConfig, LPDDR3_8GB
+from repro.perf.spantable import SpanTable, span_table_for
+
+#: per-span energy component matrices, in the exact summation order of
+#: ``EnergyBreakdown.total_pj`` (static and dram-background are handled
+#: separately because they scale with total latency, not batch size)
+_PER_SAMPLE_PARTS = (
+    "mvm_pj_per_sample",
+    "data_load_pj_per_sample",
+    "data_store_pj_per_sample",
+    "vfu_pj_per_sample",
+    "interconnect_pj_per_sample",
+    "local_memory_pj_per_sample",
+)
+_CONSTANT_PARTS = ("weight_write_pj", "weight_load_pj")
+
+
+class SpanMatrix:
+    """Dense O(L²) span matrices over one decomposition's span table.
+
+    Values are bit-identical to the scalar :class:`SpanTable` paths — the
+    matrix only changes *where* span records live (dense float64 cells
+    instead of dict entries) and lets consumers read thousands of spans per
+    call with NumPy gathers.
+    """
+
+    def __init__(self, table: SpanTable) -> None:
+        self.table = table
+        self.decomposition: ModelDecomposition = table.decomposition
+        n = self.decomposition.num_units
+        self.num_units = n
+        shape = (n + 1, n + 1)
+        self._have_slim = np.zeros(shape, dtype=bool)
+        self._weight_replace = np.zeros(shape)
+        self._fill = np.zeros(shape)
+        self._bottleneck = np.zeros(shape)
+        self._slim_version = 0
+        #: batch -> (slim version, dense latency matrix)
+        self._latency_cache: Dict[int, Tuple[int, np.ndarray]] = {}
+        # energy matrices (EDP mode), allocated on first use
+        self._have_energy: Optional[np.ndarray] = None
+        self._energy_parts: Optional[Dict[str, np.ndarray]] = None
+        self._static_coeff: Optional[np.ndarray] = None
+        self._energy_version = 0
+        #: batch -> (energy version, slim version, dense total-energy matrix)
+        self._energy_cache: Dict[int, Tuple[int, int, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_spans(self) -> int:
+        """Number of spans materialised in the dense latency matrices."""
+        return int(self._have_slim.sum())
+
+    # ------------------------------------------------------------------
+    # slim (latency) layer
+    # ------------------------------------------------------------------
+    def ensure_spans(self, starts: np.ndarray, ends: np.ndarray) -> None:
+        """Materialise every requested span's slim record in the matrices.
+
+        This is the delta step: only spans missing from the matrix — for GA
+        children, the few spans their mutation introduced — are profiled;
+        every other lookup is counted as a matrix-served hit.
+        """
+        table = self.table
+        have = self._have_slim
+        missing = ~have[starts, ends]
+        fills = 0
+        if missing.any():
+            stride = self.num_units + 1
+            packed = starts[missing] * stride + ends[missing]
+            codes = np.unique(packed)
+            slim_record = table.slim_record
+            weight_replace = self._weight_replace
+            fill = self._fill
+            bottleneck = self._bottleneck
+            for code in codes.tolist():
+                s, e = divmod(code, stride)
+                weight_replace[s, e], fill[s, e], bottleneck[s, e] = slim_record(s, e)
+                have[s, e] = True
+            fills = len(codes)
+            self._slim_version += 1
+            table._matrix_fills += fills
+        served = int(starts.size) - fills
+        table._matrix_hits += served
+        table._latency_hits += served
+
+    def latency_matrix(self, batch_size: int) -> np.ndarray:
+        """Dense total-latency matrix for one batch size (version-cached).
+
+        Cell ``[s, e]`` equals ``SpanTable.latency_ns(s, e, batch_size)`` for
+        every filled span (same elementwise association); unfilled cells are
+        meaningless and must not be gathered.
+        """
+        entry = self._latency_cache.get(batch_size)
+        if entry is not None and entry[0] == self._slim_version:
+            return entry[1]
+        matrix = self._weight_replace + (
+            self._fill + (batch_size - 1) * self._bottleneck
+        )
+        self._latency_cache[batch_size] = (self._slim_version, matrix)
+        return matrix
+
+    def gather_latency(self, starts: np.ndarray, ends: np.ndarray,
+                       batch_size: int) -> np.ndarray:
+        """Latencies of many spans at once: fill the deltas, then gather."""
+        self.ensure_spans(starts, ends)
+        return self.latency_matrix(batch_size)[starts, ends]
+
+    # ------------------------------------------------------------------
+    # energy (EDP) layer
+    # ------------------------------------------------------------------
+    def _allocate_energy(self) -> None:
+        shape = self._have_slim.shape
+        self._have_energy = np.zeros(shape, dtype=bool)
+        self._energy_parts = {
+            name: np.zeros(shape) for name in _PER_SAMPLE_PARTS + _CONSTANT_PARTS
+        }
+        self._static_coeff = np.zeros(shape)
+
+    def ensure_energy(self, starts: np.ndarray, ends: np.ndarray) -> None:
+        """Materialise the energy component matrices for the given spans.
+
+        Energy fills need the span's *full* profile (cached in the shared
+        table, exactly as the scalar EDP path caches it); the slim latency
+        record is written as a side effect, so a follow-up
+        :meth:`ensure_spans` never re-profiles these spans.
+        """
+        if self._have_energy is None:
+            self._allocate_energy()
+        have = self._have_energy
+        missing = ~have[starts, ends]
+        if not missing.any():
+            return
+        table = self.table
+        chip = self.decomposition.chip
+        num_cores = chip.num_cores
+        static_power_mw = chip.core.static_power_mw
+        stride = self.num_units + 1
+        packed = starts[missing] * stride + ends[missing]
+        parts = self._energy_parts
+        static_coeff = self._static_coeff
+        for code in np.unique(packed).tolist():
+            s, e = divmod(code, stride)
+            profile = table.profile(s, e)
+            for name in _PER_SAMPLE_PARTS + _CONSTANT_PARTS:
+                parts[name][s, e] = getattr(profile, name)
+            # same first product as PowerModel.static_energy_pj
+            active_cores = max(0, min(profile.cores_used, num_cores))
+            static_coeff[s, e] = static_power_mw * active_cores
+            have[s, e] = True
+        self._energy_version += 1
+
+    def energy_matrix(self, batch_size: int) -> np.ndarray:
+        """Dense total-energy matrix for one batch size (version-cached).
+
+        Replicates ``PartitionEstimator.estimate_from_profile`` +
+        ``EnergyBreakdown.total_pj`` term for term, in the exact field order
+        and association, so cell ``[s, e]`` is bit-identical to
+        ``estimate(s, e, batch_size).energy_pj`` for every filled span.
+        """
+        entry = self._energy_cache.get(batch_size)
+        if entry is not None and entry[0] == self._energy_version and entry[1] == self._slim_version:
+            return entry[2]
+        parts = self._energy_parts
+        batch = batch_size
+        total_ns = self.latency_matrix(batch)
+        dram_background_mw = self.table.estimator.dram.config.background_power_mw
+        # EnergyBreakdown.total_pj sums its fields left to right:
+        # mvm, weight_write, weight_load, data_load, data_store, vfu,
+        # interconnect, local_memory, static, dram_background
+        matrix = (
+            parts["mvm_pj_per_sample"] * batch
+            + parts["weight_write_pj"]
+            + parts["weight_load_pj"]
+            + batch * parts["data_load_pj_per_sample"]
+            + batch * parts["data_store_pj_per_sample"]
+            + parts["vfu_pj_per_sample"] * batch
+            + parts["interconnect_pj_per_sample"] * batch
+            + parts["local_memory_pj_per_sample"] * batch
+            + self._static_coeff * np.maximum(total_ns, 0.0)
+            + dram_background_mw * total_ns
+        )
+        self._energy_cache[batch] = (self._energy_version, self._slim_version, matrix)
+        return matrix
+
+    def gather_energy_latency(
+        self, starts: np.ndarray, ends: np.ndarray, batch_size: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(energy_pj, latency_ns) of many spans at once, for EDP fitness."""
+        self.ensure_energy(starts, ends)
+        self.ensure_spans(starts, ends)
+        latency = self.latency_matrix(batch_size)[starts, ends]
+        energy = self.energy_matrix(batch_size)[starts, ends]
+        return energy, latency
+
+
+def span_matrix_for(
+    decomposition: ModelDecomposition,
+    dram_config: DRAMConfig = LPDDR3_8GB,
+) -> SpanMatrix:
+    """The shared :class:`SpanMatrix` of a (decomposition, DRAM config) pair.
+
+    Wraps the same shared table as :func:`~repro.perf.spantable.span_table_for`
+    and is attached to the decomposition alongside it, so matrix fills, slim
+    records and full profiles all amortise against every consumer of the
+    decomposition.
+    """
+    matrices: Dict[DRAMConfig, SpanMatrix] = decomposition.__dict__.setdefault(
+        "_span_matrices", {}
+    )
+    matrix = matrices.get(dram_config)
+    if matrix is None:
+        matrix = SpanMatrix(span_table_for(decomposition, dram_config))
+        matrices[dram_config] = matrix
+    return matrix

@@ -49,8 +49,15 @@ class SpanTableStats:
     estimate_hits: int = 0
     #: (span, batch) scalar latencies derived from a profile
     latencies_computed: int = 0
-    #: (span, batch) scalar latency requests served from the table
+    #: (span, batch) scalar latency requests served from the table *or* the
+    #: dense span matrix (matrix-served gathers are folded in so the latency
+    #: counters never silently read zero when the dense path is engaged;
+    #: ``matrix_hits`` is the matrix-served sub-count)
     latency_hits: int = 0
+    #: spans materialised into the dense span matrix (:mod:`repro.perf.spanmatrix`)
+    matrix_fills: int = 0
+    #: span lookups served by dense-matrix gathers (sub-count of latency_hits)
+    matrix_hits: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -86,6 +93,17 @@ class SpanTableStats:
         requests = self.latency_requests
         return self.latency_hits / requests if requests else 0.0
 
+    @property
+    def matrix_requests(self) -> int:
+        """Total dense-matrix span lookups (fills + gather-served)."""
+        return self.matrix_fills + self.matrix_hits
+
+    @property
+    def matrix_hit_rate(self) -> float:
+        """Fraction of dense-matrix lookups served without a fill."""
+        requests = self.matrix_requests
+        return self.matrix_hits / requests if requests else 0.0
+
     def as_dict(self) -> Dict[str, float]:
         """Flat dictionary for reports and benchmark assertions."""
         return {
@@ -98,6 +116,9 @@ class SpanTableStats:
             "latencies_computed": self.latencies_computed,
             "latency_hits": self.latency_hits,
             "latency_hit_rate": self.latency_hit_rate,
+            "matrix_fills": self.matrix_fills,
+            "matrix_hits": self.matrix_hits,
+            "matrix_hit_rate": self.matrix_hit_rate,
         }
 
 
@@ -124,13 +145,17 @@ class SpanTable:
         #: span; keeping them instead of full profiles makes the table's
         #: retained object graph tiny (GC pressure matters at 10⁴+ spans).
         self._slim: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
-        # hit/miss counters (plain ints: incremented on the hottest paths)
+        # hit/miss counters (plain ints: incremented on the hottest paths);
+        # the matrix counters are bumped by the dense SpanMatrix layer so a
+        # matrix-served GA run never reports zero span-table activity
         self._profile_hits = 0
         self._profile_misses = 0
         self._estimate_hits = 0
         self._estimate_misses = 0
         self._latency_hits = 0
         self._latency_misses = 0
+        self._matrix_fills = 0
+        self._matrix_hits = 0
 
     # ------------------------------------------------------------------
     @property
@@ -143,6 +168,8 @@ class SpanTable:
             estimate_hits=self._estimate_hits,
             latencies_computed=self._latency_misses,
             latency_hits=self._latency_hits,
+            matrix_fills=self._matrix_fills,
+            matrix_hits=self._matrix_hits,
         )
 
     def __len__(self) -> int:
@@ -194,27 +221,37 @@ class SpanTable:
             self._estimate_hits += 1
         return estimate
 
+    def slim_record(self, start: int, end: int) -> Tuple[float, float, float]:
+        """Slim latency record ``(weight_replace_ns, fill_ns, bottleneck_ns)``.
+
+        Computed via the estimator's latency-only profile replay
+        (:meth:`~repro.onchip.estimator.PartitionEstimator.slim_profile`) on
+        a miss — no plan, I/O analysis or energy breakdown is retained, so
+        spans the GA merely explores stay three floats.  The full profile is
+        built (and then cached) iff an estimate or plan is requested for the
+        span later.  This is also the fill primitive of the dense
+        :class:`~repro.perf.spanmatrix.SpanMatrix`.
+        """
+        slim = self._slim.get((start, end))
+        if slim is None:
+            slim = self.estimator.slim_profile(
+                Partition(self.decomposition, start, end)
+            )
+            self._slim[(start, end)] = slim
+            self._latency_misses += 1
+        else:
+            self._latency_hits += 1
+        return slim
+
     def latency_ns(self, start: int, end: int, batch_size: int) -> float:
         """Total latency of ``[start, end)`` for a batch, as a scalar.
 
         Bit-identical to ``estimate(...).latency_ns`` but needs only the
         span's slim latency record — three floats — instead of a full
         profile or estimate object.  This is the value the latency-mode
-        fitness oracle consumes for every chromosome gene, so spans that the
-        GA merely explores never pin plans, I/O analyses or energy
-        breakdowns in memory.
+        fitness oracle consumes for every chromosome gene.
         """
-        slim = self._slim.get((start, end))
-        if slim is None:
-            profile = self._compute_profile(start, end)
-            # retain only the slim record; the full profile is rebuilt (and
-            # then cached) iff an estimate or plan is requested for this span
-            slim = (profile.weight_replace_ns, profile.fill_ns, profile.bottleneck_ns)
-            self._slim[(start, end)] = slim
-            self._latency_misses += 1
-        else:
-            self._latency_hits += 1
-        weight_replace_ns, fill_ns, bottleneck_ns = slim
+        weight_replace_ns, fill_ns, bottleneck_ns = self.slim_record(start, end)
         # same association as PhaseLatency.total_ns = replace + pipeline
         return weight_replace_ns + (fill_ns + (batch_size - 1) * bottleneck_ns)
 

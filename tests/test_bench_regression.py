@@ -1,0 +1,31 @@
+"""Opt-in CI guard: quick-bench headliners must not regress vs the baseline.
+
+Skipped unless ``REPRO_CHECK_BENCH`` is set — the check runs the quick
+benchmark suite (tens of seconds) and is only meaningful on the machine
+profile that produced the committed ``BENCH_<date>.json``; see
+``scripts/check_bench_regression.py`` for the comparison rules
+(threshold via ``REPRO_BENCH_REGRESSION_PCT``, default 20%).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+pytestmark = pytest.mark.skipif(
+    not os.environ.get("REPRO_CHECK_BENCH"),
+    reason="benchmark regression check is opt-in: set REPRO_CHECK_BENCH=1",
+)
+
+
+def test_quick_bench_no_regression():
+    result = subprocess.run(
+        [sys.executable, os.path.join(REPO_ROOT, "scripts", "check_bench_regression.py")],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"benchmark regression detected:\n{result.stdout}\n{result.stderr}"
+    )

@@ -1,18 +1,24 @@
-"""Equivalence of the span-table engine with the naive estimation path.
+"""Equivalence of the span-table + span-matrix engines with the naive path.
 
 The performance layer (:mod:`repro.perf`, prefix-sum span queries, the
-single-layer I/O template, the batched replication allocator and the
-round-robin core-mapping fast path) must be *exact*: every optimisation is
+single-layer I/O template, the batched replication allocator, the
+round-robin/multiset core-mapping fast paths, the latency-only slim
+profile and the dense span matrix) must be *exact*: every optimisation is
 a memoisation or an algebraic restructuring, never an approximation.  These
 tests pin that down:
 
 * per-span ``PartitionEstimate``s from the span table are bit-identical to
   naive per-call estimation;
+* the latency-only slim profile replays the full profile's latency fields
+  bit for bit, including its lean max-core-crossbars computation;
+* dense span-matrix gathers equal the scalar table lookups;
 * partition I/O matches a direct, graph-based reference implementation of
   the Sec. III-B3 entry/exit analysis;
 * prefix-sum span aggregates match direct summation over units;
-* a fixed-seed GA run produces identical results with and without the
-  span table.
+* fixed-seed GA runs produce bit-identical results (best group, fitness
+  history, full ``GenerationRecord`` contents, dedup accounting) across the
+  naive, span-table and span-matrix paths, in latency and EDP mode and for
+  multiple batch sizes.
 """
 
 import numpy as np
@@ -24,9 +30,11 @@ from repro.core.ga import CompassGA, GAConfig
 from repro.core.partition import Partition, PartitionGroup
 from repro.core.validity import ValidityMap
 from repro.hardware.config import get_chip_config
+from repro.mapping.core_mapping import map_tiles_to_cores, max_core_crossbars_only
+from repro.mapping.replication import ReplicationPlan, replication_factor_list
 from repro.models import build_model
 from repro.onchip.estimator import PartitionEstimator
-from repro.perf import span_table_for
+from repro.perf import span_matrix_for, span_table_for
 from repro.sim.simulator import ExecutionSimulator
 
 
@@ -107,6 +115,142 @@ class TestSpanTableEquivalence:
                 assert partition.layer_fraction(layer) == owned / total
 
 
+class TestSlimProfileEquivalence:
+    def test_slim_profile_matches_full_profile(self, decomposed):
+        """The latency-only replay reproduces the full profile bit for bit."""
+        decomposition, validity = decomposed
+        estimator = PartitionEstimator(decomposition.chip)
+        for start, end in random_spans(decomposition, validity, 60, seed=4):
+            full = estimator.profile(Partition(decomposition, start, end))
+            slim = estimator.slim_profile(Partition(decomposition, start, end))
+            assert slim == (
+                full.weight_replace_ns, full.fill_ns, full.bottleneck_ns
+            ), (start, end)
+
+    def test_max_core_crossbars_only_matches_mapper(self, decomposed):
+        """The lean multiset packer equals the full mapper's occupancy."""
+        decomposition, validity = decomposed
+        index = decomposition.index
+        ranges = decomposition.layer_unit_ranges
+        geometries = decomposition.geometries
+        chip = decomposition.chip
+        for start, end in random_spans(decomposition, validity, 60, seed=5):
+            partition = Partition(decomposition, start, end)
+            names = partition.layer_names()
+            windows, copies = [], []
+            for layer in names:
+                layer_start, layer_end = ranges[layer]
+                lo, hi = max(layer_start, start), min(layer_end, end)
+                copies.append(index.crossbar_prefix[hi] - index.crossbar_prefix[lo])
+                windows.append(geometries[layer].windows)
+            factors = replication_factor_list(names, windows, copies, chip.total_crossbars)
+            plan = ReplicationPlan(factors=dict(zip(names, factors)))
+            reference = map_tiles_to_cores(names, copies, plan, chip).max_core_crossbars
+            assert max_core_crossbars_only(names, copies, factors, chip) == reference
+
+    def test_max_core_crossbars_only_random_geometries(self):
+        """Multiset replay fuzz against the full mapper on synthetic inputs."""
+
+        class _Core:
+            pass
+
+        class _Chip:
+            pass
+
+        rng = np.random.default_rng(6)
+        for _ in range(300):
+            n = int(rng.integers(1, 7))
+            names = [f"layer{i}" for i in range(n)]
+            copies = [int(rng.integers(0, 40)) for _ in range(n)]
+            factors = [int(rng.integers(1, 9)) for _ in range(n)]
+            chip = _Chip()
+            chip.num_cores = int(rng.integers(1, 33))
+            chip.core = _Core()
+            chip.core.crossbars_per_core = int(rng.integers(1, 33))
+            plan = ReplicationPlan(factors=dict(zip(names, factors)))
+            try:
+                expected = map_tiles_to_cores(names, copies, plan, chip).max_core_crossbars
+                expected_error = None
+            except ValueError:
+                expected, expected_error = None, ValueError
+            if expected_error is None:
+                assert max_core_crossbars_only(names, copies, factors, chip) == expected
+            else:
+                with pytest.raises(ValueError):
+                    max_core_crossbars_only(names, copies, factors, chip)
+
+
+class TestSpanMatrixEquivalence:
+    def test_gathered_latencies_match_scalar_lookups(self, decomposed):
+        decomposition, validity = decomposed
+        matrix = span_matrix_for(decomposition)
+        table = span_table_for(decomposition)
+        spans = random_spans(decomposition, validity, 50, seed=7)
+        starts = np.asarray([s for s, _ in spans], dtype=np.int64)
+        ends = np.asarray([e for _, e in spans], dtype=np.int64)
+        for batch in (1, 4, 16):
+            gathered = matrix.gather_latency(starts, ends, batch)
+            scalar = [table.latency_ns(s, e, batch) for s, e in spans]
+            assert gathered.tolist() == scalar
+
+    def test_gathered_energy_matches_estimates(self, decomposed):
+        decomposition, validity = decomposed
+        matrix = span_matrix_for(decomposition)
+        table = span_table_for(decomposition)
+        spans = random_spans(decomposition, validity, 30, seed=8)
+        starts = np.asarray([s for s, _ in spans], dtype=np.int64)
+        ends = np.asarray([e for _, e in spans], dtype=np.int64)
+        for batch in (1, 16):
+            energy, latency = matrix.gather_energy_latency(starts, ends, batch)
+            for i, (s, e) in enumerate(spans):
+                estimate = table.estimate(s, e, batch)
+                assert energy[i] == estimate.energy_pj, (s, e, batch)
+                assert latency[i] == estimate.latency_ns, (s, e, batch)
+
+    def test_evaluate_many_matches_per_group_evaluate(self, decomposed):
+        decomposition, validity = decomposed
+        rng = np.random.default_rng(9)
+        groups = [
+            PartitionGroup.from_boundaries(
+                decomposition, validity.random_partition_boundaries(rng)
+            )
+            for _ in range(20)
+        ]
+        for mode in (FitnessMode.LATENCY, FitnessMode.EDP):
+            vectorized = FitnessEvaluator(
+                decomposition, batch_size=8, mode=mode, use_span_matrix=True
+            )
+            scalar = FitnessEvaluator(
+                decomposition, batch_size=8, mode=mode, use_span_matrix=False
+            )
+            batch_evals = vectorized.evaluate_many(groups)
+            for group, evaluation in zip(groups, batch_evals):
+                reference = scalar.evaluate(group)
+                assert evaluation.partition_fitness == reference.partition_fitness
+                assert evaluation.fitness == reference.fitness
+
+    def test_matrix_lookups_counted_in_stats(self, decomposed):
+        """Dense-path activity must show up in the shared table's counters."""
+        decomposition, validity = decomposed
+        matrix = span_matrix_for(decomposition)
+        table = span_table_for(decomposition)
+        spans = random_spans(decomposition, validity, 25, seed=10)
+        starts = np.asarray([s for s, _ in spans], dtype=np.int64)
+        ends = np.asarray([e for _, e in spans], dtype=np.int64)
+        before = table.stats
+        matrix.gather_latency(starts, ends, 4)
+        middle = table.stats
+        assert middle.matrix_requests - before.matrix_requests == len(spans)
+        # a repeated gather is served entirely from the matrix, and the served
+        # lookups are folded into the latency hit counters too
+        matrix.gather_latency(starts, ends, 4)
+        after = table.stats
+        assert after.matrix_hits - middle.matrix_hits == len(spans)
+        assert after.matrix_fills == middle.matrix_fills
+        assert after.latency_hits - middle.latency_hits == len(spans)
+        assert after.as_dict()["matrix_hit_rate"] > 0
+
+
 class TestPartitionIOReference:
     def test_io_matches_graph_reference(self, decomposed):
         """Partition.io() equals a direct graph-traversal reference.
@@ -176,34 +320,54 @@ class TestPartitionIOReference:
 
 
 class TestGAEquivalence:
+    """Naive, span-table and span-matrix GA paths are bit-identical.
+
+    Parametrised over fitness mode and batch size (on top of the module's
+    model/chip fixture), covering the issue contract: ≥2 models, ≥2 batch
+    sizes, latency and EDP.  Every ``GenerationRecord`` field is compared,
+    along with the dedup accounting — the three paths must walk the exact
+    same search trajectory and report it identically.
+    """
+
     CONFIG = GAConfig(population_size=12, generations=5, n_select=4, n_mutate=8, seed=11)
 
-    def _run(self, decomposition, use_span_table, mode=FitnessMode.LATENCY):
+    def _run(self, decomposition, batch_size, mode, use_span_table, use_span_matrix=False):
         evaluator = FitnessEvaluator(
-            decomposition, batch_size=4, mode=mode, use_span_table=use_span_table
+            decomposition, batch_size=batch_size, mode=mode,
+            use_span_table=use_span_table, use_span_matrix=use_span_matrix,
         )
         return CompassGA(decomposition, evaluator, self.CONFIG).run()
 
-    def test_fixed_seed_ga_identical_with_and_without_table(self, decomposed):
-        decomposition, _ = decomposed
-        fast = self._run(decomposition, use_span_table=True)
-        naive = self._run(decomposition, use_span_table=False)
-        assert fast.best_group.boundaries == naive.best_group.boundaries
-        assert fast.best_fitness == naive.best_fitness
-        assert [r.best_fitness for r in fast.history] == [
-            r.best_fitness for r in naive.history
-        ]
-        assert [r.mean_fitness for r in fast.history] == [
-            r.mean_fitness for r in naive.history
-        ]
-        assert [r.fitnesses for r in fast.history] == [r.fitnesses for r in naive.history]
+    @staticmethod
+    def _assert_identical(result, reference):
+        assert result.best_group.boundaries == reference.best_group.boundaries
+        assert result.best_fitness == reference.best_fitness
+        assert result.generations_run == reference.generations_run
+        assert result.evaluations == reference.evaluations
+        assert result.unique_evaluations == reference.unique_evaluations
+        assert result.dedup_hits == reference.dedup_hits
+        assert len(result.history) == len(reference.history)
+        for record, expected in zip(result.history, reference.history):
+            assert record.generation == expected.generation
+            assert record.best_fitness == expected.best_fitness
+            assert record.mean_fitness == expected.mean_fitness
+            assert record.fitnesses == expected.fitnesses
+            assert record.num_partitions == expected.num_partitions
+            assert record.selected_mask == expected.selected_mask
 
-    def test_edp_mode_identical_with_and_without_table(self, decomposed):
+    @pytest.mark.parametrize("mode", [FitnessMode.LATENCY, FitnessMode.EDP],
+                             ids=["latency", "edp"])
+    @pytest.mark.parametrize("batch_size", [4, 16])
+    def test_fixed_seed_ga_identical_across_all_paths(self, decomposed, mode, batch_size):
         decomposition, _ = decomposed
-        fast = self._run(decomposition, use_span_table=True, mode=FitnessMode.EDP)
-        naive = self._run(decomposition, use_span_table=False, mode=FitnessMode.EDP)
-        assert fast.best_group.boundaries == naive.best_group.boundaries
-        assert fast.best_fitness == naive.best_fitness
+        naive = self._run(decomposition, batch_size, mode, use_span_table=False)
+        table = self._run(decomposition, batch_size, mode, use_span_table=True)
+        dense = self._run(decomposition, batch_size, mode,
+                          use_span_table=True, use_span_matrix=True)
+        self._assert_identical(table, naive)
+        self._assert_identical(dense, naive)
+        # the dense run actually engaged the matrix engine
+        assert dense.span_stats["matrix_fills"] + dense.span_stats["matrix_hits"] > 0
 
 
 class TestSimulatorEquivalence:
