@@ -19,8 +19,10 @@ and guard against regressions with ``scripts/check_bench_regression.py``
 Environment variables:
 
 ``REPRO_BENCH_QUICK=1``
-    Quick mode: run only the two headline benchmarks
-    (``test_fig6_throughput_comparison`` and ``test_fig10_ga_convergence``).
+    Quick mode: run only the headline benchmarks
+    (``test_fig6_throughput_comparison``, ``test_fig10_ga_convergence``, and
+    the partition-search headliners ``test_dp_optimal_search`` /
+    ``test_optimality_gap_experiment``).
 ``REPRO_BENCH_OUT=<path>``
     Override the output JSON path.
 ``COMPASS_PAPER_SCALE=1``
@@ -53,7 +55,7 @@ def main(argv=None) -> int:
         f"--benchmark-json={out}",
     ]
     if os.environ.get("REPRO_BENCH_QUICK"):
-        cmd += ["-k", "fig6_throughput or fig10_ga"]
+        cmd += ["-k", "fig6_throughput or fig10_ga or dp_optimal or optimality_gap"]
     cmd += argv
 
     env = dict(os.environ)

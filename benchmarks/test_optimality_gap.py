@@ -1,0 +1,58 @@
+"""Benchmarks for the partition-search subsystem (beyond the paper).
+
+Two headliners ride with the quick-bench set:
+
+* ``test_dp_optimal_search`` — one exact DP solve of ResNet18-M-16: the
+  full valid-span triangle fill plus the Bellman sweep.  This is the cost a
+  sweep pays per compass point when routed through ``--optimizer dp``.
+* ``test_optimality_gap_experiment`` — the DP-vs-GA gap experiment on a
+  small (model, chip) subset, printing the gap table as the experimental
+  record.
+"""
+
+from __future__ import annotations
+
+from repro.core.fitness import FitnessEvaluator
+from repro.evaluation.experiments import optimality_gap
+from repro.evaluation.registry import shared_decomposition
+from repro.search import DPOptimalSearch
+from repro.sim.report import format_table
+
+
+def run_dp(model: str = "resnet18", chip: str = "M", batch: int = 16):
+    """One exact DP solve over a fresh evaluator on the shared pair."""
+    decomposition, validity = shared_decomposition(model, chip)
+    evaluator = FitnessEvaluator(decomposition, batch_size=batch)
+    return DPOptimalSearch(decomposition, evaluator, validity).run()
+
+
+def test_dp_optimal_search(benchmark):
+    result = benchmark(run_dp)
+    assert result.exact
+    assert result.best_group.num_partitions >= 1
+    print(
+        f"\nDP optimum resnet18-M-16: {result.best_fitness:.6g} ns over "
+        f"{result.best_group.num_partitions} partitions "
+        f"({result.evaluations} span evaluations)"
+    )
+
+
+def test_optimality_gap_experiment(benchmark, experiment_config):
+    rows = benchmark(
+        optimality_gap,
+        models=("squeezenet", "resnet18"),
+        chips=("S", "M"),
+        batch_sizes=(1, 16),
+        ga_config=experiment_config.ga_config,
+    )
+    assert rows
+    supported = [row for row in rows if row["supported"]]
+    assert supported
+    # the DP result is the true optimum: the GA can never beat it
+    assert all(row["gap_pct"] >= 0.0 for row in supported)
+    print()
+    print(format_table(
+        supported,
+        columns=["model", "chip", "batch", "dp_latency_ns", "ga_latency_ns",
+                 "gap_pct", "dp_partitions", "ga_partitions"],
+    ))

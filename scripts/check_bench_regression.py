@@ -2,10 +2,13 @@
 """Fail when the quick-bench headliners regress against the committed baseline.
 
 Runs the quick benchmark suite (``REPRO_BENCH_QUICK=1``, i.e. the fig6/fig10
-headliners) into a temporary JSON record and compares it against the most
-recent ``BENCH_<date>.json`` committed in the repository root.  Exits
-non-zero if any common benchmark's mean regressed by more than the threshold
-(default 20%, override with ``REPRO_BENCH_REGRESSION_PCT``).
+and partition-search DP/gap headliners) into a temporary JSON record and
+compares it against the most recent ``BENCH_<date>.json`` committed in the
+repository root.  Exits non-zero if any common benchmark's mean regressed by
+more than the threshold (default 20%, override with
+``REPRO_BENCH_REGRESSION_PCT``).  Benchmarks present in only one record —
+headliners newer than the committed baseline, or retired ones — are
+tolerated: they are reported but only the common set can fail the check.
 
 The comparison is only meaningful on the machine profile that produced the
 baseline; on a different CPU brand/core count the check is skipped (exit 0

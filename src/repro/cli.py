@@ -19,6 +19,7 @@ Examples
 ::
 
     python -m repro compile resnet18 --chip M --scheme compass --batch 16
+    python -m repro compile resnet18 --chip M --optimizer dp --batch 16
     python -m repro sweep --models squeezenet resnet18 --chips S M --batches 1 4 16
     python -m repro models
 """
@@ -34,8 +35,9 @@ from repro.core.ga import GAConfig
 from repro.evaluation.sweeps import SweepRunner
 from repro.hardware.config import get_chip_config, hardware_configuration_table
 from repro.models import build_model, list_models
+from repro.search import OPTIMIZERS, validate_optimizer
 from repro.serialization import dump_compilation_result
-from repro.sim.report import format_table, render_execution_report
+from repro.sim.report import format_table, render_execution_report, render_search_summary
 
 
 def _ga_config_from_args(args: argparse.Namespace) -> GAConfig:
@@ -48,7 +50,20 @@ def _ga_config_from_args(args: argparse.Namespace) -> GAConfig:
     )
 
 
+def _check_optimizer(name: str) -> Optional[str]:
+    """Error message for an unrecognised ``--optimizer`` value, else ``None``."""
+    try:
+        validate_optimizer(name)
+    except ValueError as error:
+        return f"error: {error}"
+    return None
+
+
 def _cmd_compile(args: argparse.Namespace) -> int:
+    error = _check_optimizer(args.optimizer)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     graph = build_model(args.model)
     chip = get_chip_config(args.chip)
     result = compile_model(
@@ -56,12 +71,16 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         chip,
         scheme=args.scheme,
         batch_size=args.batch,
+        optimizer=args.optimizer,
         ga_config=_ga_config_from_args(args),
         generate_instructions=not args.no_instructions,
     )
     print(result.summary())
     print()
     print(render_execution_report(result.report))
+    if result.search_result is not None and args.optimizer != "ga":
+        print()
+        print(render_search_summary(result.search_result))
     if args.output:
         dump_compilation_result(result, args.output)
         print(f"\nfull result written to {args.output}")
@@ -69,7 +88,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    runner = SweepRunner(ga_config=_ga_config_from_args(args))
+    error = _check_optimizer(args.optimizer)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    runner = SweepRunner(ga_config=_ga_config_from_args(args), optimizer=args.optimizer)
     rows = runner.run(
         models=args.models,
         chips=args.chips,
@@ -115,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--population", type=int, default=30, help="GA population size")
         p.add_argument("--generations", type=int, default=10, help="GA generations")
         p.add_argument("--seed", type=int, default=0, help="GA random seed")
+        p.add_argument(
+            "--optimizer", default="ga", metavar="ENGINE",
+            help="partition-search engine for the compass scheme: "
+                 + ", ".join(sorted(OPTIMIZERS)),
+        )
 
     compile_parser = subparsers.add_parser("compile", help="compile one model for one chip")
     compile_parser.add_argument("model", choices=list_models())

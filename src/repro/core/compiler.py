@@ -4,8 +4,10 @@ Ties the three components of Fig. 3 together:
 
 1. **Partition generator** — decompose the model into partition units and
    build the validity map.
-2. **Partition optimizer** — run the COMPASS GA (or a baseline scheme) to
-   choose the partition group, using the on-chip estimator as fitness oracle.
+2. **Partition optimizer** — run a :mod:`repro.search` engine (the COMPASS
+   GA by default; the exact DP, beam search or simulated annealing via
+   ``optimizer=``) or a baseline scheme to choose the partition group, using
+   the on-chip estimator as fitness oracle.
 3. **Scheduler** — build per-partition execution plans and generate the
    per-core instruction streams, then simulate the execution to obtain the
    final latency/energy report.
@@ -14,7 +16,7 @@ Ties the three components of Fig. 3 together:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.baselines import greedy_partition, layerwise_partition
 from repro.core.decomposition import ModelDecomposition, decompose_model
@@ -30,6 +32,13 @@ from repro.onchip.plan import PartitionPlan
 from repro.perf.spantable import span_table_for
 from repro.sim.simulator import ExecutionReport, ExecutionSimulator
 
+if TYPE_CHECKING:
+    from repro.search import SearchResult
+
+# repro.search is imported lazily inside the functions below:
+# ``repro.core.__init__`` imports this module eagerly, and the search
+# package imports ``repro.core`` submodules, so a top-level import here
+# would close an import cycle.
 
 #: Recognised partitioning schemes.
 SCHEMES = ("compass", "greedy", "layerwise")
@@ -44,6 +53,13 @@ class CompilerOptions:
     weight_bits: int = 4
     activation_bits: int = 4
     fitness_mode: FitnessMode = FitnessMode.LATENCY
+    #: partition-search engine for the ``compass`` scheme: one of the
+    #: :data:`repro.search.OPTIMIZERS` names (``ga``, ``dp``, ``beam``,
+    #: ``anneal``)
+    optimizer: str = "ga"
+    #: extra engine constructor arguments (e.g. ``{"width": 16}`` for beam,
+    #: ``{"steps": 1000}`` for annealing, ``{"max_frontier": 0}`` for DP)
+    optimizer_options: Dict[str, object] = field(default_factory=dict)
     ga_config: GAConfig = field(default_factory=GAConfig)
     dram_config: DRAMConfig = LPDDR3_8GB
     #: generate per-core instruction streams (slower; off for pure estimation)
@@ -59,6 +75,10 @@ class CompilerOptions:
             raise ValueError(f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}")
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.optimizer != "ga":  # defer the search import for the default
+            from repro.search import validate_optimizer
+
+            validate_optimizer(self.optimizer)
 
 
 @dataclass
@@ -75,6 +95,9 @@ class CompilationResult:
     report: ExecutionReport
     schedule: Optional[ModelSchedule] = None
     ga_result: Optional[GAResult] = None
+    #: full search outcome when a :mod:`repro.search` engine chose the group
+    #: (``None`` for the greedy/layerwise baseline schemes)
+    search_result: Optional["SearchResult"] = None
 
     # ------------------------------------------------------------------
     @property
@@ -117,6 +140,13 @@ class CompilationResult:
                 f"  GA generations       : {self.ga_result.generations_run} "
                 f"({self.ga_result.evaluations} evaluations)"
             )
+        elif self.search_result is not None:
+            result = self.search_result
+            exactness = "exact optimum" if result.exact else "heuristic"
+            lines.append(
+                f"  optimizer            : {result.optimizer} ({exactness}, "
+                f"{result.evaluations} evaluations)"
+            )
         return "\n".join(lines)
 
 
@@ -132,12 +162,14 @@ class CompassCompiler:
         self,
         decomposition: ModelDecomposition,
         validity: ValidityMap,
-    ) -> (PartitionGroup, Optional[GAResult]):
+    ) -> (PartitionGroup, Optional[GAResult], "Optional[SearchResult]"):
         options = self.options
         if options.scheme == "greedy":
-            return greedy_partition(decomposition, validity), None
+            return greedy_partition(decomposition, validity), None, None
         if options.scheme == "layerwise":
-            return layerwise_partition(decomposition, validity), None
+            return layerwise_partition(decomposition, validity), None, None
+        from repro.search import make_search
+
         evaluator = FitnessEvaluator(
             decomposition,
             batch_size=options.batch_size,
@@ -145,9 +177,14 @@ class CompassCompiler:
             dram_config=options.dram_config,
             use_span_matrix=options.use_span_matrix,
         )
-        ga = CompassGA(decomposition, evaluator, options.ga_config, validity)
-        result = ga.run()
-        return result.best_group, result
+        kwargs = dict(options.optimizer_options)
+        if options.optimizer == "ga":
+            kwargs.setdefault("ga_config", options.ga_config)
+        search = make_search(
+            options.optimizer, decomposition, evaluator, validity, **kwargs
+        )
+        result = search.run()
+        return result.best_group, result.ga_result, result
 
     # ------------------------------------------------------------------
     def compile(
@@ -172,7 +209,7 @@ class CompassCompiler:
             )
         if validity is None:
             validity = ValidityMap(decomposition)
-        group, ga_result = self._choose_group(decomposition, validity)
+        group, ga_result, search_result = self._choose_group(decomposition, validity)
 
         # Plans come from the shared span table: spans already profiled by the
         # partition optimiser (or by a previous compilation on the same
@@ -211,6 +248,7 @@ class CompassCompiler:
             report=report,
             schedule=schedule,
             ga_result=ga_result,
+            search_result=search_result,
         )
 
 

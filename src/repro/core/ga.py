@@ -28,6 +28,7 @@ from repro.core.score import (
     population_unit_expectation,
 )
 from repro.core.validity import ValidityMap
+from repro.perf.spantable import stats_delta
 
 # numpy.random pulls in ~30 modules lazily on the first Generator
 # construction; touch it at import time so that one-off cost never lands
@@ -221,24 +222,7 @@ class CompassGA:
     def _span_stats_delta(self, baseline: Dict[str, float]) -> Dict[str, float]:
         """This run's share of the (shared, cumulative) span-table stats."""
         current = getattr(self.evaluator, "span_stats", {}) or {}
-        if not current:
-            return {}
-        delta = {
-            key: value - baseline.get(key, 0)
-            for key, value in current.items()
-            if not key.endswith("_rate")
-        }
-        for kind, computed_key in (
-            ("profile", "profiles_computed"),
-            ("estimate", "estimates_computed"),
-            ("latency", "latencies_computed"),
-            ("matrix", "matrix_fills"),
-        ):
-            computed = delta.get(computed_key, 0)
-            hits = delta.get(f"{kind}_hits", 0)
-            requests = computed + hits
-            delta[f"{kind}_hit_rate"] = hits / requests if requests else 0.0
-        return delta
+        return stats_delta(current, baseline)
 
     def run(self) -> GAResult:
         """Run the COMPASS GA and return the best partition group found."""

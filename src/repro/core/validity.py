@@ -41,6 +41,7 @@ class ValidityMap:
         )
         self._max_end = self._compute_max_end()
         self._num_units = len(self._max_end)
+        self._matrix: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def _compute_max_end(self) -> List[int]:
@@ -116,11 +117,21 @@ class ValidityMap:
         return valid_pairs / total_pairs if total_pairs else 0.0
 
     def as_matrix(self) -> np.ndarray:
-        """Boolean matrix ``V[i, j]`` = span ``[i, j+1)`` is valid (Fig. 5)."""
-        n = self.num_units
-        matrix = np.zeros((n, n), dtype=bool)
-        for i in range(n):
-            matrix[i, i:self._max_end[i]] = True
+        """Boolean matrix ``V[i, j]`` = span ``[i, j+1)`` is valid (Fig. 5).
+
+        Built once and cached: beyond Fig. 5 this is the transition mask of
+        every :mod:`repro.search` DP/beam run on the decomposition, which may
+        consult it thousands of times.  The returned array is marked
+        read-only since all callers share it.
+        """
+        matrix = self._matrix
+        if matrix is None:
+            n = self.num_units
+            matrix = np.zeros((n, n), dtype=bool)
+            for i in range(n):
+                matrix[i, i:self._max_end[i]] = True
+            matrix.setflags(write=False)
+            self._matrix = matrix
         return matrix
 
     def random_valid_end(self, start: int, rng: np.random.Generator) -> int:

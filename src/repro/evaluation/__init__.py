@@ -18,9 +18,10 @@ from repro.evaluation.experiments import (
     fig8_energy_and_edp,
     fig9_weight_energy_vs_batch,
     fig10_ga_convergence,
+    optimality_gap,
 )
 from repro.evaluation.parallel import ParallelSweepRunner
-from repro.evaluation.registry import shared_decomposition, shared_graph
+from repro.evaluation.registry import shared_decomposition, shared_graph, shared_search
 from repro.evaluation.sweeps import SweepRunner, SweepPoint
 
 __all__ = [
@@ -35,9 +36,11 @@ __all__ = [
     "fig8_energy_and_edp",
     "fig9_weight_energy_vs_batch",
     "fig10_ga_convergence",
+    "optimality_gap",
     "ParallelSweepRunner",
     "SweepRunner",
     "SweepPoint",
     "shared_decomposition",
     "shared_graph",
+    "shared_search",
 ]

@@ -365,6 +365,83 @@ def ga_paper_scale(
 
 
 # ----------------------------------------------------------------------
+# Optimality gap (beyond the paper): exact DP vs the GA
+# ----------------------------------------------------------------------
+def optimality_gap(
+    models: Optional[Sequence[str]] = None,
+    chips: Sequence[str] = PAPER_CHIPS,
+    batch_sizes: Optional[Sequence[int]] = None,
+    ga_config: Optional[GAConfig] = None,
+    input_size: int = 224,
+) -> List[Dict[str, object]]:
+    """How far the GA lands from the true latency optimum, per configuration.
+
+    The paper can only compare the GA against heuristic baselines; with the
+    dense span matrix the latency-mode problem is solvable *exactly*
+    (:class:`~repro.search.DPOptimalSearch`), so the GA's optimality gap is
+    measurable.  One row per (model, chip, batch): the DP optimum, the GA
+    best, and ``gap_pct = (ga / dp - 1) * 100``.  Both engines share one
+    evaluator, so the DP's full triangle fill makes the GA run almost pure
+    gathers.  Models that do not decompose on a chip yield a row with
+    ``supported=False``.
+
+    Defaults cover every registry model x the paper's three chips x the fast
+    batch list; benchmarks pass subsets.
+    """
+    from repro.models import list_models
+    from repro.search import DPOptimalSearch, GASearch
+
+    models = list(list_models()) if models is None else list(models)
+    batch_sizes = (
+        tuple(ExperimentConfig.fast().batch_sizes)
+        if batch_sizes is None else tuple(batch_sizes)
+    )
+    ga_config = ga_config if ga_config is not None else ExperimentConfig.fast().ga_config
+    rows: List[Dict[str, object]] = []
+    for model in models:
+        for chip_name in chips:
+            try:
+                decomposition, validity = shared_decomposition(
+                    model, chip_name, input_size=input_size
+                )
+            except Exception:
+                for batch in batch_sizes:
+                    rows.append(
+                        {
+                            "model": model, "chip": chip_name, "batch": batch,
+                            "supported": False,
+                        }
+                    )
+                continue
+            for batch in batch_sizes:
+                evaluator = FitnessEvaluator(
+                    decomposition, batch_size=batch, mode=FitnessMode.LATENCY
+                )
+                dp = DPOptimalSearch(decomposition, evaluator, validity).run()
+                ga = GASearch(
+                    decomposition, evaluator, validity, ga_config=ga_config
+                ).run()
+                dp_fitness = dp.best_fitness
+                rows.append(
+                    {
+                        "model": model,
+                        "chip": chip_name,
+                        "batch": batch,
+                        "supported": True,
+                        "dp_latency_ns": dp_fitness,
+                        "ga_latency_ns": ga.best_fitness,
+                        "gap_pct": (ga.best_fitness / dp_fitness - 1.0) * 100.0
+                        if dp_fitness else 0.0,
+                        "dp_partitions": dp.best_group.num_partitions,
+                        "ga_partitions": ga.best_group.num_partitions,
+                        "dp_span_evals": dp.evaluations,
+                        "ga_evaluations": ga.evaluations,
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Suite
 # ----------------------------------------------------------------------
 class ExperimentSuite:
@@ -410,3 +487,12 @@ class ExperimentSuite:
     def fig10(self) -> GAResult:
         """Fig. 10 GA convergence history."""
         return fig10_ga_convergence(ga_config=self.config.ga_config)
+
+    def gap(self) -> List[Dict[str, object]]:
+        """Optimality-gap rows (DP optimum vs GA best) for the suite config."""
+        return optimality_gap(
+            models=self.config.models,
+            chips=self.config.chips,
+            batch_sizes=self.config.batch_sizes,
+            ga_config=self.config.ga_config,
+        )

@@ -35,12 +35,13 @@ _Chunk = Tuple[str, str, Tuple[Tuple[str, int], ...]]
 def _run_chunk(payload) -> List[Dict[str, object]]:
     """Worker entry point: run one (model, chip) chunk serially in-process."""
     (model, chip, points, ga_config, fitness_mode, generate_instructions,
-     input_size) = payload
+     input_size, optimizer) = payload
     runner = SweepRunner(
         ga_config=ga_config,
         fitness_mode=fitness_mode,
         generate_instructions=generate_instructions,
         input_size=input_size,
+        optimizer=optimizer,
     )
     rows: List[Dict[str, object]] = []
     for scheme, batch in points:
@@ -67,12 +68,15 @@ class ParallelSweepRunner:
         generate_instructions: bool = False,
         input_size: int = 224,
         max_workers: Optional[int] = None,
+        optimizer: str = "ga",
     ) -> None:
         self.ga_config = ga_config
         self.fitness_mode = fitness_mode
         self.generate_instructions = generate_instructions
         self.input_size = input_size
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        #: partition-search engine forwarded to every worker's serial runner
+        self.optimizer = optimizer
 
     # ------------------------------------------------------------------
     def _serial_runner(self) -> SweepRunner:
@@ -81,6 +85,7 @@ class ParallelSweepRunner:
             fitness_mode=self.fitness_mode,
             generate_instructions=self.generate_instructions,
             input_size=self.input_size,
+            optimizer=self.optimizer,
         )
 
     def run(
@@ -105,7 +110,7 @@ class ParallelSweepRunner:
 
         payloads = [
             (model, chip, points, self.ga_config, self.fitness_mode,
-             self.generate_instructions, self.input_size)
+             self.generate_instructions, self.input_size, self.optimizer)
             for model, chip in chunks
         ]
         workers = min(self.max_workers, len(payloads))

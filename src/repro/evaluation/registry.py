@@ -86,6 +86,39 @@ def shared_span_matrix(
     return span_matrix_for(decomposition)
 
 
+def shared_search(
+    model: str,
+    chip_name: str,
+    optimizer: str = "dp",
+    batch_size: int = 1,
+    mode=None,
+    input_size: int = 224,
+    weight_bits: int = 4,
+    activation_bits: int = 4,
+    **search_kwargs,
+):
+    """A :class:`~repro.search.base.PartitionSearch` over the shared pair.
+
+    Builds the engine on the process-wide decomposition + validity map, so
+    every search on a (model, chip) pair — whatever the engine — routes
+    through the same shared span table and dense span matrix: the DP's full
+    triangle fill makes every later GA / beam / annealing run on the pair
+    pure gathers.
+    """
+    from repro.core.fitness import FitnessEvaluator, FitnessMode
+    from repro.search import make_search
+
+    decomposition, validity = shared_decomposition(
+        model, chip_name, input_size=input_size,
+        weight_bits=weight_bits, activation_bits=activation_bits,
+    )
+    evaluator = FitnessEvaluator(
+        decomposition, batch_size=batch_size,
+        mode=mode if mode is not None else FitnessMode.LATENCY,
+    )
+    return make_search(optimizer, decomposition, evaluator, validity, **search_kwargs)
+
+
 def clear_registry() -> None:
     """Drop all cached graphs and decompositions (mainly for tests).
 

@@ -52,6 +52,8 @@ class SweepRunner:
         generate_instructions: bool = False,
         input_size: int = 224,
         use_span_matrix: Optional[bool] = None,
+        optimizer: str = "ga",
+        optimizer_options: Optional[Dict[str, object]] = None,
     ) -> None:
         self.ga_config = ga_config
         self.fitness_mode = fitness_mode
@@ -60,6 +62,12 @@ class SweepRunner:
         #: dense span-matrix engine toggle forwarded to the compiler
         #: (``None`` follows the ``REPRO_SPAN_MATRIX`` environment default)
         self.use_span_matrix = use_span_matrix
+        #: partition-search engine for ``compass`` points (``ga``, ``dp``,
+        #: ``beam``, ``anneal``); sweeps through the DP engine turn every
+        #: compass point into one exact shortest-path solve over the shared
+        #: span matrix instead of a GA run
+        self.optimizer = optimizer
+        self.optimizer_options: Dict[str, object] = dict(optimizer_options or {})
         self._graphs: Dict[str, Graph] = {}
         self._results: Dict[SweepPoint, CompilationResult] = {}
         self._decompositions: Dict[Tuple[str, str], Tuple[ModelDecomposition, ValidityMap]] = {}
@@ -94,6 +102,8 @@ class SweepRunner:
         options = CompilerOptions(
             scheme=point.scheme,
             batch_size=point.batch_size,
+            optimizer=self.optimizer,
+            optimizer_options=dict(self.optimizer_options),
             ga_config=self.ga_config,
             fitness_mode=self.fitness_mode,
             generate_instructions=self.generate_instructions,

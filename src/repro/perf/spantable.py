@@ -122,6 +122,36 @@ class SpanTableStats:
         }
 
 
+def stats_delta(current: Dict[str, float], baseline: Dict[str, float]) -> Dict[str, float]:
+    """One consumer's share of a shared table's (cumulative) statistics.
+
+    The span table is shared per decomposition, so its counters accumulate
+    across every consumer in the process; a single run's contribution is the
+    difference between a snapshot taken before the run (``baseline``) and the
+    counters afterwards (``current``).  Rates are recomputed over the delta —
+    differencing the cumulative rates would be meaningless.  Used by the GA
+    and every :mod:`repro.search` engine to report per-run span statistics.
+    """
+    if not current:
+        return {}
+    delta = {
+        key: value - baseline.get(key, 0)
+        for key, value in current.items()
+        if not key.endswith("_rate")
+    }
+    for kind, computed_key in (
+        ("profile", "profiles_computed"),
+        ("estimate", "estimates_computed"),
+        ("latency", "latencies_computed"),
+        ("matrix", "matrix_fills"),
+    ):
+        computed = delta.get(computed_key, 0)
+        hits = delta.get(f"{kind}_hits", 0)
+        requests = computed + hits
+        delta[f"{kind}_hit_rate"] = hits / requests if requests else 0.0
+    return delta
+
+
 class SpanTable:
     """Memoised span → (profile, estimate) table for one decomposition.
 

@@ -1,0 +1,88 @@
+"""Pluggable partition-search subsystem.
+
+One problem, four engines behind one interface: choose the cut positions of
+a :class:`~repro.core.partition.PartitionGroup` minimising the fitness of a
+:class:`~repro.core.fitness.FitnessEvaluator`.
+
+* :class:`DPOptimalSearch` (``dp``) — exact Bellman DP over the
+  validity-masked span matrix; the provable optimum in latency mode, a
+  Pareto-frontier DP over (latency, energy) prefix states in EDP mode.
+* :class:`BeamSearch` (``beam``) — width-limited constructive search.
+* :class:`SimulatedAnnealing` (``anneal``) — Metropolis chain reusing the
+  GA's mutation kernels and batched RNG.
+* :class:`GASearch` (``ga``) — the COMPASS GA of Algorithm 1, adapted
+  without changing its fixed-seed results.
+
+Engines are registered by name in :data:`OPTIMIZERS` and constructed with
+:func:`make_search`; the compiler's ``--optimizer`` option routes here.
+All engines share one span-cost source (the dense span matrix / span table
+attached to the decomposition), so running several engines on one
+decomposition — as the optimality-gap experiment does — amortises span
+profiling across them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.core.decomposition import ModelDecomposition
+from repro.core.fitness import FitnessEvaluator
+from repro.core.validity import ValidityMap
+from repro.search.anneal import SimulatedAnnealing
+from repro.search.base import PartitionSearch, SearchResult, SearchStep, SpanCostModel
+from repro.search.beam import BeamSearch
+from repro.search.dp import DPOptimalSearch
+from repro.search.ga_adapter import GASearch
+
+#: Search engines by registry name (the ``--optimizer`` values).
+OPTIMIZERS: Dict[str, Type[PartitionSearch]] = {
+    GASearch.name: GASearch,
+    DPOptimalSearch.name: DPOptimalSearch,
+    BeamSearch.name: BeamSearch,
+    SimulatedAnnealing.name: SimulatedAnnealing,
+}
+
+
+def validate_optimizer(optimizer: str) -> None:
+    """Raise ``ValueError`` for a name not in :data:`OPTIMIZERS`.
+
+    The single source of the "unknown optimizer" message — the CLI and
+    :class:`~repro.core.compiler.CompilerOptions` both route through it.
+    """
+    if optimizer not in OPTIMIZERS:
+        known = ", ".join(sorted(OPTIMIZERS))
+        raise ValueError(
+            f"unknown optimizer {optimizer!r}; expected one of: {known}"
+        )
+
+
+def make_search(
+    optimizer: str,
+    decomposition: ModelDecomposition,
+    evaluator: FitnessEvaluator,
+    validity: Optional[ValidityMap] = None,
+    **kwargs,
+) -> PartitionSearch:
+    """Construct a search engine by registry name.
+
+    Extra keyword arguments are forwarded to the engine's constructor
+    (e.g. ``ga_config=`` for ``ga``, ``width=`` for ``beam``, ``steps=`` /
+    ``seed=`` for ``anneal``, ``max_frontier=`` for ``dp``).
+    """
+    validate_optimizer(optimizer)
+    return OPTIMIZERS[optimizer](decomposition, evaluator, validity=validity, **kwargs)
+
+
+__all__ = [
+    "BeamSearch",
+    "DPOptimalSearch",
+    "GASearch",
+    "OPTIMIZERS",
+    "PartitionSearch",
+    "SearchResult",
+    "SearchStep",
+    "SimulatedAnnealing",
+    "SpanCostModel",
+    "make_search",
+    "validate_optimizer",
+]

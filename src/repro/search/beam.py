@@ -1,0 +1,136 @@
+"""Beam search over partition cut positions.
+
+A cheap constructive heuristic between the greedy baseline (beam width 1,
+cost-blind) and the exact DP (all prefixes): the unit string is partitioned
+left to right, one partition per depth, and at every depth only the
+``width`` most promising prefixes survive.
+
+Prefixes at one depth cover different amounts of the unit string, so raw
+accumulated cost would systematically favour short prefixes; states are
+ranked by *cost per covered unit* instead (accumulated fitness divided by
+the covered position), which makes prefixes of different lengths
+commensurable.  Completed groups are scored by their true fitness — the
+same left-to-right accumulation the evaluator uses, so the winner's
+recorded fitness matches its :class:`~repro.core.fitness.GroupEvaluation`
+bit for bit.
+
+Span costs come from the shared :class:`~repro.search.base.SpanCostModel`,
+i.e. one dense-matrix gather per depth for the whole frontier's expansions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.decomposition import ModelDecomposition
+from repro.core.fitness import FitnessEvaluator, FitnessMode
+from repro.core.partition import PartitionGroup
+from repro.core.validity import ValidityMap
+from repro.search.base import PartitionSearch, SearchResult, SearchStep, SpanCostModel
+
+
+class BeamSearch(PartitionSearch):
+    """Width-limited constructive search over partition prefixes."""
+
+    name = "beam"
+
+    def __init__(
+        self,
+        decomposition: ModelDecomposition,
+        evaluator: FitnessEvaluator,
+        validity: Optional[ValidityMap] = None,
+        width: int = 8,
+    ) -> None:
+        super().__init__(decomposition, evaluator, validity)
+        if width < 1:
+            raise ValueError("beam width must be at least 1")
+        self.width = width
+
+    # ------------------------------------------------------------------
+    def _score(self, latency_sum: float, energy_sum: float, position: int) -> float:
+        """Prefix ranking score: accumulated fitness per covered unit."""
+        if self.evaluator.mode is FitnessMode.LATENCY:
+            return latency_sum / position
+        return (energy_sum * latency_sum) * 1e-12 / position
+
+    def _fitness(self, latency_sum: float, energy_sum: float) -> float:
+        """Fitness of a completed group from its accumulated sums."""
+        if self.evaluator.mode is FitnessMode.LATENCY:
+            return latency_sum
+        return (energy_sum * latency_sum) * 1e-12
+
+    # ------------------------------------------------------------------
+    def _run(self) -> SearchResult:
+        n = self.decomposition.num_units
+        max_end = [self.validity.max_end(i) for i in range(n)]
+        cost_model = SpanCostModel(self.evaluator)
+        edp_mode = self.evaluator.mode is FitnessMode.EDP
+
+        # state: (position, boundaries, latency_sum, energy_sum)
+        frontier: List[Tuple[int, Tuple[int, ...], float, float]] = [(0, (), 0.0, 0.0)]
+        best_bounds: Optional[Tuple[int, ...]] = None
+        best_fitness = float("inf")
+        history: List[SearchStep] = []
+        depth = 0
+        while frontier:
+            depth += 1
+            # expand every frontier state by one more partition; all span
+            # costs of the depth come from one batched gather
+            starts = np.concatenate(
+                [np.full(max_end[p] - p, p, dtype=np.int64) for p, _, _, _ in frontier]
+            )
+            ends = np.concatenate(
+                [np.arange(p + 1, max_end[p] + 1, dtype=np.int64) for p, _, _, _ in frontier]
+            )
+            if edp_mode:
+                energies, latencies = cost_model.energy_latency_costs(starts, ends)
+            else:
+                latencies = cost_model.latency_costs(starts, ends)
+                energies = np.zeros_like(latencies)
+
+            candidates: List[Tuple[float, int, Tuple[int, ...], float, float]] = []
+            cursor = 0
+            for position, bounds, lat_sum, en_sum in frontier:
+                for end in range(position + 1, max_end[position] + 1):
+                    lat = lat_sum + float(latencies[cursor])
+                    en = en_sum + float(energies[cursor])
+                    cursor += 1
+                    new_bounds = bounds + (end,)
+                    if end == n:
+                        fitness = self._fitness(lat, en)
+                        if fitness < best_fitness:
+                            best_fitness = fitness
+                            best_bounds = new_bounds
+                    else:
+                        candidates.append(
+                            (self._score(lat, en, end), end, new_bounds, lat, en)
+                        )
+            candidates.sort(key=lambda state: state[0])
+            frontier = [
+                (end, bounds, lat, en)
+                for _, end, bounds, lat, en in candidates[: self.width]
+            ]
+            history.append(
+                SearchStep(
+                    step=depth,
+                    best_fitness=best_fitness,
+                    candidate_fitness=candidates[0][0] if candidates else best_fitness,
+                    num_partitions=depth,
+                )
+            )
+
+        assert best_bounds is not None  # [p, p+1) is always valid, so the
+        # beam always completes at least one group before the frontier empties
+        group = PartitionGroup.from_boundaries(self.decomposition, best_bounds)
+        evaluation = self.evaluator.evaluate(group)
+        return SearchResult(
+            optimizer=self.name,
+            best_group=group,
+            best_evaluation=evaluation,
+            history=history,
+            steps_run=depth,
+            evaluations=cost_model.spans_costed,
+            exact=False,
+        )

@@ -1,0 +1,69 @@
+"""The COMPASS GA behind the :class:`~repro.search.base.PartitionSearch` interface.
+
+A thin adapter: construction and execution of :class:`~repro.core.ga.CompassGA`
+are exactly what the compiler did before the search subsystem existed — same
+argument order, same RNG seeding, same evaluator — so fixed-seed GA results
+are bit-identical through the adapter (pinned by ``tests/test_search.py``).
+The full :class:`~repro.core.ga.GAResult` (per-generation history, dedup
+statistics) rides along on :attr:`~repro.search.base.SearchResult.ga_result`
+for consumers that want Fig. 10-style records.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.decomposition import ModelDecomposition
+from repro.core.fitness import FitnessEvaluator
+from repro.core.ga import CompassGA, GAConfig
+from repro.core.mutation import MutationKind
+from repro.core.validity import ValidityMap
+from repro.search.base import PartitionSearch, SearchResult, SearchStep
+
+
+class GASearch(PartitionSearch):
+    """Adapter exposing the COMPASS GA as a partition-search engine."""
+
+    name = "ga"
+
+    def __init__(
+        self,
+        decomposition: ModelDecomposition,
+        evaluator: FitnessEvaluator,
+        validity: Optional[ValidityMap] = None,
+        ga_config: GAConfig = GAConfig(),
+        mutation_kinds: Optional[Sequence[MutationKind]] = None,
+    ) -> None:
+        super().__init__(decomposition, evaluator, validity)
+        self.ga_config = ga_config
+        self.mutation_kinds = mutation_kinds
+
+    # ------------------------------------------------------------------
+    def _run(self) -> SearchResult:
+        ga = CompassGA(
+            self.decomposition,
+            self.evaluator,
+            self.ga_config,
+            self.validity,
+            mutation_kinds=self.mutation_kinds,
+        )
+        result = ga.run()
+        history: List[SearchStep] = [
+            SearchStep(
+                step=record.generation,
+                best_fitness=record.best_fitness,
+                candidate_fitness=record.mean_fitness,
+                num_partitions=record.num_partitions[0] if record.num_partitions else 0,
+            )
+            for record in result.history
+        ]
+        return SearchResult(
+            optimizer=self.name,
+            best_group=result.best_group,
+            best_evaluation=result.best_evaluation,
+            history=history,
+            steps_run=result.generations_run,
+            evaluations=result.evaluations,
+            exact=False,
+            ga_result=result,
+        )

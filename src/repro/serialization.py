@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Optional
 from repro.core.compiler import CompilationResult
 from repro.core.ga import GAResult
 from repro.onchip.estimator import PartitionEstimate
+from repro.search import SearchResult
 from repro.sim.simulator import ExecutionReport
 
 
@@ -102,6 +103,32 @@ def ga_result_to_dict(ga_result: GAResult) -> Dict[str, Any]:
     }
 
 
+def search_result_to_dict(result: SearchResult,
+                          include_history: bool = True) -> Dict[str, Any]:
+    """Flatten a partition-search outcome (any :mod:`repro.search` engine)."""
+    data: Dict[str, Any] = {
+        "optimizer": result.optimizer,
+        "best_boundaries": list(result.best_group.boundaries),
+        "best_fitness": result.best_fitness,
+        "steps_run": result.steps_run,
+        "evaluations": result.evaluations,
+        "exact": result.exact,
+        "span_stats": dict(result.span_stats),
+    }
+    if include_history:
+        data["history"] = [
+            {
+                "step": step.step,
+                "best_fitness": step.best_fitness,
+                "candidate_fitness": step.candidate_fitness,
+                "accepted": step.accepted,
+                "num_partitions": step.num_partitions,
+            }
+            for step in result.history
+        ]
+    return data
+
+
 def compilation_result_to_dict(result: CompilationResult,
                                include_ga_history: bool = True) -> Dict[str, Any]:
     """Flatten a full compilation result."""
@@ -109,6 +136,7 @@ def compilation_result_to_dict(result: CompilationResult,
         "model": result.graph.name,
         "chip": result.chip.name,
         "scheme": result.options.scheme,
+        "optimizer": result.options.optimizer,
         "batch_size": result.options.batch_size,
         "weight_bits": result.options.weight_bits,
         "num_units": result.decomposition.num_units,
@@ -127,6 +155,13 @@ def compilation_result_to_dict(result: CompilationResult,
         data["total_instructions"] = result.schedule.total_instructions
     if include_ga_history and result.ga_result is not None:
         data["ga"] = ga_result_to_dict(result.ga_result)
+    if result.search_result is not None:
+        # the GA's per-generation history is already under "ga"; the search
+        # block then carries only the engine-level summary, not a mirror
+        data["search"] = search_result_to_dict(
+            result.search_result,
+            include_history=include_ga_history and result.ga_result is None,
+        )
     return data
 
 

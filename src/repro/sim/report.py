@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
 from repro.sim.simulator import ExecutionReport
+
+if TYPE_CHECKING:
+    from repro.search import SearchResult
 
 
 def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] = None,
@@ -62,4 +65,34 @@ def render_execution_report(report: ExecutionReport) -> str:
         )
     lines.append("  per-partition latency (ms): "
                  + ", ".join(f"{v * 1e-6:.3f}" for v in report.partition_latencies_ns()))
+    return "\n".join(lines)
+
+
+def render_search_summary(result: "SearchResult") -> str:
+    """Multi-line summary of a :mod:`repro.search` run.
+
+    Printed by ``repro compile --optimizer ...`` for the non-GA engines (the
+    GA keeps its historical summary line); shows what the engine did and how
+    hard the shared span engine worked for it.
+    """
+    lines = [
+        f"Partition search ({result.optimizer}"
+        f"{', exact optimum' if result.exact else ''})",
+        f"  best fitness          : {result.best_fitness:.6g}",
+        f"  partitions            : {result.best_group.num_partitions}",
+        f"  steps                 : {result.steps_run}",
+        f"  evaluations           : {result.evaluations}",
+    ]
+    stats = result.span_stats
+    if stats:
+        fills = int(stats.get("matrix_fills", 0))
+        hits = int(stats.get("matrix_hits", 0))
+        if fills or hits:
+            lines.append(
+                f"  span matrix           : {fills} fills, {hits} gather-served "
+                f"({stats.get('matrix_hit_rate', 0.0):.1%} hit rate)"
+            )
+        profiles = int(stats.get("profiles_computed", 0))
+        if profiles:
+            lines.append(f"  span profiles         : {profiles} computed")
     return "\n".join(lines)

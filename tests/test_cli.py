@@ -80,3 +80,45 @@ class TestCommands:
                      "--population", "8", "--generations", "2"])
         assert code == 0
         assert "GA generations" in capsys.readouterr().out
+
+    def test_compile_optimizer_dp_end_to_end(self, capsys, tmp_path):
+        output = tmp_path / "dp.json"
+        code = main(["compile", "squeezenet", "--chip", "S", "--optimizer", "dp",
+                     "--batch", "2", "--no-instructions", "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimizer            : dp (exact optimum" in out
+        assert "Partition search (dp, exact optimum)" in out
+        data = json.loads(output.read_text())
+        assert data["optimizer"] == "dp"
+        assert data["search"]["optimizer"] == "dp"
+        assert data["search"]["exact"] is True
+        assert data["search"]["best_boundaries"] == data["boundaries"]
+
+    def test_compile_optimizer_beam_and_anneal(self, capsys):
+        for optimizer in ("beam", "anneal"):
+            code = main(["compile", "lenet5", "--chip", "S", "--optimizer", optimizer,
+                         "--batch", "1", "--no-instructions"])
+            assert code == 0
+            assert f"Partition search ({optimizer})" in capsys.readouterr().out
+
+    def test_compile_unknown_optimizer_message(self, capsys):
+        code = main(["compile", "squeezenet", "--chip", "S", "--optimizer", "magic",
+                     "--batch", "1", "--no-instructions"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown optimizer 'magic'" in err
+        assert "anneal, beam, dp, ga" in err
+
+    def test_sweep_unknown_optimizer_message(self, capsys):
+        code = main(["sweep", "--models", "squeezenet", "--chips", "S",
+                     "--batches", "1", "--optimizer", "nope"])
+        assert code == 2
+        assert "unknown optimizer 'nope'" in capsys.readouterr().err
+
+    def test_sweep_with_dp_optimizer(self, capsys):
+        code = main(["sweep", "--models", "squeezenet", "--chips", "S",
+                     "--schemes", "compass", "--batches", "1",
+                     "--optimizer", "dp"])
+        assert code == 0
+        assert "squeezenet" in capsys.readouterr().out

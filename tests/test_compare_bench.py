@@ -1,0 +1,91 @@
+"""Tests for the benchmark record diff (``benchmarks/compare_bench.py``).
+
+The regression gate (``scripts/check_bench_regression.py``) builds on
+``compare()``; the key contract tested here is that benchmark keys present
+in only one record never fail the diff — new headliners (like the
+partition-search DP/gap benchmarks) must be comparable against committed
+``BENCH_<date>.json`` baselines that predate them.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "benchmarks"))
+
+from compare_bench import compare, load_means  # noqa: E402
+
+
+def write_record(path, means, cpu_brand="TestCPU", cpu_count=8):
+    """Write a minimal pytest-benchmark JSON record."""
+    record = {
+        "machine_info": {"cpu": {"brand_raw": cpu_brand, "count": cpu_count}},
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ],
+    }
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+class TestLoadMeans:
+    def test_reads_means_and_profile(self, tmp_path):
+        path = write_record(tmp_path / "a.json", {"bench_a": 1.5, "bench_b": 0.25})
+        means, profile = load_means(path)
+        assert means == {"bench_a": 1.5, "bench_b": 0.25}
+        assert profile == {"brand": "TestCPU", "count": 8}
+
+    def test_tolerates_missing_stats(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps({
+            "machine_info": {"cpu": {}},
+            "benchmarks": [
+                {"fullname": "ok", "stats": {"mean": 1.0}},
+                {"fullname": "broken", "stats": None},
+                {"fullname": "empty", "stats": {}},
+            ],
+        }))
+        means, _ = load_means(str(path))
+        assert means == {"ok": 1.0}
+
+
+class TestCompareTolerance:
+    def test_key_only_in_new_record_passes(self, tmp_path, capsys):
+        """A new headliner absent from the baseline must not fail the diff."""
+        old = write_record(tmp_path / "old.json", {"fig6": 1.0})
+        new = write_record(tmp_path / "new.json", {"fig6": 1.0, "dp_optimal": 0.5})
+        assert compare(old, new, fail_above_pct=20.0) == 0
+        out = capsys.readouterr().out
+        assert "dp_optimal" in out
+        assert "REGRESSION" not in out
+
+    def test_key_only_in_old_record_passes(self, tmp_path):
+        old = write_record(tmp_path / "old.json", {"fig6": 1.0, "retired": 2.0})
+        new = write_record(tmp_path / "new.json", {"fig6": 1.0})
+        assert compare(old, new, fail_above_pct=20.0) == 0
+
+    def test_disjoint_records_pass(self, tmp_path, capsys):
+        old = write_record(tmp_path / "old.json", {"fig6": 1.0})
+        new = write_record(tmp_path / "new.json", {"dp_optimal": 0.5})
+        assert compare(old, new, fail_above_pct=20.0) == 0
+        assert "no benchmarks in common" in capsys.readouterr().out
+
+    def test_common_regression_still_fails(self, tmp_path, capsys):
+        old = write_record(tmp_path / "old.json", {"fig6": 1.0, "only_old": 3.0})
+        new = write_record(tmp_path / "new.json", {"fig6": 2.0, "only_new": 0.1})
+        assert compare(old, new, fail_above_pct=20.0) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_improvement_passes(self, tmp_path):
+        old = write_record(tmp_path / "old.json", {"fig6": 2.0})
+        new = write_record(tmp_path / "new.json", {"fig6": 1.0})
+        assert compare(old, new, fail_above_pct=20.0) == 0
+
+    def test_machine_profile_mismatch_warns(self, tmp_path, capsys):
+        old = write_record(tmp_path / "old.json", {"fig6": 1.0}, cpu_brand="A")
+        new = write_record(tmp_path / "new.json", {"fig6": 1.0}, cpu_brand="B")
+        assert compare(old, new, fail_above_pct=20.0) == 0
+        assert "machine profiles differ" in capsys.readouterr().out

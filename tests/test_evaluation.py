@@ -12,6 +12,7 @@ from repro.evaluation.experiments import (
     fig8_energy_and_edp,
     fig9_weight_energy_vs_batch,
     fig10_ga_convergence,
+    optimality_gap,
     table1_hardware_configuration,
     table2_model_support,
 )
@@ -114,6 +115,28 @@ class TestFigures:
         assert result.history
         best = [rec.best_fitness for rec in result.history]
         assert all(b <= a * (1 + 1e-9) for a, b in zip(best, best[1:]))
+
+
+class TestOptimalityGap:
+    def test_rows_and_floor(self):
+        rows = optimality_gap(
+            models=("lenet5", "squeezenet"), chips=("S",), batch_sizes=(1,),
+            ga_config=TINY_GA,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["supported"]
+            # the DP result is the exact optimum: the GA cannot beat it
+            assert row["gap_pct"] >= 0.0
+            assert row["dp_latency_ns"] <= row["ga_latency_ns"]
+            assert row["dp_partitions"] >= 1
+
+    def test_unsupported_pair_flagged(self):
+        rows = optimality_gap(
+            models=("vgg16",), chips=("S",), batch_sizes=(1,),
+            ga_config=TINY_GA, input_size=4096,  # blows past any chip
+        )
+        assert rows and all(row["supported"] is False for row in rows)
 
 
 class TestExperimentConfig:

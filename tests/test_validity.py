@@ -91,6 +91,23 @@ class TestMatrix:
         n = vm.num_units
         assert vm.valid_fraction() == pytest.approx(matrix.sum() / (n * (n + 1) / 2))
 
+    def test_matrix_is_cached_and_read_only(self, resnet18_decomposition_m):
+        """The matrix is the DP's hot mask: built once, shared, immutable."""
+        vm = ValidityMap(resnet18_decomposition_m)
+        first = vm.as_matrix()
+        assert vm.as_matrix() is first  # cached, not recomputed per call
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0, 0] = False
+
+    def test_matrix_pins_is_valid(self, resnet18_decomposition_m):
+        """Cell [i, j] == is_valid(i, j + 1) over the whole triangle."""
+        vm = ValidityMap(resnet18_decomposition_m)
+        matrix = vm.as_matrix()
+        for i in range(vm.num_units):
+            for j in range(vm.num_units):
+                assert matrix[i, j] == vm.is_valid(i, j + 1)
+
 
 class TestRandomPartitioning:
     def test_random_valid_end_in_range(self, resnet18_decomposition_m):
