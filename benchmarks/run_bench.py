@@ -20,9 +20,10 @@ Environment variables:
 
 ``REPRO_BENCH_QUICK=1``
     Quick mode: run only the headline benchmarks
-    (``test_fig6_throughput_comparison``, ``test_fig10_ga_convergence``, and
+    (``test_fig6_throughput_comparison``, ``test_fig10_ga_convergence``,
     the partition-search headliners ``test_dp_optimal_search`` /
-    ``test_optimality_gap_experiment``).
+    ``test_optimality_gap_experiment``, and the serving-throughput
+    headliner ``test_serving_throughput``).
 ``REPRO_BENCH_OUT=<path>``
     Override the output JSON path.
 ``COMPASS_PAPER_SCALE=1``
@@ -55,7 +56,8 @@ def main(argv=None) -> int:
         f"--benchmark-json={out}",
     ]
     if os.environ.get("REPRO_BENCH_QUICK"):
-        cmd += ["-k", "fig6_throughput or fig10_ga or dp_optimal or optimality_gap"]
+        cmd += ["-k", "fig6_throughput or fig10_ga or dp_optimal or optimality_gap"
+                      " or serving_throughput"]
     cmd += argv
 
     env = dict(os.environ)

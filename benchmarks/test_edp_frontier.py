@@ -1,0 +1,62 @@
+"""EDP Pareto-frontier sizes across the registry (beyond the paper).
+
+Measures the *real* per-position frontier sizes of the EDP Pareto DP
+(:class:`repro.search.DPOptimalSearch` with the cap disabled) and asserts
+that no measured model overflows :data:`repro.search.dp.DEFAULT_MAX_FRONTIER`
+— the condition under which the default-configured EDP DP is a certificate
+of optimality, not a heuristic.
+
+The default run covers every registry model on S/M/L except the vgg
+family's S/L pairs, whose uncapped DP costs tens of seconds each; set
+``COMPASS_PAPER_SCALE=1`` to sweep the full registry.  Committed full-sweep
+measurements (batch 1 and 16): resnet family ≤ 7 states, squeezenet ≤ 4,
+mobilenet ≤ 5, alexnet ≤ 487, vgg16 ≤ 2924, and the registry-wide maximum
+4166 on vgg11-S — all inside the 8192 default cap with ~2x headroom.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.evaluation.experiments import edp_frontier_sizes
+from repro.models import list_models
+from repro.search.dp import DEFAULT_MAX_FRONTIER
+from repro.sim.report import format_table
+
+#: pairs excluded from the default (fast) sweep: the vgg span triangles on
+#: S/L are 10-20x larger than the rest of the registry
+_HEAVY_PAIRS = {(m, c) for m in ("vgg11", "vgg16") for c in ("S", "L")}
+
+
+def test_edp_frontier_sizes_within_default_cap(experiment_config):
+    paper_scale = bool(os.environ.get("COMPASS_PAPER_SCALE"))
+    rows = []
+    for model in list_models():
+        for chip in ("S", "M", "L"):
+            if not paper_scale and (model, chip) in _HEAVY_PAIRS:
+                continue
+            rows.extend(
+                edp_frontier_sizes(models=(model,), chips=(chip,),
+                                   batch_sizes=(1, 16))
+            )
+    supported = [row for row in rows if row["supported"]]
+    assert supported
+
+    print("\nEDP Pareto-frontier sizes (uncapped measurement)")
+    print(format_table(
+        supported,
+        columns=["model", "chip", "batch", "num_units", "max_frontier_size",
+                 "mean_frontier_size", "partitions"],
+    ))
+    worst = max(supported, key=lambda row: row["max_frontier_size"])
+    print(f"\nregistry maximum: {worst['max_frontier_size']} states "
+          f"({worst['model']}-{worst['chip']}-{worst['batch']}); "
+          f"default cap {DEFAULT_MAX_FRONTIER}")
+
+    # no measured model overflows the default cap: the EDP DP ships exact
+    for row in supported:
+        assert row["exact"]
+        assert row["fits_default_cap"], (
+            f"{row['model']}-{row['chip']}-{row['batch']} frontier "
+            f"{row['max_frontier_size']} overflows {DEFAULT_MAX_FRONTIER}"
+        )

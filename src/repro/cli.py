@@ -8,6 +8,9 @@ Subcommands
     print the execution summary (optionally dumping the full result to JSON).
 ``sweep``
     Run a throughput sweep (Fig. 6 style) over models / chips / batch sizes.
+``serve``
+    Simulate serving a request stream against a chip fleet using compiled
+    partition plans (plan cache + dynamic batching + scheduling policy).
 ``models``
     List the models available in the zoo with their weight footprints.
 ``chips``
@@ -21,6 +24,8 @@ Examples
     python -m repro compile resnet18 --chip M --scheme compass --batch 16
     python -m repro compile resnet18 --chip M --optimizer dp --batch 16
     python -m repro sweep --models squeezenet resnet18 --chips S M --batches 1 4 16
+    python -m repro serve --model resnet18 --chip M --optimizer dp --traffic poisson --seed 0
+    python -m repro serve --model resnet18 --fleet S:2,M:1 --traffic bursty --policy latency
     python -m repro models
 """
 
@@ -31,13 +36,30 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.core.compiler import compile_model
+from repro.core.fitness import FitnessMode
 from repro.core.ga import GAConfig
 from repro.evaluation.sweeps import SweepRunner
 from repro.hardware.config import get_chip_config, hardware_configuration_table
 from repro.models import build_model, list_models
 from repro.search import OPTIMIZERS, validate_optimizer
-from repro.serialization import dump_compilation_result
-from repro.sim.report import format_table, render_execution_report, render_search_summary
+from repro.serialization import dump_compilation_result, dump_serving_report
+from repro.serve import (
+    POLICIES,
+    TRAFFIC_GENERATORS,
+    Fleet,
+    PlanCache,
+    ServingSimulator,
+    TraceTraffic,
+    fleet_capacity_rps,
+    save_trace,
+    validate_policy,
+)
+from repro.sim.report import (
+    format_table,
+    render_execution_report,
+    render_search_summary,
+    render_serving_report,
+)
 
 
 def _ga_config_from_args(args: argparse.Namespace) -> GAConfig:
@@ -104,6 +126,85 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _auto_rate(cache: PlanCache, fleet: Fleet, models: Sequence[str],
+               batch_sizes: Sequence[int], utilization: float) -> float:
+    """Offered rate targeting a utilisation fraction of the fleet's capacity."""
+    return utilization * fleet_capacity_rps(cache, fleet, models, batch_sizes)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    error = _check_optimizer(args.optimizer)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
+    try:
+        validate_policy(args.policy)
+        fleet = Fleet.from_spec(args.fleet or f"{args.chip}:{args.num_chips}")
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    if args.traffic == "trace" and not args.trace:
+        print("error: --traffic trace requires --trace <file>", file=sys.stderr)
+        return 2
+
+    mode = FitnessMode.EDP if args.mode == "edp" else FitnessMode.LATENCY
+    # bad numeric inputs (--requests 0, --rate -5, --cache-capacity 0, ...),
+    # unreadable or malformed trace files and unknown model names surface as
+    # ValueError/OSError/KeyError from the serve constructors — same friendly
+    # exit-2 contract as the checks above
+    try:
+        cache = PlanCache(
+            capacity=args.cache_capacity,
+            optimizer=args.optimizer,
+            mode=mode,
+            ga_config=_ga_config_from_args(args),
+        )
+        models = list(args.model)
+        batch_sizes = sorted(set(args.batches))
+        if args.traffic == "trace":
+            traffic = TraceTraffic(args.trace)
+            models = list(traffic.models)
+            cache.warmup(models, fleet.chip_names, batch_sizes)
+            rate = None
+        else:
+            cache.warmup(models, fleet.chip_names, batch_sizes)
+            rate = args.rate if args.rate is not None else _auto_rate(
+                cache, fleet, models, batch_sizes, args.utilization
+            )
+            kwargs = {
+                "models": models,
+                "num_requests": args.requests,
+                "seed": args.seed,
+            }
+            if args.traffic == "diurnal":
+                kwargs["base_rate_rps"] = rate
+            else:
+                kwargs["rate_rps"] = rate
+            traffic = TRAFFIC_GENERATORS[args.traffic](**kwargs)
+
+        requests = traffic.generate()
+        if args.record_trace:
+            save_trace(requests, args.record_trace)
+            print(f"trace recorded to {args.record_trace}")
+        simulator = ServingSimulator(
+            fleet,
+            cache,
+            policy=args.policy,
+            batch_sizes=batch_sizes,
+            max_wait_us=args.max_wait_us,
+        )
+        report = simulator.run(requests, traffic_info=traffic.describe())
+    except (ValueError, OSError, KeyError) as err:
+        # KeyError messages carry repr quotes (unknown model/missing field)
+        print(f"error: {str(err).strip(chr(34))}", file=sys.stderr)
+        return 2
+    print(render_serving_report(report))
+    if args.output:
+        dump_serving_report(report, args.output)
+        print(f"\nfull serving report written to {args.output}")
+    return 0
+
+
 def _cmd_models(_: argparse.Namespace) -> int:
     rows = []
     for name in list_models():
@@ -134,14 +235,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_ga_options(p: argparse.ArgumentParser) -> None:
+    def add_ga_options(p: argparse.ArgumentParser, default_optimizer: str = "ga") -> None:
         p.add_argument("--population", type=int, default=30, help="GA population size")
         p.add_argument("--generations", type=int, default=10, help="GA generations")
-        p.add_argument("--seed", type=int, default=0, help="GA random seed")
+        p.add_argument("--seed", type=int, default=0, help="random seed (GA and traffic)")
         p.add_argument(
-            "--optimizer", default="ga", metavar="ENGINE",
+            "--optimizer", default=default_optimizer, metavar="ENGINE",
             help="partition-search engine for the compass scheme: "
-                 + ", ".join(sorted(OPTIMIZERS)),
+                 + ", ".join(sorted(OPTIMIZERS))
+                 + f" (default: {default_optimizer})",
         )
 
     compile_parser = subparsers.add_parser("compile", help="compile one model for one chip")
@@ -164,8 +266,53 @@ def build_parser() -> argparse.ArgumentParser:
                               default=["greedy", "layerwise", "compass"],
                               choices=["greedy", "layerwise", "compass"])
     sweep_parser.add_argument("--batches", nargs="+", type=int, default=[1, 4, 16])
-    add_ga_options(sweep_parser)
+    # sweeps default to the exact DP engine: every compass point is the true
+    # latency optimum and the sweep is deterministic (pass --optimizer ga
+    # for the paper's original search)
+    add_ga_options(sweep_parser, default_optimizer="dp")
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="simulate serving a request stream on a chip fleet"
+    )
+    serve_parser.add_argument("--model", nargs="+", default=["resnet18"],
+                              choices=list_models(), metavar="MODEL",
+                              help="model(s) the traffic requests (default: resnet18)")
+    serve_parser.add_argument("--chip", default="M",
+                              help="chip configuration for a homogeneous fleet: S, M or L")
+    serve_parser.add_argument("--num-chips", type=int, default=1,
+                              help="fleet size when using --chip (default: 1)")
+    serve_parser.add_argument("--fleet", default=None, metavar="SPEC",
+                              help="heterogeneous fleet spec, e.g. S:2,M:1,L:1 "
+                                   "(overrides --chip/--num-chips)")
+    serve_parser.add_argument("--traffic", default="poisson",
+                              choices=sorted(TRAFFIC_GENERATORS),
+                              help="traffic generator (default: poisson)")
+    serve_parser.add_argument("--rate", type=float, default=None,
+                              help="offered request rate in req/s "
+                                   "(default: auto from fleet capacity)")
+    serve_parser.add_argument("--utilization", type=float, default=0.7,
+                              help="target utilisation for the auto rate (default: 0.7)")
+    serve_parser.add_argument("--requests", type=int, default=200,
+                              help="number of requests to simulate (default: 200)")
+    serve_parser.add_argument("--policy", default="latency", choices=sorted(POLICIES),
+                              help="chip scheduling policy (default: latency)")
+    serve_parser.add_argument("--batches", nargs="+", type=int, default=[1, 2, 4, 8, 16],
+                              help="allowed dynamic batch sizes (default: 1 2 4 8 16)")
+    serve_parser.add_argument("--max-wait-us", type=float, default=200.0,
+                              help="batching-delay budget in microseconds; "
+                                   "0 disables holding (default: 200)")
+    serve_parser.add_argument("--cache-capacity", type=int, default=64,
+                              help="plan-cache capacity in plans (default: 64)")
+    serve_parser.add_argument("--mode", default="latency", choices=["latency", "edp"],
+                              help="plan-compilation fitness mode (default: latency)")
+    serve_parser.add_argument("--trace", default=None,
+                              help="trace file to replay (with --traffic trace)")
+    serve_parser.add_argument("--record-trace", default=None, metavar="PATH",
+                              help="record the generated request stream to a trace file")
+    serve_parser.add_argument("--output", help="write the full serving report to this JSON file")
+    add_ga_options(serve_parser, default_optimizer="dp")
+    serve_parser.set_defaults(func=_cmd_serve)
 
     models_parser = subparsers.add_parser("models", help="list available models")
     models_parser.set_defaults(func=_cmd_models)

@@ -442,6 +442,79 @@ def optimality_gap(
 
 
 # ----------------------------------------------------------------------
+# EDP Pareto-frontier sizes (beyond the paper): is the EDP DP exact?
+# ----------------------------------------------------------------------
+def edp_frontier_sizes(
+    models: Optional[Sequence[str]] = None,
+    chips: Sequence[str] = PAPER_CHIPS,
+    batch_sizes: Sequence[int] = (1, 16),
+    max_frontier: int = 0,
+    input_size: int = 224,
+) -> List[Dict[str, object]]:
+    """Real Pareto-frontier sizes of the EDP DP across the registry.
+
+    The EDP engine (:class:`~repro.search.DPOptimalSearch`) is exact while
+    no per-position ``(latency, energy)`` frontier exceeds ``max_frontier``.
+    This experiment runs the DP **uncapped** by default (``max_frontier=0``)
+    and reports, per (model, chip, batch), the largest and mean frontier the
+    problem really produces — closing the measurement half of the "EDP
+    exactness" question: as long as every ``max_frontier_size`` stays below
+    :data:`repro.search.dp.DEFAULT_MAX_FRONTIER`, the default-configured
+    EDP DP is a certificate, not a heuristic, for the whole registry.
+
+    One row per (model, chip, batch); models that do not decompose on a
+    chip yield ``supported=False`` rows, mirroring :func:`optimality_gap`.
+    """
+    from repro.models import list_models
+    from repro.search import DPOptimalSearch
+    from repro.search.dp import DEFAULT_MAX_FRONTIER
+
+    models = list(list_models()) if models is None else list(models)
+    rows: List[Dict[str, object]] = []
+    for model in models:
+        for chip_name in chips:
+            try:
+                decomposition, validity = shared_decomposition(
+                    model, chip_name, input_size=input_size
+                )
+            except Exception:
+                for batch in batch_sizes:
+                    rows.append(
+                        {
+                            "model": model, "chip": chip_name, "batch": batch,
+                            "supported": False,
+                        }
+                    )
+                continue
+            for batch in batch_sizes:
+                evaluator = FitnessEvaluator(
+                    decomposition, batch_size=batch, mode=FitnessMode.EDP
+                )
+                search = DPOptimalSearch(
+                    decomposition, evaluator, validity, max_frontier=max_frontier,
+                )
+                result = search.run()
+                sizes = search.frontier_sizes or [0]
+                largest = max(sizes)
+                rows.append(
+                    {
+                        "model": model,
+                        "chip": chip_name,
+                        "batch": batch,
+                        "supported": True,
+                        "num_units": decomposition.num_units,
+                        "max_frontier_size": largest,
+                        "mean_frontier_size": sum(sizes) / len(sizes),
+                        "exact": result.exact,
+                        "fits_default_cap": largest <= DEFAULT_MAX_FRONTIER,
+                        "edp_optimum": result.best_fitness,
+                        "partitions": result.best_group.num_partitions,
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
 # Suite
 # ----------------------------------------------------------------------
 class ExperimentSuite:

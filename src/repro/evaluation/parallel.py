@@ -68,7 +68,7 @@ class ParallelSweepRunner:
         generate_instructions: bool = False,
         input_size: int = 224,
         max_workers: Optional[int] = None,
-        optimizer: str = "ga",
+        optimizer: str = "dp",
     ) -> None:
         self.ga_config = ga_config
         self.fitness_mode = fitness_mode

@@ -119,11 +119,46 @@ def shared_search(
     return make_search(optimizer, decomposition, evaluator, validity, **search_kwargs)
 
 
+_PLAN_CACHES: Dict[Tuple[str, object], object] = {}
+
+
+def shared_plan_cache(optimizer: str = "dp", mode=None, capacity: int = 256):
+    """A process-wide :class:`~repro.serve.plans.PlanCache` per configuration.
+
+    Serving experiments and benchmarks that run in one process share plans
+    the same way they share decompositions: a plan compiled by any consumer
+    (for one ``(optimizer, fitness mode)`` configuration) is a cache hit for
+    every later consumer.  The cache compiles through
+    :func:`shared_decomposition`, so its misses also warm the span engine
+    for everything else in the process.
+
+    The first call for a configuration fixes the cache's capacity; a later
+    call asking for a different capacity raises rather than silently handing
+    back a cache with different eviction behaviour than requested.
+    """
+    from repro.core.fitness import FitnessMode
+    from repro.serve.plans import PlanCache
+
+    mode = mode if mode is not None else FitnessMode.LATENCY
+    key = (optimizer, mode)
+    cache = _PLAN_CACHES.get(key)
+    if cache is None:
+        cache = PlanCache(capacity=capacity, optimizer=optimizer, mode=mode)
+        _PLAN_CACHES[key] = cache
+    elif cache.capacity != capacity:
+        raise ValueError(
+            f"shared plan cache for {key} already exists with capacity "
+            f"{cache.capacity}; requested {capacity}"
+        )
+    return cache
+
+
 def clear_registry() -> None:
-    """Drop all cached graphs and decompositions (mainly for tests).
+    """Drop all cached graphs, decompositions and plan caches (mainly for tests).
 
     Span tables and matrices attach to the decompositions, so dropping the
     decompositions drops the whole cache hierarchy with them.
     """
     _GRAPHS.clear()
     _DECOMPOSITIONS.clear()
+    _PLAN_CACHES.clear()

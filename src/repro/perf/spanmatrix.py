@@ -155,6 +155,23 @@ class SpanMatrix:
         self.ensure_spans(starts, ends)
         return self.latency_matrix(batch_size)[starts, ends]
 
+    def gather_components(
+        self, starts: np.ndarray, ends: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(weight_replace, fill, bottleneck) ns of many spans at once.
+
+        The slim components behind the per-batch latency curve
+        ``WR + (FILL + (B-1)*BN)`` — the serving layer's plan cache stores
+        their per-group totals so ``CompiledPlan.latency_at`` can evaluate a
+        group at any batch size without touching the matrices again.
+        """
+        self.ensure_spans(starts, ends)
+        return (
+            self._weight_replace[starts, ends],
+            self._fill[starts, ends],
+            self._bottleneck[starts, ends],
+        )
+
     # ------------------------------------------------------------------
     # energy (EDP) layer
     # ------------------------------------------------------------------

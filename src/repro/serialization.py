@@ -15,6 +15,7 @@ from repro.core.compiler import CompilationResult
 from repro.core.ga import GAResult
 from repro.onchip.estimator import PartitionEstimate
 from repro.search import SearchResult
+from repro.serve.simulator import ServingReport
 from repro.sim.simulator import ExecutionReport
 
 
@@ -170,6 +171,22 @@ def dump_compilation_result(result: CompilationResult, path: str,
     """Write a compilation result to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(compilation_result_to_dict(result, include_ga_history), handle, indent=2)
+
+
+def serving_report_to_dict(report: ServingReport) -> Dict[str, Any]:
+    """Flatten a serving run (:mod:`repro.serve`) for JSON dumps.
+
+    Everything except the ``plan_cache`` block is bit-identical for a fixed
+    traffic seed, whatever the cache temperature (see
+    :meth:`~repro.serve.simulator.ServingReport.determinism_dict`).
+    """
+    return report.as_dict()
+
+
+def dump_serving_report(report: ServingReport, path: str) -> None:
+    """Write a serving report to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(serving_report_to_dict(report), handle, indent=2)
 
 
 def load_result_dict(path: str) -> Dict[str, Any]:

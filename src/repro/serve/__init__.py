@@ -1,0 +1,77 @@
+"""Traffic-driven serving subsystem: plans, fleets, scheduling, simulation.
+
+The paper evaluates single-inference latency and EDP of compiled partition
+groups; this package turns those compiled plans into what such metrics are a
+proxy for — sustained throughput and tail latency under real request
+streams.  Four pieces, all deterministic for a fixed seed:
+
+* :class:`PlanCache` — LRU cache of :class:`CompiledPlan` entries keyed by
+  ``(model, chip, dram, batch, mode, optimizer)``, compiled through the
+  shared registry / :mod:`repro.search` / span-matrix stack;
+* :class:`Fleet` — homogeneous or heterogeneous (S/M/L) chip fleets with
+  per-chip occupancy counters;
+* :mod:`~repro.serve.scheduler` — FIFO / least-loaded / latency-aware chip
+  policies plus :class:`DynamicBatcher`, which picks batch sizes from the
+  span-matrix per-batch latency curves;
+* :class:`ServingSimulator` — the discrete-event loop producing a
+  :class:`ServingReport` (throughput, p50/p95/p99 latency, queue depths,
+  per-chip utilisation and energy).
+
+The CLI's ``repro serve`` subcommand routes here.
+"""
+
+from repro.serve.fleet import ChipWorker, Fleet, fleet_capacity_rps
+from repro.serve.plans import CompiledPlan, PlanCache, PlanCacheStats, PlanKey
+from repro.serve.scheduler import (
+    POLICIES,
+    DynamicBatcher,
+    FifoPolicy,
+    LatencyAwarePolicy,
+    LeastLoadedPolicy,
+    SchedulingPolicy,
+    make_policy,
+    validate_policy,
+)
+from repro.serve.simulator import ServingReport, ServingSimulator
+from repro.serve.traffic import (
+    TRAFFIC_GENERATORS,
+    BurstyTraffic,
+    DiurnalTraffic,
+    PoissonTraffic,
+    Request,
+    TraceTraffic,
+    TrafficGenerator,
+    load_trace,
+    save_trace,
+    validate_traffic,
+)
+
+__all__ = [
+    "BurstyTraffic",
+    "ChipWorker",
+    "CompiledPlan",
+    "DiurnalTraffic",
+    "DynamicBatcher",
+    "FifoPolicy",
+    "Fleet",
+    "LatencyAwarePolicy",
+    "LeastLoadedPolicy",
+    "POLICIES",
+    "PlanCache",
+    "PlanCacheStats",
+    "PlanKey",
+    "PoissonTraffic",
+    "Request",
+    "SchedulingPolicy",
+    "ServingReport",
+    "ServingSimulator",
+    "TRAFFIC_GENERATORS",
+    "TraceTraffic",
+    "TrafficGenerator",
+    "fleet_capacity_rps",
+    "load_trace",
+    "make_policy",
+    "save_trace",
+    "validate_policy",
+    "validate_traffic",
+]

@@ -1,0 +1,173 @@
+"""Fleet model: the chips a serving deployment schedules onto.
+
+A fleet is an ordered list of :class:`ChipWorker` instances — each one chip
+running one partition plan at a time (partitions of a plan time-share the
+chip's cores, so a chip serves one batch end to end before taking the next).
+Fleets may be homogeneous (``M:4``) or heterogeneous S/M/L mixes
+(``S:2,M:1,L:1``): heterogeneous fleets are where the latency-aware
+scheduling policy earns its keep, because the same model compiles to very
+different plans per chip class.
+
+Workers carry their own occupancy counters (busy time, batches, requests,
+energy); the simulator updates them at dispatch time and the serving report
+reads them back as the per-chip utilisation table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.hardware.config import get_chip_config
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.serve.plans import PlanCache
+
+
+@dataclass
+class ChipWorker:
+    """One chip of the fleet, with its occupancy counters."""
+
+    index: int
+    chip_name: str
+    #: simulated time (ns) until which the chip is executing its current batch
+    busy_until_ns: float = 0.0
+    #: cumulative busy time (ns)
+    busy_ns: float = 0.0
+    #: batches dispatched to this chip
+    batches_served: int = 0
+    #: requests served (sum of dispatched batch occupancies)
+    requests_served: int = 0
+    #: cumulative energy of the batches served (pJ)
+    energy_pj: float = 0.0
+
+    @property
+    def label(self) -> str:
+        """Stable display name, e.g. ``M#2``."""
+        return f"{self.chip_name}#{self.index}"
+
+    def idle_at(self, now_ns: float) -> bool:
+        """Whether the chip is free to take a batch at ``now_ns``."""
+        return self.busy_until_ns <= now_ns
+
+    def utilisation(self, makespan_ns: float) -> float:
+        """Fraction of the run this chip spent executing batches."""
+        return self.busy_ns / makespan_ns if makespan_ns > 0 else 0.0
+
+
+class Fleet:
+    """An ordered collection of chip workers."""
+
+    def __init__(self, workers: Sequence[ChipWorker]) -> None:
+        if not workers:
+            raise ValueError("a fleet needs at least one chip")
+        self.workers: List[ChipWorker] = list(workers)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def homogeneous(cls, chip_name: str, count: int = 1) -> "Fleet":
+        """A fleet of ``count`` identical chips."""
+        return cls.from_counts([(chip_name, count)])
+
+    @classmethod
+    def from_counts(cls, counts: Sequence[Tuple[str, int]]) -> "Fleet":
+        """A fleet from (chip name, count) pairs, in the given order."""
+        workers: List[ChipWorker] = []
+        for chip_name, count in counts:
+            try:
+                get_chip_config(chip_name)  # validate the name early
+            except KeyError as error:
+                raise ValueError(str(error).strip('"')) from None
+            if count <= 0:
+                raise ValueError(f"chip count must be positive, got {chip_name}:{count}")
+            for _ in range(count):
+                workers.append(ChipWorker(index=len(workers), chip_name=chip_name.upper()))
+        return cls(workers)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "Fleet":
+        """Parse a fleet spec string like ``"M"``, ``"M:4"`` or ``"S:2,M:1,L:1"``."""
+        counts: List[Tuple[str, int]] = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if ":" in part:
+                name, _, count = part.partition(":")
+                try:
+                    counts.append((name.strip(), int(count)))
+                except ValueError:
+                    raise ValueError(f"bad fleet spec entry {part!r}; expected CHIP:COUNT")
+            else:
+                counts.append((part, 1))
+        if not counts:
+            raise ValueError(f"empty fleet spec {spec!r}")
+        return cls.from_counts(counts)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    @property
+    def spec(self) -> str:
+        """Canonical spec string reproducing this fleet's exact worker order.
+
+        Consecutive runs are grouped (``S,S,M`` → ``"S:2,M:1"``) but
+        interleavings are preserved (``S,M,S`` → ``"S:1,M:1,S:1"``): worker
+        order drives FIFO dispatch and tie-breaking, so
+        ``Fleet.from_spec(fleet.spec)`` must rebuild an equivalent fleet.
+        """
+        runs: List[Tuple[str, int]] = []
+        for worker in self.workers:
+            if runs and runs[-1][0] == worker.chip_name:
+                runs[-1] = (worker.chip_name, runs[-1][1] + 1)
+            else:
+                runs.append((worker.chip_name, 1))
+        return ",".join(f"{name}:{count}" for name, count in runs)
+
+    @property
+    def chip_names(self) -> Tuple[str, ...]:
+        """Distinct chip classes present, in worker order."""
+        seen: Dict[str, None] = {}
+        for worker in self.workers:
+            seen.setdefault(worker.chip_name)
+        return tuple(seen)
+
+    def idle_workers(self, now_ns: float) -> List[ChipWorker]:
+        """Workers free at ``now_ns``, in index order."""
+        return [w for w in self.workers if w.idle_at(now_ns)]
+
+    def reset(self) -> None:
+        """Zero every worker's occupancy counters (for re-running a fleet)."""
+        for worker in self.workers:
+            worker.busy_until_ns = 0.0
+            worker.busy_ns = 0.0
+            worker.batches_served = 0
+            worker.requests_served = 0
+            worker.energy_pj = 0.0
+
+
+def fleet_capacity_rps(
+    cache: "PlanCache",
+    fleet: Fleet,
+    models: Sequence[str],
+    batch_sizes: Sequence[int],
+) -> float:
+    """Best-case aggregate requests/second of a fleet for a model mix.
+
+    Capacity of one chip = the best requests/second any allowed batch size
+    of any served model achieves on it (plans come from the warm cache, so
+    this is deterministic and free); the fleet capacity is the sum over
+    chips, averaged over the served models.  The CLI's ``--utilization``
+    auto-rate, the serving benchmark and the fixed-seed tests all derive
+    their offered rates from this one number.
+    """
+    total = 0.0
+    for worker in fleet.workers:
+        per_model = [
+            max(cache.get(model, worker.chip_name, batch).throughput_rps
+                for batch in batch_sizes)
+            for model in models
+        ]
+        total += sum(per_model) / len(per_model)
+    return total

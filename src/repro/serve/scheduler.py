@@ -1,0 +1,180 @@
+"""Scheduling policies and dynamic batching for the serving simulator.
+
+Two decisions happen at every dispatch opportunity, and this module owns
+both:
+
+* **Which batch size?** — :class:`DynamicBatcher` picks from the allowed
+  batch sizes using the compiled plans' span-matrix latency curves
+  ``WR + (FILL + (B-1)*BN)``: the weight-replacement cost ``WR`` amortises
+  over the batch, so larger batches cost less *chip time per request* — but
+  waiting to fill a larger batch delays the requests already queued.  The
+  batcher compares per-request chip occupancy of dispatching now against
+  waiting for the next larger batch size (estimated from the observed
+  interarrival EMA) and holds only while waiting is provably favourable and
+  within the batching-delay budget.
+* **Which chip?** — a :class:`SchedulingPolicy`: FIFO (first idle chip),
+  least-loaded (least cumulative busy time), or latency-aware (fastest
+  compiled plan for this model/batch — the policy that exploits
+  heterogeneous S/M/L fleets).
+
+Policies are registered by name in :data:`POLICIES`; the CLI's
+``repro serve --policy`` option routes here.  Everything is deterministic:
+ties break on worker index, and the batcher consumes no randomness.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.serve.fleet import ChipWorker
+from repro.serve.plans import PlanCache
+
+
+class SchedulingPolicy(abc.ABC):
+    """Chooses the chip a batch is dispatched to."""
+
+    #: registry name of the policy (the ``--policy`` value)
+    name: str = "base"
+
+    @abc.abstractmethod
+    def choose_worker(
+        self,
+        idle_workers: Sequence[ChipWorker],
+        model: str,
+        batch: int,
+        plans: PlanCache,
+        now_ns: float,
+    ) -> ChipWorker:
+        """Pick one of the idle workers for a (model, batch) dispatch."""
+
+
+class FifoPolicy(SchedulingPolicy):
+    """First idle chip in fleet order — the baseline policy."""
+
+    name = "fifo"
+
+    def choose_worker(self, idle_workers, model, batch, plans, now_ns):
+        return idle_workers[0]
+
+
+class LeastLoadedPolicy(SchedulingPolicy):
+    """Idle chip with the least cumulative busy time (ties on index)."""
+
+    name = "least_loaded"
+
+    def choose_worker(self, idle_workers, model, batch, plans, now_ns):
+        return min(idle_workers, key=lambda w: (w.busy_ns, w.index))
+
+
+class LatencyAwarePolicy(SchedulingPolicy):
+    """Idle chip whose compiled plan serves this (model, batch) fastest.
+
+    On a homogeneous fleet this degrades to least-loaded (all plans equal);
+    on a heterogeneous fleet it routes work to the chip class with the
+    shortest service latency, falling back to slower classes only when the
+    fast ones are busy.
+    """
+
+    name = "latency"
+
+    def choose_worker(self, idle_workers, model, batch, plans, now_ns):
+        return min(
+            idle_workers,
+            key=lambda w: (plans.get(model, w.chip_name, batch).latency_ns,
+                           w.busy_ns, w.index),
+        )
+
+
+#: Scheduling policies by registry name (the ``--policy`` values).
+POLICIES: Dict[str, Type[SchedulingPolicy]] = {
+    FifoPolicy.name: FifoPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    LatencyAwarePolicy.name: LatencyAwarePolicy,
+}
+
+
+def validate_policy(policy: str) -> None:
+    """Raise ``ValueError`` for a name not in :data:`POLICIES`."""
+    if policy not in POLICIES:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(f"unknown policy {policy!r}; expected one of: {known}")
+
+
+def make_policy(policy: str) -> SchedulingPolicy:
+    """Construct a scheduling policy by registry name."""
+    validate_policy(policy)
+    return POLICIES[policy]()
+
+
+class DynamicBatcher:
+    """Chooses batch sizes from the compiled plans' per-batch latency curves.
+
+    ``batch_sizes`` is the allowed set (plans exist per size); ``max_wait_us``
+    bounds how long the oldest queued request may be held back to fill a
+    larger batch (0 disables holding: work-conserving greedy batching).
+    """
+
+    def __init__(self, batch_sizes: Sequence[int] = (1, 2, 4, 8, 16),
+                 max_wait_us: float = 0.0) -> None:
+        sizes = sorted(set(int(b) for b in batch_sizes))
+        if not sizes or sizes[0] <= 0:
+            raise ValueError("batch_sizes must be positive integers")
+        if max_wait_us < 0:
+            raise ValueError("max_wait_us must be non-negative")
+        self.batch_sizes: Tuple[int, ...] = tuple(sizes)
+        self.max_wait_ns = max_wait_us * 1e3
+
+    # ------------------------------------------------------------------
+    def dispatch_size(self, queue_len: int) -> int:
+        """The batch size a forced dispatch uses for ``queue_len`` requests.
+
+        The largest allowed size that the queue fills; when the queue is
+        shorter than the smallest allowed size, the smallest size is used as
+        a padded batch (the plan executes at its compiled batch size, the
+        spare slots ride along empty).
+        """
+        fitting = [b for b in self.batch_sizes if b <= queue_len]
+        return fitting[-1] if fitting else self.batch_sizes[0]
+
+    def choose(
+        self,
+        queue_len: int,
+        now_ns: float,
+        oldest_arrival_ns: float,
+        ema_interarrival_ns: float,
+        latency_of: Callable[[int], float],
+        more_arrivals: bool,
+    ) -> Tuple[int, Optional[float]]:
+        """Dispatch decision for one model queue with an idle chip available.
+
+        Returns ``(batch, None)`` to dispatch now, or ``(0, deadline_ns)``
+        to hold the queue: the simulator re-decides at every arrival and
+        forces a dispatch when the deadline passes.  ``latency_of(b)`` is
+        the service latency of the candidate plan at batch ``b`` (from the
+        plan cache, i.e. the span-matrix latency curve).
+        """
+        if queue_len <= 0:
+            raise ValueError("choose() needs a non-empty queue")
+        b_now = self.dispatch_size(queue_len)
+        larger = [b for b in self.batch_sizes if b > queue_len]
+        if not larger or not more_arrivals or self.max_wait_ns <= 0:
+            return b_now, None
+        deadline = oldest_arrival_ns + self.max_wait_ns
+        if now_ns >= deadline:
+            return b_now, None
+        b_next = larger[0]
+        if not math.isfinite(ema_interarrival_ns):
+            return b_now, None  # no rate estimate yet: stay work-conserving
+        wait_ns = (b_next - queue_len) * ema_interarrival_ns
+        if now_ns + wait_ns > deadline:
+            return b_now, None
+        # chip occupancy per request: hold only if filling the next batch
+        # size is cheaper even counting the expected fill time
+        served_now = min(b_now, queue_len)  # padded batches serve the queue only
+        occupancy_now = latency_of(b_now) / served_now
+        occupancy_next = (latency_of(b_next) + wait_ns) / b_next
+        if occupancy_next < occupancy_now:
+            return 0, deadline
+        return b_now, None

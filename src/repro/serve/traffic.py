@@ -1,0 +1,313 @@
+"""Seed-deterministic traffic generation for the serving simulator.
+
+A traffic generator produces the request stream a serving run replays: a
+list of :class:`Request` records sorted by arrival time.  Everything is
+driven by one ``numpy`` PCG64 generator seeded explicitly, so a fixed seed
+yields a bit-identical request stream — the property the fixed-seed serving
+tests pin, in the same spirit as the GA's batched-randomness contract.
+
+Four generators cover the scenarios the serving layer models:
+
+* :class:`PoissonTraffic` — memoryless arrivals at a constant offered rate,
+  the canonical open-loop load model;
+* :class:`BurstyTraffic` — an on/off modulated Poisson process (exponential
+  burst/idle phase durations), stressing queue depth and batching;
+* :class:`DiurnalTraffic` — a sinusoidally rate-modulated Poisson process
+  (thinning construction), a compressed day/night load curve;
+* :class:`TraceTraffic` — replay of a recorded trace file, so real request
+  logs (or a previous run's ``save_trace``) can be re-served bit-identically.
+
+Generators are registered by name in :data:`TRAFFIC_GENERATORS`; the CLI's
+``repro serve --traffic`` option routes here.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
+
+#: nanoseconds per second (simulated time is kept in ns like every latency
+#: in the estimator stack)
+_NS_PER_S = 1e9
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: who arrives, for which model, and when."""
+
+    request_id: int
+    model: str
+    arrival_ns: float
+
+
+class TrafficGenerator(abc.ABC):
+    """Base class of the seed-deterministic request-stream generators."""
+
+    #: registry name of the generator (the ``--traffic`` value)
+    name: str = "base"
+
+    def __init__(
+        self,
+        models: Union[str, Sequence[str]],
+        num_requests: int = 200,
+        seed: int = 0,
+        model_weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if isinstance(models, str):
+            models = (models,)
+        if not models:
+            raise ValueError("traffic needs at least one model")
+        if num_requests <= 0:
+            raise ValueError("num_requests must be positive")
+        self.models: Tuple[str, ...] = tuple(models)
+        self.num_requests = num_requests
+        self.seed = seed
+        if model_weights is not None:
+            if len(model_weights) != len(self.models):
+                raise ValueError("model_weights must match models")
+            total = float(sum(model_weights))
+            if total <= 0:
+                raise ValueError("model_weights must sum to a positive value")
+            model_weights = tuple(w / total for w in model_weights)
+        self.model_weights: Optional[Tuple[float, ...]] = (
+            tuple(model_weights) if model_weights is not None else None
+        )
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _arrival_times_ns(self, rng: np.random.Generator) -> np.ndarray:
+        """Sorted arrival times (ns) of ``num_requests`` requests."""
+
+    def generate(self) -> List[Request]:
+        """The request stream: deterministic for a fixed seed.
+
+        Arrival times are drawn first, model assignments second, so the two
+        streams cannot interleave differently across generator subclasses.
+        """
+        rng = np.random.default_rng(self.seed)
+        arrivals = self._arrival_times_ns(rng)
+        if len(self.models) == 1:
+            names = [self.models[0]] * len(arrivals)
+        else:
+            indices = rng.choice(
+                len(self.models), size=len(arrivals), p=self.model_weights
+            )
+            names = [self.models[int(i)] for i in indices]
+        return [
+            Request(request_id=i, model=names[i], arrival_ns=float(t))
+            for i, t in enumerate(arrivals)
+        ]
+
+    def describe(self) -> Dict[str, object]:
+        """Flat description of the traffic for reports (JSON-compatible)."""
+        return {
+            "traffic": self.name,
+            "models": list(self.models),
+            "num_requests": self.num_requests,
+            "seed": self.seed,
+        }
+
+
+class PoissonTraffic(TrafficGenerator):
+    """Memoryless arrivals at a constant offered rate (requests/second)."""
+
+    name = "poisson"
+
+    def __init__(self, models, num_requests: int = 200, seed: int = 0,
+                 rate_rps: float = 100.0, model_weights=None) -> None:
+        super().__init__(models, num_requests, seed, model_weights)
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        self.rate_rps = rate_rps
+
+    def _arrival_times_ns(self, rng: np.random.Generator) -> np.ndarray:
+        gaps = rng.exponential(_NS_PER_S / self.rate_rps, size=self.num_requests)
+        return np.cumsum(gaps)
+
+    def describe(self) -> Dict[str, object]:
+        data = super().describe()
+        data["rate_rps"] = self.rate_rps
+        return data
+
+
+class BurstyTraffic(TrafficGenerator):
+    """On/off modulated Poisson arrivals (exponential phase durations).
+
+    During a burst, requests arrive at ``rate_rps``; during idle phases at
+    ``rate_rps * idle_factor`` (0 by default: silence).  Phase durations are
+    exponential with means ``mean_burst_s`` / ``mean_idle_s``.  Bursts pile
+    requests up faster than the fleet drains them, which is exactly the
+    regime dynamic batching is for.
+    """
+
+    name = "bursty"
+
+    def __init__(self, models, num_requests: int = 200, seed: int = 0,
+                 rate_rps: float = 100.0, mean_burst_s: float = 0.05,
+                 mean_idle_s: float = 0.05, idle_factor: float = 0.0,
+                 model_weights=None) -> None:
+        super().__init__(models, num_requests, seed, model_weights)
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if mean_burst_s <= 0 or mean_idle_s < 0:
+            raise ValueError("phase durations must be positive")
+        if not 0.0 <= idle_factor <= 1.0:
+            raise ValueError("idle_factor must be in [0, 1]")
+        self.rate_rps = rate_rps
+        self.mean_burst_s = mean_burst_s
+        self.mean_idle_s = mean_idle_s
+        self.idle_factor = idle_factor
+
+    def _arrival_times_ns(self, rng: np.random.Generator) -> np.ndarray:
+        arrivals: List[float] = []
+        t = 0.0
+        burst = True
+        while len(arrivals) < self.num_requests:
+            mean_s = self.mean_burst_s if burst else self.mean_idle_s
+            phase_end = t + rng.exponential(mean_s * _NS_PER_S)
+            rate = self.rate_rps if burst else self.rate_rps * self.idle_factor
+            if rate > 0:
+                clock = t
+                while len(arrivals) < self.num_requests:
+                    clock += rng.exponential(_NS_PER_S / rate)
+                    if clock >= phase_end:
+                        break
+                    arrivals.append(clock)
+            t = phase_end
+            burst = not burst
+        return np.asarray(arrivals)
+
+    def describe(self) -> Dict[str, object]:
+        data = super().describe()
+        data.update(rate_rps=self.rate_rps, mean_burst_s=self.mean_burst_s,
+                    mean_idle_s=self.mean_idle_s, idle_factor=self.idle_factor)
+        return data
+
+
+class DiurnalTraffic(TrafficGenerator):
+    """Sinusoidally rate-modulated Poisson arrivals (a compressed day).
+
+    The instantaneous rate is ``base_rate_rps * (1 + amplitude *
+    sin(2*pi*t/period_s))``; arrivals are generated by thinning a Poisson
+    process at the peak rate, which is exact and stays deterministic because
+    the candidate and acceptance draws come from the same seeded stream.
+    """
+
+    name = "diurnal"
+
+    def __init__(self, models, num_requests: int = 200, seed: int = 0,
+                 base_rate_rps: float = 100.0, amplitude: float = 0.8,
+                 period_s: float = 1.0, model_weights=None) -> None:
+        super().__init__(models, num_requests, seed, model_weights)
+        if base_rate_rps <= 0:
+            raise ValueError("base_rate_rps must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.base_rate_rps = base_rate_rps
+        self.amplitude = amplitude
+        self.period_s = period_s
+
+    def _arrival_times_ns(self, rng: np.random.Generator) -> np.ndarray:
+        peak = self.base_rate_rps * (1.0 + self.amplitude)
+        omega = 2.0 * np.pi / (self.period_s * _NS_PER_S)
+        arrivals: List[float] = []
+        t = 0.0
+        while len(arrivals) < self.num_requests:
+            t += rng.exponential(_NS_PER_S / peak)
+            rate = self.base_rate_rps * (1.0 + self.amplitude * np.sin(omega * t))
+            if rng.random() < rate / peak:
+                arrivals.append(t)
+        return np.asarray(arrivals)
+
+    def describe(self) -> Dict[str, object]:
+        data = super().describe()
+        data.update(base_rate_rps=self.base_rate_rps, amplitude=self.amplitude,
+                    period_s=self.period_s)
+        return data
+
+
+class TraceTraffic(TrafficGenerator):
+    """Replay of a recorded trace file (see :func:`save_trace`).
+
+    The trace pins the whole stream — arrival times and model assignment —
+    so a replayed run is bit-identical to the run that recorded it,
+    whatever generator produced the original stream.
+    """
+
+    name = "trace"
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        requests = load_trace(path)
+        if not requests:
+            raise ValueError(f"trace {path!r} contains no requests")
+        models = sorted({r.model for r in requests})
+        super().__init__(models, num_requests=len(requests), seed=0)
+        self._requests = requests
+
+    def _arrival_times_ns(self, rng: np.random.Generator) -> np.ndarray:
+        return np.asarray([r.arrival_ns for r in self._requests])
+
+    def generate(self) -> List[Request]:
+        return list(self._requests)
+
+    def describe(self) -> Dict[str, object]:
+        data = super().describe()
+        data["path"] = self.path
+        return data
+
+
+def save_trace(requests: Sequence[Request], path: str) -> None:
+    """Record a request stream to a JSON trace file for later replay."""
+    payload = {
+        "version": 1,
+        "requests": [
+            {"id": r.request_id, "model": r.model, "arrival_ns": r.arrival_ns}
+            for r in requests
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_trace(path: str) -> List[Request]:
+    """Read a trace file back into a sorted request stream.
+
+    Raises ``ValueError`` (not a raw ``KeyError``/``TypeError``) for files
+    that parse as JSON but lack the expected shape — traces are
+    user-supplied, so malformed content is an expected input.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    try:
+        requests = [
+            Request(request_id=int(entry["id"]), model=str(entry["model"]),
+                    arrival_ns=float(entry["arrival_ns"]))
+            for entry in payload["requests"]
+        ]
+    except (KeyError, TypeError, ValueError) as err:
+        raise ValueError(f"malformed trace file {path!r}: {err}") from None
+    requests.sort(key=lambda r: (r.arrival_ns, r.request_id))
+    return requests
+
+
+#: Traffic generators by registry name (the ``--traffic`` values).
+TRAFFIC_GENERATORS: Dict[str, Type[TrafficGenerator]] = {
+    PoissonTraffic.name: PoissonTraffic,
+    BurstyTraffic.name: BurstyTraffic,
+    DiurnalTraffic.name: DiurnalTraffic,
+    TraceTraffic.name: TraceTraffic,
+}
+
+
+def validate_traffic(name: str) -> None:
+    """Raise ``ValueError`` for a name not in :data:`TRAFFIC_GENERATORS`."""
+    if name not in TRAFFIC_GENERATORS:
+        known = ", ".join(sorted(TRAFFIC_GENERATORS))
+        raise ValueError(f"unknown traffic {name!r}; expected one of: {known}")

@@ -8,6 +8,7 @@ from repro.sim.simulator import ExecutionReport
 
 if TYPE_CHECKING:
     from repro.search import SearchResult
+    from repro.serve import ServingReport
 
 
 def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str] = None,
@@ -95,4 +96,55 @@ def render_search_summary(result: "SearchResult") -> str:
         profiles = int(stats.get("profiles_computed", 0))
         if profiles:
             lines.append(f"  span profiles         : {profiles} computed")
+    return "\n".join(lines)
+
+
+def render_serving_report(report: "ServingReport") -> str:
+    """Multi-line human-readable summary of one serving run.
+
+    Printed by ``repro serve``: the traffic/fleet configuration, the
+    throughput and tail-latency headline, the batching mix, the per-chip
+    utilisation table and the plan-cache counters.
+    """
+    traffic = report.traffic
+    lines = [
+        f"Serving {', '.join(report.models)} on fleet {report.fleet_spec} "
+        f"({traffic.get('traffic', 'unspecified')} traffic, policy {report.policy}, "
+        f"optimizer {report.optimizer})",
+        f"  requests              : {report.completed}/{report.num_requests} served"
+        f" (seed {traffic.get('seed', '?')})",
+        f"  makespan              : {report.makespan_ms:.3f} ms",
+        f"  offered load          : {report.offered_rps:.1f} req/s",
+        f"  throughput            : {report.throughput_rps:.1f} req/s",
+        f"  latency (ms)          : mean {report.latency_ms['mean']:.3f}, "
+        f"p50 {report.latency_ms['p50']:.3f}, p95 {report.latency_ms['p95']:.3f}, "
+        f"p99 {report.latency_ms['p99']:.3f}, max {report.latency_ms['max']:.3f}",
+        f"  queueing wait (ms)    : mean {report.wait_ms['mean']:.3f}, "
+        f"p95 {report.wait_ms['p95']:.3f}, max {report.wait_ms['max']:.3f}",
+        f"  queue depth           : mean {report.queue_depth['mean']:.2f}, "
+        f"max {report.queue_depth['max']:.0f}",
+        f"  batches               : {report.batches} "
+        f"(mean size {report.mean_batch:.2f}, {report.padded_batches} padded); "
+        "histogram "
+        + ", ".join(f"{b}x{n}" for b, n in sorted(report.batch_histogram.items())),
+        f"  energy                : {report.total_energy_mj:.3f} mJ total, "
+        f"{report.energy_per_request_mj:.4f} mJ/request",
+    ]
+    if report.per_chip:
+        lines.append("  per-chip utilisation:")
+        table = format_table(
+            report.per_chip,
+            columns=["chip", "batches", "requests", "busy_ms", "utilisation", "energy_mj"],
+        )
+        lines.extend("    " + row for row in table.splitlines())
+    cache = report.plan_cache
+    if cache:
+        lines.append(
+            f"  plan cache            : {int(cache.get('hits', 0))} hits, "
+            f"{int(cache.get('misses', 0))} misses "
+            f"({cache.get('hit_rate', 0.0):.1%} hit rate), "
+            f"{int(cache.get('warmup_compiles', 0))} warmed, "
+            f"{int(cache.get('evictions', 0))} evicted, "
+            f"{int(cache.get('size', 0))}/{int(cache.get('capacity', 0))} resident"
+        )
     return "\n".join(lines)

@@ -122,3 +122,112 @@ class TestCommands:
                      "--optimizer", "dp"])
         assert code == 0
         assert "squeezenet" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    SERVE_ARGS = ["serve", "--model", "squeezenet", "--chip", "S", "--optimizer", "dp",
+                  "--traffic", "poisson", "--seed", "0", "--requests", "60"]
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.model == ["resnet18"]
+        assert args.chip == "M"
+        assert args.optimizer == "dp"
+        assert args.traffic == "poisson"
+        assert args.policy == "latency"
+        assert args.seed == 0
+
+    def test_sweep_defaults_to_dp(self):
+        assert build_parser().parse_args(["sweep"]).optimizer == "dp"
+        assert build_parser().parse_args(["compile", "lenet5"]).optimizer == "ga"
+
+    def test_serve_fixed_seed_is_deterministic(self, capsys, tmp_path):
+        """The acceptance pin: one seed, bit-identical serving reports."""
+        first_json = tmp_path / "first.json"
+        second_json = tmp_path / "second.json"
+        assert main(self.SERVE_ARGS + ["--output", str(first_json)]) == 0
+        first_out = capsys.readouterr().out
+        assert main(self.SERVE_ARGS + ["--output", str(second_json)]) == 0
+        second_out = capsys.readouterr().out
+        first_out = first_out.replace(str(first_json), "<out>")
+        second_out = second_out.replace(str(second_json), "<out>")
+        assert first_out == second_out
+        first = json.loads(first_json.read_text())
+        second = json.loads(second_json.read_text())
+        assert first == second
+        assert first["completed"] == 60
+        assert first["throughput_rps"] > 0
+        assert first["optimizer"] == "dp"
+        for key in ("p50", "p95", "p99"):
+            assert first["latency_ms"][key] > 0
+        assert first["per_chip"][0]["utilisation"] > 0
+        assert first["total_energy_mj"] > 0
+
+    def test_serve_report_sections(self, capsys):
+        assert main(self.SERVE_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Serving squeezenet on fleet S:1" in out
+        assert "throughput" in out
+        assert "p99" in out
+        assert "plan cache" in out
+        assert "per-chip utilisation" in out
+
+    def test_serve_heterogeneous_fleet(self, capsys):
+        code = main(["serve", "--model", "squeezenet", "--fleet", "S:1,M:1",
+                     "--traffic", "bursty", "--policy", "latency",
+                     "--seed", "1", "--requests", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet S:1,M:1" in out
+        assert "S#0" in out and "M#1" in out
+
+    def test_serve_trace_record_and_replay(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        out_live = tmp_path / "live.json"
+        out_replay = tmp_path / "replay.json"
+        assert main(self.SERVE_ARGS + ["--record-trace", str(trace),
+                                       "--output", str(out_live)]) == 0
+        capsys.readouterr()
+        assert main(["serve", "--traffic", "trace", "--trace", str(trace),
+                     "--chip", "S", "--optimizer", "dp",
+                     "--output", str(out_replay)]) == 0
+        capsys.readouterr()
+        live = json.loads(out_live.read_text())
+        replay = json.loads(out_replay.read_text())
+        for key in ("completed", "throughput_rps", "latency_ms", "batches",
+                    "batch_histogram", "total_energy_mj"):
+            assert live[key] == replay[key]
+
+    def test_serve_bad_inputs(self, capsys):
+        assert main(["serve", "--model", "squeezenet", "--optimizer", "magic"]) == 2
+        assert "unknown optimizer" in capsys.readouterr().err
+        assert main(["serve", "--model", "squeezenet", "--fleet", "Z:1"]) == 2
+        assert "unknown chip" in capsys.readouterr().err
+        assert main(["serve", "--model", "squeezenet", "--traffic", "trace"]) == 2
+        assert "requires --trace" in capsys.readouterr().err
+        # bad numeric inputs and unreadable traces take the same friendly
+        # error + exit-2 path, not a raw traceback
+        assert main(["serve", "--model", "squeezenet", "--requests", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["serve", "--model", "squeezenet", "--rate", "-5"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["serve", "--model", "squeezenet", "--cache-capacity", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["serve", "--traffic", "trace",
+                     "--trace", "/nonexistent/trace.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+        # an explicit --rate 0 is an error, not silently replaced by auto-rate
+        assert main(["serve", "--model", "squeezenet", "--rate", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_bad_trace_contents(self, capsys, tmp_path):
+        malformed = tmp_path / "bad.json"
+        malformed.write_text('{"requests": [{"id": 0}]}')
+        assert main(["serve", "--traffic", "trace", "--trace", str(malformed)]) == 2
+        assert "malformed trace" in capsys.readouterr().err
+        unknown = tmp_path / "unknown.json"
+        unknown.write_text(
+            '{"requests": [{"id": 0, "model": "notamodel", "arrival_ns": 1.0}]}'
+        )
+        assert main(["serve", "--traffic", "trace", "--trace", str(unknown)]) == 2
+        assert "unknown model" in capsys.readouterr().err

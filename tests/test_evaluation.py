@@ -154,3 +154,30 @@ class TestExperimentConfig:
         assert config.batch_sizes == (1, 2, 4, 8, 16)
         assert config.ga_config.population_size == 100
         assert config.ga_config.generations == 30
+
+
+class TestEDPFrontierSizes:
+    def test_small_registry_subset_is_exact(self):
+        from repro.evaluation.experiments import edp_frontier_sizes
+        from repro.search.dp import DEFAULT_MAX_FRONTIER
+
+        rows = edp_frontier_sizes(models=("lenet5", "squeezenet"), chips=("S", "M"),
+                                  batch_sizes=(1, 4))
+        assert len(rows) == 2 * 2 * 2
+        supported = [row for row in rows if row["supported"]]
+        assert supported
+        for row in supported:
+            assert row["exact"]  # uncapped runs are always exact
+            assert row["fits_default_cap"]
+            assert 1 <= row["max_frontier_size"] <= DEFAULT_MAX_FRONTIER
+            assert row["mean_frontier_size"] <= row["max_frontier_size"]
+            assert row["edp_optimum"] > 0
+
+    def test_row_shape(self):
+        from repro.evaluation.experiments import edp_frontier_sizes
+
+        rows = edp_frontier_sizes(models=("lenet5",), chips=("S",), batch_sizes=(1,))
+        assert len(rows) == 1
+        assert {"model", "chip", "batch", "supported", "num_units",
+                "max_frontier_size", "mean_frontier_size", "exact",
+                "fits_default_cap", "edp_optimum", "partitions"} <= set(rows[0])

@@ -219,3 +219,50 @@ class TestFactory:
         evaluator = FitnessEvaluator(decomposition)
         with pytest.raises(ValueError, match="unknown optimizer 'magic'"):
             make_search("magic", decomposition, evaluator, validity)
+
+
+class TestEDPFrontierInstrumentation:
+    def test_frontier_sizes_recorded(self):
+        decomposition, validity = shared_decomposition("lenet5", "S")
+        evaluator = FitnessEvaluator(decomposition, batch_size=4, mode=FitnessMode.EDP)
+        search = DPOptimalSearch(decomposition, evaluator, validity)
+        assert search.frontier_sizes is None
+        result = search.run()
+        assert result.exact
+        assert len(search.frontier_sizes) == decomposition.num_units
+        assert all(size >= 1 for size in search.frontier_sizes)
+
+    def test_latency_mode_leaves_frontier_unset(self):
+        decomposition, validity = shared_decomposition("lenet5", "S")
+        evaluator = FitnessEvaluator(decomposition, batch_size=4)
+        search = DPOptimalSearch(decomposition, evaluator, validity)
+        search.run()
+        assert search.frontier_sizes is None
+
+    def test_uncapped_matches_default_cap(self):
+        decomposition, validity = shared_decomposition("squeezenet", "S")
+        evaluator = FitnessEvaluator(decomposition, batch_size=4, mode=FitnessMode.EDP)
+        capped = DPOptimalSearch(decomposition, evaluator, validity).run()
+        uncapped = DPOptimalSearch(
+            decomposition, evaluator, validity, max_frontier=0
+        ).run()
+        assert capped.exact and uncapped.exact
+        assert capped.best_group.boundaries == uncapped.best_group.boundaries
+        assert capped.best_fitness == uncapped.best_fitness
+
+    def test_max_frontier_validation(self):
+        decomposition, validity = shared_decomposition("lenet5", "S")
+        evaluator = FitnessEvaluator(decomposition, batch_size=1, mode=FitnessMode.EDP)
+        with pytest.raises(ValueError, match="max_frontier"):
+            DPOptimalSearch(decomposition, evaluator, validity, max_frontier=1)
+        # 0 is the documented "uncapped" setting
+        DPOptimalSearch(decomposition, evaluator, validity, max_frontier=0).run()
+
+    def test_tight_cap_thins_and_reports_inexact(self):
+        decomposition, validity = shared_decomposition("mobilenet_v1", "S")
+        evaluator = FitnessEvaluator(decomposition, batch_size=4, mode=FitnessMode.EDP)
+        search = DPOptimalSearch(decomposition, evaluator, validity, max_frontier=2)
+        result = search.run()
+        # mobilenet's real frontiers exceed 2 states, so thinning must engage
+        assert max(search.frontier_sizes) > 2
+        assert not result.exact

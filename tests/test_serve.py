@@ -1,0 +1,467 @@
+"""Tests for the traffic-driven serving subsystem (:mod:`repro.serve`)."""
+
+import math
+
+import pytest
+
+from repro.core.fitness import FitnessEvaluator, FitnessMode
+from repro.evaluation.registry import shared_decomposition
+from repro.search import DPOptimalSearch
+from repro.serve import (
+    BurstyTraffic,
+    DiurnalTraffic,
+    DynamicBatcher,
+    Fleet,
+    LatencyAwarePolicy,
+    LeastLoadedPolicy,
+    PlanCache,
+    PoissonTraffic,
+    Request,
+    ServingSimulator,
+    TraceTraffic,
+    fleet_capacity_rps,
+    load_trace,
+    make_policy,
+    save_trace,
+    validate_policy,
+    validate_traffic,
+)
+
+BATCHES = (1, 2, 4, 8, 16)
+
+
+# ----------------------------------------------------------------------
+# Plan cache
+# ----------------------------------------------------------------------
+class TestPlanCache:
+    def test_miss_then_hit(self):
+        cache = PlanCache(optimizer="dp")
+        first = cache.get("squeezenet", "S", 4)
+        second = cache.get("squeezenet", "S", 4)
+        assert first is second
+        stats = cache.stats
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert stats.evictions == 0
+        assert stats.size == 1
+
+    def test_plan_matches_exact_search(self):
+        cache = PlanCache(optimizer="dp")
+        plan = cache.get("squeezenet", "S", 8)
+        decomposition, validity = shared_decomposition("squeezenet", "S")
+        evaluator = FitnessEvaluator(decomposition, batch_size=8)
+        result = DPOptimalSearch(decomposition, evaluator, validity).run()
+        assert plan.boundaries == tuple(result.best_group.boundaries)
+        # the plan's latency is the bit-exact sequential span sum, i.e. the
+        # search engine's fitness in latency mode
+        assert plan.latency_ns == result.best_fitness
+        assert plan.exact
+        assert plan.energy_pj > 0
+
+    def test_latency_curve_matches_compiled_batch(self):
+        cache = PlanCache(optimizer="dp")
+        plan = cache.get("squeezenet", "S", 8)
+        assert plan.latency_at(8) == pytest.approx(plan.latency_ns, rel=1e-12)
+        # the affine curve grows by the bottleneck per extra sample
+        assert plan.latency_at(9) - plan.latency_at(8) == pytest.approx(
+            plan.bottleneck_ns, rel=1e-12
+        )
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2, optimizer="dp")
+        cache.get("squeezenet", "S", 1)
+        cache.get("squeezenet", "S", 2)
+        cache.get("squeezenet", "S", 1)  # refresh batch-1: batch-2 becomes LRU
+        cache.get("squeezenet", "S", 4)  # evicts batch-2
+        assert cache.stats.evictions == 1
+        assert cache.contains("squeezenet", "S", 1)
+        assert not cache.contains("squeezenet", "S", 2)
+        assert cache.contains("squeezenet", "S", 4)
+        # the evicted plan recompiles to the identical deterministic plan
+        before = cache.get("squeezenet", "S", 1)
+        evicted = cache.get("squeezenet", "S", 2)  # miss again, evicts batch-4
+        assert cache.stats.misses == 4
+        assert evicted.boundaries == before.boundaries or evicted.key != before.key
+
+    def test_warmup_stats(self):
+        cache = PlanCache(optimizer="dp")
+        compiled = cache.warmup(["squeezenet"], ["S"], [1, 4])
+        assert compiled == 2
+        stats = cache.stats
+        assert stats.warmup_compiles == 2
+        assert stats.misses == 2
+        assert stats.hits == 0
+        # a second warmup is all hits: nothing new compiled
+        assert cache.warmup(["squeezenet"], ["S"], [1, 4]) == 0
+        assert cache.stats.warmup_compiles == 2
+        assert cache.stats.hits == 2
+        # misses after warmup are not counted as warmup compiles
+        cache.get("squeezenet", "S", 2)
+        assert cache.stats.warmup_compiles == 2
+        assert cache.stats.misses == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            PlanCache(optimizer="magic")
+
+
+# ----------------------------------------------------------------------
+# Traffic generators
+# ----------------------------------------------------------------------
+class TestTraffic:
+    def test_poisson_deterministic(self):
+        first = PoissonTraffic("squeezenet", num_requests=50, seed=7, rate_rps=500).generate()
+        second = PoissonTraffic("squeezenet", num_requests=50, seed=7, rate_rps=500).generate()
+        assert first == second
+        third = PoissonTraffic("squeezenet", num_requests=50, seed=8, rate_rps=500).generate()
+        assert first != third
+
+    def test_arrivals_sorted_and_positive(self):
+        for traffic in (
+            PoissonTraffic("squeezenet", num_requests=40, seed=0, rate_rps=300),
+            BurstyTraffic("squeezenet", num_requests=40, seed=0, rate_rps=300),
+            DiurnalTraffic("squeezenet", num_requests=40, seed=0, base_rate_rps=300),
+        ):
+            requests = traffic.generate()
+            assert len(requests) == 40
+            arrivals = [r.arrival_ns for r in requests]
+            assert arrivals == sorted(arrivals)
+            assert arrivals[0] > 0
+
+    def test_model_mix(self):
+        traffic = PoissonTraffic(("squeezenet", "lenet5"), num_requests=200,
+                                 seed=0, rate_rps=300)
+        models = {r.model for r in traffic.generate()}
+        assert models == {"squeezenet", "lenet5"}
+
+    def test_trace_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        original = BurstyTraffic("squeezenet", num_requests=30, seed=5,
+                                 rate_rps=400).generate()
+        save_trace(original, path)
+        assert load_trace(path) == original
+        replay = TraceTraffic(path)
+        assert replay.generate() == original
+        assert replay.num_requests == 30
+
+    def test_malformed_trace_raises_value_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"requests": [{"id": 0, "model": "squeezenet"}]}')
+        with pytest.raises(ValueError, match="malformed trace"):
+            load_trace(str(path))
+        path.write_text('{"no_requests_key": []}')
+        with pytest.raises(ValueError, match="malformed trace"):
+            load_trace(str(path))
+
+    def test_validate_traffic(self):
+        validate_traffic("poisson")
+        with pytest.raises(ValueError, match="unknown traffic"):
+            validate_traffic("magic")
+
+
+# ----------------------------------------------------------------------
+# Dynamic batcher and policies
+# ----------------------------------------------------------------------
+class TestDynamicBatcher:
+    @staticmethod
+    def _latency(batch):
+        # big weight-replacement intercept: batching amortises heavily
+        return 1000.0 + 10.0 * batch
+
+    def test_greedy_without_wait_budget(self):
+        batcher = DynamicBatcher(batch_sizes=BATCHES, max_wait_us=0.0)
+        batch, deadline = batcher.choose(
+            queue_len=5, now_ns=0.0, oldest_arrival_ns=0.0,
+            ema_interarrival_ns=10.0, latency_of=self._latency, more_arrivals=True,
+        )
+        assert (batch, deadline) == (4, None)
+
+    def test_padded_when_queue_below_smallest(self):
+        batcher = DynamicBatcher(batch_sizes=(4, 8), max_wait_us=0.0)
+        assert batcher.dispatch_size(3) == 4
+        assert batcher.dispatch_size(9) == 8
+
+    def test_holds_when_amortisation_wins(self):
+        batcher = DynamicBatcher(batch_sizes=BATCHES, max_wait_us=100.0)
+        # cheap wait (tight arrivals) + huge amortisation: hold for 8
+        batch, deadline = batcher.choose(
+            queue_len=5, now_ns=1000.0, oldest_arrival_ns=900.0,
+            ema_interarrival_ns=1.0, latency_of=self._latency, more_arrivals=True,
+        )
+        assert batch == 0
+        assert deadline == pytest.approx(900.0 + 100e3)
+
+    def test_dispatches_when_wait_exceeds_budget(self):
+        batcher = DynamicBatcher(batch_sizes=BATCHES, max_wait_us=0.001)  # 1 ns
+        batch, deadline = batcher.choose(
+            queue_len=5, now_ns=1000.0, oldest_arrival_ns=999.5,
+            ema_interarrival_ns=1.0, latency_of=self._latency, more_arrivals=True,
+        )
+        assert (batch, deadline) == (4, None)
+
+    def test_dispatches_without_future_arrivals(self):
+        batcher = DynamicBatcher(batch_sizes=BATCHES, max_wait_us=100.0)
+        batch, deadline = batcher.choose(
+            queue_len=5, now_ns=0.0, oldest_arrival_ns=0.0,
+            ema_interarrival_ns=1.0, latency_of=self._latency, more_arrivals=False,
+        )
+        assert (batch, deadline) == (4, None)
+
+    def test_no_rate_estimate_is_work_conserving(self):
+        batcher = DynamicBatcher(batch_sizes=BATCHES, max_wait_us=100.0)
+        batch, deadline = batcher.choose(
+            queue_len=5, now_ns=0.0, oldest_arrival_ns=0.0,
+            ema_interarrival_ns=math.inf, latency_of=self._latency, more_arrivals=True,
+        )
+        assert (batch, deadline) == (4, None)
+
+
+class TestPolicies:
+    def test_registry(self):
+        validate_policy("fifo")
+        validate_policy("least_loaded")
+        validate_policy("latency")
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("magic")
+
+    def test_least_loaded_prefers_idle_history(self):
+        fleet = Fleet.homogeneous("S", 2)
+        fleet.workers[0].busy_ns = 100.0
+        policy = LeastLoadedPolicy()
+        chosen = policy.choose_worker(fleet.workers, "squeezenet", 1, None, 0.0)
+        assert chosen.index == 1
+
+    def test_latency_aware_prefers_faster_chip(self):
+        cache = PlanCache(optimizer="dp")
+        fleet = Fleet.from_spec("S:1,M:1")
+        policy = LatencyAwarePolicy()
+        chosen = policy.choose_worker(fleet.workers, "squeezenet", 4, cache, 0.0)
+        latencies = {
+            w.index: cache.get("squeezenet", w.chip_name, 4).latency_ns
+            for w in fleet.workers
+        }
+        assert latencies[chosen.index] == min(latencies.values())
+
+
+# ----------------------------------------------------------------------
+# Fleet
+# ----------------------------------------------------------------------
+class TestFleet:
+    def test_spec_parsing(self):
+        fleet = Fleet.from_spec("S:2,M:1")
+        assert [w.chip_name for w in fleet.workers] == ["S", "S", "M"]
+        assert fleet.spec == "S:2,M:1"
+        assert fleet.chip_names == ("S", "M")
+        assert Fleet.from_spec("M").spec == "M:1"
+
+    def test_spec_round_trips_interleaved_order(self):
+        # worker order drives FIFO dispatch and tie-breaks, so the reported
+        # spec must rebuild the same order, not collapse S,M,S into S:2,M:1
+        fleet = Fleet.from_spec("S:1,M:1,S:1")
+        assert fleet.spec == "S:1,M:1,S:1"
+        rebuilt = Fleet.from_spec(fleet.spec)
+        assert [w.chip_name for w in rebuilt.workers] == \
+            [w.chip_name for w in fleet.workers]
+        assert Fleet.from_spec("S:2,M:1").spec == "S:2,M:1"
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError):
+            Fleet.from_spec("")
+        with pytest.raises(ValueError):
+            Fleet.from_spec("Z:2")
+        with pytest.raises(ValueError):
+            Fleet.from_spec("M:0")
+        with pytest.raises(ValueError):
+            Fleet.from_spec("M:x")
+
+    def test_idle_workers(self):
+        fleet = Fleet.homogeneous("S", 2)
+        fleet.workers[0].busy_until_ns = 50.0
+        assert [w.index for w in fleet.idle_workers(10.0)] == [1]
+        assert [w.index for w in fleet.idle_workers(50.0)] == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# Serving simulator: fixed-seed determinism and accounting
+# ----------------------------------------------------------------------
+def _run_once(cache=None, policy="latency", max_wait_us=200.0, seed=0,
+              fleet_spec="S:2", model="squeezenet", requests=80):
+    cache = cache if cache is not None else PlanCache(optimizer="dp")
+    fleet = Fleet.from_spec(fleet_spec)
+    cache.warmup([model], fleet.chip_names, BATCHES)
+    rate = 0.7 * fleet_capacity_rps(cache, fleet, (model,), BATCHES)
+    traffic = PoissonTraffic(model, num_requests=requests, seed=seed, rate_rps=rate)
+    simulator = ServingSimulator(fleet, cache, policy=policy,
+                                 batch_sizes=BATCHES, max_wait_us=max_wait_us)
+    return simulator.run(traffic.generate(), traffic_info=traffic.describe())
+
+
+class TestServingSimulator:
+    def test_fixed_seed_replay_identical(self):
+        first = _run_once(seed=0)
+        second = _run_once(seed=0)
+        assert first.as_dict() == second.as_dict()
+
+    def test_warm_cache_replay_identical(self):
+        cold = _run_once(seed=0)
+        cache = PlanCache(optimizer="dp")
+        warm_once = _run_once(cache=cache, seed=0)
+        warm_twice = _run_once(cache=cache, seed=0)
+        # the deterministic core is cache-temperature independent ...
+        assert cold.determinism_dict() == warm_once.determinism_dict()
+        assert warm_once.determinism_dict() == warm_twice.determinism_dict()
+        # ... while the cache counters legitimately differ
+        assert cold.plan_cache["misses"] == warm_twice.plan_cache["misses"]
+        assert cold.plan_cache["hits"] < warm_twice.plan_cache["hits"]
+
+    def test_different_seed_differs(self):
+        assert _run_once(seed=0).as_dict() != _run_once(seed=1).as_dict()
+
+    def test_all_requests_complete(self):
+        report = _run_once(seed=0)
+        assert report.completed == report.num_requests == 80
+        assert report.throughput_rps > 0
+        assert report.batches >= 1
+        assert sum(report.batch_histogram.values()) == report.batches
+        assert report.mean_batch == pytest.approx(80 / report.batches)
+
+    def test_latency_percentiles_ordered(self):
+        report = _run_once(seed=0)
+        latency = report.latency_ms
+        assert latency["p50"] <= latency["p95"] <= latency["p99"] <= latency["max"]
+        assert latency["mean"] > 0
+        # a request's sojourn includes its service time: the fastest
+        # single-sample plan bounds every percentile from below
+        assert latency["p50"] > 0
+
+    def test_per_chip_accounting(self):
+        report = _run_once(seed=0, fleet_spec="S:2")
+        assert len(report.per_chip) == 2
+        assert sum(row["requests"] for row in report.per_chip) == report.completed
+        assert sum(row["batches"] for row in report.per_chip) == report.batches
+        for row in report.per_chip:
+            assert 0.0 <= row["utilisation"] <= 1.0
+        total = sum(row["energy_mj"] for row in report.per_chip)
+        assert total == pytest.approx(report.total_energy_mj)
+        assert report.energy_per_request_mj == pytest.approx(total / report.completed)
+
+    def test_policies_all_serve_everything(self):
+        for policy in ("fifo", "least_loaded", "latency"):
+            report = _run_once(seed=0, policy=policy)
+            assert report.completed == 80
+            assert report.policy == policy
+
+    def test_greedy_vs_batched_tradeoff(self):
+        greedy = _run_once(seed=0, max_wait_us=0.0)
+        batched = _run_once(seed=0, max_wait_us=500.0)
+        # holding can only raise the mean batch size
+        assert batched.mean_batch >= greedy.mean_batch
+        assert greedy.padded_batches == 0
+
+    def test_heterogeneous_fleet(self):
+        report = _run_once(seed=0, fleet_spec="S:1,M:1")
+        assert report.fleet_spec == "S:1,M:1"
+        assert report.completed == 80
+        assert {row["class"] for row in report.per_chip} == {"S", "M"}
+
+    def test_trace_replay_reproduces_run(self, tmp_path):
+        cache = PlanCache(optimizer="dp")
+        fleet = Fleet.from_spec("S:2")
+        cache.warmup(["squeezenet"], fleet.chip_names, BATCHES)
+        traffic = BurstyTraffic("squeezenet", num_requests=60, seed=4, rate_rps=2000)
+        requests = traffic.generate()
+        path = str(tmp_path / "trace.json")
+        save_trace(requests, path)
+        simulator = ServingSimulator(fleet, cache, policy="fifo",
+                                     batch_sizes=BATCHES, max_wait_us=100.0)
+        live = simulator.run(requests, traffic_info={"traffic": "bursty"})
+        replayed = ServingSimulator(
+            Fleet.from_spec("S:2"), cache, policy="fifo",
+            batch_sizes=BATCHES, max_wait_us=100.0,
+        ).run(TraceTraffic(path).generate(), traffic_info={"traffic": "bursty"})
+        assert live.determinism_dict() == replayed.determinism_dict()
+
+    def test_empty_stream_rejected(self):
+        cache = PlanCache(optimizer="dp")
+        simulator = ServingSimulator(Fleet.homogeneous("S"), cache)
+        with pytest.raises(ValueError):
+            simulator.run([])
+
+    def test_offset_timestamps_do_not_dilute_metrics(self):
+        # replayed real-world traces carry epoch-style timestamps: the clock
+        # must start at the first arrival, not t=0, or the idle prefix
+        # swamps throughput/utilisation/queue depth
+        cache = PlanCache(optimizer="dp")
+        fleet_spec = "S:2"
+        cache.warmup(["squeezenet"], Fleet.from_spec(fleet_spec).chip_names, BATCHES)
+        traffic = PoissonTraffic("squeezenet", num_requests=40, seed=2, rate_rps=2000)
+        requests = traffic.generate()
+        offset = 1e12  # ~17 minutes into an epoch-style clock
+        shifted = [
+            Request(request_id=r.request_id, model=r.model,
+                    arrival_ns=r.arrival_ns + offset)
+            for r in requests
+        ]
+
+        def run(stream):
+            simulator = ServingSimulator(Fleet.from_spec(fleet_spec), cache,
+                                         policy="fifo", batch_sizes=BATCHES,
+                                         max_wait_us=100.0)
+            return simulator.run(stream)
+
+        base, moved = run(requests), run(shifted)
+        assert moved.throughput_rps == pytest.approx(base.throughput_rps, rel=1e-6)
+        assert moved.makespan_ms == pytest.approx(base.makespan_ms, rel=1e-6)
+        assert moved.queue_depth["mean"] == pytest.approx(
+            base.queue_depth["mean"], rel=1e-6)
+        for row_base, row_moved in zip(base.per_chip, moved.per_chip):
+            assert row_moved["utilisation"] == pytest.approx(
+                row_base["utilisation"], rel=1e-6)
+
+    def test_single_request_rates_are_finite(self):
+        cache = PlanCache(optimizer="dp")
+        fleet = Fleet.homogeneous("S")
+        cache.warmup(["squeezenet"], fleet.chip_names, BATCHES)
+        simulator = ServingSimulator(fleet, cache, batch_sizes=BATCHES)
+        report = simulator.run([Request(request_id=0, model="squeezenet",
+                                        arrival_ns=50.0)])
+        # a single arrival spans no time: the offered rate is undefined and
+        # must read 0, not 1/1e-12
+        assert report.offered_rps == 0.0
+        assert report.completed == 1
+        assert report.throughput_rps > 0.0
+
+    def test_edp_mode_plans(self):
+        cache = PlanCache(optimizer="dp", mode=FitnessMode.EDP)
+        plan = cache.get("lenet5", "S", 4)
+        assert plan.key.mode is FitnessMode.EDP
+        assert plan.energy_pj > 0
+
+
+def test_shared_plan_cache_is_shared_and_guards_capacity():
+    from repro.evaluation.registry import clear_registry, shared_plan_cache
+
+    clear_registry()
+    try:
+        cache = shared_plan_cache("dp", capacity=32)
+        assert shared_plan_cache("dp", capacity=32) is cache
+        # a second consumer asking for different eviction behaviour must not
+        # silently receive the existing cache
+        with pytest.raises(ValueError, match="capacity"):
+            shared_plan_cache("dp", capacity=8)
+        plan = cache.get("lenet5", "S", 1)
+        assert shared_plan_cache("dp", capacity=32).get("lenet5", "S", 1) is plan
+    finally:
+        clear_registry()
+
+
+def test_request_ordering_is_stable():
+    requests = [
+        Request(request_id=1, model="a", arrival_ns=5.0),
+        Request(request_id=0, model="a", arrival_ns=5.0),
+    ]
+    ordered = sorted(requests, key=lambda r: (r.arrival_ns, r.request_id))
+    assert [r.request_id for r in ordered] == [0, 1]
