@@ -22,8 +22,8 @@ Environment variables:
     Quick mode: run only the headline benchmarks
     (``test_fig6_throughput_comparison``, ``test_fig10_ga_convergence``,
     the partition-search headliners ``test_dp_optimal_search`` /
-    ``test_optimality_gap_experiment``, and the serving-throughput
-    headliner ``test_serving_throughput``).
+    ``test_optimality_gap_experiment``, and the serving headliners
+    ``test_serving_throughput`` / ``test_serving_switch_cost``).
 ``REPRO_BENCH_OUT=<path>``
     Override the output JSON path.
 ``COMPASS_PAPER_SCALE=1``
@@ -57,7 +57,7 @@ def main(argv=None) -> int:
     ]
     if os.environ.get("REPRO_BENCH_QUICK"):
         cmd += ["-k", "fig6_throughput or fig10_ga or dp_optimal or optimality_gap"
-                      " or serving_throughput"]
+                      " or serving_throughput or serving_switch_cost"]
     cmd += argv
 
     env = dict(os.environ)

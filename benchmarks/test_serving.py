@@ -1,15 +1,22 @@
-"""Serving-throughput benchmark (beyond the paper).
+"""Serving-throughput benchmarks (beyond the paper).
 
-The headliner ``test_serving_throughput`` rides with the quick-bench set: a
-Poisson request stream for ResNet18 against a two-chip M fleet, scheduled
-with dynamic batching and the latency-aware policy over a warm plan cache.
-It measures the cost of the serving layer itself (event loop + scheduling +
-plan-cache lookups) — plan compilation is paid once in setup, exactly as a
-warmed-up production deployment would.
+Two headliners ride with the quick-bench set:
 
-The captured output doubles as the experimental record: the summary row
-carries sustained throughput, p50/p95/p99 latency, batch mix and per-chip
-utilisation for the fixed seed.
+* ``test_serving_throughput`` — a Poisson request stream for ResNet18
+  against a two-chip M fleet, scheduled with dynamic batching and the
+  latency-aware policy over a warm plan cache.  It measures the cost of
+  the serving layer itself (event loop + scheduling + plan-cache lookups)
+  — plan compilation is paid once in setup, exactly as a warmed-up
+  production deployment would.
+* ``test_serving_switch_cost`` — a multi-tenant ResNet18 + SqueezeNet mix
+  on a heterogeneous S:2,M:1 fleet with plan-switch weight-replacement
+  cost modelled, per-model SLO targets and the ``fair`` deficit
+  round-robin policy: the switch-aware scheduling paths (effective-latency
+  chip ranking, per-candidate-batch reference chips) under load.
+
+The captured output doubles as the experimental record: the summary rows
+carry sustained throughput, p50/p95/p99 latency, batch mix, plan-switch
+counts and per-chip utilisation for the fixed seed.
 """
 
 from __future__ import annotations
@@ -57,3 +64,37 @@ def test_serving_throughput(benchmark):
     print(f"batch histogram: {dict(sorted(report.batch_histogram.items()))}; "
           f"mean queue depth {report.queue_depth['mean']:.2f} "
           f"(max {report.queue_depth['max']:.0f})")
+
+
+def _setup_switch():
+    fleet = Fleet.from_spec("S:2,M:1")
+    models = (MODEL, "squeezenet")
+    cache = PlanCache(optimizer="dp")
+    cache.warmup(models, fleet.chip_names, BATCHES)
+    rate = 0.7 * fleet_capacity_rps(cache, fleet, models, BATCHES)
+    traffic = PoissonTraffic(models, num_requests=NUM_REQUESTS, seed=SEED,
+                             rate_rps=rate, model_weights=(0.7, 0.3))
+    return fleet, cache, traffic, traffic.generate()
+
+
+def test_serving_switch_cost(benchmark):
+    fleet, cache, traffic, requests = _setup_switch()
+    slos = {MODEL: 10.0, "squeezenet": 3.0}
+
+    def serve():
+        simulator = ServingSimulator(fleet, cache, policy="fair",
+                                     batch_sizes=BATCHES, max_wait_us=200.0,
+                                     switch_cost=True, slos=slos)
+        return simulator.run(requests, traffic_info=traffic.describe())
+
+    report = benchmark(serve)
+    assert report.completed == NUM_REQUESTS
+    assert report.plan_switches > 0
+    assert set(report.slo) == set(slos)
+    print(f"\nServing {'+'.join(report.models)} on {report.fleet_spec} "
+          f"(switch cost on, fair policy, seed {SEED}):")
+    print(format_table([report.summary_row()]))
+    print(f"plan switches: {report.plan_switches} "
+          f"({report.switch_ms:.3f} ms weight replacement); SLO attainment: "
+          + ", ".join(f"{m} {b['attainment']:.1%}"
+                      for m, b in sorted(report.slo.items())))

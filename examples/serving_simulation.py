@@ -3,7 +3,10 @@
 Demonstrates the :mod:`repro.serve` subsystem end to end: compile plans
 into a warm cache with the exact DP optimizer, generate three traffic
 shapes with one fixed seed, and compare scheduling policies on a mixed
-S/M fleet.  Everything is deterministic — re-running this script produces
+S/M fleet — including the plan-switch weight-replacement cost, a
+multi-tenant mix with per-model SLO targets under the ``fair`` policy,
+and closed-loop clients whose offered load adapts to the fleet.
+Everything is deterministic — re-running this script produces
 byte-identical output.
 
 Run with::
@@ -14,6 +17,7 @@ Run with::
 from repro.evaluation.registry import shared_plan_cache
 from repro.serve import (
     BurstyTraffic,
+    ClosedLoopTraffic,
     DiurnalTraffic,
     Fleet,
     PoissonTraffic,
@@ -38,7 +42,8 @@ def main() -> None:
     print(f"warmed {compiled} plans; offered rate {rate:.0f} req/s "
           f"(70% of fleet capacity)\n")
 
-    # one full report for the Poisson baseline
+    # one full report for the Poisson baseline (switch cost on by default:
+    # the report counts plan switches and their weight-replacement time)
     traffic = PoissonTraffic(MODEL, num_requests=REQUESTS, seed=SEED, rate_rps=rate)
     simulator = ServingSimulator(fleet, cache, policy="latency",
                                  batch_sizes=BATCHES, max_wait_us=200.0)
@@ -61,7 +66,40 @@ def main() -> None:
     print("\npolicy comparison (same seed per traffic shape):")
     print(format_table(rows, columns=["traffic", "policy", "throughput_rps",
                                       "p50_ms", "p95_ms", "p99_ms", "mean_batch",
-                                      "utilisation", "energy_per_request_mj"]))
+                                      "plan_switches", "utilisation",
+                                      "energy_per_request_mj"]))
+
+    # multi-tenant mix with per-model SLO targets: deficit round-robin vs
+    # plain FIFO queueing on the same fixed-seed stream
+    tenants = (MODEL, "squeezenet")
+    cache.warmup(tenants, fleet.chip_names, BATCHES)
+    mix_rate = 0.7 * fleet_capacity_rps(cache, fleet, tenants, BATCHES)
+    slos = {MODEL: 10.0, "squeezenet": 3.0}
+    mix = PoissonTraffic(tenants, num_requests=REQUESTS, seed=SEED,
+                         rate_rps=mix_rate, model_weights=(0.8, 0.2))
+    mix_requests = mix.generate()
+    print("\nmulti-tenant SLO attainment (80/20 mix, targets "
+          + ", ".join(f"{m}={t:g} ms" for m, t in sorted(slos.items())) + "):")
+    for policy in ("fifo", "fair"):
+        simulator = ServingSimulator(fleet, cache, policy=policy,
+                                     batch_sizes=BATCHES, max_wait_us=200.0,
+                                     slos=slos)
+        result = simulator.run(mix_requests, traffic_info=mix.describe())
+        for model, block in sorted(result.slo.items()):
+            print(f"  {policy:<6s} {model:<12s}: attainment "
+                  f"{block['attainment']:.1%} (p99 {block['p99_ms']:.3f} ms)")
+
+    # closed-loop clients: offered load adapts to the fleet, outstanding
+    # requests never exceed clients x concurrency
+    closed = ClosedLoopTraffic(MODEL, num_requests=REQUESTS, seed=SEED,
+                               clients=8, concurrency=2, mean_think_s=0.0005)
+    simulator = ServingSimulator(fleet, cache, policy="latency",
+                                 batch_sizes=BATCHES, max_wait_us=200.0)
+    result = simulator.run(closed)
+    print(f"\nclosed loop (8 clients x 2 outstanding, 0.5 ms think): "
+          f"{result.throughput_rps:.0f} req/s, "
+          f"p99 {result.latency_ms['p99']:.3f} ms, "
+          f"max queue depth {result.queue_depth['max']:.0f}")
 
 
 if __name__ == "__main__":

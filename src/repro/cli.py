@@ -26,6 +26,9 @@ Examples
     python -m repro sweep --models squeezenet resnet18 --chips S M --batches 1 4 16
     python -m repro serve --model resnet18 --chip M --optimizer dp --traffic poisson --seed 0
     python -m repro serve --model resnet18 --fleet S:2,M:1 --traffic bursty --policy latency
+    python -m repro serve --model resnet18 --traffic closed --clients 8 --think-us 100
+    python -m repro serve --model resnet18 lenet5 --fleet S:2,M:1 --policy fair \
+        --slo resnet18=8 --slo lenet5=2
     python -m repro models
 """
 
@@ -46,6 +49,7 @@ from repro.serialization import dump_compilation_result, dump_serving_report
 from repro.serve import (
     POLICIES,
     TRAFFIC_GENERATORS,
+    ClosedLoopTraffic,
     Fleet,
     PlanCache,
     ServingSimulator,
@@ -132,6 +136,27 @@ def _auto_rate(cache: PlanCache, fleet: Fleet, models: Sequence[str],
     return utilization * fleet_capacity_rps(cache, fleet, models, batch_sizes)
 
 
+def _parse_slos(entries: Optional[Sequence[str]],
+                models: Sequence[str]) -> dict:
+    """Parse repeated ``--slo model=ms`` options into ``{model: target_ms}``."""
+    slos: dict = {}
+    for entry in entries or ():
+        model, sep, value = entry.partition("=")
+        model = model.strip()
+        if not sep or not model:
+            raise ValueError(f"bad --slo {entry!r}; expected MODEL=MS")
+        if model not in models:
+            raise ValueError(
+                f"--slo names unknown model {model!r}; served models: "
+                + ", ".join(sorted(models))
+            )
+        try:
+            slos[model] = float(value)
+        except ValueError:
+            raise ValueError(f"bad --slo {entry!r}; expected MODEL=MS") from None
+    return slos
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     error = _check_optimizer(args.optimizer)
     if error is not None:
@@ -148,10 +173,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
 
     mode = FitnessMode.EDP if args.mode == "edp" else FitnessMode.LATENCY
-    # bad numeric inputs (--requests 0, --rate -5, --cache-capacity 0, ...),
-    # unreadable or malformed trace files and unknown model names surface as
-    # ValueError/OSError/KeyError from the serve constructors — same friendly
-    # exit-2 contract as the checks above
+    # bad numeric inputs (--requests 0, --rate -5, --cache-capacity 0, a
+    # non-positive --slo target, ...), unreadable or malformed trace files
+    # and unknown model names surface as ValueError/OSError/KeyError from
+    # the serve constructors — same friendly exit-2 contract as the checks
+    # above
     try:
         cache = PlanCache(
             capacity=args.cache_capacity,
@@ -161,11 +187,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         models = list(args.model)
         batch_sizes = sorted(set(args.batches))
+        requests = None
         if args.traffic == "trace":
             traffic = TraceTraffic(args.trace)
             models = list(traffic.models)
             cache.warmup(models, fleet.chip_names, batch_sizes)
-            rate = None
+        elif args.traffic == "closed":
+            cache.warmup(models, fleet.chip_names, batch_sizes)
+            traffic = ClosedLoopTraffic(
+                models,
+                num_requests=args.requests,
+                seed=args.seed,
+                clients=args.clients,
+                concurrency=args.concurrency,
+                mean_think_s=args.think_us * 1e-6,
+            )
         else:
             cache.warmup(models, fleet.chip_names, batch_sizes)
             rate = args.rate if args.rate is not None else _auto_rate(
@@ -182,18 +218,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 kwargs["rate_rps"] = rate
             traffic = TRAFFIC_GENERATORS[args.traffic](**kwargs)
 
-        requests = traffic.generate()
-        if args.record_trace:
-            save_trace(requests, args.record_trace)
-            print(f"trace recorded to {args.record_trace}")
+        slos = _parse_slos(args.slo, models)
+        if args.traffic != "closed":
+            requests = traffic.generate()
+            if args.record_trace:
+                save_trace(requests, args.record_trace)
+                print(f"trace recorded to {args.record_trace}")
         simulator = ServingSimulator(
             fleet,
             cache,
             policy=args.policy,
             batch_sizes=batch_sizes,
             max_wait_us=args.max_wait_us,
+            slos=slos,
         )
-        report = simulator.run(requests, traffic_info=traffic.describe())
+        report = simulator.run(
+            traffic if args.traffic == "closed" else requests,
+            traffic_info=traffic.describe(),
+        )
+        if args.traffic == "closed" and args.record_trace:
+            # the realised closed-loop stream exists only after the run
+            save_trace(traffic.last_session.issued, args.record_trace)
+            print(f"trace recorded to {args.record_trace}")
     except (ValueError, OSError, KeyError) as err:
         # KeyError messages carry repr quotes (unknown model/missing field)
         print(f"error: {str(err).strip(chr(34))}", file=sys.stderr)
@@ -293,6 +339,17 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(default: auto from fleet capacity)")
     serve_parser.add_argument("--utilization", type=float, default=0.7,
                               help="target utilisation for the auto rate (default: 0.7)")
+    serve_parser.add_argument("--clients", type=int, default=4,
+                              help="closed-loop clients (--traffic closed; default: 4)")
+    serve_parser.add_argument("--concurrency", type=int, default=1,
+                              help="outstanding requests per closed-loop client "
+                                   "(default: 1)")
+    serve_parser.add_argument("--think-us", type=float, default=200.0,
+                              help="mean closed-loop think time in microseconds "
+                                   "(default: 200)")
+    serve_parser.add_argument("--slo", action="append", metavar="MODEL=MS",
+                              help="per-model latency SLO target in ms (repeatable); "
+                                   "adds a per-model attainment block to the report")
     serve_parser.add_argument("--requests", type=int, default=200,
                               help="number of requests to simulate (default: 200)")
     serve_parser.add_argument("--policy", default="latency", choices=sorted(POLICIES),

@@ -179,6 +179,10 @@ def serving_report_to_dict(report: ServingReport) -> Dict[str, Any]:
     Everything except the ``plan_cache`` block is bit-identical for a fixed
     traffic seed, whatever the cache temperature (see
     :meth:`~repro.serve.simulator.ServingReport.determinism_dict`).
+    Histogram keys are stringified for JSON; the ``switch`` block appears
+    only when plan-switch cost was modelled and the ``slo`` block only
+    when per-model targets were set, so switch-off/no-SLO dumps keep the
+    pre-switch-cost shape.
     """
     return report.as_dict()
 

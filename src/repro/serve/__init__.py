@@ -9,22 +9,35 @@ streams.  Four pieces, all deterministic for a fixed seed:
   ``(model, chip, dram, batch, mode, optimizer)``, compiled through the
   shared registry / :mod:`repro.search` / span-matrix stack;
 * :class:`Fleet` — homogeneous or heterogeneous (S/M/L) chip fleets with
-  per-chip occupancy counters;
-* :mod:`~repro.serve.scheduler` — FIFO / least-loaded / latency-aware chip
-  policies plus :class:`DynamicBatcher`, which picks batch sizes from the
-  span-matrix per-batch latency curves;
+  per-chip occupancy counters and a ``loaded_plan`` slot per chip — plan
+  switches pay the incoming plan's weight-replacement cost when
+  :func:`switch_cost_enabled` (the ``REPRO_SERVE_SWITCH_COST`` gate);
+* :mod:`~repro.serve.scheduler` — FIFO / least-loaded / latency-aware /
+  fair (deficit round-robin across model queues) chip policies plus
+  :class:`DynamicBatcher`, which picks batch sizes from the span-matrix
+  per-batch latency curves;
 * :class:`ServingSimulator` — the discrete-event loop producing a
   :class:`ServingReport` (throughput, p50/p95/p99 latency, queue depths,
-  per-chip utilisation and energy).
+  per-chip utilisation and energy, per-model SLO attainment, plan-switch
+  counts).  Open-loop streams are pregenerated; :class:`ClosedLoopTraffic`
+  clients instead issue each follow-up request when the previous one
+  completes, with arrivals injected into the live event loop.
 
 The CLI's ``repro serve`` subcommand routes here.
 """
 
-from repro.serve.fleet import ChipWorker, Fleet, fleet_capacity_rps
+from repro.serve.fleet import (
+    ChipWorker,
+    Fleet,
+    fleet_capacity_rps,
+    service_latency_ns,
+    switch_cost_enabled,
+)
 from repro.serve.plans import CompiledPlan, PlanCache, PlanCacheStats, PlanKey
 from repro.serve.scheduler import (
     POLICIES,
     DynamicBatcher,
+    FairPolicy,
     FifoPolicy,
     LatencyAwarePolicy,
     LeastLoadedPolicy,
@@ -36,6 +49,8 @@ from repro.serve.simulator import ServingReport, ServingSimulator
 from repro.serve.traffic import (
     TRAFFIC_GENERATORS,
     BurstyTraffic,
+    ClosedLoopSession,
+    ClosedLoopTraffic,
     DiurnalTraffic,
     PoissonTraffic,
     Request,
@@ -49,9 +64,12 @@ from repro.serve.traffic import (
 __all__ = [
     "BurstyTraffic",
     "ChipWorker",
+    "ClosedLoopSession",
+    "ClosedLoopTraffic",
     "CompiledPlan",
     "DiurnalTraffic",
     "DynamicBatcher",
+    "FairPolicy",
     "FifoPolicy",
     "Fleet",
     "LatencyAwarePolicy",
@@ -72,6 +90,8 @@ __all__ = [
     "load_trace",
     "make_policy",
     "save_trace",
+    "service_latency_ns",
+    "switch_cost_enabled",
     "validate_policy",
     "validate_traffic",
 ]

@@ -11,17 +11,76 @@ different plans per chip class.
 Workers carry their own occupancy counters (busy time, batches, requests,
 energy); the simulator updates them at dispatch time and the serving report
 reads them back as the per-chip utilisation table.
+
+Each worker also remembers the compiled plan its crossbars currently hold
+(``loaded_plan``).  When plan-switch cost modelling is enabled
+(:func:`switch_cost_enabled`, the ``REPRO_SERVE_SWITCH_COST`` gate), a
+dispatch that changes the chip's resident plan must first write the
+incoming plan's weights onto the crossbars — charged as the incoming
+plan's ``weight_replace_ns``, on top of the compiled latency whose own
+``WR`` term covers the in-execution partition weight streaming — and is
+counted as a plan switch.  A warm re-dispatch of the resident plan (and
+the first dispatch after the prewarmed deployment start) pays the
+compiled latency unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.hardware.config import get_chip_config
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
-    from repro.serve.plans import PlanCache
+    from repro.serve.plans import CompiledPlan, PlanCache, PlanKey
+
+
+def switch_cost_enabled() -> bool:
+    """Whether serving models plan-switch weight-replacement cost.
+
+    Controlled by the ``REPRO_SERVE_SWITCH_COST`` environment variable
+    (default on; ``0`` or the empty string disables it).  With the cost
+    disabled every dispatch pays the full compiled plan latency — exactly
+    the pre-switch-cost serving model, pinned bit-identical in
+    ``tests/test_serve.py``.
+    """
+    return os.environ.get("REPRO_SERVE_SWITCH_COST", "1") not in ("", "0")
+
+
+def is_plan_switch(plan: "CompiledPlan", worker: "ChipWorker",
+                   switch_cost: bool) -> bool:
+    """Whether dispatching ``plan`` on ``worker`` replaces a resident plan.
+
+    The single definition of "plan switch" shared by the latency charge
+    (:func:`service_latency_ns`) and the per-chip switch counters, so the
+    two can never drift apart.  The first dispatch on a freshly reset
+    worker is not a switch — the prewarmed deployment staged its weights
+    alongside the plan-cache warmup.
+    """
+    return (switch_cost and worker.loaded_plan is not None
+            and worker.loaded_plan != plan.key)
+
+
+def service_latency_ns(plan: "CompiledPlan", worker: "ChipWorker",
+                       switch_cost: bool) -> float:
+    """Service latency of dispatching ``plan`` on ``worker`` (ns).
+
+    With switch-cost modelling on, a dispatch that changes the worker's
+    resident plan pays the incoming plan's weight-replacement term
+    ``WR`` *in addition to* the compiled latency curve
+    ``WR + (FILL + (B-1)*BN)``: the new plan's weights must be written
+    onto the crossbars before execution starts, while the curve's own
+    ``WR`` covers the partition weight streaming *during* execution.  A
+    warm re-dispatch of the resident plan — and the first dispatch on a
+    freshly reset worker, whose weights the prewarmed deployment already
+    staged — pays the compiled latency unchanged.  With modelling off,
+    every dispatch pays the compiled latency: the switch-oblivious
+    pre-switch-cost model, bit-exactly.
+    """
+    if is_plan_switch(plan, worker, switch_cost):
+        return plan.latency_ns + plan.weight_replace_ns
+    return plan.latency_ns
 
 
 @dataclass
@@ -40,6 +99,12 @@ class ChipWorker:
     requests_served: int = 0
     #: cumulative energy of the batches served (pJ)
     energy_pj: float = 0.0
+    #: key of the compiled plan whose weights the chip currently holds
+    loaded_plan: Optional["PlanKey"] = None
+    #: dispatches that replaced a previously loaded different plan
+    plan_switches: int = 0
+    #: cumulative weight-replacement time charged to plan switches (ns)
+    switch_ns: float = 0.0
 
     @property
     def label(self) -> str:
@@ -145,6 +210,9 @@ class Fleet:
             worker.batches_served = 0
             worker.requests_served = 0
             worker.energy_pj = 0.0
+            worker.loaded_plan = None
+            worker.plan_switches = 0
+            worker.switch_ns = 0.0
 
 
 def fleet_capacity_rps(

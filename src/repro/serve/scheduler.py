@@ -13,9 +13,24 @@ both:
   interarrival EMA) and holds only while waiting is provably favourable and
   within the batching-delay budget.
 * **Which chip?** — a :class:`SchedulingPolicy`: FIFO (first idle chip),
-  least-loaded (least cumulative busy time), or latency-aware (fastest
+  least-loaded (least cumulative busy time), latency-aware (fastest
   compiled plan for this model/batch — the policy that exploits
-  heterogeneous S/M/L fleets).
+  heterogeneous S/M/L fleets), or fair (deficit-weighted round-robin
+  across model queues for multi-tenant mixes, latency-aware chip choice).
+
+When plan-switch cost is modelled (``REPRO_SERVE_SWITCH_COST``), the
+latency-aware ranking uses the *effective* service latency
+(:func:`~repro.serve.fleet.service_latency_ns`): a chip that would have
+to switch plans pays the incoming plan's weight-replacement cost on top
+of the compiled latency, so a slower chip whose crossbars already hold
+the plan can beat a faster cold one.
+
+A policy may also order the model queues competing for an idle chip
+(:meth:`SchedulingPolicy.order_queues`).  The default is FIFO across
+models — oldest head request first — which all policies except ``fair``
+keep; ``fair`` serves the model with the largest deficit (fewest requests
+served so far), breaking ties FIFO, so one tenant's burst cannot starve
+another's queue.
 
 Policies are registered by name in :data:`POLICIES`; the CLI's
 ``repro serve --policy`` option routes here.  Everything is deterministic:
@@ -26,14 +41,15 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.serve.fleet import ChipWorker
+from repro.serve.fleet import ChipWorker, service_latency_ns
 from repro.serve.plans import PlanCache
+from repro.serve.traffic import Request
 
 
 class SchedulingPolicy(abc.ABC):
-    """Chooses the chip a batch is dispatched to."""
+    """Chooses the chip a batch is dispatched to (and orders model queues)."""
 
     #: registry name of the policy (the ``--policy`` value)
     name: str = "base"
@@ -46,8 +62,27 @@ class SchedulingPolicy(abc.ABC):
         batch: int,
         plans: PlanCache,
         now_ns: float,
+        switch_cost: bool = False,
     ) -> ChipWorker:
         """Pick one of the idle workers for a (model, batch) dispatch."""
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget any per-run state (called at the start of every run)."""
+
+    def order_queues(self, queues: Dict[str, "Deque[Request]"]) -> List[str]:
+        """Order of the non-empty model queues competing for an idle chip.
+
+        The default is FIFO across models: oldest head request first, ties
+        broken on request id.
+        """
+        return sorted(
+            (model for model, queue in queues.items() if queue),
+            key=lambda m: (queues[m][0].arrival_ns, queues[m][0].request_id),
+        )
+
+    def note_dispatch(self, model: str, served: int) -> None:
+        """Record that ``served`` requests of ``model`` were dispatched."""
 
 
 class FifoPolicy(SchedulingPolicy):
@@ -55,7 +90,8 @@ class FifoPolicy(SchedulingPolicy):
 
     name = "fifo"
 
-    def choose_worker(self, idle_workers, model, batch, plans, now_ns):
+    def choose_worker(self, idle_workers, model, batch, plans, now_ns,
+                      switch_cost=False):
         return idle_workers[0]
 
 
@@ -64,7 +100,8 @@ class LeastLoadedPolicy(SchedulingPolicy):
 
     name = "least_loaded"
 
-    def choose_worker(self, idle_workers, model, batch, plans, now_ns):
+    def choose_worker(self, idle_workers, model, batch, plans, now_ns,
+                      switch_cost=False):
         return min(idle_workers, key=lambda w: (w.busy_ns, w.index))
 
 
@@ -74,17 +111,54 @@ class LatencyAwarePolicy(SchedulingPolicy):
     On a homogeneous fleet this degrades to least-loaded (all plans equal);
     on a heterogeneous fleet it routes work to the chip class with the
     shortest service latency, falling back to slower classes only when the
-    fast ones are busy.
+    fast ones are busy.  With plan-switch cost modelled the ranking uses
+    the effective latency — a cold chip pays the incoming plan's
+    weight-replacement term on top of the compiled latency — so a slower
+    chip already holding the plan can win over a faster cold one.
     """
 
     name = "latency"
 
-    def choose_worker(self, idle_workers, model, batch, plans, now_ns):
+    def choose_worker(self, idle_workers, model, batch, plans, now_ns,
+                      switch_cost=False):
         return min(
             idle_workers,
-            key=lambda w: (plans.get(model, w.chip_name, batch).latency_ns,
-                           w.busy_ns, w.index),
+            key=lambda w: (
+                service_latency_ns(plans.get(model, w.chip_name, batch), w,
+                                   switch_cost),
+                w.busy_ns, w.index,
+            ),
         )
+
+
+class FairPolicy(LatencyAwarePolicy):
+    """Deficit-weighted round-robin across model queues (multi-tenant).
+
+    Chip choice is latency-aware; *queue* choice serves the model with the
+    fewest requests served so far this run (the largest deficit under
+    equal per-model weights), breaking ties FIFO on the oldest head
+    request.  A bursty tenant therefore cannot monopolise the fleet while
+    another tenant's queue ages — the trade the per-model SLO attainment
+    blocks in the serving report make visible.
+    """
+
+    name = "fair"
+
+    def __init__(self) -> None:
+        self._served: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        self._served.clear()
+
+    def order_queues(self, queues):
+        return sorted(
+            (model for model, queue in queues.items() if queue),
+            key=lambda m: (self._served.get(m, 0),
+                           queues[m][0].arrival_ns, queues[m][0].request_id),
+        )
+
+    def note_dispatch(self, model, served):
+        self._served[model] = self._served.get(model, 0) + served
 
 
 #: Scheduling policies by registry name (the ``--policy`` values).
@@ -92,6 +166,7 @@ POLICIES: Dict[str, Type[SchedulingPolicy]] = {
     FifoPolicy.name: FifoPolicy,
     LeastLoadedPolicy.name: LeastLoadedPolicy,
     LatencyAwarePolicy.name: LatencyAwarePolicy,
+    FairPolicy.name: FairPolicy,
 }
 
 

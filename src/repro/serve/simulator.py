@@ -12,20 +12,31 @@ request latency, queue depths, per-chip utilisation and energy.
 Three event kinds drive the loop, in a deterministic total order
 ``(time, kind, sequence)``:
 
-* **chip-free** — a chip finished its batch; its requests complete.
+* **chip-free** — a chip finished its batch; its requests complete (and,
+  under closed-loop traffic, their clients issue follow-up requests —
+  arrivals are injected into the live event heap, they need not be known
+  up front).
 * **arrival** — a request joins its model's FIFO queue (and updates the
-  per-model interarrival EMA the batcher's wait estimates use).
+  per-model interarrival EMA the batcher's wait estimates use; zero gaps
+  from simultaneous arrivals are skipped — they carry no rate information
+  and would collapse the EMA toward zero).
 * **batch-deadline** — a held queue's batching-delay budget expired; the
   next dispatch for that model is forced.
 
 After every event the simulator dispatches greedily: while an idle chip and
-a non-empty queue exist (queues ordered by oldest head request — FIFO across
-models), the batcher picks a size, the policy picks a chip, and the batch
-occupies the chip for the plan's service latency.  Nothing consumes
-randomness, so a fixed-seed request stream yields a bit-identical report —
-including across cold-cache and warm-cache runs (plan-cache statistics are
-reported, but deliberately excluded from :meth:`ServingReport.as_dict`'s
-deterministic core, see ``determinism_dict``).
+a non-empty queue exist (queues ordered by the policy — FIFO across models
+by default, deficit round-robin under the ``fair`` policy), the batcher
+picks a size, the policy picks a chip, and the batch occupies the chip for
+the plan's service latency.  With plan-switch cost modelled
+(:func:`~repro.serve.fleet.switch_cost_enabled`), the service latency
+depends on what the chip's crossbars already hold: a plan switch pays the
+incoming plan's weight-replacement term on top of the compiled latency
+(and is counted per chip), a warm re-dispatch pays the compiled latency
+unchanged.  Nothing consumes randomness, so a fixed-seed request stream
+yields a bit-identical report — including across cold-cache and warm-cache
+runs (plan-cache statistics are reported, but deliberately excluded from
+:meth:`ServingReport.as_dict`'s deterministic core, see
+``determinism_dict``).
 """
 
 from __future__ import annotations
@@ -36,10 +47,15 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.serve.fleet import Fleet
+from repro.serve.fleet import (
+    Fleet,
+    is_plan_switch,
+    service_latency_ns,
+    switch_cost_enabled,
+)
 from repro.serve.plans import PlanCache
 from repro.serve.scheduler import DynamicBatcher, SchedulingPolicy, make_policy
-from repro.serve.traffic import Request
+from repro.serve.traffic import ClosedLoopTraffic, Request
 
 #: deterministic event ordering: completions free chips before arrivals at
 #: the same instant, and deadlines fire last
@@ -59,7 +75,16 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
 
 @dataclass
 class ServingReport:
-    """Outcome of one serving run (all quantities deterministic per seed)."""
+    """Outcome of one serving run (all quantities deterministic per seed).
+
+    Two histograms describe the batching mix: ``batch_histogram`` counts
+    the *nominal* compiled batch size of every dispatch (the plan that
+    occupied the chip — padded slots included, which is what latency and
+    energy are charged for), while ``served_histogram`` counts the
+    requests each dispatch actually served.  They differ exactly on padded
+    batches, and ``mean_batch`` is served requests per dispatch
+    (``completed / batches``) — consistent with ``served_histogram``.
+    """
 
     fleet_spec: str
     policy: str
@@ -80,10 +105,20 @@ class ServingReport:
     batches: int
     mean_batch: float
     batch_histogram: Dict[int, int]
+    served_histogram: Dict[int, int]
     padded_batches: int
     per_chip: List[Dict[str, object]]
     total_energy_mj: float
     energy_per_request_mj: float
+    #: whether plan-switch weight-replacement cost was modelled
+    switch_cost: bool = False
+    #: total plan switches across the fleet (0 when switch cost is off)
+    plan_switches: int = 0
+    #: total weight-replacement time charged to switches (ms)
+    switch_ms: float = 0.0
+    #: per-model SLO blocks (only for models given a target): target,
+    #: p50/p95/p99 latency and the attained fraction
+    slo: Dict[str, Dict[str, float]] = field(default_factory=dict)
     plan_cache: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -99,8 +134,14 @@ class ServingReport:
         return data
 
     def as_dict(self) -> Dict[str, object]:
-        """Flat JSON-compatible dictionary (for serialization)."""
-        return {
+        """Flat JSON-compatible dictionary (for serialization).
+
+        The ``switch`` block appears only when plan-switch cost was
+        modelled and the ``slo`` block only when SLO targets were set, so
+        a run with both features off serializes exactly like the
+        switch-oblivious model did.
+        """
+        data: Dict[str, object] = {
             "fleet": self.fleet_spec,
             "policy": self.policy,
             "traffic": dict(self.traffic),
@@ -120,12 +161,22 @@ class ServingReport:
             "batches": self.batches,
             "mean_batch": self.mean_batch,
             "batch_histogram": {str(k): v for k, v in sorted(self.batch_histogram.items())},
+            "served_histogram": {str(k): v for k, v in sorted(self.served_histogram.items())},
             "padded_batches": self.padded_batches,
             "per_chip": [dict(row) for row in self.per_chip],
             "total_energy_mj": self.total_energy_mj,
             "energy_per_request_mj": self.energy_per_request_mj,
-            "plan_cache": dict(self.plan_cache),
         }
+        if self.switch_cost:
+            data["switch"] = {
+                "plan_switches": self.plan_switches,
+                "switch_ms": self.switch_ms,
+            }
+        if self.slo:
+            data["slo"] = {model: dict(block)
+                           for model, block in sorted(self.slo.items())}
+        data["plan_cache"] = dict(self.plan_cache)
+        return data
 
     def summary_row(self) -> Dict[str, object]:
         """One flat headline row (for tables and benchmarks)."""
@@ -139,6 +190,7 @@ class ServingReport:
             "p95_ms": self.latency_ms.get("p95", 0.0),
             "p99_ms": self.latency_ms.get("p99", 0.0),
             "mean_batch": self.mean_batch,
+            "plan_switches": self.plan_switches,
             "utilisation": (
                 sum(float(row["utilisation"]) for row in self.per_chip) / len(self.per_chip)
                 if self.per_chip else 0.0
@@ -148,7 +200,14 @@ class ServingReport:
 
 
 class ServingSimulator:
-    """Replays a request stream against a fleet of chips."""
+    """Replays a request stream against a fleet of chips.
+
+    ``switch_cost`` toggles plan-switch weight-replacement modelling
+    (``None`` follows the ``REPRO_SERVE_SWITCH_COST`` environment default,
+    which is on).  ``slos`` maps model names to latency targets in
+    milliseconds; models with a target get a per-model percentile and
+    attainment block in the report.
+    """
 
     def __init__(
         self,
@@ -158,6 +217,8 @@ class ServingSimulator:
         batcher: Optional[DynamicBatcher] = None,
         batch_sizes: Sequence[int] = (1, 2, 4, 8, 16),
         max_wait_us: float = 0.0,
+        switch_cost: Optional[bool] = None,
+        slos: Optional[Dict[str, float]] = None,
     ) -> None:
         self.fleet = fleet
         self.plan_cache = plan_cache
@@ -166,30 +227,57 @@ class ServingSimulator:
             batcher if batcher is not None
             else DynamicBatcher(batch_sizes=batch_sizes, max_wait_us=max_wait_us)
         )
+        self.switch_cost = (
+            switch_cost_enabled() if switch_cost is None else bool(switch_cost)
+        )
+        self.slos: Dict[str, float] = dict(slos or {})
+        for model, target_ms in self.slos.items():
+            if target_ms <= 0:
+                raise ValueError(
+                    f"SLO target must be positive, got {model}={target_ms}"
+                )
 
     # ------------------------------------------------------------------
     def run(
         self,
-        requests: Sequence[Request],
+        requests: Union[Sequence[Request], ClosedLoopTraffic],
         traffic_info: Optional[Dict[str, object]] = None,
     ) -> ServingReport:
-        """Simulate serving the request stream; returns the full report."""
-        if not requests:
+        """Simulate serving the request stream; returns the full report.
+
+        ``requests`` is either a pregenerated list (open-loop traffic,
+        trace replay) or a :class:`~repro.serve.traffic.ClosedLoopTraffic`
+        generator, whose clients issue each follow-up request only when
+        the previous one completes — those arrivals are injected into the
+        event heap mid-run.
+        """
+        session = None
+        if isinstance(requests, ClosedLoopTraffic):
+            if traffic_info is None:
+                traffic_info = requests.describe()
+            session = requests.session()
+            initial = session.initial()
+            expected = session.num_requests
+            remaining: Dict[str, int] = session.model_counts()
+        else:
+            initial = sorted(requests, key=lambda r: (r.arrival_ns, r.request_id))
+            expected = len(initial)
+            remaining = {}
+            for request in initial:
+                remaining[request.model] = remaining.get(request.model, 0) + 1
+        if not initial:
             raise ValueError("cannot simulate an empty request stream")
-        arrivals = sorted(requests, key=lambda r: (r.arrival_ns, r.request_id))
         self.fleet.reset()
+        self.policy.reset()
 
         # --- event heap: (time, kind, seq, payload) ---------------------
         events: List[Tuple[float, int, int, object]] = []
         seq = 0
-        for request in arrivals:
+        for request in initial:
             heapq.heappush(events, (request.arrival_ns, _EVENT_ARRIVAL, seq, request))
             seq += 1
 
         queues: Dict[str, Deque[Request]] = {}
-        remaining: Dict[str, int] = {}
-        for request in arrivals:
-            remaining[request.model] = remaining.get(request.model, 0) + 1
         ema: Dict[str, float] = {}
         last_arrival: Dict[str, float] = {}
         pending_deadline: Dict[str, float] = {}
@@ -197,14 +285,21 @@ class ServingSimulator:
 
         latencies: List[float] = []
         waits: List[float] = []
+        #: per-model latencies, tracked only for models with an SLO target
+        #: (the SLO blocks are the sole consumer)
+        by_model: Dict[str, List[float]] = {}
         batch_histogram: Dict[int, int] = {}
+        served_histogram: Dict[int, int] = {}
         padded_batches = 0
         batches = 0
         last_completion = 0.0
+        models_seen: Dict[str, None] = {}
+        first_arrival = min(r.arrival_ns for r in initial)
+        last_arrival_ns = first_arrival
 
         # time-weighted queue depth accounting
         depth = 0
-        depth_last_t = arrivals[0].arrival_ns
+        depth_last_t = first_arrival
         depth_integral = 0.0
         depth_max = 0
 
@@ -221,32 +316,36 @@ class ServingSimulator:
                 idle = self.fleet.idle_workers(now)
                 if not idle:
                     return
-                candidates = sorted(
-                    (model for model, queue in queues.items() if queue),
-                    key=lambda m: (queues[m][0].arrival_ns, queues[m][0].request_id),
-                )
+                candidates = self.policy.order_queues(queues)
                 progressed = False
                 for model in candidates:
                     queue = queues[model]
                     if forced.get(model):
                         batch = self.batcher.dispatch_size(len(queue))
                     else:
-                        # cost the hold-vs-dispatch comparison on the chip the
-                        # policy would actually dispatch to right now — on a
-                        # heterogeneous fleet idle[0] may be a different class
-                        # than the latency-aware policy's choice
-                        reference_chip = self.policy.choose_worker(
-                            idle, model, self.batcher.dispatch_size(len(queue)),
-                            self.plan_cache, now,
-                        ).chip_name
+                        # cost each candidate batch size on the chip the
+                        # policy would actually dispatch it to — on a
+                        # heterogeneous fleet the next larger batch may
+                        # route to a different chip class than the current
+                        # one, and with switch cost on a cold chip's
+                        # switch charge must be part of the comparison
+                        def cost_of(candidate_batch: int) -> float:
+                            worker = self.policy.choose_worker(
+                                idle, model, candidate_batch,
+                                self.plan_cache, now, self.switch_cost,
+                            )
+                            plan = self.plan_cache.get(
+                                model, worker.chip_name, candidate_batch
+                            )
+                            return service_latency_ns(plan, worker,
+                                                      self.switch_cost)
+
                         batch, deadline = self.batcher.choose(
                             queue_len=len(queue),
                             now_ns=now,
                             oldest_arrival_ns=queue[0].arrival_ns,
                             ema_interarrival_ns=ema.get(model, math.inf),
-                            latency_of=lambda b: self.plan_cache.get(
-                                model, reference_chip, b
-                            ).latency_ns,
+                            latency_of=cost_of,
                             more_arrivals=remaining.get(model, 0) > 0,
                         )
                         if batch == 0:
@@ -258,16 +357,21 @@ class ServingSimulator:
                                 seq += 1
                             continue
                     worker = self.policy.choose_worker(
-                        idle, model, batch, self.plan_cache, now
+                        idle, model, batch, self.plan_cache, now, self.switch_cost
                     )
                     served = min(batch, len(queue))
                     batch_requests = [queue.popleft() for _ in range(served)]
                     forced.pop(model, None)
                     pending_deadline.pop(model, None)
                     plan = self.plan_cache.get(model, worker.chip_name, batch)
-                    completion = now + plan.latency_ns
+                    service_ns = service_latency_ns(plan, worker, self.switch_cost)
+                    if is_plan_switch(plan, worker, self.switch_cost):
+                        worker.plan_switches += 1
+                        worker.switch_ns += plan.weight_replace_ns
+                    worker.loaded_plan = plan.key
+                    completion = now + service_ns
                     worker.busy_until_ns = completion
-                    worker.busy_ns += plan.latency_ns
+                    worker.busy_ns += service_ns
                     worker.batches_served += 1
                     worker.requests_served += served
                     worker.energy_pj += plan.energy_pj
@@ -276,9 +380,24 @@ class ServingSimulator:
                     for request in batch_requests:
                         latencies.append(completion - request.arrival_ns)
                         waits.append(now - request.arrival_ns)
+                        if request.model in self.slos:
+                            by_model.setdefault(request.model, []).append(
+                                completion - request.arrival_ns
+                            )
+                        if session is not None:
+                            follow_up = session.on_complete(request, completion)
+                            if follow_up is not None:
+                                heapq.heappush(
+                                    events,
+                                    (follow_up.arrival_ns, _EVENT_ARRIVAL,
+                                     seq, follow_up),
+                                )
+                                seq += 1
+                    self.policy.note_dispatch(model, served)
                     change_depth(now, -served)
                     batches += 1
                     batch_histogram[batch] = batch_histogram.get(batch, 0) + 1
+                    served_histogram[served] = served_histogram.get(served, 0) + 1
                     if served < batch:
                         padded_batches += 1
                     last_completion = max(last_completion, completion)
@@ -296,12 +415,19 @@ class ServingSimulator:
                 previous = last_arrival.get(model)
                 if previous is not None:
                     gap = request.arrival_ns - previous
-                    current = ema.get(model)
-                    ema[model] = (
-                        gap if current is None
-                        else _EMA_ALPHA * gap + (1.0 - _EMA_ALPHA) * current
-                    )
+                    # simultaneous arrivals (duplicate trace timestamps,
+                    # batch completions under closed-loop traffic) carry no
+                    # rate information: a zero gap would drag the EMA
+                    # toward 0 and make the batcher hold to the deadline
+                    if gap > 0:
+                        current = ema.get(model)
+                        ema[model] = (
+                            gap if current is None
+                            else _EMA_ALPHA * gap + (1.0 - _EMA_ALPHA) * current
+                        )
                 last_arrival[model] = request.arrival_ns
+                last_arrival_ns = max(last_arrival_ns, request.arrival_ns)
+                models_seen.setdefault(model)
                 queues.setdefault(model, deque()).append(request)
                 remaining[model] -= 1
                 change_depth(now, +1)
@@ -319,8 +445,6 @@ class ServingSimulator:
         # carry large epoch-style timestamps, and the idle prefix before the
         # first request exists must not dilute throughput/utilisation (the
         # queue-depth integral already starts there)
-        first_arrival = arrivals[0].arrival_ns
-        last_arrival_ns = arrivals[-1].arrival_ns
         makespan_ns = max(last_completion, last_arrival_ns) - first_arrival
         span_s = makespan_ns * 1e-9
         offered_span_s = (last_arrival_ns - first_arrival) * 1e-9
@@ -328,8 +452,9 @@ class ServingSimulator:
         waits.sort()
         total_energy_pj = sum(w.energy_pj for w in self.fleet.workers)
         completed = len(latencies)
-        per_chip = [
-            {
+        per_chip = []
+        for worker in self.fleet.workers:
+            row: Dict[str, object] = {
                 "chip": worker.label,
                 "class": worker.chip_name,
                 "batches": worker.batches_served,
@@ -338,23 +463,39 @@ class ServingSimulator:
                 "utilisation": worker.utilisation(makespan_ns),
                 "energy_mj": worker.energy_pj * 1e-9,
             }
-            for worker in self.fleet.workers
-        ]
+            if self.switch_cost:
+                row["plan_switches"] = worker.plan_switches
+                row["switch_ms"] = worker.switch_ns * 1e-6
+            per_chip.append(row)
+        slo_blocks: Dict[str, Dict[str, float]] = {}
+        for model, target_ms in sorted(self.slos.items()):
+            model_latencies = sorted(by_model.get(model, []))
+            count = len(model_latencies)
+            target_ns = target_ms * 1e6
+            attained = sum(1 for v in model_latencies if v <= target_ns)
+            slo_blocks[model] = {
+                "target_ms": target_ms,
+                "completed": count,
+                "p50_ms": _percentile(model_latencies, 50) * 1e-6,
+                "p95_ms": _percentile(model_latencies, 95) * 1e-6,
+                "p99_ms": _percentile(model_latencies, 99) * 1e-6,
+                "attainment": attained / count if count else 0.0,
+            }
         traffic = dict(traffic_info or {})
         return ServingReport(
             fleet_spec=self.fleet.spec,
             policy=self.policy.name,
             traffic=traffic,
-            models=tuple(sorted({r.model for r in arrivals})),
+            models=tuple(sorted(models_seen)),
             optimizer=self.plan_cache.optimizer,
             mode=self.plan_cache.mode.value,
             batch_sizes=self.batcher.batch_sizes,
             max_wait_us=self.batcher.max_wait_ns * 1e-3,
-            num_requests=len(arrivals),
+            num_requests=expected,
             completed=completed,
             makespan_ms=makespan_ns * 1e-6,
             throughput_rps=completed / span_s if span_s > 0 else 0.0,
-            offered_rps=len(arrivals) / offered_span_s if offered_span_s > 0 else 0.0,
+            offered_rps=expected / offered_span_s if offered_span_s > 0 else 0.0,
             latency_ms={
                 "mean": (sum(latencies) / completed) * 1e-6 if completed else 0.0,
                 "p50": _percentile(latencies, 50) * 1e-6,
@@ -374,9 +515,14 @@ class ServingSimulator:
             batches=batches,
             mean_batch=completed / batches if batches else 0.0,
             batch_histogram=batch_histogram,
+            served_histogram=served_histogram,
             padded_batches=padded_batches,
             per_chip=per_chip,
             total_energy_mj=total_energy_pj * 1e-9,
             energy_per_request_mj=(total_energy_pj * 1e-9 / completed) if completed else 0.0,
+            switch_cost=self.switch_cost,
+            plan_switches=sum(w.plan_switches for w in self.fleet.workers),
+            switch_ms=sum(w.switch_ns for w in self.fleet.workers) * 1e-6,
+            slo=slo_blocks,
             plan_cache=self.plan_cache.stats.as_dict(),
         )

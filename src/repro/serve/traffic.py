@@ -6,7 +6,7 @@ driven by one ``numpy`` PCG64 generator seeded explicitly, so a fixed seed
 yields a bit-identical request stream — the property the fixed-seed serving
 tests pin, in the same spirit as the GA's batched-randomness contract.
 
-Four generators cover the scenarios the serving layer models:
+Five generators cover the scenarios the serving layer models:
 
 * :class:`PoissonTraffic` — memoryless arrivals at a constant offered rate,
   the canonical open-loop load model;
@@ -15,7 +15,14 @@ Four generators cover the scenarios the serving layer models:
 * :class:`DiurnalTraffic` — a sinusoidally rate-modulated Poisson process
   (thinning construction), a compressed day/night load curve;
 * :class:`TraceTraffic` — replay of a recorded trace file, so real request
-  logs (or a previous run's ``save_trace``) can be re-served bit-identically.
+  logs (or a previous run's ``save_trace``) can be re-served bit-identically;
+* :class:`ClosedLoopTraffic` — *closed-loop* clients with a concurrency
+  limit and think time: each client's next request is issued only when its
+  previous one completes, so the offered rate adapts to the fleet instead
+  of being fixed in advance.  Unlike the open-loop generators it cannot
+  pregenerate a stream — pass the generator itself to
+  :meth:`~repro.serve.simulator.ServingSimulator.run`, which injects
+  arrivals dynamically as requests complete.
 
 Generators are registered by name in :data:`TRAFFIC_GENERATORS`; the CLI's
 ``repro serve --traffic`` option routes here.
@@ -37,11 +44,17 @@ _NS_PER_S = 1e9
 
 @dataclass(frozen=True)
 class Request:
-    """One inference request: who arrives, for which model, and when."""
+    """One inference request: who arrives, for which model, and when.
+
+    ``client`` tags the closed-loop client that issued the request (so the
+    simulator can hand the completion back to the right client); open-loop
+    generators leave it at ``-1``.
+    """
 
     request_id: int
     model: str
     arrival_ns: float
+    client: int = -1
 
 
 class TrafficGenerator(abc.ABC):
@@ -263,15 +276,140 @@ class TraceTraffic(TrafficGenerator):
         return data
 
 
+class ClosedLoopSession:
+    """One run's worth of closed-loop client state (see :class:`ClosedLoopTraffic`).
+
+    All randomness — think times and model assignments — is pre-drawn from
+    the traffic seed and consumed in issue order, so the interaction with
+    the (deterministic) simulator is bit-reproducible: the same seed always
+    yields the same stream, whatever the fleet does with it.
+    """
+
+    def __init__(self, traffic: "ClosedLoopTraffic") -> None:
+        rng = np.random.default_rng(traffic.seed)
+        n = traffic.num_requests
+        mean_think_ns = traffic.mean_think_s * _NS_PER_S
+        # think times first, model assignments second — the same draw order
+        # contract as TrafficGenerator.generate()
+        self._think = (
+            rng.exponential(mean_think_ns, size=n) if mean_think_ns > 0
+            else np.zeros(n)
+        )
+        if len(traffic.models) == 1:
+            self._names = [traffic.models[0]] * n
+        else:
+            indices = rng.choice(len(traffic.models), size=n,
+                                 p=traffic.model_weights)
+            self._names = [traffic.models[int(i)] for i in indices]
+        self.num_requests = n
+        self.clients = traffic.clients
+        self.concurrency = traffic.concurrency
+        self._next = 0
+        #: every request issued so far, in issue order (for trace recording)
+        self.issued: List[Request] = []
+
+    # ------------------------------------------------------------------
+    def model_counts(self) -> Dict[str, int]:
+        """How many requests each model will receive over the whole session."""
+        counts: Dict[str, int] = {}
+        for name in self._names:
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    def _issue(self, client: int, arrival_ns: float) -> Request:
+        index = self._next
+        self._next += 1
+        request = Request(request_id=index, model=self._names[index],
+                          arrival_ns=float(arrival_ns), client=client)
+        self.issued.append(request)
+        return request
+
+    def initial(self) -> List[Request]:
+        """The opening wave: every client fills its concurrency window."""
+        slots = min(self.num_requests, self.clients * self.concurrency)
+        return [
+            self._issue(slot % self.clients, self._think[self._next])
+            for slot in range(slots)
+        ]
+
+    def on_complete(self, request: Request, completion_ns: float) -> Optional[Request]:
+        """The completed request's client issues its next request (or ``None``)."""
+        if self._next >= self.num_requests:
+            return None
+        return self._issue(request.client,
+                           completion_ns + self._think[self._next])
+
+
+class ClosedLoopTraffic(TrafficGenerator):
+    """Closed-loop clients: think, send, wait for the reply, repeat.
+
+    ``clients`` concurrent clients each keep up to ``concurrency`` requests
+    outstanding; a client issues its next request ``think`` seconds
+    (exponential, mean ``mean_think_s``) after its previous one completes.
+    Offered load is therefore *response-dependent* — a saturated fleet is
+    never swamped beyond ``clients * concurrency`` outstanding requests,
+    which is exactly how interactive traffic differs from the open-loop
+    generators.  Requires simulator cooperation: pass the generator to
+    :meth:`~repro.serve.simulator.ServingSimulator.run` instead of a
+    pregenerated request list.
+    """
+
+    name = "closed"
+
+    def __init__(self, models, num_requests: int = 200, seed: int = 0,
+                 clients: int = 4, concurrency: int = 1,
+                 mean_think_s: float = 0.0002, model_weights=None) -> None:
+        super().__init__(models, num_requests, seed, model_weights)
+        if clients <= 0:
+            raise ValueError("clients must be positive")
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        if mean_think_s < 0:
+            raise ValueError("mean_think_s must be non-negative")
+        self.clients = clients
+        self.concurrency = concurrency
+        self.mean_think_s = mean_think_s
+        #: the most recent session (holds the realised stream after a run)
+        self.last_session: Optional[ClosedLoopSession] = None
+
+    def _arrival_times_ns(self, rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError(
+            "closed-loop arrivals depend on completions"
+        )  # pragma: no cover - generate() is overridden below
+
+    def generate(self) -> List[Request]:
+        raise ValueError(
+            "closed-loop traffic has no pregenerated stream: arrivals depend "
+            "on completions; pass the generator itself to ServingSimulator.run()"
+        )
+
+    def session(self) -> ClosedLoopSession:
+        """A fresh client-state session (one per simulator run)."""
+        self.last_session = ClosedLoopSession(self)
+        return self.last_session
+
+    def describe(self) -> Dict[str, object]:
+        data = super().describe()
+        data.update(clients=self.clients, concurrency=self.concurrency,
+                    mean_think_s=self.mean_think_s)
+        return data
+
+
 def save_trace(requests: Sequence[Request], path: str) -> None:
-    """Record a request stream to a JSON trace file for later replay."""
-    payload = {
-        "version": 1,
-        "requests": [
-            {"id": r.request_id, "model": r.model, "arrival_ns": r.arrival_ns}
-            for r in requests
-        ],
-    }
+    """Record a request stream to a JSON trace file for later replay.
+
+    Closed-loop client tags are preserved (the ``client`` field is written
+    only for tagged requests, so open-loop traces keep the original shape).
+    """
+    entries: List[Dict[str, object]] = []
+    for r in requests:
+        entry: Dict[str, object] = {
+            "id": r.request_id, "model": r.model, "arrival_ns": r.arrival_ns
+        }
+        if r.client >= 0:
+            entry["client"] = r.client
+        entries.append(entry)
+    payload = {"version": 1, "requests": entries}
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
 
@@ -288,10 +426,11 @@ def load_trace(path: str) -> List[Request]:
     try:
         requests = [
             Request(request_id=int(entry["id"]), model=str(entry["model"]),
-                    arrival_ns=float(entry["arrival_ns"]))
+                    arrival_ns=float(entry["arrival_ns"]),
+                    client=int(entry.get("client", -1)))
             for entry in payload["requests"]
         ]
-    except (KeyError, TypeError, ValueError) as err:
+    except (KeyError, TypeError, ValueError, AttributeError) as err:
         raise ValueError(f"malformed trace file {path!r}: {err}") from None
     requests.sort(key=lambda r: (r.arrival_ns, r.request_id))
     return requests
@@ -303,6 +442,7 @@ TRAFFIC_GENERATORS: Dict[str, Type[TrafficGenerator]] = {
     BurstyTraffic.name: BurstyTraffic,
     DiurnalTraffic.name: DiurnalTraffic,
     TraceTraffic.name: TraceTraffic,
+    ClosedLoopTraffic.name: ClosedLoopTraffic,
 }
 
 

@@ -103,10 +103,24 @@ def render_serving_report(report: "ServingReport") -> str:
     """Multi-line human-readable summary of one serving run.
 
     Printed by ``repro serve``: the traffic/fleet configuration, the
-    throughput and tail-latency headline, the batching mix, the per-chip
-    utilisation table and the plan-cache counters.
+    throughput and tail-latency headline, the batching mix (nominal batch
+    histogram, plus the served histogram when padded batches make the two
+    differ), plan-switch counts when switch cost is modelled, per-model
+    SLO attainment when targets are set, the per-chip utilisation table
+    and the plan-cache counters.
     """
     traffic = report.traffic
+    batches_line = (
+        f"  batches               : {report.batches} "
+        f"(mean size {report.mean_batch:.2f}, {report.padded_batches} padded); "
+        "histogram "
+        + ", ".join(f"{b}x{n}" for b, n in sorted(report.batch_histogram.items()))
+    )
+    if report.served_histogram != report.batch_histogram:
+        # nominal sizes above (what occupied the chip); actually-served
+        # counts only differ on padded batches
+        batches_line += ("; served " + ", ".join(
+            f"{b}x{n}" for b, n in sorted(report.served_histogram.items())))
     lines = [
         f"Serving {', '.join(report.models)} on fleet {report.fleet_spec} "
         f"({traffic.get('traffic', 'unspecified')} traffic, policy {report.policy}, "
@@ -123,19 +137,28 @@ def render_serving_report(report: "ServingReport") -> str:
         f"p95 {report.wait_ms['p95']:.3f}, max {report.wait_ms['max']:.3f}",
         f"  queue depth           : mean {report.queue_depth['mean']:.2f}, "
         f"max {report.queue_depth['max']:.0f}",
-        f"  batches               : {report.batches} "
-        f"(mean size {report.mean_batch:.2f}, {report.padded_batches} padded); "
-        "histogram "
-        + ", ".join(f"{b}x{n}" for b, n in sorted(report.batch_histogram.items())),
+        batches_line,
         f"  energy                : {report.total_energy_mj:.3f} mJ total, "
         f"{report.energy_per_request_mj:.4f} mJ/request",
     ]
+    if report.switch_cost:
+        lines.append(
+            f"  plan switches         : {report.plan_switches} "
+            f"({report.switch_ms:.3f} ms weight replacement)"
+        )
+    for model, block in sorted(report.slo.items()):
+        lines.append(
+            f"  SLO {model:<17s} : target {block['target_ms']:.3f} ms, "
+            f"attainment {block['attainment']:.1%} "
+            f"(p50 {block['p50_ms']:.3f}, p95 {block['p95_ms']:.3f}, "
+            f"p99 {block['p99_ms']:.3f})"
+        )
     if report.per_chip:
         lines.append("  per-chip utilisation:")
-        table = format_table(
-            report.per_chip,
-            columns=["chip", "batches", "requests", "busy_ms", "utilisation", "energy_mj"],
-        )
+        columns = ["chip", "batches", "requests", "busy_ms", "utilisation", "energy_mj"]
+        if report.switch_cost:
+            columns += ["plan_switches", "switch_ms"]
+        table = format_table(report.per_chip, columns=columns)
         lines.extend("    " + row for row in table.splitlines())
     cache = report.plan_cache
     if cache:

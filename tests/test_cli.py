@@ -231,3 +231,102 @@ class TestServeCommand:
         )
         assert main(["serve", "--traffic", "trace", "--trace", str(unknown)]) == 2
         assert "unknown model" in capsys.readouterr().err
+
+    def test_serve_switch_cost_sections(self, capsys, tmp_path):
+        # switch cost is on by default: multiple batch sizes force plan
+        # switches, which the report and the JSON dump must surface
+        output = tmp_path / "switch.json"
+        assert main(self.SERVE_ARGS + ["--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "plan switches" in out
+        data = json.loads(output.read_text())
+        assert data["switch"]["plan_switches"] >= 0
+        assert "plan_switches" in data["per_chip"][0]
+
+    def test_serve_switch_cost_env_off(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_SWITCH_COST", "0")
+        output = tmp_path / "legacy.json"
+        assert main(self.SERVE_ARGS + ["--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "plan switches" not in out
+        data = json.loads(output.read_text())
+        assert "switch" not in data
+        assert "plan_switches" not in data["per_chip"][0]
+
+    def test_serve_slo_report_and_dump(self, capsys, tmp_path):
+        output = tmp_path / "slo.json"
+        code = main(["serve", "--model", "squeezenet", "lenet5",
+                     "--fleet", "S:1,M:1", "--policy", "fair",
+                     "--optimizer", "dp", "--seed", "0", "--requests", "40",
+                     "--slo", "squeezenet=5", "--slo", "lenet5=2",
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLO squeezenet" in out
+        assert "SLO lenet5" in out
+        assert "attainment" in out
+        data = json.loads(output.read_text())
+        assert set(data["slo"]) == {"squeezenet", "lenet5"}
+        assert data["slo"]["squeezenet"]["target_ms"] == 5.0
+        assert 0.0 <= data["slo"]["lenet5"]["attainment"] <= 1.0
+        assert data["policy"] == "fair"
+
+    def test_serve_slo_bad_inputs(self, capsys):
+        base = ["serve", "--model", "squeezenet", "--chip", "S",
+                "--optimizer", "dp", "--requests", "10"]
+        assert main(base + ["--slo", "resnet18=5"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+        assert main(base + ["--slo", "squeezenet"]) == 2
+        assert "expected MODEL=MS" in capsys.readouterr().err
+        assert main(base + ["--slo", "squeezenet=abc"]) == 2
+        assert "expected MODEL=MS" in capsys.readouterr().err
+        assert main(base + ["--slo", "squeezenet=0"]) == 2
+        assert "SLO target" in capsys.readouterr().err
+
+    def test_serve_closed_loop_deterministic(self, capsys, tmp_path):
+        args = ["serve", "--model", "squeezenet", "--chip", "S",
+                "--optimizer", "dp", "--traffic", "closed", "--clients", "3",
+                "--concurrency", "2", "--think-us", "100", "--seed", "4",
+                "--requests", "30"]
+        first_json = tmp_path / "c1.json"
+        second_json = tmp_path / "c2.json"
+        assert main(args + ["--output", str(first_json)]) == 0
+        first_out = capsys.readouterr().out
+        assert main(args + ["--output", str(second_json)]) == 0
+        capsys.readouterr()
+        first = json.loads(first_json.read_text())
+        second = json.loads(second_json.read_text())
+        first.pop("plan_cache"), second.pop("plan_cache")
+        assert first == second
+        assert first["completed"] == 30
+        assert first["traffic"]["traffic"] == "closed"
+        assert first["traffic"]["clients"] == 3
+        assert "closed traffic" in first_out
+
+    def test_serve_closed_loop_records_replayable_trace(self, capsys, tmp_path):
+        trace = tmp_path / "closed-trace.json"
+        assert main(["serve", "--model", "squeezenet", "--chip", "S",
+                     "--optimizer", "dp", "--traffic", "closed",
+                     "--clients", "2", "--requests", "20",
+                     "--record-trace", str(trace)]) == 0
+        assert "trace recorded" in capsys.readouterr().out
+        replay = tmp_path / "replay.json"
+        assert main(["serve", "--traffic", "trace", "--trace", str(trace),
+                     "--chip", "S", "--optimizer", "dp",
+                     "--output", str(replay)]) == 0
+        capsys.readouterr()
+        assert json.loads(replay.read_text())["completed"] == 20
+
+    def test_serve_closed_loop_bad_inputs(self, capsys):
+        base = ["serve", "--model", "squeezenet", "--chip", "S",
+                "--optimizer", "dp", "--traffic", "closed"]
+        assert main(base + ["--clients", "0"]) == 2
+        assert "clients" in capsys.readouterr().err
+        assert main(base + ["--think-us", "-1"]) == 2
+        assert "think" in capsys.readouterr().err
+
+    def test_serve_fair_policy_accepted(self):
+        args = build_parser().parse_args(["serve", "--policy", "fair"])
+        assert args.policy == "fair"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "magic"])

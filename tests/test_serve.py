@@ -1,20 +1,29 @@
 """Tests for the traffic-driven serving subsystem (:mod:`repro.serve`)."""
 
+import json
 import math
+import os
+from collections import deque
 
 import pytest
 
 from repro.core.fitness import FitnessEvaluator, FitnessMode
 from repro.evaluation.registry import shared_decomposition
+from repro.hardware.dram import LPDDR3_8GB
 from repro.search import DPOptimalSearch
 from repro.serve import (
     BurstyTraffic,
+    ClosedLoopTraffic,
+    CompiledPlan,
     DiurnalTraffic,
     DynamicBatcher,
+    FairPolicy,
     Fleet,
     LatencyAwarePolicy,
     LeastLoadedPolicy,
     PlanCache,
+    PlanCacheStats,
+    PlanKey,
     PoissonTraffic,
     Request,
     ServingSimulator,
@@ -23,11 +32,46 @@ from repro.serve import (
     load_trace,
     make_policy,
     save_trace,
+    service_latency_ns,
+    switch_cost_enabled,
     validate_policy,
     validate_traffic,
 )
+from repro.serve.simulator import _percentile
 
 BATCHES = (1, 2, 4, 8, 16)
+
+
+class _StubPlanCache:
+    """Hand-built plans keyed by (chip, batch) — for scheduling unit tests.
+
+    Duck-types the slice of :class:`PlanCache` the simulator and policies
+    consume (``get``/``optimizer``/``mode``/``stats``), so tests can
+    engineer latency curves that real compiled models do not exhibit.
+    """
+
+    def __init__(self, latencies, weight_replace=None, energy_pj=4000.0):
+        self.optimizer = "stub"
+        self.mode = FitnessMode.LATENCY
+        self._plans = {}
+        for (chip, batch), latency in latencies.items():
+            wr = (weight_replace or {}).get((chip, batch), 0.0)
+            key = PlanKey(model="stub", chip=chip, dram=LPDDR3_8GB, batch=batch,
+                          mode=FitnessMode.LATENCY, optimizer="stub")
+            self._plans[(chip, batch)] = CompiledPlan(
+                key=key, boundaries=(0,), num_partitions=1,
+                latency_ns=float(latency), energy_pj=energy_pj,
+                weight_replace_ns=wr, fill_ns=float(latency) - wr,
+                bottleneck_ns=0.0, best_fitness=float(latency),
+                exact=True, evaluations=0,
+            )
+
+    def get(self, model, chip, batch):
+        return self._plans[(chip, batch)]
+
+    @property
+    def stats(self):
+        return PlanCacheStats()
 
 
 # ----------------------------------------------------------------------
@@ -465,3 +509,517 @@ def test_request_ordering_is_stable():
     ]
     ordered = sorted(requests, key=lambda r: (r.arrival_ns, r.request_id))
     assert [r.request_id for r in ordered] == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# Nearest-rank percentile semantics
+# ----------------------------------------------------------------------
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 50) == 0.0
+        assert _percentile([], 99) == 0.0
+
+    def test_singleton(self):
+        assert _percentile([7.0], 1) == 7.0
+        assert _percentile([7.0], 50) == 7.0
+        assert _percentile([7.0], 99) == 7.0
+
+    def test_even_length_p50_is_lower_median(self):
+        # nearest rank: ceil(0.5 * 4) = 2 -> the second element
+        assert _percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+
+    def test_tails(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert _percentile(values, 95) == 4.0
+        assert _percentile(values, 99) == 4.0
+        assert _percentile(values, 25) == 1.0
+        assert _percentile(values, 100) == 4.0
+
+
+# ----------------------------------------------------------------------
+# Plan-switch weight-replacement cost
+# ----------------------------------------------------------------------
+def _load_pre_pr5():
+    path = os.path.join(os.path.dirname(__file__), "data", "serving_pre_pr5.json")
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _run_mix(switch_cost, fleet_spec="S:1,M:1", seed=3, max_wait_us=200.0,
+             policy="latency", slos=None):
+    cache = PlanCache(optimizer="dp")
+    fleet = Fleet.from_spec(fleet_spec)
+    models = ["squeezenet", "lenet5"]
+    cache.warmup(models, fleet.chip_names, BATCHES)
+    rate = 0.7 * fleet_capacity_rps(cache, fleet, models, BATCHES)
+    traffic = PoissonTraffic(models, num_requests=60, seed=seed, rate_rps=rate)
+    simulator = ServingSimulator(fleet, cache, policy=policy,
+                                 batch_sizes=BATCHES, max_wait_us=max_wait_us,
+                                 switch_cost=switch_cost, slos=slos)
+    return simulator.run(traffic.generate(), traffic_info=traffic.describe())
+
+
+class TestSwitchCost:
+    def test_off_path_bit_identical_to_pre_pr_homogeneous(self):
+        # the pinned pre-switch-cost report: every pre-existing key is
+        # bit-identical; served_histogram is the only addition (and equals
+        # batch_histogram because the pinned run has no padded batches)
+        expected = _load_pre_pr5()["homogeneous_hold"]
+        cache = PlanCache(optimizer="dp")
+        fleet = Fleet.from_spec("S:2")
+        cache.warmup(["squeezenet"], fleet.chip_names, BATCHES)
+        rate = 0.7 * fleet_capacity_rps(cache, fleet, ("squeezenet",), BATCHES)
+        traffic = PoissonTraffic("squeezenet", num_requests=80, seed=0,
+                                 rate_rps=rate)
+        simulator = ServingSimulator(fleet, cache, policy="latency",
+                                     batch_sizes=BATCHES, max_wait_us=200.0,
+                                     switch_cost=False)
+        data = simulator.run(traffic.generate(),
+                             traffic_info=traffic.describe()).determinism_dict()
+        assert set(data) - set(expected) == {"served_histogram"}
+        for key in expected:
+            assert data[key] == expected[key], key
+        assert expected["padded_batches"] == 0
+        assert data["served_histogram"] == data["batch_histogram"]
+
+    def test_off_path_bit_identical_to_pre_pr_heterogeneous(self):
+        expected = _load_pre_pr5()["heterogeneous_greedy"]
+        data = _run_mix(switch_cost=False, max_wait_us=0.0).determinism_dict()
+        assert set(data) - set(expected) == {"served_histogram"}
+        for key in expected:
+            assert data[key] == expected[key], key
+        assert data["served_histogram"] == data["batch_histogram"]
+
+    def test_env_var_gates_default(self, monkeypatch):
+        cache = PlanCache(optimizer="dp")
+        monkeypatch.setenv("REPRO_SERVE_SWITCH_COST", "0")
+        assert not switch_cost_enabled()
+        assert not ServingSimulator(Fleet.homogeneous("S"), cache).switch_cost
+        monkeypatch.setenv("REPRO_SERVE_SWITCH_COST", "1")
+        assert switch_cost_enabled()
+        assert ServingSimulator(Fleet.homogeneous("S"), cache).switch_cost
+        # the explicit parameter overrides the environment
+        assert not ServingSimulator(Fleet.homogeneous("S"), cache,
+                                    switch_cost=False).switch_cost
+
+    def test_multi_model_switches_raise_tail_latency(self):
+        off = _run_mix(switch_cost=False)
+        on = _run_mix(switch_cost=True)
+        assert on.plan_switches > 0
+        assert on.switch_ms > 0.0
+        assert on.latency_ms["p99"] > off.latency_ms["p99"]
+        assert on.throughput_rps <= off.throughput_rps
+        data = on.as_dict()
+        assert data["switch"]["plan_switches"] == on.plan_switches
+        assert sum(row["plan_switches"] for row in data["per_chip"]) == \
+            on.plan_switches
+        assert "switch" not in off.as_dict()
+
+    def test_same_plan_homogeneous_run_has_zero_switches(self):
+        def run(switch_cost):
+            cache = PlanCache(optimizer="dp")
+            fleet = Fleet.from_spec("S:2")
+            cache.warmup(["squeezenet"], fleet.chip_names, (4,))
+            rate = 0.7 * fleet_capacity_rps(cache, fleet, ("squeezenet",), (4,))
+            traffic = PoissonTraffic("squeezenet", num_requests=40, seed=0,
+                                     rate_rps=rate)
+            simulator = ServingSimulator(fleet, cache, policy="latency",
+                                         batch_sizes=(4,), max_wait_us=0.0,
+                                         switch_cost=switch_cost)
+            return simulator.run(traffic.generate())
+
+        on, off = run(True), run(False)
+        assert on.plan_switches == 0
+        assert on.switch_ms == 0.0
+        # with no switches the charge never applies: every metric matches
+        # the switch-oblivious run (only the switch bookkeeping is extra)
+        on_dict, off_dict = on.determinism_dict(), off.determinism_dict()
+        on_dict.pop("switch")
+        on_chips = on_dict.pop("per_chip")
+        off_chips = off_dict.pop("per_chip")
+        assert on_dict == off_dict
+        for row_on, row_off in zip(on_chips, off_chips):
+            assert {k: v for k, v in row_on.items()
+                    if k not in ("plan_switches", "switch_ms")} == row_off
+
+    def test_service_latency_helper(self):
+        cache = _StubPlanCache({("S", 4): 100.0, ("S", 8): 500.0},
+                               weight_replace={("S", 4): 30.0, ("S", 8): 60.0})
+        worker = Fleet.homogeneous("S").workers[0]
+        plan4 = cache.get("stub", "S", 4)
+        plan8 = cache.get("stub", "S", 8)
+        # prewarmed first dispatch: no charge
+        assert service_latency_ns(plan4, worker, True) == 100.0
+        worker.loaded_plan = plan4.key
+        # warm re-dispatch: no charge; plan switch: + incoming WR
+        assert service_latency_ns(plan4, worker, True) == 100.0
+        assert service_latency_ns(plan8, worker, True) == 560.0
+        # modelling off: always the compiled latency
+        assert service_latency_ns(plan8, worker, False) == 500.0
+
+    def test_latency_policy_prefers_warm_chip(self):
+        cache = _StubPlanCache(
+            {("S", 4): 120.0, ("M", 4): 100.0, ("M", 8): 300.0},
+            weight_replace={("S", 4): 30.0, ("M", 4): 50.0, ("M", 8): 40.0},
+        )
+        fleet = Fleet.from_spec("S:1,M:1")
+        s, m = fleet.workers
+        policy = LatencyAwarePolicy()
+        # both prewarmed-cold: M is the faster class
+        assert policy.choose_worker([s, m], "stub", 4, cache, 0.0, True) is m
+        # S holds the batch-4 plan, M holds batch-8: M would pay its
+        # 50 ns switch charge (150 effective) — the warm slower S (120) wins
+        s.loaded_plan = cache.get("stub", "S", 4).key
+        m.loaded_plan = cache.get("stub", "M", 8).key
+        assert policy.choose_worker([s, m], "stub", 4, cache, 0.0, True) is s
+        # with switch cost off the faster class wins regardless
+        assert policy.choose_worker([s, m], "stub", 4, cache, 0.0, False) is m
+
+
+# ----------------------------------------------------------------------
+# Batcher reference-chip regression (heterogeneous hold-vs-dispatch)
+# ----------------------------------------------------------------------
+class TestBatcherReferenceChip:
+    def test_hold_decision_costs_each_batch_on_its_own_chip(self):
+        # On S:1,M:1 the latency policy routes batch 4 to M but batch 8 to
+        # S (the per-size plans re-optimise partitioning: S's batch-8 plan
+        # amortises so well it beats even its batch-4 plan, while M's
+        # batch-8 plan is pathological).  When both chips are idle with 7
+        # queued requests, the hold-vs-dispatch comparison must cost
+        # b_next=8 on S — costing it on the chip chosen for b_now=4 (M)
+        # made holding look hopeless and split the queue into two batch-4
+        # dispatches instead of accumulating one full batch 8.
+        cache = _StubPlanCache({
+            ("S", 4): 200_000.0, ("S", 8): 150_000.0,
+            ("M", 4): 100_000.0, ("M", 8): 10_000_000.0,
+        })
+        fleet = Fleet.from_spec("S:1,M:1")
+        # r0 occupies M until t=100k while r1..r7 queue behind the held S;
+        # at t=100k both chips are idle with the queue at 7; r8 lands last
+        requests = (
+            [Request(request_id=0, model="stub", arrival_ns=0.0)]
+            + [Request(request_id=i, model="stub", arrival_ns=i * 1_000.0)
+               for i in range(1, 8)]
+            + [Request(request_id=8, model="stub", arrival_ns=300_000.0)]
+        )
+        simulator = ServingSimulator(fleet, cache, policy="latency",
+                                     batch_sizes=(4, 8), max_wait_us=1_000.0,
+                                     switch_cost=False)
+        report = simulator.run(requests)
+        assert report.completed == 9
+        # fixed: [r0 padded on M], [r1-r8 as one batch 8 on S] — the buggy
+        # reference chip dispatched [r1-r4] and [r5-r8] as two batch 4s
+        assert report.batches == 2
+        assert report.padded_batches == 1
+        assert report.batch_histogram == {4: 1, 8: 1}
+        assert report.served_histogram == {1: 1, 8: 1}
+
+
+# ----------------------------------------------------------------------
+# Zero-gap interarrival EMA (duplicate trace timestamps)
+# ----------------------------------------------------------------------
+class TestZeroGapEMA:
+    def test_simultaneous_arrivals_do_not_collapse_wait_estimate(self):
+        # six requests share one timestamp (trace replay with duplicate
+        # stamps); the zero gaps must not drag the EMA to ~0, where the
+        # batcher concludes the next batch fills instantly and holds the
+        # queue to the deadline on every decision
+        cache = _StubPlanCache({("S", 1): 10_000.0, ("S", 8): 11_000.0})
+        fleet = Fleet.homogeneous("S")
+        requests = [Request(request_id=i, model="stub", arrival_ns=0.0)
+                    for i in range(6)]
+        requests.append(Request(request_id=6, model="stub",
+                                arrival_ns=50_000_000.0))
+        simulator = ServingSimulator(fleet, cache, policy="fifo",
+                                     batch_sizes=(1, 8), max_wait_us=1_000.0,
+                                     switch_cost=False)
+        report = simulator.run(requests)
+        assert report.completed == 7
+        # zero gaps are skipped: no rate estimate exists, batching stays
+        # work-conserving and the queue drains back to back — the broken
+        # EMA held every request to the 1 ms deadline
+        assert report.batches == 7
+        assert report.wait_ms["max"] < 0.1
+        assert report.batch_histogram == {1: 7}
+
+    def test_duplicate_timestamp_trace_round_trips(self, tmp_path):
+        path = str(tmp_path / "dup.json")
+        requests = [Request(request_id=i, model="squeezenet", arrival_ns=5.0)
+                    for i in range(3)]
+        save_trace(requests, path)
+        assert load_trace(path) == requests
+
+
+# ----------------------------------------------------------------------
+# Padded-batch accounting
+# ----------------------------------------------------------------------
+class TestPaddedBatchAccounting:
+    def test_served_histogram_and_padded_energy_latency(self):
+        # nominal batch 4 executes twice (once with 1 request, once with
+        # 3): latency and energy are charged at the compiled batch size,
+        # while served_histogram and mean_batch count actual requests
+        cache = _StubPlanCache({("S", 4): 100_000.0, ("S", 8): 900_000.0},
+                               energy_pj=4000.0)
+        fleet = Fleet.homogeneous("S")
+        requests = [Request(request_id=0, model="stub", arrival_ns=0.0)] + [
+            Request(request_id=i, model="stub", arrival_ns=float(i))
+            for i in range(1, 4)
+        ]
+        simulator = ServingSimulator(fleet, cache, policy="fifo",
+                                     batch_sizes=(4, 8), max_wait_us=0.0,
+                                     switch_cost=False)
+        report = simulator.run(requests)
+        assert report.completed == 4
+        assert report.batches == 2
+        assert report.padded_batches == 2
+        assert report.batch_histogram == {4: 2}
+        assert report.served_histogram == {1: 1, 3: 1}
+        assert report.mean_batch == pytest.approx(2.0)
+        # energy and chip time charge the nominal plan, spare slots included
+        assert report.total_energy_mj == pytest.approx(2 * 4000.0 * 1e-9)
+        assert report.per_chip[0]["busy_ms"] == pytest.approx(0.2)
+        assert report.latency_ms["max"] == pytest.approx((200_000.0 - 1.0) * 1e-6)
+        # the two histograms agree once padded slots are excluded
+        assert sum(b * n for b, n in report.served_histogram.items()) == \
+            report.completed
+        assert sum(report.served_histogram.values()) == \
+            sum(report.batch_histogram.values()) == report.batches
+
+    def test_unpadded_runs_keep_histograms_equal(self):
+        report = _run_once(seed=0)
+        assert report.padded_batches == 0
+        assert report.served_histogram == report.batch_histogram
+
+
+# ----------------------------------------------------------------------
+# Closed-loop traffic
+# ----------------------------------------------------------------------
+class TestClosedLoopTraffic:
+    @staticmethod
+    def _run(seed=5, clients=3, concurrency=1, requests=30, policy="latency",
+             mean_think_s=0.0002, fleet_spec="S:1", models=("squeezenet",)):
+        cache = PlanCache(optimizer="dp")
+        fleet = Fleet.from_spec(fleet_spec)
+        cache.warmup(models, fleet.chip_names, BATCHES)
+        traffic = ClosedLoopTraffic(models, num_requests=requests, seed=seed,
+                                    clients=clients, concurrency=concurrency,
+                                    mean_think_s=mean_think_s)
+        simulator = ServingSimulator(fleet, cache, policy=policy,
+                                     batch_sizes=BATCHES, max_wait_us=100.0)
+        return simulator.run(traffic), traffic
+
+    def test_replay_is_bit_identical(self):
+        first, _ = self._run(seed=5)
+        second, _ = self._run(seed=5)
+        assert first.determinism_dict() == second.determinism_dict()
+        third, _ = self._run(seed=6)
+        assert first.determinism_dict() != third.determinism_dict()
+
+    def test_all_requests_complete(self):
+        report, traffic = self._run(requests=30, clients=3)
+        assert report.completed == report.num_requests == 30
+        assert report.traffic["traffic"] == "closed"
+        assert report.traffic["clients"] == 3
+        assert report.traffic["concurrency"] == 1
+
+    def test_outstanding_bounded_by_client_windows(self):
+        # a closed loop can never queue more than clients * concurrency
+        # requests — the defining difference from open-loop generators
+        report, _ = self._run(requests=40, clients=3, concurrency=2,
+                              mean_think_s=0.0)
+        assert report.queue_depth["max"] <= 6
+        report, _ = self._run(requests=40, clients=2, concurrency=1,
+                              mean_think_s=0.0)
+        assert report.queue_depth["max"] <= 2
+
+    def test_generate_raises(self):
+        traffic = ClosedLoopTraffic("squeezenet", num_requests=10, seed=0)
+        with pytest.raises(ValueError, match="closed-loop"):
+            traffic.generate()
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ClosedLoopTraffic("squeezenet", clients=0)
+        with pytest.raises(ValueError):
+            ClosedLoopTraffic("squeezenet", concurrency=0)
+        with pytest.raises(ValueError):
+            ClosedLoopTraffic("squeezenet", mean_think_s=-1.0)
+
+    def test_session_issue_order_and_clients(self):
+        traffic = ClosedLoopTraffic("squeezenet", num_requests=7, seed=1,
+                                    clients=3, concurrency=2)
+        session = traffic.session()
+        initial = session.initial()
+        # 3 clients x 2 outstanding = 6 initial issues, round-robin tagged
+        assert [r.client for r in initial] == [0, 1, 2, 0, 1, 2]
+        follow = session.on_complete(initial[1], 1_000_000.0)
+        assert follow.client == 1
+        assert follow.arrival_ns >= 1_000_000.0
+        assert follow.request_id == 6
+        assert session.on_complete(follow, 2_000_000.0) is None
+        assert len(session.issued) == 7
+        assert sum(session.model_counts().values()) == 7
+
+    def test_realised_stream_replays_as_trace(self, tmp_path):
+        report, traffic = self._run(requests=25, clients=2)
+        issued = traffic.last_session.issued
+        assert len(issued) == 25
+        path = str(tmp_path / "closed.json")
+        save_trace(issued, path)
+        loaded = load_trace(path)
+        # client tags survive the round trip
+        assert sorted(loaded, key=lambda r: r.request_id) == \
+            sorted(issued, key=lambda r: r.request_id)
+        cache = PlanCache(optimizer="dp")
+        fleet = Fleet.homogeneous("S")
+        cache.warmup(["squeezenet"], fleet.chip_names, BATCHES)
+        replay = ServingSimulator(fleet, cache, policy="latency",
+                                  batch_sizes=BATCHES, max_wait_us=100.0)
+        replayed = replay.run(TraceTraffic(path).generate())
+        assert replayed.completed == 25
+
+
+# ----------------------------------------------------------------------
+# Per-model SLOs
+# ----------------------------------------------------------------------
+class TestSLOs:
+    def test_blocks_and_attainment_bounds(self):
+        report = _run_mix(switch_cost=True,
+                          slos={"squeezenet": 1000.0, "lenet5": 1e-6})
+        data = report.as_dict()
+        assert set(report.slo) == {"squeezenet", "lenet5"}
+        generous = report.slo["squeezenet"]
+        hopeless = report.slo["lenet5"]
+        # a 1-second target on a ms-scale workload is always attained; a
+        # 1-picosecond target never is
+        assert generous["attainment"] == 1.0
+        assert hopeless["attainment"] == 0.0
+        for block in report.slo.values():
+            assert block["p50_ms"] <= block["p95_ms"] <= block["p99_ms"]
+            assert block["completed"] > 0
+        assert sum(b["completed"] for b in report.slo.values()) == \
+            report.completed
+        assert data["slo"]["squeezenet"] == generous
+
+    def test_no_slos_no_block(self):
+        report = _run_mix(switch_cost=True)
+        assert report.slo == {}
+        assert "slo" not in report.as_dict()
+
+    def test_invalid_target_rejected(self):
+        cache = PlanCache(optimizer="dp")
+        with pytest.raises(ValueError, match="SLO target"):
+            ServingSimulator(Fleet.homogeneous("S"), cache,
+                             slos={"squeezenet": 0.0})
+
+    def test_slo_run_is_deterministic(self):
+        slos = {"squeezenet": 2.0, "lenet5": 1.0}
+        first = _run_mix(switch_cost=True, slos=slos)
+        second = _run_mix(switch_cost=True, slos=slos)
+        assert first.determinism_dict() == second.determinism_dict()
+
+
+# ----------------------------------------------------------------------
+# Fair (deficit round-robin) policy
+# ----------------------------------------------------------------------
+class TestFairPolicy:
+    def test_registered(self):
+        validate_policy("fair")
+        assert isinstance(make_policy("fair"), FairPolicy)
+
+    def test_order_queues_serves_deficit_first(self):
+        policy = FairPolicy()
+        queues = {
+            "a": deque([Request(request_id=0, model="a", arrival_ns=5.0)]),
+            "b": deque([Request(request_id=1, model="b", arrival_ns=10.0)]),
+        }
+        # equal deficit: FIFO tie-break on the oldest head
+        assert policy.order_queues(queues) == ["a", "b"]
+        policy.note_dispatch("a", 4)
+        assert policy.order_queues(queues) == ["b", "a"]
+        policy.note_dispatch("b", 8)
+        assert policy.order_queues(queues) == ["a", "b"]
+        # reset() forgets the deficits (a new run starts clean)
+        policy.reset()
+        assert policy.order_queues(queues) == ["a", "b"]
+        assert policy.order_queues({"a": queues["a"], "b": deque()}) == ["a"]
+
+    def test_default_policies_keep_fifo_order(self):
+        queues = {
+            "a": deque([Request(request_id=1, model="a", arrival_ns=10.0)]),
+            "b": deque([Request(request_id=0, model="b", arrival_ns=5.0)]),
+        }
+        for name in ("fifo", "least_loaded", "latency"):
+            assert make_policy(name).order_queues(queues) == ["b", "a"]
+
+    def test_fair_run_is_deterministic_and_complete(self):
+        first = _run_mix(switch_cost=True, policy="fair")
+        second = _run_mix(switch_cost=True, policy="fair")
+        assert first.policy == "fair"
+        assert first.completed == first.num_requests
+        assert first.determinism_dict() == second.determinism_dict()
+
+    def test_fair_bounds_minority_queue_wait(self):
+        # one tenant floods the fleet while the other trickles: deficit
+        # round-robin must not let the minority model's queue age behind
+        # the flood (FIFO order would interleave strictly by arrival)
+        cache = _StubPlanCache({("S", 1): 100_000.0, ("S", 4): 130_000.0})
+        requests = [Request(request_id=i, model="flood", arrival_ns=float(i))
+                    for i in range(12)]
+        requests += [Request(request_id=12 + i, model="drip",
+                             arrival_ns=100.0 + i) for i in range(2)]
+
+        def run(policy):
+            fleet = Fleet.homogeneous("S")
+            simulator = ServingSimulator(fleet, cache, policy=policy,
+                                         batch_sizes=(1, 4), max_wait_us=0.0,
+                                         switch_cost=False)
+            report = simulator.run(requests, traffic_info={"traffic": "unit"})
+            return report
+
+        fair = run("fair")
+        fifo = run("fifo")
+        assert fair.completed == fifo.completed == 14
+        # the drip tenant is served strictly earlier under fair scheduling
+        fair_slo = ServingSimulator(
+            Fleet.homogeneous("S"), cache, policy="fair", batch_sizes=(1, 4),
+            max_wait_us=0.0, switch_cost=False, slos={"drip": 1.0},
+        ).run(requests)
+        fifo_slo = ServingSimulator(
+            Fleet.homogeneous("S"), cache, policy="fifo", batch_sizes=(1, 4),
+            max_wait_us=0.0, switch_cost=False, slos={"drip": 1.0},
+        ).run(requests)
+        assert fair_slo.slo["drip"]["p99_ms"] < fifo_slo.slo["drip"]["p99_ms"]
+
+
+# ----------------------------------------------------------------------
+# Serving-report serialization round trip
+# ----------------------------------------------------------------------
+class TestServingReportRoundTrip:
+    def test_dump_and_reload(self, tmp_path):
+        from repro.serialization import dump_serving_report, load_result_dict
+
+        report = _run_mix(switch_cost=True,
+                          slos={"squeezenet": 2.0, "lenet5": 1.0})
+        path = str(tmp_path / "serving.json")
+        dump_serving_report(report, path)
+        loaded = load_result_dict(path)
+        assert loaded == report.as_dict()
+        # histogram keys are stringified for JSON
+        assert all(isinstance(k, str) for k in loaded["batch_histogram"])
+        assert all(isinstance(k, str) for k in loaded["served_histogram"])
+        assert loaded["switch"]["plan_switches"] == report.plan_switches
+        assert loaded["slo"]["lenet5"]["target_ms"] == 1.0
+        assert loaded["slo"]["squeezenet"]["attainment"] == \
+            report.slo["squeezenet"]["attainment"]
+
+    def test_switch_off_dump_keeps_legacy_shape(self, tmp_path):
+        from repro.serialization import dump_serving_report, load_result_dict
+
+        report = _run_mix(switch_cost=False, max_wait_us=0.0)
+        path = str(tmp_path / "legacy.json")
+        dump_serving_report(report, path)
+        loaded = load_result_dict(path)
+        assert "switch" not in loaded
+        assert "slo" not in loaded
+        assert all("plan_switches" not in row for row in loaded["per_chip"])
