@@ -23,7 +23,8 @@ Environment variables:
     (``test_fig6_throughput_comparison``, ``test_fig10_ga_convergence``,
     the partition-search headliners ``test_dp_optimal_search`` /
     ``test_optimality_gap_experiment``, and the serving headliners
-    ``test_serving_throughput`` / ``test_serving_switch_cost``).
+    ``test_serving_throughput`` / ``test_serving_switch_cost`` /
+    ``test_serving_faults``).
 ``REPRO_BENCH_OUT=<path>``
     Override the output JSON path.
 ``COMPASS_PAPER_SCALE=1``
@@ -57,7 +58,8 @@ def main(argv=None) -> int:
     ]
     if os.environ.get("REPRO_BENCH_QUICK"):
         cmd += ["-k", "fig6_throughput or fig10_ga or dp_optimal or optimality_gap"
-                      " or serving_throughput or serving_switch_cost"]
+                      " or serving_throughput or serving_switch_cost"
+                      " or serving_faults"]
     cmd += argv
 
     env = dict(os.environ)

@@ -1,6 +1,6 @@
 """Serving-throughput benchmarks (beyond the paper).
 
-Two headliners ride with the quick-bench set:
+Three headliners ride with the quick-bench set:
 
 * ``test_serving_throughput`` — a Poisson request stream for ResNet18
   against a two-chip M fleet, scheduled with dynamic batching and the
@@ -13,6 +13,10 @@ Two headliners ride with the quick-bench set:
   cost modelled, per-model SLO targets and the ``fair`` deficit
   round-robin policy: the switch-aware scheduling paths (effective-latency
   chip ranking, per-candidate-batch reference chips) under load.
+* ``test_serving_faults`` — the same two-chip fleet under a chip failure
+  with retries, a straggler window, a per-request timeout and admission
+  control: the fault-aware accounting path (chip-free finalisation,
+  in-flight kill + retry, timeout bookkeeping) under load.
 
 The captured output doubles as the experimental record: the summary rows
 carry sustained throughput, p50/p95/p99 latency, batch mix, plan-switch
@@ -22,11 +26,13 @@ counts and per-chip utilisation for the fixed seed.
 from __future__ import annotations
 
 from repro.serve import (
+    FaultTolerance,
     Fleet,
     PlanCache,
     PoissonTraffic,
     ServingSimulator,
     fleet_capacity_rps,
+    parse_inject,
 )
 from repro.sim.report import format_table
 
@@ -98,3 +104,39 @@ def test_serving_switch_cost(benchmark):
           f"({report.switch_ms:.3f} ms weight replacement); SLO attainment: "
           + ", ".join(f"{m} {b['attainment']:.1%}"
                       for m, b in sorted(report.slo.items())))
+
+
+def test_serving_faults(benchmark):
+    fleet, cache, traffic, requests = _setup()
+    # pin the fault window to the offered stream: the chip dies a fifth of
+    # the way in and recovers at the midpoint, then the survivor straggles
+    span_us = NUM_REQUESTS / traffic.rate_rps * 1e6
+    faults = [
+        parse_inject(f"chip_fail@{0.2 * span_us:.0f}:chip=0,"
+                     f"until={0.5 * span_us:.0f}"),
+        parse_inject(f"straggler@{0.5 * span_us:.0f}:chip=1,factor=1.5,"
+                     f"until={0.8 * span_us:.0f}"),
+    ]
+    fault_tolerance = FaultTolerance(timeout_us=0.5 * span_us, max_retries=2,
+                                    shed_queue_depth=64)
+
+    def serve():
+        simulator = ServingSimulator(fleet, cache, policy="latency",
+                                     batch_sizes=BATCHES, max_wait_us=200.0,
+                                     faults=faults,
+                                     fault_tolerance=fault_tolerance)
+        return simulator.run(requests, traffic_info=traffic.describe())
+
+    report = benchmark(serve)
+    assert report.fault_tolerance
+    assert report.failures == 1
+    assert report.completed + report.shed + report.timeouts + report.lost \
+        == NUM_REQUESTS
+    assert report.availability < 1.0
+    print(f"\nServing {MODEL} on {report.fleet_spec} under faults "
+          f"(chip failure + straggler, retries + shedding, seed {SEED}):")
+    print(format_table([report.summary_row()]))
+    print(f"failures: {report.failures}, retries: {report.retries}, "
+          f"timeouts: {report.timeouts}, shed: {report.shed}, "
+          f"lost: {report.lost}; availability {report.availability:.2%} "
+          f"({report.lost_work_ms:.3f} ms lost work)")

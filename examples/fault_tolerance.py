@@ -1,0 +1,119 @@
+"""Fault-tolerant serving: chip failures, retries, and load shedding.
+
+Walks through the :mod:`repro.serve.faults` machinery end to end: a fixed
+Poisson stream with an SLO target is served on a two-chip fleet while one
+chip fails and recovers mid-run.  Four configurations of the same scenario
+show what each fault-tolerance knob buys:
+
+1. no faults (the baseline the other runs degrade from);
+2. the failure with no protection — the in-flight batch's riders are lost
+   and the surviving chip's backlog wrecks tail latency;
+3. retries + timeouts — nothing is lost, but every admitted request is
+   served late;
+4. retries + admission control — excess arrivals are shed at the door, so
+   the requests that are admitted still meet their SLO.
+
+Everything is deterministic — the chaos schedule at the end is pre-drawn
+from its own seed, so re-running this script produces byte-identical
+output.
+
+Run with::
+
+    PYTHONPATH=src python examples/fault_tolerance.py
+"""
+
+from repro.evaluation.registry import shared_plan_cache
+from repro.serve import (
+    FaultTolerance,
+    Fleet,
+    PoissonTraffic,
+    ServingSimulator,
+    fleet_capacity_rps,
+    parse_inject,
+)
+from repro.sim.report import format_table, render_serving_report
+
+MODEL = "resnet18"
+BATCHES = (1, 2, 4, 8, 16)
+REQUESTS = 300
+SEED = 0
+SLO_MS = 12.0
+
+
+def main() -> None:
+    fleet = Fleet.from_spec("M:2")
+    cache = shared_plan_cache("dp")
+    cache.warmup((MODEL,), fleet.chip_names, BATCHES)
+    rate = 0.8 * fleet_capacity_rps(cache, fleet, (MODEL,), BATCHES)
+
+    # one fault schedule for every run: chip 0 dies a fifth of the way
+    # into the offered stream and is repaired at the midpoint
+    span_us = REQUESTS / rate * 1e6
+    outage = [parse_inject(f"chip_fail@{0.2 * span_us:.0f}:chip=0,"
+                           f"until={0.5 * span_us:.0f}")]
+    print(f"offered rate {rate:.0f} req/s (80% of fleet capacity); "
+          f"chip M#0 down {0.2 * span_us / 1e3:.1f} .. "
+          f"{0.5 * span_us / 1e3:.1f} ms\n")
+
+    def serve(label, faults=(), ft=None):
+        traffic = PoissonTraffic(MODEL, num_requests=REQUESTS, seed=SEED,
+                                 rate_rps=rate)
+        simulator = ServingSimulator(fleet, cache, policy="latency",
+                                     batch_sizes=BATCHES, max_wait_us=200.0,
+                                     slos={MODEL: SLO_MS},
+                                     faults=faults, fault_tolerance=ft)
+        report = simulator.run(traffic.generate(),
+                               traffic_info=traffic.describe())
+        return label, report
+
+    runs = [
+        serve("no faults"),
+        serve("failure, no protection", faults=outage),
+        serve("failure + retries", faults=outage,
+              ft=FaultTolerance(timeout_us=0.2 * span_us, max_retries=2)),
+        serve("failure + retries + shedding", faults=outage,
+              ft=FaultTolerance(timeout_us=0.2 * span_us, max_retries=2,
+                                shed_queue_depth=12)),
+    ]
+
+    rows = []
+    for label, report in runs:
+        rows.append({
+            "scenario": label,
+            "completed": report.completed,
+            "lost": report.lost,
+            "timeouts": report.timeouts,
+            "shed": report.shed,
+            "retries": report.retries,
+            "p99_ms": report.latency_ms["p99"],
+            "slo_attainment": report.slo[MODEL]["attainment"],
+            "availability": report.availability,
+        })
+    print("the same failure under increasing protection "
+          f"(SLO {MODEL}={SLO_MS:g} ms):")
+    print(format_table(rows))
+    print()
+    print("shedding trades completed requests for tail latency: the shed "
+          "run serves fewer\nrequests than the retry-only run, but the ones "
+          "it admits meet their SLO far\nmore often — admission control is "
+          "how overload stays a throughput problem\ninstead of a latency "
+          "problem.\n")
+
+    # the full report of the protected run, fault section included
+    print(render_serving_report(runs[3][1]))
+
+    # chaos testing: failures drawn from a seeded stream (pre-drawn at
+    # materialisation — the simulator itself consumes no randomness)
+    chaos = [parse_inject(f"chaos@0:seed=11,count=3,"
+                          f"mtbf_us={span_us / 4:.0f},"
+                          f"mttr_us={span_us / 20:.0f}")]
+    _, report = serve("chaos", faults=chaos,
+                      ft=FaultTolerance(timeout_us=0.2 * span_us,
+                                        max_retries=2, shed_queue_depth=12))
+    print(f"\nchaos run (3 seeded failures): {report.failures} failures "
+          f"applied, {report.completed}/{report.num_requests} served, "
+          f"{report.retries} retries, availability {report.availability:.2%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,6 +29,8 @@ Examples
     python -m repro serve --model resnet18 --traffic closed --clients 8 --think-us 100
     python -m repro serve --model resnet18 lenet5 --fleet S:2,M:1 --policy fair \
         --slo resnet18=8 --slo lenet5=2
+    python -m repro serve --model resnet18 --fleet M:2 \
+        --inject chip_fail@500:chip=0,until=2000 --retries 2 --timeout-us 5000
     python -m repro models
 """
 
@@ -50,11 +52,13 @@ from repro.serve import (
     POLICIES,
     TRAFFIC_GENERATORS,
     ClosedLoopTraffic,
+    FaultTolerance,
     Fleet,
     PlanCache,
     ServingSimulator,
     TraceTraffic,
     fleet_capacity_rps,
+    parse_inject,
     save_trace,
     validate_policy,
 )
@@ -219,6 +223,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             traffic = TRAFFIC_GENERATORS[args.traffic](**kwargs)
 
         slos = _parse_slos(args.slo, models)
+        # malformed --inject specs, out-of-range chip indices and negative
+        # fault-tolerance knobs all raise ValueError here — same friendly
+        # exit-2 contract as the other inputs
+        faults = [parse_inject(spec) for spec in (args.inject or ())]
+        fault_tolerance = FaultTolerance(
+            timeout_us=args.timeout_us,
+            max_retries=args.retries,
+            retry_backoff_us=args.retry_backoff_us,
+            shed_queue_depth=args.shed_queue_depth,
+            shed_wait_us=args.shed_wait_us,
+            degrade_below=args.degrade_below,
+        )
         if args.traffic != "closed":
             requests = traffic.generate()
             if args.record_trace:
@@ -231,6 +247,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_sizes=batch_sizes,
             max_wait_us=args.max_wait_us,
             slos=slos,
+            faults=faults,
+            fault_tolerance=fault_tolerance,
         )
         report = simulator.run(
             traffic if args.traffic == "closed" else requests,
@@ -363,6 +381,31 @@ def build_parser() -> argparse.ArgumentParser:
                               help="plan-cache capacity in plans (default: 64)")
     serve_parser.add_argument("--mode", default="latency", choices=["latency", "edp"],
                               help="plan-compilation fitness mode (default: latency)")
+    serve_parser.add_argument("--inject", action="append", metavar="SPEC",
+                              help="inject a fault event (repeatable): "
+                                   "KIND@AT_US[:key=value,...], e.g. "
+                                   "chip_fail@500:chip=0,until=1500 or "
+                                   "chaos@0:seed=7,count=3,mtbf_us=3000,mttr_us=500")
+    serve_parser.add_argument("--timeout-us", type=float, default=0.0,
+                              help="per-request queueing timeout in microseconds; "
+                                   "0 disables (default: 0)")
+    serve_parser.add_argument("--retries", type=int, default=0,
+                              help="max retry attempts for requests lost to chip "
+                                   "failures or timeouts (default: 0)")
+    serve_parser.add_argument("--retry-backoff-us", type=float, default=50.0,
+                              help="base of the deterministic exponential retry "
+                                   "backoff in microseconds (default: 50)")
+    serve_parser.add_argument("--shed-queue-depth", type=int, default=0,
+                              help="shed arrivals once this many requests are "
+                                   "queued; 0 disables (default: 0)")
+    serve_parser.add_argument("--shed-wait-us", type=float, default=0.0,
+                              help="shed arrivals whose estimated queueing wait "
+                                   "exceeds this budget in microseconds; "
+                                   "0 disables (default: 0)")
+    serve_parser.add_argument("--degrade-below", type=float, default=0.0,
+                              help="fall back to latency-optimal dispatches when a "
+                                   "model's running SLO attainment drops below this "
+                                   "fraction; 0 disables (default: 0)")
     serve_parser.add_argument("--trace", default=None,
                               help="trace file to replay (with --traffic trace)")
     serve_parser.add_argument("--record-trace", default=None, metavar="PATH",

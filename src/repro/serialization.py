@@ -180,9 +180,12 @@ def serving_report_to_dict(report: ServingReport) -> Dict[str, Any]:
     traffic seed, whatever the cache temperature (see
     :meth:`~repro.serve.simulator.ServingReport.determinism_dict`).
     Histogram keys are stringified for JSON; the ``switch`` block appears
-    only when plan-switch cost was modelled and the ``slo`` block only
-    when per-model targets were set, so switch-off/no-SLO dumps keep the
-    pre-switch-cost shape.
+    only when plan-switch cost was modelled, the ``slo`` block only when
+    per-model targets were set, and the ``faults`` block (failures,
+    retries, timeouts, shed/lost counts, lost work, availability — plus
+    per-chip downtime columns) only when faults were injected or
+    fault-tolerance machinery was active, so dumps with all three features
+    off keep the original shape.
     """
     return report.as_dict()
 

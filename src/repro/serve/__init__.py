@@ -21,19 +21,41 @@ streams.  Four pieces, all deterministic for a fixed seed:
   per-chip utilisation and energy, per-model SLO attainment, plan-switch
   counts).  Open-loop streams are pregenerated; :class:`ClosedLoopTraffic`
   clients instead issue each follow-up request when the previous one
-  completes, with arrivals injected into the live event loop.
+  completes, with arrivals injected into the live event loop;
+* :mod:`~repro.serve.faults` — seed-deterministic fault injection
+  (:class:`FaultEvent`: chip failure/recovery, stragglers, degraded DRAM,
+  stochastic ``chaos`` schedules) and the :class:`FaultTolerance` knobs
+  that survive them: request re-queue on chip death, per-request timeout +
+  capped retry with deterministic backoff, admission control / load
+  shedding, and SLO-driven graceful degradation.  Fault-free runs stay
+  bit-identical to the pre-fault simulator.
 
 The CLI's ``repro serve`` subcommand routes here.
 """
 
+from repro.serve.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultTolerance,
+    faults_enabled,
+    materialize,
+    parse_inject,
+)
 from repro.serve.fleet import (
     ChipWorker,
     Fleet,
     fleet_capacity_rps,
+    plan_for,
     service_latency_ns,
     switch_cost_enabled,
 )
-from repro.serve.plans import CompiledPlan, PlanCache, PlanCacheStats, PlanKey
+from repro.serve.plans import (
+    CompiledPlan,
+    PlanCache,
+    PlanCacheStats,
+    PlanKey,
+    degraded_dram,
+)
 from repro.serve.scheduler import (
     POLICIES,
     DynamicBatcher,
@@ -57,6 +79,7 @@ from repro.serve.traffic import (
     TraceTraffic,
     TrafficGenerator,
     load_trace,
+    retry_request,
     save_trace,
     validate_traffic,
 )
@@ -69,7 +92,10 @@ __all__ = [
     "CompiledPlan",
     "DiurnalTraffic",
     "DynamicBatcher",
+    "FAULT_KINDS",
     "FairPolicy",
+    "FaultEvent",
+    "FaultTolerance",
     "FifoPolicy",
     "Fleet",
     "LatencyAwarePolicy",
@@ -86,9 +112,15 @@ __all__ = [
     "TRAFFIC_GENERATORS",
     "TraceTraffic",
     "TrafficGenerator",
+    "degraded_dram",
+    "faults_enabled",
     "fleet_capacity_rps",
     "load_trace",
     "make_policy",
+    "materialize",
+    "parse_inject",
+    "plan_for",
+    "retry_request",
     "save_trace",
     "service_latency_ns",
     "switch_cost_enabled",

@@ -1,0 +1,270 @@
+"""Fault injection and fault-tolerance configuration for the serving layer.
+
+Real fleets are not immortal: chips fail and come back, individual chips
+straggle (thermal throttling, shared-resource contention), and a chip's
+external DRAM can drop to a degraded configuration.  This module is the
+declarative surface for injecting those events into a serving run — and the
+configuration knobs for the machinery that survives them (per-request
+timeout, capped retry with deterministic exponential backoff, admission
+control / load shedding, SLO-driven graceful degradation).
+
+Two kinds of specification, both seed-deterministic:
+
+* **Scheduled** — a concrete :class:`FaultEvent` pins one event to one
+  simulated instant (microseconds after the first arrival):
+  ``chip_fail@500:chip=0,until=1500``, ``straggler@200:chip=1,factor=2.5,
+  until=900``, ``dram_degrade@100:chip=0,factor=2``.
+* **Stochastic** — a ``chaos`` event expands into a schedule of chip
+  failures drawn from its own seeded PCG64 stream
+  (``chaos@0:seed=7,count=3,mtbf_us=3000,mttr_us=500``): exponential gaps
+  with mean ``mtbf_us``, exponential outages with mean ``mttr_us``, chips
+  uniform (or pinned with ``chip=``).  The stream is pre-drawn at
+  materialisation, so the simulator itself still consumes no randomness and
+  a fixed seed replays to a bit-identical :class:`~repro.serve.simulator.
+  ServingReport`.
+
+The CLI's repeatable ``repro serve --inject SPEC`` flag routes through
+:func:`parse_inject`; :func:`materialize` turns the event list into the flat
+``(at_us, action, chip, factor)`` schedule the simulator replays.  The
+``REPRO_SERVE_FAULTS`` environment variable (default on; ``0`` disables)
+gates injection globally, so a scenario can be A/B-ed against its fault-free
+twin without editing the spec.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: recognised ``--inject`` event kinds
+FAULT_KINDS = ("chip_fail", "chip_recover", "straggler", "dram_degrade", "chaos")
+
+#: materialised schedule actions the simulator applies
+ACTION_FAIL, ACTION_RECOVER, ACTION_STRAGGLE, ACTION_DRAM = (
+    "fail", "recover", "straggle", "dram",
+)
+
+
+def faults_enabled() -> bool:
+    """Whether fault injection is globally enabled.
+
+    Controlled by the ``REPRO_SERVE_FAULTS`` environment variable (default
+    on; ``0`` or the empty string disables it).  Disabling drops every
+    injected event while keeping the fault-tolerance knobs (timeout, retry,
+    shedding) active — the fault-free twin of a scenario.
+    """
+    return os.environ.get("REPRO_SERVE_FAULTS", "1") not in ("", "0")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One declarative fault event (times in µs after the first arrival).
+
+    ``chip`` is a worker index into the fleet (``-1`` means "drawn
+    uniformly" and is only meaningful for ``chaos``).  ``until_us`` closes
+    a window: a failed chip recovers, a straggler returns to full speed, a
+    degraded DRAM is restored; without it the condition lasts for the rest
+    of the run.  ``factor`` is the straggler latency multiplier or the DRAM
+    timing multiplier (> 1 slows the chip down).
+    """
+
+    kind: str
+    at_us: float
+    chip: int = -1
+    until_us: Optional[float] = None
+    factor: float = 1.0
+    #: chaos only: stream seed, number of failures, mean time between
+    #: failures and mean time to repair (µs)
+    seed: int = 0
+    count: int = 0
+    mtbf_us: float = 0.0
+    mttr_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of: "
+                + ", ".join(FAULT_KINDS)
+            )
+        if self.at_us < 0:
+            raise ValueError(f"fault time must be non-negative, got {self.at_us}")
+        if self.until_us is not None and self.until_us <= self.at_us:
+            raise ValueError(
+                f"fault window must end after it starts ({self.at_us} .. {self.until_us})"
+            )
+        if self.kind in ("straggler", "dram_degrade") and self.factor <= 0:
+            raise ValueError(f"fault factor must be positive, got {self.factor}")
+        if self.kind == "chaos":
+            if self.count <= 0:
+                raise ValueError("chaos needs count > 0 failures to draw")
+            if self.mtbf_us <= 0 or self.mttr_us <= 0:
+                raise ValueError("chaos needs positive mtbf_us and mttr_us")
+        elif self.chip < 0:
+            raise ValueError(f"{self.kind} needs an explicit chip=<index>")
+
+
+_INT_FIELDS = ("chip", "seed", "count")
+_FLOAT_FIELDS = ("until", "factor", "mtbf_us", "mttr_us")
+
+
+def parse_inject(spec: str) -> FaultEvent:
+    """Parse one ``--inject`` spec string into a :class:`FaultEvent`.
+
+    Format: ``KIND@AT_US[:key=value,...]`` — e.g.
+    ``chip_fail@500:chip=0,until=1500`` or
+    ``chaos@0:seed=7,count=3,mtbf_us=3000,mttr_us=500``.  Raises
+    ``ValueError`` (the CLI's friendly exit-2 path) for anything malformed.
+    """
+    head, _, tail = spec.partition(":")
+    kind, sep, at = head.partition("@")
+    kind = kind.strip()
+    if not sep or not kind:
+        raise ValueError(f"bad --inject {spec!r}; expected KIND@AT_US[:key=value,...]")
+    try:
+        at_us = float(at)
+    except ValueError:
+        raise ValueError(f"bad --inject {spec!r}; fault time {at!r} is not a number") from None
+    kwargs: Dict[str, object] = {}
+    if tail:
+        for part in tail.split(","):
+            key, eq, value = part.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ValueError(f"bad --inject {spec!r}; expected key=value, got {part!r}")
+            try:
+                if key in _INT_FIELDS:
+                    kwargs[key] = int(value)
+                elif key in _FLOAT_FIELDS:
+                    kwargs["until_us" if key == "until" else key] = float(value)
+                else:
+                    raise KeyError(key)
+            except KeyError:
+                known = ", ".join(_INT_FIELDS + _FLOAT_FIELDS)
+                raise ValueError(
+                    f"bad --inject {spec!r}; unknown key {key!r} (known: {known})"
+                ) from None
+            except ValueError:
+                raise ValueError(f"bad --inject {spec!r}; {key}={value!r} is not a number") from None
+    try:
+        return FaultEvent(kind=kind, at_us=at_us, **kwargs)
+    except TypeError:
+        raise ValueError(f"bad --inject {spec!r}") from None
+
+
+def materialize(
+    events: Sequence[FaultEvent], num_chips: int
+) -> List[Tuple[float, str, int, float]]:
+    """Flatten fault events into the concrete schedule a simulator replays.
+
+    Chaos events expand into chip failures drawn from their own seeded
+    stream; window ends (``until_us``) become explicit recover/restore
+    entries.  Returns ``(at_us, action, chip, factor)`` tuples sorted by
+    ``(at_us, chip)`` — the same deterministic total order the event heap
+    keeps.  Raises ``ValueError`` for chip indices outside the fleet.
+    """
+    schedule: List[Tuple[float, str, int, float]] = []
+
+    def add(at_us: float, action: str, chip: int, factor: float = 1.0) -> None:
+        if not 0 <= chip < num_chips:
+            raise ValueError(
+                f"fault chip index {chip} out of range for a {num_chips}-chip fleet"
+            )
+        schedule.append((at_us, action, chip, factor))
+
+    for event in events:
+        if event.kind == "chaos":
+            rng = np.random.default_rng(event.seed)
+            t = event.at_us
+            for _ in range(event.count):
+                t += float(rng.exponential(event.mtbf_us))
+                chip = event.chip if event.chip >= 0 else int(rng.integers(num_chips))
+                outage = float(rng.exponential(event.mttr_us))
+                add(t, ACTION_FAIL, chip)
+                add(t + outage, ACTION_RECOVER, chip)
+        elif event.kind == "chip_fail":
+            add(event.at_us, ACTION_FAIL, event.chip)
+            if event.until_us is not None:
+                add(event.until_us, ACTION_RECOVER, event.chip)
+        elif event.kind == "chip_recover":
+            add(event.at_us, ACTION_RECOVER, event.chip)
+        elif event.kind == "straggler":
+            add(event.at_us, ACTION_STRAGGLE, event.chip, event.factor)
+            if event.until_us is not None:
+                add(event.until_us, ACTION_STRAGGLE, event.chip, 1.0)
+        elif event.kind == "dram_degrade":
+            add(event.at_us, ACTION_DRAM, event.chip, event.factor)
+            if event.until_us is not None:
+                add(event.until_us, ACTION_DRAM, event.chip, 1.0)
+    schedule.sort(key=lambda entry: (entry[0], entry[2]))
+    return schedule
+
+
+@dataclass(frozen=True)
+class FaultTolerance:
+    """Fault-tolerance knobs of one serving run (all off by default).
+
+    * ``timeout_us`` — a queued request that has waited this long is
+      abandoned (and retried if attempts remain); 0 disables timeouts.
+      The timeout clock restarts at every retry attempt; dispatch cancels
+      it (the chip finishes what it starts — in-flight loss comes from
+      chip failures, not timeouts).
+    * ``max_retries`` — additional attempts a request lost to a chip
+      failure or timeout may make; 0 means failures are final.
+    * ``retry_backoff_us`` — base of the deterministic exponential backoff:
+      attempt ``k`` re-arrives ``retry_backoff_us * 2**k`` µs after its
+      failure (no jitter — determinism is the contract here).
+    * ``shed_queue_depth`` — admission control: an arrival finding this
+      many requests already queued is shed (rejected); 0 disables.
+    * ``shed_wait_us`` — an arrival whose estimated queueing wait exceeds
+      this budget is shed; 0 disables.
+    * ``degrade_below`` — graceful degradation: when a model's running SLO
+      attainment falls below this fraction, its dispatches bypass the
+      batching hold and use the latency-optimal cached plan (the smallest /
+      fastest batch) until attainment recovers; 0 disables.  Only
+      meaningful for models with an SLO target.
+    """
+
+    timeout_us: float = 0.0
+    max_retries: int = 0
+    retry_backoff_us: float = 50.0
+    shed_queue_depth: int = 0
+    shed_wait_us: float = 0.0
+    degrade_below: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_us < 0:
+            raise ValueError(f"timeout_us must be non-negative, got {self.timeout_us}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be non-negative, got {self.max_retries}")
+        if self.retry_backoff_us < 0:
+            raise ValueError(
+                f"retry_backoff_us must be non-negative, got {self.retry_backoff_us}"
+            )
+        if self.shed_queue_depth < 0:
+            raise ValueError(
+                f"shed_queue_depth must be non-negative, got {self.shed_queue_depth}"
+            )
+        if self.shed_wait_us < 0:
+            raise ValueError(f"shed_wait_us must be non-negative, got {self.shed_wait_us}")
+        if not 0.0 <= self.degrade_below <= 1.0:
+            raise ValueError(
+                f"degrade_below must be a fraction in [0, 1], got {self.degrade_below}"
+            )
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault-tolerance mechanism is switched on."""
+        return bool(
+            self.timeout_us > 0
+            or self.max_retries > 0
+            or self.shed_queue_depth > 0
+            or self.shed_wait_us > 0
+            or self.degrade_below > 0
+        )
+
+    def backoff_ns(self, attempt: int) -> float:
+        """Deterministic exponential backoff before retry attempt ``attempt``."""
+        return self.retry_backoff_us * 1e3 * (2.0 ** attempt)

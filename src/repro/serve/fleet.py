@@ -22,6 +22,15 @@ plan's ``weight_replace_ns``, on top of the compiled latency whose own
 counted as a plan switch.  A warm re-dispatch of the resident plan (and
 the first dispatch after the prewarmed deployment start) pays the
 compiled latency unchanged.
+
+Workers also carry fault state (:mod:`repro.serve.faults`): ``up`` marks a
+failed chip out of the dispatchable pool, ``latency_factor`` stretches
+every service latency while the chip straggles, and ``dram_factor``
+re-prices its plans on degraded DRAM timings (via :func:`plan_for`).  Lost
+work (batches in flight when the chip died), failure counts and downtime
+accumulate per worker for the report's availability accounting.  A chip's
+``loaded_plan`` survives failure and recovery: crossbar weights are
+non-volatile, so the restarted chip still holds the plan it had.
 """
 
 from __future__ import annotations
@@ -77,10 +86,34 @@ def service_latency_ns(plan: "CompiledPlan", worker: "ChipWorker",
     staged — pays the compiled latency unchanged.  With modelling off,
     every dispatch pays the compiled latency: the switch-oblivious
     pre-switch-cost model, bit-exactly.
+
+    A straggling worker stretches the whole charge by its
+    ``latency_factor`` (1.0 on a healthy chip — an exact no-op in IEEE
+    arithmetic, so fault-free runs stay bit-identical).
     """
     if is_plan_switch(plan, worker, switch_cost):
-        return plan.latency_ns + plan.weight_replace_ns
-    return plan.latency_ns
+        return (plan.latency_ns + plan.weight_replace_ns) * worker.latency_factor
+    return plan.latency_ns * worker.latency_factor
+
+
+def plan_for(plans: "PlanCache", worker: "ChipWorker", model: str,
+             batch: int) -> "CompiledPlan":
+    """The compiled plan ``worker`` would run for a (model, batch) dispatch.
+
+    On a healthy chip this is exactly ``plans.get(model, chip, batch)``;
+    a chip whose DRAM is degraded (``dram_factor != 1``) instead prices
+    the plan on the scaled DRAM timings — re-compiled through the full
+    span-matrix stack on first use and cached like any other plan.  The
+    single lookup point shared by the scheduler's latency ranking and the
+    simulator's dispatch, so the two can never disagree on what a
+    degraded chip costs.
+    """
+    if worker.dram_factor != 1.0:
+        from repro.serve.plans import degraded_dram
+
+        return plans.get(model, worker.chip_name, batch,
+                         dram=degraded_dram(plans.dram_config, worker.dram_factor))
+    return plans.get(model, worker.chip_name, batch)
 
 
 @dataclass
@@ -105,6 +138,26 @@ class ChipWorker:
     plan_switches: int = 0
     #: cumulative weight-replacement time charged to plan switches (ns)
     switch_ns: float = 0.0
+    #: whether the chip is alive (a failed chip takes no dispatches)
+    up: bool = True
+    #: bumped at every failure; stale completion events carry the old epoch
+    epoch: int = 0
+    #: straggler service-latency multiplier (1.0 = full speed)
+    latency_factor: float = 1.0
+    #: DRAM timing multiplier (1.0 = nominal; > 1 re-prices resident plans)
+    dram_factor: float = 1.0
+    #: failures suffered this run
+    failures: int = 0
+    #: when the current outage began (``None`` while up)
+    down_since_ns: Optional[float] = None
+    #: cumulative outage time (ns)
+    downtime_ns: float = 0.0
+    #: batches in flight when the chip died
+    lost_batches: int = 0
+    #: requests aboard those batches (re-queued or lost by the simulator)
+    lost_requests: int = 0
+    #: chip time wasted on killed batches (ns)
+    lost_ns: float = 0.0
 
     @property
     def label(self) -> str:
@@ -113,7 +166,7 @@ class ChipWorker:
 
     def idle_at(self, now_ns: float) -> bool:
         """Whether the chip is free to take a batch at ``now_ns``."""
-        return self.busy_until_ns <= now_ns
+        return self.up and self.busy_until_ns <= now_ns
 
     def utilisation(self, makespan_ns: float) -> float:
         """Fraction of the run this chip spent executing batches."""
@@ -213,6 +266,16 @@ class Fleet:
             worker.loaded_plan = None
             worker.plan_switches = 0
             worker.switch_ns = 0.0
+            worker.up = True
+            worker.epoch = 0
+            worker.latency_factor = 1.0
+            worker.dram_factor = 1.0
+            worker.failures = 0
+            worker.down_since_ns = None
+            worker.downtime_ns = 0.0
+            worker.lost_batches = 0
+            worker.lost_requests = 0
+            worker.lost_ns = 0.0
 
 
 def fleet_capacity_rps(

@@ -19,6 +19,7 @@ for batch 16 is almost free after batch 1 was compiled.
 
 from __future__ import annotations
 
+import dataclasses
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
@@ -42,6 +43,33 @@ class PlanKey:
     batch: int
     mode: FitnessMode
     optimizer: str
+
+
+def degraded_dram(config: DRAMConfig, factor: float) -> DRAMConfig:
+    """A DRAM configuration with every core timing scaled by ``factor``.
+
+    Models a chip whose external DRAM dropped to a slower operating point
+    (thermal throttling, a failed rank forcing a conservative profile):
+    clock and tRCD/tRP/tRAS/tCAS all stretch by ``factor`` (> 1 is slower).
+    Because :class:`DRAMConfig` is frozen and hashable, the degraded
+    variant is its own :class:`PlanKey` dimension — re-pricing a model on
+    degraded DRAM routes through the full shared-decomposition /
+    search / span-matrix stack, exactly like any other cache miss.
+    ``factor == 1`` returns the configuration unchanged.
+    """
+    if factor <= 0:
+        raise ValueError(f"DRAM degradation factor must be positive, got {factor}")
+    if factor == 1.0:
+        return config
+    return dataclasses.replace(
+        config,
+        name=f"{config.name}@x{factor:g}",
+        clock_ns=config.clock_ns * factor,
+        t_rcd_ns=config.t_rcd_ns * factor,
+        t_rp_ns=config.t_rp_ns * factor,
+        t_ras_ns=config.t_ras_ns * factor,
+        t_cas_ns=config.t_cas_ns * factor,
+    )
 
 
 @dataclass(frozen=True)
@@ -166,14 +194,22 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._plans)
 
-    def key_for(self, model: str, chip: str, batch: int) -> PlanKey:
-        """The cache key of a (model, chip, batch) plan under this config."""
-        return PlanKey(model=model, chip=chip, dram=self.dram_config,
+    def key_for(self, model: str, chip: str, batch: int,
+                dram: Optional[DRAMConfig] = None) -> PlanKey:
+        """The cache key of a (model, chip, batch) plan under this config.
+
+        ``dram`` overrides the cache-wide DRAM configuration — the hook the
+        fault layer uses to price a chip's plans on degraded DRAM (see
+        :func:`degraded_dram`) without a second cache.
+        """
+        return PlanKey(model=model, chip=chip,
+                       dram=self.dram_config if dram is None else dram,
                        batch=batch, mode=self.mode, optimizer=self.optimizer)
 
-    def contains(self, model: str, chip: str, batch: int) -> bool:
+    def contains(self, model: str, chip: str, batch: int,
+                 dram: Optional[DRAMConfig] = None) -> bool:
         """Whether a plan is resident (does not touch stats or LRU order)."""
-        return self.key_for(model, chip, batch) in self._plans
+        return self.key_for(model, chip, batch, dram) in self._plans
 
     @property
     def stats(self) -> PlanCacheStats:
@@ -188,14 +224,16 @@ class PlanCache:
         )
 
     # ------------------------------------------------------------------
-    def get(self, model: str, chip: str, batch: int) -> CompiledPlan:
+    def get(self, model: str, chip: str, batch: int,
+            dram: Optional[DRAMConfig] = None) -> CompiledPlan:
         """The compiled plan of a (model, chip, batch) triple (LRU-tracked).
 
         A hit moves the plan to the most-recently-used position; a miss
         compiles the plan through the shared registry / search / span-matrix
-        stack and may evict the least-recently-used resident plan.
+        stack and may evict the least-recently-used resident plan.  ``dram``
+        overrides the cache-wide DRAM configuration (degraded-DRAM faults).
         """
-        key = self.key_for(model, chip, batch)
+        key = self.key_for(model, chip, batch, dram)
         plan = self._plans.get(key)
         if plan is not None:
             self._hits += 1

@@ -43,7 +43,7 @@ import abc
 import math
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.serve.fleet import ChipWorker, service_latency_ns
+from repro.serve.fleet import ChipWorker, plan_for, service_latency_ns
 from repro.serve.plans import PlanCache
 from repro.serve.traffic import Request
 
@@ -121,10 +121,13 @@ class LatencyAwarePolicy(SchedulingPolicy):
 
     def choose_worker(self, idle_workers, model, batch, plans, now_ns,
                       switch_cost=False):
+        # plan_for prices a degraded-DRAM chip on its scaled timings, and
+        # service_latency_ns folds in straggler factors — so a faulted chip
+        # competes at its true current speed, not its nominal one
         return min(
             idle_workers,
             key=lambda w: (
-                service_latency_ns(plans.get(model, w.chip_name, batch), w,
+                service_latency_ns(plan_for(plans, w, model, batch), w,
                                    switch_cost),
                 w.busy_ns, w.index,
             ),

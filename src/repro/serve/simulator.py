@@ -9,17 +9,29 @@ produces a :class:`ServingReport` with the quantities the paper's
 single-inference metrics are a proxy for: sustained throughput, p50/p95/p99
 request latency, queue depths, per-chip utilisation and energy.
 
-Three event kinds drive the loop, in a deterministic total order
-``(time, kind, sequence)``:
+Five event kinds drive the loop, in a deterministic total order
+``(time, kind, tie, sequence)`` — the tie component is the chip index for
+chip-bound events (completions, faults), so same-instant events resolve by
+chip id instead of heap insertion order:
 
 * **chip-free** — a chip finished its batch; its requests complete (and,
   under closed-loop traffic, their clients issue follow-up requests —
   arrivals are injected into the live event heap, they need not be known
   up front).
+* **fault** — an injected fault event fires (:mod:`repro.serve.faults`):
+  a chip fails (its in-flight batch is killed and the riders retried or
+  lost), recovers, starts or stops straggling, or drops to degraded DRAM
+  timings.  Ordered after chip-free at the same instant, so a batch
+  completing exactly when its chip dies still completes.
 * **arrival** — a request joins its model's FIFO queue (and updates the
   per-model interarrival EMA the batcher's wait estimates use; zero gaps
   from simultaneous arrivals are skipped — they carry no rate information
-  and would collapse the EMA toward zero).
+  and would collapse the EMA toward zero).  With admission control
+  enabled, an arrival that finds the fleet over budget is shed instead.
+  Retries re-enter here too, flagged by ``Request.attempt``.
+* **timeout** — a queued request exhausted its wait budget; it abandons
+  the queue and retries (deterministic exponential backoff) or counts as
+  timed out.
 * **batch-deadline** — a held queue's batching-delay budget expired; the
   next dispatch for that model is forced.
 
@@ -32,11 +44,21 @@ the plan's service latency.  With plan-switch cost modelled
 depends on what the chip's crossbars already hold: a plan switch pays the
 incoming plan's weight-replacement term on top of the compiled latency
 (and is counted per chip), a warm re-dispatch pays the compiled latency
-unchanged.  Nothing consumes randomness, so a fixed-seed request stream
-yields a bit-identical report — including across cold-cache and warm-cache
-runs (plan-cache statistics are reported, but deliberately excluded from
-:meth:`ServingReport.as_dict`'s deterministic core, see
-``determinism_dict``).
+unchanged.
+
+Fault-free runs keep the exact pre-fault accounting path (completion
+quantities recorded at dispatch, chip-free events carrying no state), so
+their reports are bit-identical to the pre-fault simulator — pinned in
+``tests/test_serve.py``.  With faults injected or any
+:class:`~repro.serve.faults.FaultTolerance` knob active, completions are
+instead finalised at the chip-free event (a chip may die first), requests
+lost to failures/timeouts re-enter as retries, and the report grows a
+``faults`` block (failures, retries, timeouts, shed/lost counts, lost
+work, availability) plus per-chip downtime columns.  Nothing consumes
+randomness at simulation time — chaos fault schedules are pre-drawn from
+their own seed — so a fixed-seed scenario, faulty or not, replays to a
+bit-identical report (plan-cache statistics are reported, but deliberately
+excluded from the deterministic core, see ``determinism_dict``).
 """
 
 from __future__ import annotations
@@ -45,21 +67,36 @@ import heapq
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.serve.faults import (
+    ACTION_DRAM,
+    ACTION_FAIL,
+    ACTION_RECOVER,
+    ACTION_STRAGGLE,
+    FaultEvent,
+    FaultTolerance,
+    faults_enabled,
+    materialize,
+)
 from repro.serve.fleet import (
+    ChipWorker,
     Fleet,
     is_plan_switch,
+    plan_for,
     service_latency_ns,
     switch_cost_enabled,
 )
-from repro.serve.plans import PlanCache
+from repro.serve.plans import CompiledPlan, PlanCache
 from repro.serve.scheduler import DynamicBatcher, SchedulingPolicy, make_policy
-from repro.serve.traffic import ClosedLoopTraffic, Request
+from repro.serve.traffic import ClosedLoopTraffic, Request, retry_request
 
-#: deterministic event ordering: completions free chips before arrivals at
-#: the same instant, and deadlines fire last
-_EVENT_FREE, _EVENT_ARRIVAL, _EVENT_DEADLINE = 0, 1, 2
+#: deterministic event ordering at one instant: completions free chips
+#: first, then faults strike, then arrivals/retries queue, then timeouts
+#: abandon, then batch deadlines force dispatches
+_EVENT_FREE, _EVENT_FAULT, _EVENT_ARRIVAL, _EVENT_TIMEOUT, _EVENT_DEADLINE = (
+    0, 1, 2, 3, 4,
+)
 
 #: smoothing factor of the per-model interarrival EMA
 _EMA_ALPHA = 0.2
@@ -74,6 +111,28 @@ def _percentile(sorted_values: Sequence[float], q: float) -> float:
 
 
 @dataclass
+class _Inflight:
+    """One dispatched batch that has not completed yet (fault-aware runs).
+
+    The fault-free path never creates these — its completion accounting
+    happens at dispatch, exactly like the pre-fault simulator.  Fault-aware
+    runs finalise at the chip-free event instead, because the chip may die
+    first: the record carries everything finalisation (or the failure
+    handler) needs.
+    """
+
+    epoch: int
+    start_ns: float
+    completion_ns: float
+    service_ns: float
+    plan: CompiledPlan
+    batch: int
+    served: int
+    requests: List[Request]
+    model: str
+
+
+@dataclass
 class ServingReport:
     """Outcome of one serving run (all quantities deterministic per seed).
 
@@ -84,6 +143,12 @@ class ServingReport:
     requests each dispatch actually served.  They differ exactly on padded
     batches, and ``mean_batch`` is served requests per dispatch
     (``completed / batches``) — consistent with ``served_histogram``.
+
+    Fault-aware runs (``fault_tolerance``) additionally account every
+    request's fate — ``completed + shed + timeouts + lost`` covers the
+    offered stream unless the run ended with requests still queued — plus
+    lost work, retry counts and fleet availability (chip-uptime fraction
+    over the makespan).
     """
 
     fleet_spec: str
@@ -119,6 +184,24 @@ class ServingReport:
     #: per-model SLO blocks (only for models given a target): target,
     #: p50/p95/p99 latency and the attained fraction
     slo: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: whether faults were injected or fault-tolerance machinery was active
+    fault_tolerance: bool = False
+    #: chip failures applied
+    failures: int = 0
+    #: retry attempts injected (after chip failures and timeouts)
+    retries: int = 0
+    #: requests abandoned by timeout with no attempts left
+    timeouts: int = 0
+    #: arrivals rejected by admission control
+    shed: int = 0
+    #: requests lost to chip failures with no attempts left
+    lost: int = 0
+    #: chip time wasted on batches killed mid-flight (ms)
+    lost_work_ms: float = 0.0
+    #: dispatches that bypassed batching because a model was behind SLO
+    degraded_dispatches: int = 0
+    #: chip-uptime fraction over the makespan (1.0 = no downtime)
+    availability: float = 1.0
     plan_cache: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -137,9 +220,10 @@ class ServingReport:
         """Flat JSON-compatible dictionary (for serialization).
 
         The ``switch`` block appears only when plan-switch cost was
-        modelled and the ``slo`` block only when SLO targets were set, so
-        a run with both features off serializes exactly like the
-        switch-oblivious model did.
+        modelled, the ``slo`` block only when SLO targets were set, and the
+        ``faults`` block only when faults were injected or fault-tolerance
+        machinery was active — so a run with all three features off
+        serializes exactly like the pre-fault model did.
         """
         data: Dict[str, object] = {
             "fleet": self.fleet_spec,
@@ -175,6 +259,17 @@ class ServingReport:
         if self.slo:
             data["slo"] = {model: dict(block)
                            for model, block in sorted(self.slo.items())}
+        if self.fault_tolerance:
+            data["faults"] = {
+                "failures": self.failures,
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "shed": self.shed,
+                "lost": self.lost,
+                "lost_work_ms": self.lost_work_ms,
+                "degraded_dispatches": self.degraded_dispatches,
+                "availability": self.availability,
+            }
         data["plan_cache"] = dict(self.plan_cache)
         return data
 
@@ -207,6 +302,14 @@ class ServingSimulator:
     which is on).  ``slos`` maps model names to latency targets in
     milliseconds; models with a target get a per-model percentile and
     attainment block in the report.
+
+    ``faults`` is a sequence of :class:`~repro.serve.faults.FaultEvent`
+    records to inject (materialised at construction, so an out-of-range
+    chip index fails fast; dropped wholesale when ``REPRO_SERVE_FAULTS=0``),
+    and ``fault_tolerance`` configures the survival machinery — timeouts,
+    capped retries with deterministic backoff, admission control and
+    SLO-driven degradation.  With neither in play the simulator runs the
+    exact pre-fault code path, bit-identically.
     """
 
     def __init__(
@@ -219,6 +322,8 @@ class ServingSimulator:
         max_wait_us: float = 0.0,
         switch_cost: Optional[bool] = None,
         slos: Optional[Dict[str, float]] = None,
+        faults: Optional[Sequence[FaultEvent]] = None,
+        fault_tolerance: Optional[FaultTolerance] = None,
     ) -> None:
         self.fleet = fleet
         self.plan_cache = plan_cache
@@ -236,6 +341,14 @@ class ServingSimulator:
                 raise ValueError(
                     f"SLO target must be positive, got {model}={target_ms}"
                 )
+        self.fault_tolerance = (
+            fault_tolerance if fault_tolerance is not None else FaultTolerance()
+        )
+        self.fault_events: Tuple[FaultEvent, ...] = tuple(faults or ())
+        self._fault_schedule: List[Tuple[float, str, int, float]] = (
+            materialize(self.fault_events, len(fleet.workers))
+            if self.fault_events and faults_enabled() else []
+        )
 
     # ------------------------------------------------------------------
     def run(
@@ -269,12 +382,30 @@ class ServingSimulator:
             raise ValueError("cannot simulate an empty request stream")
         self.fleet.reset()
         self.policy.reset()
+        ft = self.fault_tolerance
+        #: the fault-aware accounting path: completions finalise at the
+        #: chip-free event instead of at dispatch.  Off on fault-free runs,
+        #: whose accounting stays bit-identical to the pre-fault simulator.
+        use_ft = bool(self._fault_schedule) or ft.active
 
-        # --- event heap: (time, kind, seq, payload) ---------------------
-        events: List[Tuple[float, int, int, object]] = []
+        # --- event heap: (time, kind, tie, seq, payload) ----------------
+        # tie is the chip index for chip-bound events (free/fault), so
+        # same-instant chip events resolve by chip id, never by heap
+        # insertion order; seq keeps arrival/deadline FIFO within a tie
+        events: List[Tuple[float, int, int, int, object]] = []
         seq = 0
         for request in initial:
-            heapq.heappush(events, (request.arrival_ns, _EVENT_ARRIVAL, seq, request))
+            heapq.heappush(
+                events, (request.arrival_ns, _EVENT_ARRIVAL, 0, seq, request)
+            )
+            seq += 1
+        first_arrival = min(r.arrival_ns for r in initial)
+        for at_us, action, chip, factor in self._fault_schedule:
+            heapq.heappush(
+                events,
+                (first_arrival + at_us * 1e3, _EVENT_FAULT, chip, seq,
+                 (action, chip, factor)),
+            )
             seq += 1
 
         queues: Dict[str, Deque[Request]] = {}
@@ -294,8 +425,18 @@ class ServingSimulator:
         batches = 0
         last_completion = 0.0
         models_seen: Dict[str, None] = {}
-        first_arrival = min(r.arrival_ns for r in initial)
         last_arrival_ns = first_arrival
+
+        # fault-tolerance state (all of it inert on fault-free runs)
+        inflight: Dict[int, _Inflight] = {}
+        queued_keys: Set[Tuple[int, int]] = set()
+        #: first-arrival time per request id (end-to-end latency baseline
+        #: across retries)
+        origins: Dict[int, float] = {}
+        #: running [attained, completed] per SLO model (degradation trigger)
+        slo_running: Dict[str, List[int]] = {}
+        failures = retries = timeouts_n = shed = lost = degraded = 0
+        smallest_batch = self.batcher.batch_sizes[0]
 
         # time-weighted queue depth accounting
         depth = 0
@@ -310,36 +451,137 @@ class ServingSimulator:
             depth += delta
             depth_max = max(depth_max, depth)
 
+        def push_arrival(request: Request) -> None:
+            nonlocal seq
+            heapq.heappush(
+                events, (request.arrival_ns, _EVENT_ARRIVAL, 0, seq, request)
+            )
+            seq += 1
+
+        def finish_without_service(request: Request, now: float) -> None:
+            """A request leaves the system unserved (shed, lost, timed out).
+
+            Closed-loop clients still get their completion callback — the
+            rejected client thinks and moves on to its next request, so one
+            fault cannot deadlock the client population.
+            """
+            if session is not None:
+                follow_up = session.on_complete(request, now)
+                if follow_up is not None:
+                    push_arrival(follow_up)
+
+        def try_retry(request: Request, now: float) -> bool:
+            """Re-inject a failed request if attempts remain."""
+            nonlocal retries
+            if request.attempt >= ft.max_retries:
+                return False
+            retries += 1
+            push_arrival(retry_request(request, now + ft.backoff_ns(request.attempt)))
+            return True
+
+        def should_shed(request: Request, now: float) -> bool:
+            """Admission-control decision for a first-attempt arrival."""
+            if ft.shed_queue_depth > 0 and depth >= ft.shed_queue_depth:
+                return True
+            if ft.shed_wait_us > 0:
+                up_chips = [w for w in self.fleet.workers if w.up]
+                if not up_chips:
+                    return True
+                # crude but deterministic wait estimate: the backlog spread
+                # over the live chips, each request costing the fastest
+                # single-request service this model has on any live class
+                fastest = min(
+                    self.plan_cache.get(request.model, chip_name,
+                                        smallest_batch).latency_ns
+                    for chip_name in {w.chip_name for w in up_chips}
+                )
+                estimated_wait = depth * fastest / len(up_chips)
+                if estimated_wait > ft.shed_wait_us * 1e3:
+                    return True
+            return False
+
+        def finalize(worker: ChipWorker, record: _Inflight, now: float) -> None:
+            """Complete a batch at its chip-free event (fault-aware path)."""
+            nonlocal batches, padded_batches, last_completion
+            del inflight[worker.index]
+            worker.busy_ns += record.service_ns
+            worker.batches_served += 1
+            worker.requests_served += record.served
+            worker.energy_pj += record.plan.energy_pj
+            batches += 1
+            batch_histogram[record.batch] = batch_histogram.get(record.batch, 0) + 1
+            served_histogram[record.served] = (
+                served_histogram.get(record.served, 0) + 1
+            )
+            if record.served < record.batch:
+                padded_batches += 1
+            for request in record.requests:
+                total = now - origins.get(request.request_id, request.arrival_ns)
+                latencies.append(total)
+                waits.append(record.start_ns - request.arrival_ns)
+                if request.model in self.slos:
+                    by_model.setdefault(request.model, []).append(total)
+                    running = slo_running.setdefault(request.model, [0, 0])
+                    running[1] += 1
+                    if total <= self.slos[request.model] * 1e6:
+                        running[0] += 1
+                if session is not None:
+                    follow_up = session.on_complete(request, now)
+                    if follow_up is not None:
+                        push_arrival(follow_up)
+            last_completion = max(last_completion, now)
+
+        def behind_slo(model: str) -> bool:
+            """Whether graceful degradation should kick in for ``model``."""
+            if ft.degrade_below <= 0 or model not in self.slos:
+                return False
+            running = slo_running.get(model)
+            if not running or running[1] == 0:
+                return False
+            return running[0] / running[1] < ft.degrade_below
+
         def try_dispatch(now: float) -> None:
-            nonlocal seq, batches, padded_batches, last_completion
+            nonlocal seq, batches, padded_batches, last_completion, degraded
             while True:
-                idle = self.fleet.idle_workers(now)
+                # a chip whose batch has not been finalised yet (its
+                # chip-free event is later in this same instant) is not
+                # dispatchable — inflight is empty on fault-free runs
+                idle = [w for w in self.fleet.idle_workers(now)
+                        if w.index not in inflight]
                 if not idle:
                     return
                 candidates = self.policy.order_queues(queues)
                 progressed = False
                 for model in candidates:
                     queue = queues[model]
+
+                    # cost each candidate batch size on the chip the
+                    # policy would actually dispatch it to — on a
+                    # heterogeneous fleet the next larger batch may
+                    # route to a different chip class than the current
+                    # one, and with switch cost on a cold chip's
+                    # switch charge must be part of the comparison
+                    def cost_of(candidate_batch: int) -> float:
+                        worker = self.policy.choose_worker(
+                            idle, model, candidate_batch,
+                            self.plan_cache, now, self.switch_cost,
+                        )
+                        plan = plan_for(self.plan_cache, worker, model,
+                                        candidate_batch)
+                        return service_latency_ns(plan, worker,
+                                                  self.switch_cost)
+
                     if forced.get(model):
                         batch = self.batcher.dispatch_size(len(queue))
+                    elif use_ft and behind_slo(model):
+                        # graceful degradation: the model is missing its
+                        # SLO — skip the batching hold and take the
+                        # latency-optimal dispatch for the queue we have
+                        fitting = ([b for b in self.batcher.batch_sizes
+                                    if b <= len(queue)] or [smallest_batch])
+                        batch = min(fitting, key=lambda b: (cost_of(b), b))
+                        degraded += 1
                     else:
-                        # cost each candidate batch size on the chip the
-                        # policy would actually dispatch it to — on a
-                        # heterogeneous fleet the next larger batch may
-                        # route to a different chip class than the current
-                        # one, and with switch cost on a cold chip's
-                        # switch charge must be part of the comparison
-                        def cost_of(candidate_batch: int) -> float:
-                            worker = self.policy.choose_worker(
-                                idle, model, candidate_batch,
-                                self.plan_cache, now, self.switch_cost,
-                            )
-                            plan = self.plan_cache.get(
-                                model, worker.chip_name, candidate_batch
-                            )
-                            return service_latency_ns(plan, worker,
-                                                      self.switch_cost)
-
                         batch, deadline = self.batcher.choose(
                             queue_len=len(queue),
                             now_ns=now,
@@ -352,7 +594,8 @@ class ServingSimulator:
                             if pending_deadline.get(model) != deadline:
                                 pending_deadline[model] = deadline
                                 heapq.heappush(
-                                    events, (deadline, _EVENT_DEADLINE, seq, model)
+                                    events,
+                                    (deadline, _EVENT_DEADLINE, 0, seq, model),
                                 )
                                 seq += 1
                             continue
@@ -363,7 +606,7 @@ class ServingSimulator:
                     batch_requests = [queue.popleft() for _ in range(served)]
                     forced.pop(model, None)
                     pending_deadline.pop(model, None)
-                    plan = self.plan_cache.get(model, worker.chip_name, batch)
+                    plan = plan_for(self.plan_cache, worker, model, batch)
                     service_ns = service_latency_ns(plan, worker, self.switch_cost)
                     if is_plan_switch(plan, worker, self.switch_cost):
                         worker.plan_switches += 1
@@ -371,36 +614,53 @@ class ServingSimulator:
                     worker.loaded_plan = plan.key
                     completion = now + service_ns
                     worker.busy_until_ns = completion
-                    worker.busy_ns += service_ns
-                    worker.batches_served += 1
-                    worker.requests_served += served
-                    worker.energy_pj += plan.energy_pj
-                    heapq.heappush(events, (completion, _EVENT_FREE, seq, worker.index))
+                    heapq.heappush(
+                        events,
+                        (completion, _EVENT_FREE, worker.index, seq, worker.index),
+                    )
                     seq += 1
-                    for request in batch_requests:
-                        latencies.append(completion - request.arrival_ns)
-                        waits.append(now - request.arrival_ns)
-                        if request.model in self.slos:
-                            by_model.setdefault(request.model, []).append(
-                                completion - request.arrival_ns
+                    if use_ft:
+                        for request in batch_requests:
+                            queued_keys.discard(
+                                (request.request_id, request.attempt)
                             )
-                        if session is not None:
-                            follow_up = session.on_complete(request, completion)
-                            if follow_up is not None:
-                                heapq.heappush(
-                                    events,
-                                    (follow_up.arrival_ns, _EVENT_ARRIVAL,
-                                     seq, follow_up),
+                        inflight[worker.index] = _Inflight(
+                            epoch=worker.epoch,
+                            start_ns=now,
+                            completion_ns=completion,
+                            service_ns=service_ns,
+                            plan=plan,
+                            batch=batch,
+                            served=served,
+                            requests=batch_requests,
+                            model=model,
+                        )
+                    else:
+                        # fault-free accounting at dispatch — the exact
+                        # pre-fault path, kept bit-identical
+                        worker.busy_ns += service_ns
+                        worker.batches_served += 1
+                        worker.requests_served += served
+                        worker.energy_pj += plan.energy_pj
+                        for request in batch_requests:
+                            latencies.append(completion - request.arrival_ns)
+                            waits.append(now - request.arrival_ns)
+                            if request.model in self.slos:
+                                by_model.setdefault(request.model, []).append(
+                                    completion - request.arrival_ns
                                 )
-                                seq += 1
+                            if session is not None:
+                                follow_up = session.on_complete(request, completion)
+                                if follow_up is not None:
+                                    push_arrival(follow_up)
+                        batches += 1
+                        batch_histogram[batch] = batch_histogram.get(batch, 0) + 1
+                        served_histogram[served] = served_histogram.get(served, 0) + 1
+                        if served < batch:
+                            padded_batches += 1
+                        last_completion = max(last_completion, completion)
                     self.policy.note_dispatch(model, served)
                     change_depth(now, -served)
-                    batches += 1
-                    batch_histogram[batch] = batch_histogram.get(batch, 0) + 1
-                    served_histogram[served] = served_histogram.get(served, 0) + 1
-                    if served < batch:
-                        padded_batches += 1
-                    last_completion = max(last_completion, completion)
                     progressed = True
                     break
                 if not progressed:
@@ -408,36 +668,109 @@ class ServingSimulator:
 
         # --- event loop -------------------------------------------------
         while events:
-            now, kind, _, payload = heapq.heappop(events)
+            now, kind, _, _, payload = heapq.heappop(events)
             if kind == _EVENT_ARRIVAL:
                 request = payload
                 model = request.model
-                previous = last_arrival.get(model)
-                if previous is not None:
-                    gap = request.arrival_ns - previous
-                    # simultaneous arrivals (duplicate trace timestamps,
-                    # batch completions under closed-loop traffic) carry no
-                    # rate information: a zero gap would drag the EMA
-                    # toward 0 and make the batcher hold to the deadline
-                    if gap > 0:
-                        current = ema.get(model)
-                        ema[model] = (
-                            gap if current is None
-                            else _EMA_ALPHA * gap + (1.0 - _EMA_ALPHA) * current
-                        )
-                last_arrival[model] = request.arrival_ns
-                last_arrival_ns = max(last_arrival_ns, request.arrival_ns)
-                models_seen.setdefault(model)
+                if request.attempt == 0:
+                    previous = last_arrival.get(model)
+                    if previous is not None:
+                        gap = request.arrival_ns - previous
+                        # simultaneous arrivals (duplicate trace timestamps,
+                        # batch completions under closed-loop traffic) carry no
+                        # rate information: a zero gap would drag the EMA
+                        # toward 0 and make the batcher hold to the deadline
+                        if gap > 0:
+                            current = ema.get(model)
+                            ema[model] = (
+                                gap if current is None
+                                else _EMA_ALPHA * gap + (1.0 - _EMA_ALPHA) * current
+                            )
+                    last_arrival[model] = request.arrival_ns
+                    last_arrival_ns = max(last_arrival_ns, request.arrival_ns)
+                    models_seen.setdefault(model)
+                    remaining[model] -= 1
+                    if use_ft:
+                        origins[request.request_id] = request.arrival_ns
+                        if should_shed(request, now):
+                            shed += 1
+                            finish_without_service(request, now)
+                            try_dispatch(now)
+                            continue
+                # retries skip the rate bookkeeping above — a re-submission
+                # is not new offered load — and bypass admission control
+                # (the request was already admitted once)
                 queues.setdefault(model, deque()).append(request)
-                remaining[model] -= 1
                 change_depth(now, +1)
+                if use_ft:
+                    queued_keys.add((request.request_id, request.attempt))
+                    if ft.timeout_us > 0:
+                        heapq.heappush(
+                            events,
+                            (now + ft.timeout_us * 1e3, _EVENT_TIMEOUT, 0, seq,
+                             request),
+                        )
+                        seq += 1
+            elif kind == _EVENT_FAULT:
+                action, chip, factor = payload
+                worker = self.fleet.workers[chip]
+                if action == ACTION_FAIL:
+                    if worker.up:
+                        worker.up = False
+                        worker.epoch += 1
+                        worker.failures += 1
+                        worker.down_since_ns = now
+                        failures += 1
+                        record = inflight.pop(chip, None)
+                        if record is not None:
+                            # the in-flight batch dies with the chip: its
+                            # partial work is wasted and every rider retries
+                            # (with backoff) or is lost
+                            worker.lost_batches += 1
+                            worker.lost_requests += record.served
+                            worker.lost_ns += now - record.start_ns
+                            for request in record.requests:
+                                if not try_retry(request, now):
+                                    lost += 1
+                                    finish_without_service(request, now)
+                elif action == ACTION_RECOVER:
+                    if not worker.up:
+                        worker.up = True
+                        worker.downtime_ns += now - worker.down_since_ns
+                        worker.down_since_ns = None
+                        worker.busy_until_ns = now
+                elif action == ACTION_STRAGGLE:
+                    # in-flight batches keep their completion time; the new
+                    # factor prices every dispatch from here on
+                    worker.latency_factor = factor
+                elif action == ACTION_DRAM:
+                    worker.dram_factor = factor
+            elif kind == _EVENT_TIMEOUT:
+                request = payload
+                key = (request.request_id, request.attempt)
+                if key in queued_keys:
+                    queued_keys.discard(key)
+                    queues[request.model].remove(request)
+                    change_depth(now, -1)
+                    if not try_retry(request, now):
+                        timeouts_n += 1
+                        finish_without_service(request, now)
             elif kind == _EVENT_DEADLINE:
                 model = payload
                 if pending_deadline.get(model) == now and queues.get(model):
                     forced[model] = True
                     pending_deadline.pop(model, None)
-            # _EVENT_FREE carries no state change: the worker's counters were
-            # updated at dispatch, and busy_until_ns now equals `now`
+            elif kind == _EVENT_FREE and use_ft:
+                record = inflight.get(payload)
+                worker = self.fleet.workers[payload]
+                if (record is not None and record.completion_ns == now
+                        and record.epoch == worker.epoch):
+                    finalize(worker, record, now)
+                # otherwise the event is stale: the chip died (and maybe
+                # recovered) since this batch was dispatched
+            # on the fault-free path _EVENT_FREE carries no state change:
+            # the worker's counters were updated at dispatch, and
+            # busy_until_ns now equals `now`
             try_dispatch(now)
 
         # --- report -----------------------------------------------------
@@ -445,9 +778,21 @@ class ServingSimulator:
         # carry large epoch-style timestamps, and the idle prefix before the
         # first request exists must not dilute throughput/utilisation (the
         # queue-depth integral already starts there)
-        makespan_ns = max(last_completion, last_arrival_ns) - first_arrival
+        end_ns = max(last_completion, last_arrival_ns)
+        makespan_ns = end_ns - first_arrival
         span_s = makespan_ns * 1e-9
         offered_span_s = (last_arrival_ns - first_arrival) * 1e-9
+        for worker in self.fleet.workers:
+            # close the books on chips still down when the run ends
+            if not worker.up and worker.down_since_ns is not None:
+                worker.downtime_ns += max(0.0, end_ns - worker.down_since_ns)
+                worker.down_since_ns = end_ns
+        total_downtime_ns = sum(w.downtime_ns for w in self.fleet.workers)
+        availability = (
+            max(0.0, min(1.0, 1.0 - total_downtime_ns
+                         / (len(self.fleet.workers) * makespan_ns)))
+            if makespan_ns > 0 else 1.0
+        )
         latencies.sort()
         waits.sort()
         total_energy_pj = sum(w.energy_pj for w in self.fleet.workers)
@@ -466,6 +811,10 @@ class ServingSimulator:
             if self.switch_cost:
                 row["plan_switches"] = worker.plan_switches
                 row["switch_ms"] = worker.switch_ns * 1e-6
+            if use_ft:
+                row["failures"] = worker.failures
+                row["downtime_ms"] = worker.downtime_ns * 1e-6
+                row["lost_requests"] = worker.lost_requests
             per_chip.append(row)
         slo_blocks: Dict[str, Dict[str, float]] = {}
         for model, target_ms in sorted(self.slos.items()):
@@ -524,5 +873,14 @@ class ServingSimulator:
             plan_switches=sum(w.plan_switches for w in self.fleet.workers),
             switch_ms=sum(w.switch_ns for w in self.fleet.workers) * 1e-6,
             slo=slo_blocks,
+            fault_tolerance=use_ft,
+            failures=failures,
+            retries=retries,
+            timeouts=timeouts_n,
+            shed=shed,
+            lost=lost,
+            lost_work_ms=sum(w.lost_ns for w in self.fleet.workers) * 1e-6,
+            degraded_dispatches=degraded,
+            availability=availability,
             plan_cache=self.plan_cache.stats.as_dict(),
         )

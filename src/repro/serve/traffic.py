@@ -31,6 +31,7 @@ Generators are registered by name in :data:`TRAFFIC_GENERATORS`; the CLI's
 from __future__ import annotations
 
 import abc
+import dataclasses
 import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
@@ -48,13 +49,28 @@ class Request:
 
     ``client`` tags the closed-loop client that issued the request (so the
     simulator can hand the completion back to the right client); open-loop
-    generators leave it at ``-1``.
+    generators leave it at ``-1``.  ``attempt`` counts fault-tolerant
+    re-submissions: generators always issue attempt 0, and the simulator
+    re-injects a request lost to a chip failure or timeout as attempt
+    ``n + 1`` via :func:`retry_request` — same identity, new arrival time.
     """
 
     request_id: int
     model: str
     arrival_ns: float
     client: int = -1
+    attempt: int = 0
+
+
+def retry_request(request: Request, arrival_ns: float) -> Request:
+    """The next attempt of a failed request, re-arriving at ``arrival_ns``.
+
+    Identity (id, model, client) is preserved — a retry is the same request
+    trying again after its deterministic backoff, not new offered load.
+    """
+    return dataclasses.replace(
+        request, arrival_ns=float(arrival_ns), attempt=request.attempt + 1
+    )
 
 
 class TrafficGenerator(abc.ABC):

@@ -106,8 +106,9 @@ def render_serving_report(report: "ServingReport") -> str:
     throughput and tail-latency headline, the batching mix (nominal batch
     histogram, plus the served histogram when padded batches make the two
     differ), plan-switch counts when switch cost is modelled, per-model
-    SLO attainment when targets are set, the per-chip utilisation table
-    and the plan-cache counters.
+    SLO attainment when targets are set, a fault/availability section when
+    faults were injected or fault-tolerance machinery was active, the
+    per-chip utilisation table and the plan-cache counters.
     """
     traffic = report.traffic
     batches_line = (
@@ -153,11 +154,24 @@ def render_serving_report(report: "ServingReport") -> str:
             f"(p50 {block['p50_ms']:.3f}, p95 {block['p95_ms']:.3f}, "
             f"p99 {block['p99_ms']:.3f})"
         )
+    if report.fault_tolerance:
+        lines.append(
+            f"  faults                : {report.failures} chip failures, "
+            f"{report.retries} retries, {report.timeouts} timeouts, "
+            f"{report.shed} shed, {report.lost} lost"
+        )
+        lines.append(
+            f"  availability          : {report.availability:.2%} "
+            f"({report.lost_work_ms:.3f} ms lost work, "
+            f"{report.degraded_dispatches} degraded dispatches)"
+        )
     if report.per_chip:
         lines.append("  per-chip utilisation:")
         columns = ["chip", "batches", "requests", "busy_ms", "utilisation", "energy_mj"]
         if report.switch_cost:
             columns += ["plan_switches", "switch_ms"]
+        if report.fault_tolerance:
+            columns += ["failures", "downtime_ms", "lost_requests"]
         table = format_table(report.per_chip, columns=columns)
         lines.extend("    " + row for row in table.splitlines())
     cache = report.plan_cache

@@ -330,3 +330,76 @@ class TestServeCommand:
         assert args.policy == "fair"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--policy", "magic"])
+
+
+class TestServeFaultCLI:
+    BASE = ["serve", "--model", "squeezenet", "--chip", "S", "--optimizer", "dp",
+            "--traffic", "poisson", "--seed", "0", "--requests", "40"]
+
+    def test_inject_chip_fail_with_retries(self, capsys, tmp_path):
+        output = tmp_path / "faults.json"
+        assert main(self.BASE + ["--fleet", "S:2",
+                                 "--inject", "chip_fail@300:chip=0,until=3000",
+                                 "--retries", "2", "--timeout-us", "8000",
+                                 "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "chip failures" in out
+        assert "availability" in out
+        data = json.loads(output.read_text())
+        assert data["faults"]["failures"] == 1
+        assert data["completed"] == 40
+        assert "downtime_ms" in data["per_chip"][0]
+
+    def test_no_fault_run_keeps_legacy_output(self, capsys, tmp_path):
+        output = tmp_path / "clean.json"
+        assert main(self.BASE + ["--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "chip failures" not in out
+        assert "availability" not in out
+        assert "faults" not in json.loads(output.read_text())
+
+    def test_inject_repeatable(self, capsys):
+        assert main(self.BASE + ["--inject", "straggler@100:chip=0,factor=2",
+                                 "--inject", "dram_degrade@200:chip=0,factor=2"]) == 0
+        assert "availability" in capsys.readouterr().out
+
+    def test_malformed_inject_rejected(self, capsys):
+        assert main(self.BASE + ["--inject", "bogus@500:chip=0"]) == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+        assert main(self.BASE + ["--inject", "chip_fail@soon:chip=0"]) == 2
+        assert "not a number" in capsys.readouterr().err
+        assert main(self.BASE + ["--inject", "chip_fail@500:color=red"]) == 2
+        assert "unknown key" in capsys.readouterr().err
+        assert main(self.BASE + ["--inject", "chip_fail"]) == 2
+        assert "expected KIND@AT_US" in capsys.readouterr().err
+
+    def test_out_of_range_chip_rejected(self, capsys):
+        assert main(self.BASE + ["--inject", "chip_fail@500:chip=9"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_negative_knobs_rejected(self, capsys):
+        assert main(self.BASE + ["--retries", "-1"]) == 2
+        assert "max_retries" in capsys.readouterr().err
+        assert main(self.BASE + ["--timeout-us", "-1"]) == 2
+        assert "timeout_us" in capsys.readouterr().err
+        assert main(self.BASE + ["--retry-backoff-us", "-1"]) == 2
+        assert "retry_backoff_us" in capsys.readouterr().err
+        assert main(self.BASE + ["--shed-queue-depth", "-1"]) == 2
+        assert "shed_queue_depth" in capsys.readouterr().err
+        assert main(self.BASE + ["--shed-wait-us", "-1"]) == 2
+        assert "shed_wait_us" in capsys.readouterr().err
+        assert main(self.BASE + ["--degrade-below", "1.5"]) == 2
+        assert "degrade_below" in capsys.readouterr().err
+        # pre-existing knobs keep the same friendly exit-2 contract
+        assert main(self.BASE + ["--max-wait-us", "-5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_shedding_flags_end_to_end(self, capsys, tmp_path):
+        output = tmp_path / "shed.json"
+        assert main(self.BASE + ["--rate", "50000",
+                                 "--shed-queue-depth", "4",
+                                 "--output", str(output)]) == 0
+        capsys.readouterr()
+        data = json.loads(output.read_text())
+        assert data["faults"]["shed"] > 0
+        assert data["completed"] + data["faults"]["shed"] == 40

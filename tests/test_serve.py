@@ -1023,3 +1023,88 @@ class TestServingReportRoundTrip:
         assert "switch" not in loaded
         assert "slo" not in loaded
         assert all("plan_switches" not in row for row in loaded["per_chip"])
+
+
+# ----------------------------------------------------------------------
+# Fault-free bit-identity against the pre-fault simulator (PR 6 pins)
+# ----------------------------------------------------------------------
+def _load_pre_pr6():
+    path = os.path.join(os.path.dirname(__file__), "data", "serving_pre_pr6.json")
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _replay_capture(expected):
+    """Re-run a pinned scenario from its own stored report.
+
+    Every knob the run needs is recoverable from the capture (fleet, policy,
+    batching, traffic parameters, SLO targets, whether switch cost was on),
+    so the pin cannot drift from the scenario it describes.
+    """
+    traffic_info = expected["traffic"]
+    models = list(traffic_info["models"])
+    fleet = Fleet.from_spec(expected["fleet"])
+    cache = PlanCache(optimizer=expected["optimizer"])
+    batch_sizes = tuple(expected["batch_sizes"])
+    cache.warmup(models, fleet.chip_names, batch_sizes)
+    slos = {model: block["target_ms"]
+            for model, block in expected.get("slo", {}).items()} or None
+    simulator = ServingSimulator(
+        fleet, cache, policy=expected["policy"], batch_sizes=batch_sizes,
+        max_wait_us=expected["max_wait_us"],
+        switch_cost="switch" in expected, slos=slos,
+    )
+    if traffic_info["traffic"] == "closed":
+        traffic = ClosedLoopTraffic(
+            models, num_requests=traffic_info["num_requests"],
+            seed=traffic_info["seed"], clients=traffic_info["clients"],
+            concurrency=traffic_info["concurrency"],
+            mean_think_s=traffic_info["mean_think_s"],
+        )
+        return simulator.run(traffic)
+    traffic = PoissonTraffic(models, num_requests=traffic_info["num_requests"],
+                             seed=traffic_info["seed"],
+                             rate_rps=traffic_info["rate_rps"])
+    return simulator.run(traffic.generate(), traffic_info=traffic.describe())
+
+
+class TestPrePr6Pins:
+    """The fault-machinery PR's no-fault contract: with no faults injected
+    and no fault-tolerance knob set, every report key is bit-identical to
+    the pre-fault simulator — no ``faults`` block, no per-chip downtime
+    columns, same accounting to the last float."""
+
+    @pytest.mark.parametrize("scenario", [
+        "open_latency_switch_on",
+        "hetero_fair_slo_switch_on",
+        "closed_fair_switch_off",
+    ])
+    def test_bit_identical(self, scenario):
+        expected = _load_pre_pr6()[scenario]
+        report = _replay_capture(expected)
+        assert not report.fault_tolerance
+        assert report.determinism_dict() == expected
+
+    def test_closed_fair_switch_env_off_matches_pin(self, monkeypatch):
+        # REPRO_SERVE_SWITCH_COST=0 with the fair policy under closed-loop
+        # traffic: the env default must reproduce the explicit
+        # switch_cost=False capture bit-for-bit
+        expected = _load_pre_pr6()["closed_fair_switch_off"]
+        monkeypatch.setenv("REPRO_SERVE_SWITCH_COST", "0")
+        traffic_info = expected["traffic"]
+        fleet = Fleet.from_spec(expected["fleet"])
+        cache = PlanCache(optimizer="dp")
+        cache.warmup(list(traffic_info["models"]), fleet.chip_names, BATCHES)
+        traffic = ClosedLoopTraffic(
+            list(traffic_info["models"]), num_requests=traffic_info["num_requests"],
+            seed=traffic_info["seed"], clients=traffic_info["clients"],
+            concurrency=traffic_info["concurrency"],
+            mean_think_s=traffic_info["mean_think_s"],
+        )
+        simulator = ServingSimulator(fleet, cache, policy="fair",
+                                     batch_sizes=BATCHES,
+                                     max_wait_us=expected["max_wait_us"])
+        assert not simulator.switch_cost
+        report = simulator.run(traffic)
+        assert report.policy == "fair"
+        assert report.determinism_dict() == expected
