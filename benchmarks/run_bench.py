@@ -24,7 +24,7 @@ Environment variables:
     the partition-search headliners ``test_dp_optimal_search`` /
     ``test_optimality_gap_experiment``, and the serving headliners
     ``test_serving_throughput`` / ``test_serving_switch_cost`` /
-    ``test_serving_faults``).
+    ``test_serving_faults`` / ``test_serving_control``).
 ``REPRO_BENCH_OUT=<path>``
     Override the output JSON path.
 ``COMPASS_PAPER_SCALE=1``
@@ -59,7 +59,7 @@ def main(argv=None) -> int:
     if os.environ.get("REPRO_BENCH_QUICK"):
         cmd += ["-k", "fig6_throughput or fig10_ga or dp_optimal or optimality_gap"
                       " or serving_throughput or serving_switch_cost"
-                      " or serving_faults"]
+                      " or serving_faults or serving_control"]
     cmd += argv
 
     env = dict(os.environ)

@@ -1,6 +1,6 @@
 """Serving-throughput benchmarks (beyond the paper).
 
-Three headliners ride with the quick-bench set:
+Four headliners ride with the quick-bench set:
 
 * ``test_serving_throughput`` — a Poisson request stream for ResNet18
   against a two-chip M fleet, scheduled with dynamic batching and the
@@ -17,6 +17,11 @@ Three headliners ride with the quick-bench set:
   with retries, a straggler window, a per-request timeout and admission
   control: the fault-aware accounting path (chip-free finalisation,
   in-flight kill + retry, timeout bookkeeping) under load.
+* ``test_serving_control`` — the same fault scenario with the
+  self-healing control plane running on a 200 µs tick: health-signal
+  bookkeeping at every dispatch/completion, detection + quarantine,
+  hedged requests, the SLO-driven autoscaler and plan re-placement — the
+  full per-tick controller overhead on top of the fault-aware path.
 
 The captured output doubles as the experimental record: the summary rows
 carry sustained throughput, p50/p95/p99 latency, batch mix, plan-switch
@@ -26,6 +31,7 @@ counts and per-chip utilisation for the fixed seed.
 from __future__ import annotations
 
 from repro.serve import (
+    ControlConfig,
     FaultTolerance,
     Fleet,
     PlanCache,
@@ -140,3 +146,47 @@ def test_serving_faults(benchmark):
           f"timeouts: {report.timeouts}, shed: {report.shed}, "
           f"lost: {report.lost}; availability {report.availability:.2%} "
           f"({report.lost_work_ms:.3f} ms lost work)")
+
+
+def test_serving_control(benchmark):
+    fleet, cache, traffic, requests = _setup()
+    # the fault scenario of test_serving_faults, now supervised: the
+    # controller must detect the failure, hedge the straggler's slow
+    # requests, and autoscale through the capacity dip
+    span_us = NUM_REQUESTS / traffic.rate_rps * 1e6
+    faults = [
+        parse_inject(f"chip_fail@{0.2 * span_us:.0f}:chip=0,"
+                     f"until={0.5 * span_us:.0f}"),
+        parse_inject(f"straggler@{0.5 * span_us:.0f}:chip=1,factor=1.5,"
+                     f"until={0.8 * span_us:.0f}"),
+    ]
+    fault_tolerance = FaultTolerance(timeout_us=0.5 * span_us, max_retries=2,
+                                     retry_priority=True)
+    control = ControlConfig(interval_us=200.0, hedge_after_pct=90.0,
+                            autoscale=True, min_chips=2, max_chips=4,
+                            cooldown_us=1000.0)
+
+    def serve():
+        simulator = ServingSimulator(fleet, cache, policy="latency",
+                                     batch_sizes=BATCHES, max_wait_us=200.0,
+                                     slos={MODEL: 12.0}, switch_cost=True,
+                                     faults=faults,
+                                     fault_tolerance=fault_tolerance,
+                                     control=control)
+        return simulator.run(requests, traffic_info=traffic.describe())
+
+    report = benchmark(serve)
+    control_block = report.control
+    assert control_block["ticks"] > 0
+    assert report.completed + report.shed + report.timeouts + report.lost \
+        == NUM_REQUESTS
+    print(f"\nServing {MODEL} on {report.fleet_spec} self-healing "
+          f"(control tick 200 us, hedging + autoscale, seed {SEED}):")
+    print(format_table([report.summary_row()]))
+    print(f"ticks: {control_block['ticks']}, detections: "
+          f"{control_block['detections']} "
+          f"({control_block['true_detections']} true), quarantines: "
+          f"{control_block['quarantines']}, hedges: {control_block['hedges']}, "
+          f"scale: +{control_block['scale_ups']}/-{control_block['scale_downs']}, "
+          f"re-placements: {control_block['replacements']}; SLO attainment "
+          f"{report.slo[MODEL]['attainment']:.1%}")

@@ -1,0 +1,121 @@
+"""Self-healing serving: the control plane closing the loop on failures.
+
+PR 6's fault-tolerance knobs give individual requests survival tools;
+:mod:`repro.serve.control` gives the *fleet* a supervisor.  This example
+serves one fixed Poisson stream on a three-chip fleet while two things go
+wrong at once — one chip dies mid-run and another turns into a 6x
+straggler — and compares three configurations:
+
+1. fault tolerance only (retries + timeouts): requests survive, but the
+   scheduler keeps feeding the sick chips and tail latency collapses;
+2. the control plane's detection/quarantine + hedging: stalled and
+   straggling chips are detected from the controller's own health
+   signals, drained, and probation-readmitted; slow in-flight requests
+   are hedged onto healthy chips;
+3. the full self-healing stack: quarantine + hedging + the SLO-driven
+   autoscaler (cold chips pay their weight-replacement cost) + plan
+   re-placement across the survivors.
+
+Everything is deterministic: the controller consumes no randomness, so
+re-running this script produces byte-identical output.
+
+Run with::
+
+    PYTHONPATH=src python examples/self_healing.py
+"""
+
+from repro.evaluation.registry import shared_plan_cache
+from repro.serve import (
+    ControlConfig,
+    FaultTolerance,
+    Fleet,
+    PoissonTraffic,
+    ServingSimulator,
+    fleet_capacity_rps,
+    parse_inject,
+)
+from repro.sim.report import format_table, render_serving_report
+
+MODEL = "resnet18"
+BATCHES = (1, 2, 4, 8)
+REQUESTS = 200
+SEED = 0
+SLO_MS = 12.0
+
+
+def main() -> None:
+    cache = shared_plan_cache("dp")
+    base_fleet = Fleet.from_spec("M:3")
+    cache.warmup((MODEL,), base_fleet.chip_names, BATCHES)
+    rate = 1.0 * fleet_capacity_rps(cache, base_fleet, (MODEL,), BATCHES)
+
+    # the same double fault for every run: chip 0 dies early and stays
+    # down for most of the stream, chip 1 straggles at 6x from the start
+    span_us = REQUESTS / rate * 1e6
+    faults = [
+        parse_inject(f"chip_fail@{0.05 * span_us:.0f}:chip=0,"
+                     f"until={0.8 * span_us:.0f}"),
+        parse_inject(f"straggler@{0.02 * span_us:.0f}:chip=1,factor=6"),
+    ]
+    ft = FaultTolerance(timeout_us=0.3 * span_us, max_retries=2,
+                        retry_priority=True)
+    print(f"offered rate {rate:.0f} req/s (100% of the healthy fleet's "
+          f"capacity);\nchip M#0 down {0.05 * span_us / 1e3:.1f} .. "
+          f"{0.8 * span_us / 1e3:.1f} ms, chip M#1 straggling at 6x\n")
+
+    def serve(label, control=None):
+        traffic = PoissonTraffic(MODEL, num_requests=REQUESTS, seed=SEED,
+                                 rate_rps=rate)
+        simulator = ServingSimulator(Fleet.from_spec("M:3"), cache,
+                                     policy="latency", batch_sizes=BATCHES,
+                                     max_wait_us=200.0, slos={MODEL: SLO_MS},
+                                     faults=faults, fault_tolerance=ft,
+                                     control=control)
+        report = simulator.run(traffic.generate(),
+                               traffic_info=traffic.describe())
+        return label, report
+
+    detect = ControlConfig(interval_us=200.0, hedge_after_pct=80.0,
+                           probation_us=5000.0)
+    full = ControlConfig(interval_us=200.0, hedge_after_pct=80.0,
+                         probation_us=5000.0, autoscale=True,
+                         min_chips=2, max_chips=6, cooldown_us=500.0)
+    runs = [
+        serve("fault tolerance only"),
+        serve("+ quarantine + hedging", control=detect),
+        serve("+ autoscale + re-placement", control=full),
+    ]
+
+    rows = []
+    for label, report in runs:
+        control = report.control
+        rows.append({
+            "scenario": label,
+            "completed": report.completed,
+            "timeouts": report.timeouts,
+            "p99_ms": report.latency_ms["p99"],
+            "slo_attainment": report.slo[MODEL]["attainment"],
+            "quarantines": int(control.get("quarantines", 0)),
+            "hedges": int(control.get("hedges", 0)),
+            "chips": int(control.get("final_chips", 0)) or 3,
+        })
+    print("the same double fault under increasing self-healing "
+          f"(SLO {MODEL}={SLO_MS:g} ms):")
+    print(format_table(rows))
+    print()
+    print("detection + hedging trims the tail — the controller drains the "
+          "dead and\nstraggling chips from its own signals (scored against "
+          "the injected ground\ntruth in the control block) and hedges "
+          "their slow in-flight requests — but\nwith two of three chips "
+          "sick, no amount of routing restores attainment.\nThat takes the "
+          "autoscaler: cold chips join, pay their weight-replacement\ncost "
+          "once, and the re-placement solve pre-warms the plans the "
+          "observed\ntraffic mix wants — SLO attainment recovers even "
+          "though the double fault\nstill happened.\n")
+
+    # the full report of the self-healing run, control section included
+    print(render_serving_report(runs[2][1]))
+
+
+if __name__ == "__main__":
+    main()

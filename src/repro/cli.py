@@ -52,6 +52,7 @@ from repro.serve import (
     POLICIES,
     TRAFFIC_GENERATORS,
     ClosedLoopTraffic,
+    ControlConfig,
     FaultTolerance,
     Fleet,
     PlanCache,
@@ -60,6 +61,7 @@ from repro.serve import (
     fleet_capacity_rps,
     parse_inject,
     save_trace,
+    validate_fault_targets,
     validate_policy,
 )
 from repro.sim.report import (
@@ -161,6 +163,50 @@ def _parse_slos(entries: Optional[Sequence[str]],
     return slos
 
 
+def _parse_control(args: argparse.Namespace) -> Optional[ControlConfig]:
+    """Build the control-plane config from the serve flags (None = off).
+
+    ``--control-interval-us`` is the master switch; asking for any control
+    feature (hedging, autoscaling) without it is an error rather than a
+    silent no-op.
+    """
+    autoscale = args.autoscale is not None
+    if args.control_interval_us <= 0:
+        if args.hedge_after_pct > 0 or autoscale:
+            raise ValueError(
+                "--hedge-after-pct/--autoscale need the control plane: "
+                "set --control-interval-us to a positive interval"
+            )
+        return None
+    min_chips, max_chips = 1, 8
+    if autoscale:
+        spec = str(args.autoscale)
+        lo, sep, hi = spec.partition(":")
+        try:
+            if not sep:
+                raise ValueError(spec)
+            min_chips, max_chips = int(lo), int(hi)
+        except ValueError:
+            raise ValueError(
+                f"bad --autoscale {spec!r}; expected MIN:MAX chip counts"
+            ) from None
+    return ControlConfig(
+        interval_us=args.control_interval_us,
+        quarantine_after=args.quarantine_after,
+        straggler_ratio=args.straggler_ratio,
+        probation_us=args.probation_us,
+        hedge_after_pct=args.hedge_after_pct,
+        autoscale=autoscale,
+        min_chips=min_chips,
+        max_chips=max_chips,
+        scale_up_below=args.scale_up_below,
+        scale_down_util=args.scale_down_util,
+        cooldown_us=args.cooldown_us,
+        scale_chip=args.scale_chip,
+        replace_plans=not args.no_replace_plans,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     error = _check_optimizer(args.optimizer)
     if error is not None:
@@ -169,6 +215,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     try:
         validate_policy(args.policy)
         fleet = Fleet.from_spec(args.fleet or f"{args.chip}:{args.num_chips}")
+        # parse and target-check fault specs at parse time, before the
+        # expensive plan-cache warmup: a typo'd chip index fails in
+        # milliseconds, not after compiling a fleet's worth of plans —
+        # and regardless of the REPRO_SERVE_FAULTS gate
+        faults = [parse_inject(spec) for spec in (args.inject or ())]
+        validate_fault_targets(faults, len(fleet.workers))
+        control = _parse_control(args)
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
@@ -223,10 +276,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             traffic = TRAFFIC_GENERATORS[args.traffic](**kwargs)
 
         slos = _parse_slos(args.slo, models)
-        # malformed --inject specs, out-of-range chip indices and negative
-        # fault-tolerance knobs all raise ValueError here — same friendly
-        # exit-2 contract as the other inputs
-        faults = [parse_inject(spec) for spec in (args.inject or ())]
+        # negative fault-tolerance knobs raise ValueError here — same
+        # friendly exit-2 contract as the other inputs (--inject specs
+        # were already validated before warmup)
         fault_tolerance = FaultTolerance(
             timeout_us=args.timeout_us,
             max_retries=args.retries,
@@ -234,6 +286,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             shed_queue_depth=args.shed_queue_depth,
             shed_wait_us=args.shed_wait_us,
             degrade_below=args.degrade_below,
+            retry_priority=args.retry_priority,
         )
         if args.traffic != "closed":
             requests = traffic.generate()
@@ -249,6 +302,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             slos=slos,
             faults=faults,
             fault_tolerance=fault_tolerance,
+            control=control,
         )
         report = simulator.run(
             traffic if args.traffic == "closed" else requests,
@@ -406,6 +460,45 @@ def build_parser() -> argparse.ArgumentParser:
                               help="fall back to latency-optimal dispatches when a "
                                    "model's running SLO attainment drops below this "
                                    "fraction; 0 disables (default: 0)")
+    serve_parser.add_argument("--retry-priority", action="store_true",
+                              help="serve a retry on its final attempt ahead of "
+                                   "fresh arrivals instead of plain FIFO")
+    serve_parser.add_argument("--control-interval-us", type=float, default=0.0,
+                              help="self-healing control-plane tick interval in "
+                                   "microseconds; 0 disables the controller "
+                                   "(default: 0)")
+    serve_parser.add_argument("--quarantine-after", type=int, default=2,
+                              help="consecutive suspect control ticks before a "
+                                   "straggling chip is quarantined (default: 2)")
+    serve_parser.add_argument("--straggler-ratio", type=float, default=1.6,
+                              help="service-ratio EMA vs fleet median above which "
+                                   "a chip is suspected (default: 1.6)")
+    serve_parser.add_argument("--probation-us", type=float, default=2000.0,
+                              help="quarantine duration before re-admission, "
+                                   "doubling per flap (default: 2000)")
+    serve_parser.add_argument("--hedge-after-pct", type=float, default=0.0,
+                              help="hedge requests stuck past this percentile of "
+                                   "the observed latency window; 0 disables "
+                                   "(default: 0)")
+    serve_parser.add_argument("--autoscale", default=None, metavar="MIN:MAX",
+                              help="enable the SLO-driven autoscaler between "
+                                   "MIN and MAX chips (needs "
+                                   "--control-interval-us)")
+    serve_parser.add_argument("--scale-up-below", type=float, default=0.9,
+                              help="windowed SLO attainment below which the "
+                                   "fleet grows (default: 0.9)")
+    serve_parser.add_argument("--scale-down-util", type=float, default=0.3,
+                              help="utilisation EMA below which the fleet "
+                                   "shrinks (default: 0.3)")
+    serve_parser.add_argument("--cooldown-us", type=float, default=2000.0,
+                              help="minimum simulated time between scale events "
+                                   "(default: 2000)")
+    serve_parser.add_argument("--scale-chip", default=None,
+                              help="chip class the autoscaler adds (default: "
+                                   "the fleet's first class)")
+    serve_parser.add_argument("--no-replace-plans", action="store_true",
+                              help="disable plan re-placement after "
+                                   "quarantine/scale events")
     serve_parser.add_argument("--trace", default=None,
                               help="trace file to replay (with --traffic trace)")
     serve_parser.add_argument("--record-trace", default=None, metavar="PATH",

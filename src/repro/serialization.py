@@ -181,11 +181,13 @@ def serving_report_to_dict(report: ServingReport) -> Dict[str, Any]:
     :meth:`~repro.serve.simulator.ServingReport.determinism_dict`).
     Histogram keys are stringified for JSON; the ``switch`` block appears
     only when plan-switch cost was modelled, the ``slo`` block only when
-    per-model targets were set, and the ``faults`` block (failures,
-    retries, timeouts, shed/lost counts, lost work, availability — plus
-    per-chip downtime columns) only when faults were injected or
-    fault-tolerance machinery was active, so dumps with all three features
-    off keep the original shape.
+    per-model targets were set, the ``faults`` block (failures, retries,
+    timeouts, shed/lost counts, lost work, availability — plus per-chip
+    downtime columns) only when faults were injected or fault-tolerance
+    machinery was active, and the ``control`` block (detections vs
+    injected truth, hedge outcomes, scale events, re-placements) only when
+    the self-healing control plane ran — so dumps with every feature off
+    keep the original shape.
     """
     return report.as_dict()
 

@@ -29,10 +29,21 @@ streams.  Four pieces, all deterministic for a fixed seed:
   capped retry with deterministic backoff, admission control / load
   shedding, and SLO-driven graceful degradation.  Fault-free runs stay
   bit-identical to the pre-fault simulator.
+* :mod:`~repro.serve.control` — the self-healing control plane: a
+  :class:`Controller` (configured by :class:`ControlConfig`) runs on a
+  fixed control tick inside the simulator's deterministic event order and
+  closes the loop from observed health signals to actions — quarantine of
+  stalled/straggling chips with flap-damped re-admission, hedged requests
+  past a latency-window percentile budget, an SLO-driven autoscaler whose
+  cold chips pay the plan-switch weight-replacement cost, and plan
+  re-placement across survivors via a small assignment solve.  Detections
+  are scored against the injected fault ground truth in the report's
+  ``control`` block.  Controller-off runs stay bit-identical.
 
 The CLI's ``repro serve`` subcommand routes here.
 """
 
+from repro.serve.control import COLD_PLAN, ControlConfig, Controller, place_plans
 from repro.serve.faults import (
     FAULT_KINDS,
     FaultEvent,
@@ -40,6 +51,7 @@ from repro.serve.faults import (
     faults_enabled,
     materialize,
     parse_inject,
+    validate_fault_targets,
 )
 from repro.serve.fleet import (
     ChipWorker,
@@ -87,9 +99,12 @@ from repro.serve.traffic import (
 __all__ = [
     "BurstyTraffic",
     "ChipWorker",
+    "COLD_PLAN",
     "ClosedLoopSession",
     "ClosedLoopTraffic",
     "CompiledPlan",
+    "ControlConfig",
+    "Controller",
     "DiurnalTraffic",
     "DynamicBatcher",
     "FAULT_KINDS",
@@ -119,11 +134,13 @@ __all__ = [
     "make_policy",
     "materialize",
     "parse_inject",
+    "place_plans",
     "plan_for",
     "retry_request",
     "save_trace",
     "service_latency_ns",
     "switch_cost_enabled",
+    "validate_fault_targets",
     "validate_policy",
     "validate_traffic",
 ]

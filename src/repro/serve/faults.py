@@ -154,6 +154,26 @@ def parse_inject(spec: str) -> FaultEvent:
         raise ValueError(f"bad --inject {spec!r}") from None
 
 
+def validate_fault_targets(events: Sequence[FaultEvent], num_chips: int) -> None:
+    """Check every explicit fault chip index against the fleet size.
+
+    The CLI calls this right after parsing ``--inject`` specs — before plan
+    compilation, traffic generation or simulator construction — so a typo'd
+    chip index exits with the friendly message immediately instead of after
+    seconds of warmup.  Unlike :func:`materialize` this runs regardless of
+    the ``REPRO_SERVE_FAULTS`` gate: a spec naming a chip the fleet does not
+    have is wrong input even when injection is disabled.  Chaos events with
+    ``chip=-1`` (drawn uniformly) are always in range by construction.
+    """
+    for event in events:
+        if event.chip >= num_chips:
+            raise ValueError(
+                f"--inject {event.kind}@{event.at_us:g} targets chip "
+                f"{event.chip}, out of range for a {num_chips}-chip fleet "
+                f"(valid indices 0..{num_chips - 1})"
+            )
+
+
 def materialize(
     events: Sequence[FaultEvent], num_chips: int
 ) -> List[Tuple[float, str, int, float]]:
@@ -225,6 +245,13 @@ class FaultTolerance:
       batching hold and use the latency-optimal cached plan (the smallest /
       fastest batch) until attainment recovers; 0 disables.  Only
       meaningful for models with an SLO target.
+    * ``retry_priority`` — retry-aware queue ordering: a retry on its
+      **final** attempt re-enters its queue ahead of fresh arrivals (and
+      its queue is preferred by the policy's ``order_queues``), so the
+      request is served before its last timeout budget burns down instead
+      of aging behind new offered load.  Off by default — plain FIFO retry
+      ordering, exactly the pre-control behaviour.  Only meaningful with
+      ``max_retries > 0``.
     """
 
     timeout_us: float = 0.0
@@ -233,6 +260,7 @@ class FaultTolerance:
     shed_queue_depth: int = 0
     shed_wait_us: float = 0.0
     degrade_below: float = 0.0
+    retry_priority: bool = False
 
     def __post_init__(self) -> None:
         if self.timeout_us < 0:

@@ -36,7 +36,7 @@ non-volatile, so the restarted chip still holds the plan it had.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.hardware.config import get_chip_config
@@ -150,8 +150,15 @@ class ChipWorker:
     failures: int = 0
     #: when the current outage began (``None`` while up)
     down_since_ns: Optional[float] = None
-    #: cumulative outage time (ns)
+    #: cumulative outage time (ns) — computed from ``outages`` at report
+    #: time, clamped to the simulation horizon
     downtime_ns: float = 0.0
+    #: closed outage windows ``(down_ns, up_ns)`` this run; the simulator
+    #: appends one per recovery and closes the open outage at end-of-run.
+    #: Kept as windows (not a running sum) so a recovery scheduled past the
+    #: simulation horizon can be clamped to it — a chip can never report
+    #: more downtime than the run's wall time
+    outages: List[Tuple[float, float]] = field(default_factory=list)
     #: batches in flight when the chip died
     lost_batches: int = 0
     #: requests aboard those batches (re-queued or lost by the simulator)
@@ -273,6 +280,7 @@ class Fleet:
             worker.failures = 0
             worker.down_since_ns = None
             worker.downtime_ns = 0.0
+            worker.outages = []
             worker.lost_batches = 0
             worker.lost_requests = 0
             worker.lost_ns = 0.0

@@ -30,7 +30,10 @@ A policy may also order the model queues competing for an idle chip
 models — oldest head request first — which all policies except ``fair``
 keep; ``fair`` serves the model with the largest deficit (fewest requests
 served so far), breaking ties FIFO, so one tenant's burst cannot starve
-another's queue.
+another's queue.  Every ordering respects ``Request.priority`` first: a
+final-attempt retry promoted by ``FaultTolerance.retry_priority`` is
+served ahead of fresh arrivals (generators issue priority 0, so the knob
+is inert unless enabled).
 
 Policies are registered by name in :data:`POLICIES`; the CLI's
 ``repro serve --policy`` option routes here.  Everything is deterministic:
@@ -74,11 +77,17 @@ class SchedulingPolicy(abc.ABC):
         """Order of the non-empty model queues competing for an idle chip.
 
         The default is FIFO across models: oldest head request first, ties
-        broken on request id.
+        broken on request id — except that a queue whose head carries a
+        raised :attr:`~repro.serve.traffic.Request.priority` (a retry on
+        its final attempt under ``FaultTolerance.retry_priority``) is
+        served before any plain queue regardless of arrival order.  All
+        generator-issued requests carry priority 0, so without the
+        retry-priority knob this is exactly the historical FIFO order.
         """
         return sorted(
             (model for model, queue in queues.items() if queue),
-            key=lambda m: (queues[m][0].arrival_ns, queues[m][0].request_id),
+            key=lambda m: (-queues[m][0].priority,
+                           queues[m][0].arrival_ns, queues[m][0].request_id),
         )
 
     def note_dispatch(self, model: str, served: int) -> None:
@@ -154,9 +163,11 @@ class FairPolicy(LatencyAwarePolicy):
         self._served.clear()
 
     def order_queues(self, queues):
+        # a raised head priority (final-attempt retry) still pre-empts the
+        # deficit order: a request out of attempts beats fairness bookkeeping
         return sorted(
             (model for model, queue in queues.items() if queue),
-            key=lambda m: (self._served.get(m, 0),
+            key=lambda m: (-queues[m][0].priority, self._served.get(m, 0),
                            queues[m][0].arrival_ns, queues[m][0].request_id),
         )
 

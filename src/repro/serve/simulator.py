@@ -9,7 +9,7 @@ produces a :class:`ServingReport` with the quantities the paper's
 single-inference metrics are a proxy for: sustained throughput, p50/p95/p99
 request latency, queue depths, per-chip utilisation and energy.
 
-Five event kinds drive the loop, in a deterministic total order
+Six event kinds drive the loop, in a deterministic total order
 ``(time, kind, tie, sequence)`` — the tie component is the chip index for
 chip-bound events (completions, faults), so same-instant events resolve by
 chip id instead of heap insertion order:
@@ -34,6 +34,18 @@ chip id instead of heap insertion order:
   timed out.
 * **batch-deadline** — a held queue's batching-delay budget expired; the
   next dispatch for that model is forced.
+* **control tick** — the self-healing control plane
+  (:mod:`repro.serve.control`) wakes on its fixed interval, last at any
+  instant so it observes the settled state: it quarantines chips whose
+  expected completions stalled or whose service-ratio EMA marks them as
+  stragglers, hedges queued requests stuck past the latency-window
+  percentile budget (first copy to complete wins; the loser is cancelled
+  or goes uncounted), grows/shrinks the fleet against windowed SLO
+  attainment and utilisation (new chips arrive cold and pay the
+  plan-switch weight-replacement cost on first dispatch), and re-pins
+  resident plans across the idle survivors after any topology change.
+  The tick chain re-arms itself only while there is something left to
+  control, so it never keeps a finished run alive.
 
 After every event the simulator dispatches greedily: while an idle chip and
 a non-empty queue exist (queues ordered by the policy — FIFO across models
@@ -54,7 +66,10 @@ their reports are bit-identical to the pre-fault simulator — pinned in
 instead finalised at the chip-free event (a chip may die first), requests
 lost to failures/timeouts re-enter as retries, and the report grows a
 ``faults`` block (failures, retries, timeouts, shed/lost counts, lost
-work, availability) plus per-chip downtime columns.  Nothing consumes
+work, availability) plus per-chip downtime columns.  A run with an
+active control plane always takes the fault-aware path (hedging and
+quarantine need completions finalised at the chip-free event) and adds a
+``control`` block to the report.  Nothing consumes
 randomness at simulation time — chaos fault schedules are pre-drawn from
 their own seed — so a fixed-seed scenario, faulty or not, replays to a
 bit-identical report (plan-cache statistics are reported, but deliberately
@@ -69,6 +84,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.hardware.config import get_chip_config
+from repro.serve.control import COLD_PLAN, ControlConfig, Controller, place_plans
 from repro.serve.faults import (
     ACTION_DRAM,
     ACTION_FAIL,
@@ -93,10 +110,12 @@ from repro.serve.traffic import ClosedLoopTraffic, Request, retry_request
 
 #: deterministic event ordering at one instant: completions free chips
 #: first, then faults strike, then arrivals/retries queue, then timeouts
-#: abandon, then batch deadlines force dispatches
+#: abandon, then batch deadlines force dispatches, then the control plane
+#: ticks (so a tick always observes the settled state of its instant)
 _EVENT_FREE, _EVENT_FAULT, _EVENT_ARRIVAL, _EVENT_TIMEOUT, _EVENT_DEADLINE = (
     0, 1, 2, 3, 4,
 )
+_EVENT_CONTROL = 5
 
 #: smoothing factor of the per-model interarrival EMA
 _EMA_ALPHA = 0.2
@@ -130,6 +149,13 @@ class _Inflight:
     served: int
     requests: List[Request]
     model: str
+    #: nominal healthy-chip service time — compiled latency at nominal DRAM
+    #: plus any switch weight-replacement — the controller's service-ratio
+    #: baseline (0 when no controller runs)
+    nominal_ns: float = 0.0
+    #: speculative hedge duplicate: its lone rider is also queued or
+    #: in flight elsewhere, and only the first copy to complete is counted
+    hedge: bool = False
 
 
 @dataclass
@@ -202,6 +228,9 @@ class ServingReport:
     degraded_dispatches: int = 0
     #: chip-uptime fraction over the makespan (1.0 = no downtime)
     availability: float = 1.0
+    #: control-plane block (detections vs injected truth, hedge outcomes,
+    #: scale events, re-placements) — empty when no controller ran
+    control: Dict[str, object] = field(default_factory=dict)
     plan_cache: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -220,9 +249,10 @@ class ServingReport:
         """Flat JSON-compatible dictionary (for serialization).
 
         The ``switch`` block appears only when plan-switch cost was
-        modelled, the ``slo`` block only when SLO targets were set, and the
+        modelled, the ``slo`` block only when SLO targets were set, the
         ``faults`` block only when faults were injected or fault-tolerance
-        machinery was active — so a run with all three features off
+        machinery was active, and the ``control`` block only when the
+        self-healing control plane ran — so a run with every feature off
         serializes exactly like the pre-fault model did.
         """
         data: Dict[str, object] = {
@@ -270,6 +300,8 @@ class ServingReport:
                 "degraded_dispatches": self.degraded_dispatches,
                 "availability": self.availability,
             }
+        if self.control:
+            data["control"] = dict(self.control)
         data["plan_cache"] = dict(self.plan_cache)
         return data
 
@@ -308,8 +340,12 @@ class ServingSimulator:
     chip index fails fast; dropped wholesale when ``REPRO_SERVE_FAULTS=0``),
     and ``fault_tolerance`` configures the survival machinery — timeouts,
     capped retries with deterministic backoff, admission control and
-    SLO-driven degradation.  With neither in play the simulator runs the
-    exact pre-fault code path, bit-identically.
+    SLO-driven degradation.  ``control`` configures the self-healing
+    control plane (:class:`~repro.serve.control.ControlConfig`):
+    quarantine-based failure detection, hedged requests, SLO-driven
+    autoscaling and plan re-placement, all driven from a fixed control
+    tick.  With none of the three in play the simulator runs the exact
+    pre-fault code path, bit-identically.
     """
 
     def __init__(
@@ -324,6 +360,7 @@ class ServingSimulator:
         slos: Optional[Dict[str, float]] = None,
         faults: Optional[Sequence[FaultEvent]] = None,
         fault_tolerance: Optional[FaultTolerance] = None,
+        control: Optional[ControlConfig] = None,
     ) -> None:
         self.fleet = fleet
         self.plan_cache = plan_cache
@@ -344,6 +381,12 @@ class ServingSimulator:
         self.fault_tolerance = (
             fault_tolerance if fault_tolerance is not None else FaultTolerance()
         )
+        self.control = control if control is not None else ControlConfig()
+        if self.control.active and self.control.scale_chip is not None:
+            get_chip_config(self.control.scale_chip)  # fail fast on bad names
+        #: fleet size at construction — chips the autoscaler appended are
+        #: dropped at the start of every run, so a simulator re-runs cleanly
+        self._base_workers = len(fleet.workers)
         self.fault_events: Tuple[FaultEvent, ...] = tuple(faults or ())
         self._fault_schedule: List[Tuple[float, str, int, float]] = (
             materialize(self.fault_events, len(fleet.workers))
@@ -380,13 +423,18 @@ class ServingSimulator:
                 remaining[request.model] = remaining.get(request.model, 0) + 1
         if not initial:
             raise ValueError("cannot simulate an empty request stream")
+        del self.fleet.workers[self._base_workers:]  # drop autoscaled chips
         self.fleet.reset()
         self.policy.reset()
         ft = self.fault_tolerance
+        use_control = self.control.active
+        ctrl = Controller(self.control) if use_control else None
         #: the fault-aware accounting path: completions finalise at the
         #: chip-free event instead of at dispatch.  Off on fault-free runs,
-        #: whose accounting stays bit-identical to the pre-fault simulator.
-        use_ft = bool(self._fault_schedule) or ft.active
+        #: whose accounting stays bit-identical to the pre-fault simulator;
+        #: always on under the control plane, whose hedging and quarantine
+        #: need in-flight records.
+        use_ft = bool(self._fault_schedule) or ft.active or use_control
 
         # --- event heap: (time, kind, tie, seq, payload) ----------------
         # tie is the chip index for chip-bound events (free/fault), so
@@ -405,6 +453,13 @@ class ServingSimulator:
                 events,
                 (first_arrival + at_us * 1e3, _EVENT_FAULT, chip, seq,
                  (action, chip, factor)),
+            )
+            seq += 1
+        interval_ns = self.control.interval_us * 1e3
+        if use_control:
+            heapq.heappush(
+                events,
+                (first_arrival + interval_ns, _EVENT_CONTROL, 0, seq, None),
             )
             seq += 1
 
@@ -437,6 +492,15 @@ class ServingSimulator:
         slo_running: Dict[str, List[int]] = {}
         failures = retries = timeouts_n = shed = lost = degraded = 0
         smallest_batch = self.batcher.batch_sizes[0]
+
+        # hedging state (all of it empty unless the controller hedges):
+        # request id -> chip its hedge copy is flying on; ids with a live
+        # hedge; ids whose first copy completed (the late copy goes
+        # uncounted); ids whose original died while the hedge flew
+        hedge_outstanding: Dict[int, int] = {}
+        hedged: Set[int] = set()
+        winners: Set[int] = set()
+        orphaned: Set[int] = set()
 
         # time-weighted queue depth accounting
         depth = 0
@@ -476,7 +540,16 @@ class ServingSimulator:
             if request.attempt >= ft.max_retries:
                 return False
             retries += 1
-            push_arrival(retry_request(request, now + ft.backoff_ns(request.attempt)))
+            # a retry entering its final attempt may jump the queue
+            # (``retry_priority``): losing it again loses it for good
+            priority = (
+                1 if ft.retry_priority
+                and request.attempt + 1 >= ft.max_retries else None
+            )
+            push_arrival(retry_request(
+                request, now + ft.backoff_ns(request.attempt),
+                priority=priority,
+            ))
             return True
 
         def should_shed(request: Request, now: float) -> bool:
@@ -515,16 +588,61 @@ class ServingSimulator:
             )
             if record.served < record.batch:
                 padded_batches += 1
+            if ctrl is not None and record.nominal_ns > 0:
+                ctrl.note_completion(worker.index,
+                                     record.service_ns / record.nominal_ns)
             for request in record.requests:
+                rid = request.request_id
+                if ctrl is not None:
+                    if rid in winners:
+                        # the other copy of this hedged request completed
+                        # first and was counted; this late copy is not a
+                        # second completion (and a losing hedge copy is
+                        # wasted speculative work)
+                        winners.discard(rid)
+                        hedge_outstanding.pop(rid, None)
+                        if record.hedge:
+                            ctrl.hedges_wasted += 1
+                        continue
+                    if rid in hedged:
+                        # first copy of a hedged request to complete wins
+                        hedged.discard(rid)
+                        if record.hedge:
+                            ctrl.hedges_won += 1
+                            key = (rid, request.attempt)
+                            if rid in orphaned:
+                                # the original died with its chip while the
+                                # hedge flew; nothing left to cancel
+                                orphaned.discard(rid)
+                                hedge_outstanding.pop(rid, None)
+                            elif key in queued_keys:
+                                # the original never dispatched: cancel it
+                                queued_keys.discard(key)
+                                queues[record.model].remove(request)
+                                change_depth(now, -1)
+                                hedge_outstanding.pop(rid, None)
+                                ctrl.hedges_cancelled += 1
+                            else:
+                                # the original is executing: when it
+                                # completes it goes uncounted
+                                winners.add(rid)
+                        else:
+                            # the original beat its hedge; the hedge
+                            # finishes (or dies) uncounted
+                            winners.add(rid)
                 total = now - origins.get(request.request_id, request.arrival_ns)
                 latencies.append(total)
                 waits.append(record.start_ns - request.arrival_ns)
+                slo_ok: Optional[bool] = None
                 if request.model in self.slos:
+                    slo_ok = total <= self.slos[request.model] * 1e6
                     by_model.setdefault(request.model, []).append(total)
                     running = slo_running.setdefault(request.model, [0, 0])
                     running[1] += 1
-                    if total <= self.slos[request.model] * 1e6:
+                    if slo_ok:
                         running[0] += 1
+                if ctrl is not None:
+                    ctrl.note_request(total, slo_ok)
                 if session is not None:
                     follow_up = session.on_complete(request, now)
                     if follow_up is not None:
@@ -545,9 +663,11 @@ class ServingSimulator:
             while True:
                 # a chip whose batch has not been finalised yet (its
                 # chip-free event is later in this same instant) is not
-                # dispatchable — inflight is empty on fault-free runs
+                # dispatchable — inflight is empty on fault-free runs —
+                # and neither is a chip the controller quarantined/retired
                 idle = [w for w in self.fleet.idle_workers(now)
-                        if w.index not in inflight]
+                        if w.index not in inflight
+                        and (ctrl is None or ctrl.available(w))]
                 if not idle:
                     return
                 candidates = self.policy.order_queues(queues)
@@ -608,7 +728,8 @@ class ServingSimulator:
                     pending_deadline.pop(model, None)
                     plan = plan_for(self.plan_cache, worker, model, batch)
                     service_ns = service_latency_ns(plan, worker, self.switch_cost)
-                    if is_plan_switch(plan, worker, self.switch_cost):
+                    switched = is_plan_switch(plan, worker, self.switch_cost)
+                    if switched:
                         worker.plan_switches += 1
                         worker.switch_ns += plan.weight_replace_ns
                     worker.loaded_plan = plan.key
@@ -624,6 +745,17 @@ class ServingSimulator:
                             queued_keys.discard(
                                 (request.request_id, request.attempt)
                             )
+                        nominal_ns = 0.0
+                        if ctrl is not None:
+                            # ratio baseline: the *healthy-chip* price of
+                            # this dispatch, so stragglers and degraded
+                            # DRAM both show up as ratio > 1
+                            nominal_plan = self.plan_cache.get(
+                                model, worker.chip_name, batch)
+                            nominal_ns = nominal_plan.latency_ns + (
+                                nominal_plan.weight_replace_ns if switched
+                                else 0.0
+                            )
                         inflight[worker.index] = _Inflight(
                             epoch=worker.epoch,
                             start_ns=now,
@@ -634,7 +766,11 @@ class ServingSimulator:
                             served=served,
                             requests=batch_requests,
                             model=model,
+                            nominal_ns=nominal_ns,
                         )
+                        if ctrl is not None:
+                            ctrl.note_dispatch(worker.index, model, batch,
+                                               completion, worker.epoch)
                     else:
                         # fault-free accounting at dispatch — the exact
                         # pre-fault path, kept bit-identical
@@ -665,6 +801,199 @@ class ServingSimulator:
                     break
                 if not progressed:
                     return
+
+        # --- control-plane actuators (only called when ctrl is not None) -
+        def try_hedge(now: float, budget_ns: float) -> None:
+            """Speculatively duplicate requests stuck past the hedge budget.
+
+            Two kinds of victim: a rider *in flight* on a slow batch (the
+            classic tail-tolerance hedge — duplicated only when a second
+            chip could actually beat the original's completion) and a
+            request still *queued* past the budget (possible while the
+            batcher holds its queue; its timeout is suppressed while the
+            hedge flies).  Every hedge is a single-request batch on an
+            idle chip; whichever copy completes first is counted, the
+            loser is cancelled if still queued or finishes uncounted.
+            """
+
+            def eligible(request: Request) -> bool:
+                rid = request.request_id
+                waited = now - origins.get(rid, request.arrival_ns)
+                return (waited > budget_ns and rid not in hedged
+                        and rid not in hedge_outstanding
+                        and rid not in winners and rid not in orphaned)
+
+            def launch(request: Request, model: str,
+                       beat_ns: Optional[float]) -> bool:
+                """Fly one hedge copy; False when no chip is idle."""
+                nonlocal seq
+                idle = [w for w in self.fleet.idle_workers(now)
+                        if w.index not in inflight and ctrl.available(w)]
+                if not idle:
+                    return False
+                worker = self.policy.choose_worker(
+                    idle, model, smallest_batch, self.plan_cache, now,
+                    self.switch_cost)
+                plan = plan_for(self.plan_cache, worker, model,
+                                smallest_batch)
+                service_ns = service_latency_ns(plan, worker,
+                                                self.switch_cost)
+                completion = now + service_ns
+                if beat_ns is not None and completion >= beat_ns:
+                    return True  # the hedge cannot win: not worth chip time
+                switched = is_plan_switch(plan, worker, self.switch_cost)
+                if switched:
+                    worker.plan_switches += 1
+                    worker.switch_ns += plan.weight_replace_ns
+                worker.loaded_plan = plan.key
+                worker.busy_until_ns = completion
+                heapq.heappush(
+                    events,
+                    (completion, _EVENT_FREE, worker.index, seq,
+                     worker.index),
+                )
+                seq += 1
+                nominal_plan = self.plan_cache.get(model, worker.chip_name,
+                                                   smallest_batch)
+                inflight[worker.index] = _Inflight(
+                    epoch=worker.epoch,
+                    start_ns=now,
+                    completion_ns=completion,
+                    service_ns=service_ns,
+                    plan=plan,
+                    batch=smallest_batch,
+                    served=1,
+                    requests=[request],
+                    model=model,
+                    nominal_ns=nominal_plan.latency_ns + (
+                        nominal_plan.weight_replace_ns if switched
+                        else 0.0),
+                    hedge=True,
+                )
+                # the original stays where it is — no depth change, no
+                # policy bookkeeping: a hedge is extra chip work, not
+                # extra offered load
+                hedged.add(request.request_id)
+                hedge_outstanding[request.request_id] = worker.index
+                health = ctrl.health_for(worker.index)
+                health.expected_ns = completion
+                health.expected_epoch = worker.epoch
+                ctrl.hedges += 1
+                return True
+
+            for index in sorted(inflight):
+                record = inflight[index]
+                if record.hedge:
+                    continue
+                for request in record.requests:
+                    if eligible(request) and not launch(
+                            request, record.model, record.completion_ns):
+                        return
+            for model in self.policy.order_queues(queues):
+                for request in list(queues[model]):
+                    if eligible(request) and not launch(request, model, None):
+                        return
+
+        def add_chip(now: float) -> None:
+            """Autoscale up: append a cold chip.
+
+            Its ``loaded_plan`` is the :data:`~repro.serve.control.COLD_PLAN`
+            sentinel, so (with switch cost modelled) the first dispatch is a
+            plan switch and pays the incoming plan's weight-replacement —
+            new capacity is not free capacity.
+            """
+            chip_name = (self.control.scale_chip
+                         or self.fleet.workers[0].chip_name).upper()
+            worker = ChipWorker(index=len(self.fleet.workers),
+                                chip_name=chip_name)
+            worker.loaded_plan = COLD_PLAN
+            worker.busy_until_ns = now
+            self.fleet.workers.append(worker)
+            ctrl.last_scale_ns = now
+            ctrl.scale_ups += 1
+
+        def retire_chip(now: float) -> bool:
+            """Autoscale down: decommission the newest idle healthy chip."""
+            candidates = [
+                w for w in self.fleet.workers
+                if ctrl.available(w) and w.up
+                and w.index not in inflight and w.busy_until_ns <= now
+            ]
+            if not candidates:
+                return False
+            ctrl.retired.add(candidates[-1].index)
+            ctrl.last_scale_ns = now
+            ctrl.scale_downs += 1
+            return True
+
+        def replace_resident_plans(now: float) -> None:
+            """Re-pin resident plans across the idle survivors.
+
+            Runs after any topology change (quarantine, re-admission,
+            scale event): a small assignment solve over the span-matrix
+            prices, weighted by the observed traffic mix, decides which
+            plan each idle available chip should hold; chips whose
+            assignment differs pre-warm it, paying the weight-replacement
+            cost up front so the next dispatch runs warm.
+
+            Without switch-cost modelling there is no weight-replacement
+            to pre-pay and ``loaded_plan`` never affects latency, so the
+            whole pass is skipped.
+            """
+            nonlocal seq
+            if not self.switch_cost:
+                return
+            weights = ctrl.model_weights()
+            chips = [w for w in self.fleet.workers
+                     if ctrl.available(w) and w.up
+                     and w.index not in inflight and w.busy_until_ns <= now]
+            if not weights or not chips:
+                return
+            by_index = {w.index: w for w in chips}
+
+            def plan_of(worker: ChipWorker, model: str) -> CompiledPlan:
+                batch = ctrl.preferred_batch(model, smallest_batch)
+                return plan_for(self.plan_cache, worker, model, batch)
+
+            def price(index: int, model: str) -> float:
+                worker = by_index[index]
+                return plan_of(worker, model).latency_ns * worker.latency_factor
+
+            def miss(model: str) -> float:
+                return min(price(w.index, model)
+                           + plan_of(w, model).weight_replace_ns
+                           for w in chips)
+
+            assignment = place_plans([w.index for w in chips],
+                                     sorted(weights), weights, price, miss)
+            applied = False
+            for index in sorted(assignment):
+                worker = by_index[index]
+                plan = plan_of(worker, assignment[index])
+                if worker.loaded_plan == plan.key:
+                    continue  # already warm: nothing to pay
+                if self.switch_cost:
+                    # pre-warming is a plan switch paid up front: the chip
+                    # is busy writing crossbar weights until it completes
+                    warm_ns = plan.weight_replace_ns * worker.latency_factor
+                    worker.plan_switches += 1
+                    worker.switch_ns += plan.weight_replace_ns
+                    worker.busy_ns += warm_ns
+                    worker.busy_until_ns = now + warm_ns
+                    ctrl.replacement_ns += warm_ns
+                    # a no-payload free event re-triggers dispatch when the
+                    # warm-up completes (there is no inflight record, so
+                    # the handler only runs try_dispatch)
+                    heapq.heappush(
+                        events,
+                        (now + warm_ns, _EVENT_FREE, worker.index, seq,
+                         worker.index),
+                    )
+                    seq += 1
+                worker.loaded_plan = plan.key
+                applied = True
+            if applied:
+                ctrl.replacements += 1
 
         # --- event loop -------------------------------------------------
         while events:
@@ -700,7 +1029,17 @@ class ServingSimulator:
                 # retries skip the rate bookkeeping above — a re-submission
                 # is not new offered load — and bypass admission control
                 # (the request was already admitted once)
-                queues.setdefault(model, deque()).append(request)
+                queue = queues.setdefault(model, deque())
+                if use_ft and request.priority > 0:
+                    # a promoted final-attempt retry queues ahead of plain
+                    # arrivals, behind earlier promoted ones (stable order)
+                    position = 0
+                    while (position < len(queue)
+                           and queue[position].priority >= request.priority):
+                        position += 1
+                    queue.insert(position, request)
+                else:
+                    queue.append(request)
                 change_depth(now, +1)
                 if use_ft:
                     queued_keys.add((request.request_id, request.attempt))
@@ -725,18 +1064,50 @@ class ServingSimulator:
                         if record is not None:
                             # the in-flight batch dies with the chip: its
                             # partial work is wasted and every rider retries
-                            # (with backoff) or is lost
+                            # (with backoff) or is lost — unless a hedge
+                            # covers it, or its other copy already won
                             worker.lost_batches += 1
                             worker.lost_requests += record.served
                             worker.lost_ns += now - record.start_ns
                             for request in record.requests:
+                                rid = request.request_id
+                                if ctrl is not None:
+                                    if rid in winners:
+                                        # already counted via the copy
+                                        # that completed first
+                                        winners.discard(rid)
+                                        hedge_outstanding.pop(rid, None)
+                                        continue
+                                    if record.hedge:
+                                        # the hedge died; the original
+                                        # still covers the request unless
+                                        # it was itself killed earlier
+                                        hedged.discard(rid)
+                                        hedge_outstanding.pop(rid, None)
+                                        if rid in orphaned:
+                                            orphaned.discard(rid)
+                                            if not try_retry(request, now):
+                                                lost += 1
+                                                finish_without_service(
+                                                    request, now)
+                                        continue
+                                    if rid in hedged:
+                                        # the original died but its hedge
+                                        # is still flying: the hedge
+                                        # carries the request now
+                                        orphaned.add(rid)
+                                        continue
                                 if not try_retry(request, now):
                                     lost += 1
                                     finish_without_service(request, now)
                 elif action == ACTION_RECOVER:
                     if not worker.up:
                         worker.up = True
-                        worker.downtime_ns += now - worker.down_since_ns
+                        # recorded as a window, not a running sum: the
+                        # report clamps every window to the simulation
+                        # horizon, so a recovery scheduled past the last
+                        # event can never yield downtime > wall time
+                        worker.outages.append((worker.down_since_ns, now))
                         worker.down_since_ns = None
                         worker.busy_until_ns = now
                 elif action == ACTION_STRAGGLE:
@@ -749,12 +1120,18 @@ class ServingSimulator:
                 request = payload
                 key = (request.request_id, request.attempt)
                 if key in queued_keys:
-                    queued_keys.discard(key)
-                    queues[request.model].remove(request)
-                    change_depth(now, -1)
-                    if not try_retry(request, now):
-                        timeouts_n += 1
-                        finish_without_service(request, now)
+                    if request.request_id in hedge_outstanding:
+                        # a hedge is already racing for this request: the
+                        # wait is being mitigated, so the original keeps
+                        # queueing instead of burning a retry attempt
+                        pass
+                    else:
+                        queued_keys.discard(key)
+                        queues[request.model].remove(request)
+                        change_depth(now, -1)
+                        if not try_retry(request, now):
+                            timeouts_n += 1
+                            finish_without_service(request, now)
             elif kind == _EVENT_DEADLINE:
                 model = payload
                 if pending_deadline.get(model) == now and queues.get(model):
@@ -768,6 +1145,44 @@ class ServingSimulator:
                     finalize(worker, record, now)
                 # otherwise the event is stale: the chip died (and maybe
                 # recovered) since this batch was dispatched
+            elif kind == _EVENT_CONTROL:
+                ctrl.ticks += 1
+                ctrl.update_utilisation(now, self.fleet.workers)
+                changed = ctrl.assess(now, self.fleet.workers)
+                budget_ns = ctrl.hedge_budget_ns()
+                if budget_ns is not None:
+                    try_hedge(now, budget_ns)
+                queued_total = sum(len(q) for q in queues.values())
+                decision = ctrl.scale_decision(now, self.fleet.workers,
+                                               queued_total)
+                if decision > 0:
+                    add_chip(now)
+                    changed = True
+                elif decision < 0:
+                    changed = retire_chip(now) or changed
+                if changed and self.control.replace_plans:
+                    replace_resident_plans(now)
+                try_dispatch(now)
+                # re-arm the tick only while there is something left to
+                # control: external events or in-flight work still coming,
+                # or a queue that quarantined/scalable capacity could yet
+                # serve.  A finished run must not be kept alive by its own
+                # control ticks (they also never extend the makespan).
+                queued_total = sum(len(q) for q in queues.values())
+                has_external = any(k != _EVENT_CONTROL
+                                   for _, k, _, _, _ in events)
+                blocked_live = any(
+                    w.up and w.index in ctrl.blocked
+                    for w in self.fleet.workers)
+                can_grow = (self.control.autoscale
+                            and len(self.fleet.workers) - len(ctrl.retired)
+                            < self.control.max_chips)
+                if has_external or inflight or (
+                        queued_total > 0 and (blocked_live or can_grow)):
+                    heapq.heappush(
+                        events,
+                        (now + interval_ns, _EVENT_CONTROL, 0, seq, None))
+                    seq += 1
             # on the fault-free path _EVENT_FREE carries no state change:
             # the worker's counters were updated at dispatch, and
             # busy_until_ns now equals `now`
@@ -783,10 +1198,19 @@ class ServingSimulator:
         span_s = makespan_ns * 1e-9
         offered_span_s = (last_arrival_ns - first_arrival) * 1e-9
         for worker in self.fleet.workers:
-            # close the books on chips still down when the run ends
+            # close the books on chips still down when the run ends, then
+            # sum the outage windows clamped to the horizon: a chip whose
+            # scripted recovery lies beyond the last event reports at most
+            # the run's wall time as downtime, never more
+            outages = list(worker.outages)
             if not worker.up and worker.down_since_ns is not None:
-                worker.downtime_ns += max(0.0, end_ns - worker.down_since_ns)
+                outages.append((worker.down_since_ns, end_ns))
                 worker.down_since_ns = end_ns
+            downtime_ns = 0.0
+            for start_ns, stop_ns in outages:
+                downtime_ns += max(
+                    0.0, min(stop_ns, end_ns) - min(start_ns, end_ns))
+            worker.downtime_ns = downtime_ns
         total_downtime_ns = sum(w.downtime_ns for w in self.fleet.workers)
         availability = (
             max(0.0, min(1.0, 1.0 - total_downtime_ns
@@ -882,5 +1306,7 @@ class ServingSimulator:
             lost_work_ms=sum(w.lost_ns for w in self.fleet.workers) * 1e-6,
             degraded_dispatches=degraded,
             availability=availability,
+            control=(ctrl.as_dict(self.fleet.workers, self._base_workers)
+                     if ctrl is not None else {}),
             plan_cache=self.plan_cache.stats.as_dict(),
         )

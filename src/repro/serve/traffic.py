@@ -53,6 +53,12 @@ class Request:
     re-submissions: generators always issue attempt 0, and the simulator
     re-injects a request lost to a chip failure or timeout as attempt
     ``n + 1`` via :func:`retry_request` — same identity, new arrival time.
+    ``priority`` orders queue admission: a request with a higher priority
+    is inserted ahead of lower-priority queued work and its queue is
+    preferred by :meth:`~repro.serve.scheduler.SchedulingPolicy.
+    order_queues`.  Generators always issue priority 0; the simulator
+    raises it for a retry on its final attempt when
+    :attr:`~repro.serve.faults.FaultTolerance.retry_priority` is set.
     """
 
     request_id: int
@@ -60,16 +66,21 @@ class Request:
     arrival_ns: float
     client: int = -1
     attempt: int = 0
+    priority: int = 0
 
 
-def retry_request(request: Request, arrival_ns: float) -> Request:
+def retry_request(request: Request, arrival_ns: float,
+                  priority: Optional[int] = None) -> Request:
     """The next attempt of a failed request, re-arriving at ``arrival_ns``.
 
     Identity (id, model, client) is preserved — a retry is the same request
     trying again after its deterministic backoff, not new offered load.
+    ``priority`` overrides the retry's queue priority (``None`` keeps the
+    original's).
     """
     return dataclasses.replace(
-        request, arrival_ns=float(arrival_ns), attempt=request.attempt + 1
+        request, arrival_ns=float(arrival_ns), attempt=request.attempt + 1,
+        priority=request.priority if priority is None else int(priority),
     )
 
 

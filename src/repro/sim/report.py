@@ -107,7 +107,9 @@ def render_serving_report(report: "ServingReport") -> str:
     histogram, plus the served histogram when padded batches make the two
     differ), plan-switch counts when switch cost is modelled, per-model
     SLO attainment when targets are set, a fault/availability section when
-    faults were injected or fault-tolerance machinery was active, the
+    faults were injected or fault-tolerance machinery was active, a
+    control-plane section (detections vs injected truth, hedge outcomes,
+    scale events, re-placements) when the self-healing controller ran, the
     per-chip utilisation table and the plan-cache counters.
     """
     traffic = report.traffic
@@ -165,6 +167,36 @@ def render_serving_report(report: "ServingReport") -> str:
             f"({report.lost_work_ms:.3f} ms lost work, "
             f"{report.degraded_dispatches} degraded dispatches)"
         )
+    control = report.control
+    if control:
+        lines.append(
+            f"  control plane         : {int(control.get('ticks', 0))} ticks "
+            f"every {control.get('interval_us', 0.0):g} us; "
+            f"{int(control.get('detections', 0))} detections "
+            f"({int(control.get('true_detections', 0))} true, "
+            f"{int(control.get('false_detections', 0))} false), "
+            f"{int(control.get('quarantines', 0))} quarantines, "
+            f"{int(control.get('readmissions', 0))} re-admissions"
+        )
+        if control.get("hedges"):
+            lines.append(
+                f"  hedging               : {int(control['hedges'])} hedges "
+                f"({int(control.get('hedges_won', 0))} won, "
+                f"{int(control.get('hedges_wasted', 0))} wasted, "
+                f"{int(control.get('hedges_cancelled', 0))} originals cancelled)"
+            )
+        if control.get("scale_ups") or control.get("scale_downs"):
+            lines.append(
+                f"  autoscale             : {int(control.get('scale_ups', 0))} up, "
+                f"{int(control.get('scale_downs', 0))} down "
+                f"({int(control.get('base_chips', 0))} -> "
+                f"{int(control.get('final_chips', 0))} chips)"
+            )
+        if control.get("replacements"):
+            lines.append(
+                f"  plan re-placement     : {int(control['replacements'])} rounds, "
+                f"{control.get('replacement_ms', 0.0):.3f} ms weight replacement"
+            )
     if report.per_chip:
         lines.append("  per-chip utilisation:")
         columns = ["chip", "batches", "requests", "busy_ms", "utilisation", "energy_mj"]

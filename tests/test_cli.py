@@ -403,3 +403,110 @@ class TestServeFaultCLI:
         data = json.loads(output.read_text())
         assert data["faults"]["shed"] > 0
         assert data["completed"] + data["faults"]["shed"] == 40
+
+    def test_out_of_range_chip_rejected_at_parse_time(self, capsys, monkeypatch):
+        # fault targets are validated before the plan-cache warmup — and
+        # before the env gate could drop the schedule, so a typo'd chip
+        # index is caught even in a REPRO_SERVE_FAULTS=0 dry run
+        monkeypatch.setenv("REPRO_SERVE_FAULTS", "0")
+        assert main(self.BASE + ["--inject", "straggler@0:chip=9,factor=2"]) == 2
+        assert "out of range" in capsys.readouterr().err
+        assert main(self.BASE + ["--inject", "chip_recover@100:chip=3"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_retry_priority_flag(self, capsys, tmp_path):
+        output = tmp_path / "prio.json"
+        assert main(self.BASE + ["--fleet", "S:2",
+                                 "--inject", "chip_fail@300:chip=0,until=3000",
+                                 "--retries", "2", "--retry-priority",
+                                 "--output", str(output)]) == 0
+        capsys.readouterr()
+        data = json.loads(output.read_text())
+        assert data["completed"] + data["faults"]["lost"] == 40
+
+
+class TestServeControlCLI:
+    BASE = ["serve", "--model", "squeezenet", "--chip", "S", "--optimizer", "dp",
+            "--traffic", "poisson", "--seed", "0", "--requests", "40"]
+
+    def test_control_plane_end_to_end(self, capsys, tmp_path):
+        output = tmp_path / "control.json"
+        assert main(self.BASE + ["--fleet", "S:2",
+                                 "--inject", "chip_fail@300:chip=0,until=5000",
+                                 "--retries", "2",
+                                 "--control-interval-us", "200",
+                                 "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "control plane" in out
+        assert "quarantines" in out
+        data = json.loads(output.read_text())
+        assert data["control"]["ticks"] > 0
+        assert data["control"]["interval_us"] == 200.0
+        assert data["control"]["detections"] == \
+            data["control"]["true_detections"] + \
+            data["control"]["false_detections"]
+
+    def test_hedge_and_autoscale_flags(self, capsys, tmp_path):
+        output = tmp_path / "healing.json"
+        assert main(self.BASE + ["--fleet", "S:2", "--rate", "30000",
+                                 "--slo", "squeezenet=8",
+                                 "--retries", "1",
+                                 "--control-interval-us", "200",
+                                 "--hedge-after-pct", "80",
+                                 "--autoscale", "2:5",
+                                 "--cooldown-us", "500",
+                                 "--output", str(output)]) == 0
+        capsys.readouterr()
+        data = json.loads(output.read_text())
+        control = data["control"]
+        assert control["base_chips"] == 2
+        assert 2 <= control["final_chips"] <= 5
+
+    def test_controller_off_keeps_legacy_output(self, capsys, tmp_path):
+        output = tmp_path / "off.json"
+        assert main(self.BASE + ["--output", str(output)]) == 0
+        assert "control plane" not in capsys.readouterr().out
+        assert "control" not in json.loads(output.read_text())
+
+    def test_control_features_need_the_interval(self, capsys):
+        assert main(self.BASE + ["--hedge-after-pct", "90"]) == 2
+        assert "--control-interval-us" in capsys.readouterr().err
+        assert main(self.BASE + ["--autoscale", "1:4"]) == 2
+        assert "--control-interval-us" in capsys.readouterr().err
+
+    def test_bad_autoscale_spec_rejected(self, capsys):
+        base = self.BASE + ["--control-interval-us", "200"]
+        assert main(base + ["--autoscale", "four"]) == 2
+        assert "expected MIN:MAX" in capsys.readouterr().err
+        assert main(base + ["--autoscale", "4"]) == 2
+        assert "expected MIN:MAX" in capsys.readouterr().err
+        assert main(base + ["--autoscale", "5:2"]) == 2
+        assert "min_chips" in capsys.readouterr().err
+
+    def test_bad_control_knobs_rejected(self, capsys):
+        base = self.BASE + ["--control-interval-us", "200"]
+        assert main(base + ["--straggler-ratio", "1.0"]) == 2
+        assert "straggler_ratio" in capsys.readouterr().err
+        assert main(base + ["--quarantine-after", "0"]) == 2
+        assert "quarantine_after" in capsys.readouterr().err
+        assert main(base + ["--probation-us", "0"]) == 2
+        assert "probation_us" in capsys.readouterr().err
+        assert main(base + ["--hedge-after-pct", "100"]) == 2
+        assert "hedge_after_pct" in capsys.readouterr().err
+
+    def test_unknown_scale_chip_rejected(self, capsys):
+        assert main(self.BASE + ["--control-interval-us", "200",
+                                 "--autoscale", "1:4",
+                                 "--scale-chip", "Z"]) == 2
+        assert "unknown chip" in capsys.readouterr().err
+
+    def test_control_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--control-interval-us", "250", "--autoscale", "2:6",
+             "--hedge-after-pct", "85", "--no-replace-plans",
+             "--retry-priority"])
+        assert args.control_interval_us == 250.0
+        assert args.autoscale == "2:6"
+        assert args.hedge_after_pct == 85.0
+        assert args.no_replace_plans is True
+        assert args.retry_priority is True

@@ -440,6 +440,83 @@ class TestOverloadControl:
 
 
 # ----------------------------------------------------------------------
+# Downtime accounting: outage windows clamp to the simulation horizon
+# ----------------------------------------------------------------------
+class TestDowntimeClamp:
+    def test_recovery_past_horizon_clamps_downtime(self):
+        # the recovery is scheduled long after the last request completes:
+        # the naive (recover - fail) charge would dwarf the makespan, but
+        # a chip can never be down for longer than the run existed
+        report = _fault_run(
+            faults=[parse_inject("chip_fail@500:chip=0,until=10000000")],
+            ft=FaultTolerance(max_retries=2))
+        assert report.completed == report.num_requests
+        row = report.per_chip[0]
+        assert row["downtime_ms"] > 0.0
+        assert row["downtime_ms"] <= report.makespan_ms
+        assert 0.0 <= report.availability <= 1.0
+
+    def test_downtime_never_exceeds_wall_time(self):
+        # chaos schedules can also straddle the horizon; the invariant
+        # holds for every chip whatever the window mix
+        report = _fault_run(
+            faults=[parse_inject(
+                "chaos@0:seed=3,count=4,mtbf_us=2000,mttr_us=8000")],
+            ft=FaultTolerance(max_retries=3, shed_wait_us=4000.0))
+        for row in report.per_chip:
+            assert 0.0 <= row["downtime_ms"] <= report.makespan_ms
+
+    def test_within_horizon_windows_sum_exactly(self):
+        # both outage windows close before the run ends: downtime is the
+        # plain sum of the scripted windows, untouched by the clamp
+        report = _fault_run(
+            faults=[parse_inject("chip_fail@300:chip=0,until=800"),
+                    parse_inject("chip_fail@2000:chip=0,until=2600")],
+            ft=FaultTolerance(max_retries=2))
+        assert report.per_chip[0]["downtime_ms"] == pytest.approx(1.1)
+        assert report.per_chip[0]["failures"] == 2
+
+
+# ----------------------------------------------------------------------
+# Retry-aware queue priority
+# ----------------------------------------------------------------------
+class TestRetryPriority:
+    SCENARIO = dict(fleet_spec="S:1", rate_scale=2.0, policy="fifo",
+                    faults=[parse_inject("chip_fail@300:chip=0,until=2500")])
+
+    def test_defaults_off(self):
+        assert not FaultTolerance().retry_priority
+        # the knob alone doesn't make the config active: it only changes
+        # how retries (granted by other knobs) are ordered
+        assert not FaultTolerance(retry_priority=True).active
+
+    def test_final_attempt_jumps_the_queue(self):
+        # a single chip fails mid-backlog and recovers into a full queue:
+        # plain FIFO re-queues the retried requests behind fresh arrivals
+        # and their timeout clocks (started at first arrival) expire in
+        # line; priority ordering serves final attempts first, so more of
+        # them complete instead of being abandoned
+        ft = FaultTolerance(timeout_us=1500.0, max_retries=2)
+        plain = _fault_run(ft=ft, **self.SCENARIO)
+        prio = _fault_run(ft=dataclasses.replace(ft, retry_priority=True),
+                          **self.SCENARIO)
+        abandoned_plain = plain.timeouts + plain.lost
+        abandoned_prio = prio.timeouts + prio.lost
+        assert abandoned_prio < abandoned_plain
+        assert prio.completed > plain.completed
+        for report in (plain, prio):
+            assert report.completed + report.shed + report.timeouts + \
+                report.lost == report.num_requests
+
+    def test_priority_run_replays_identically(self):
+        ft = FaultTolerance(timeout_us=1500.0, max_retries=2,
+                            retry_priority=True)
+        first = _fault_run(ft=ft, **self.SCENARIO)
+        second = _fault_run(ft=ft, **self.SCENARIO)
+        assert first.determinism_dict() == second.determinism_dict()
+
+
+# ----------------------------------------------------------------------
 # Same-instant determinism: chip-id tie-break for chip-bound events
 # ----------------------------------------------------------------------
 class TestEventTieBreak:

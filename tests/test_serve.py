@@ -18,6 +18,7 @@ from repro.serve import (
     DiurnalTraffic,
     DynamicBatcher,
     FairPolicy,
+    FaultTolerance,
     Fleet,
     LatencyAwarePolicy,
     LeastLoadedPolicy,
@@ -31,6 +32,7 @@ from repro.serve import (
     fleet_capacity_rps,
     load_trace,
     make_policy,
+    parse_inject,
     save_trace,
     service_latency_ns,
     switch_cost_enabled,
@@ -1107,4 +1109,111 @@ class TestPrePr6Pins:
         assert not simulator.switch_cost
         report = simulator.run(traffic)
         assert report.policy == "fair"
+        assert report.determinism_dict() == expected
+
+
+# ----------------------------------------------------------------------
+# Controller-off bit-identity against the pre-control-plane simulator
+# (PR 7 pins) — unlike the PR 6 pins these scenarios *do* exercise the
+# fault-aware accounting path (injected failures, stragglers, retries,
+# timeouts, shedding): the control plane must leave every one of those
+# code paths bit-identical when it is not enabled.
+# ----------------------------------------------------------------------
+def _load_pre_pr7():
+    path = os.path.join(os.path.dirname(__file__), "data", "serving_pre_pr7.json")
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def pre_pr7_scenarios():
+    """Scenario builders for the PR 7 pins, keyed by capture name.
+
+    Each builder runs one controller-off scenario from scratch and returns
+    its report; ``tests/data/serving_pre_pr7.json`` holds the
+    ``determinism_dict()`` these produced before the control plane existed.
+    The capture was generated by calling exactly these builders (see the
+    CHANGES entry), so the pin and the scenario cannot drift apart silently
+    — a mismatch means the controller-off path changed behaviour.
+    """
+
+    def fault_retry_latency():
+        model = "resnet18"
+        fleet = Fleet.from_spec("M:2")
+        cache = PlanCache(optimizer="dp")
+        cache.warmup((model,), fleet.chip_names, BATCHES)
+        rate = 0.9 * fleet_capacity_rps(cache, fleet, (model,), BATCHES)
+        traffic = PoissonTraffic(model, num_requests=60, seed=3, rate_rps=rate)
+        span_us = 60 / rate * 1e6
+        faults = [
+            parse_inject(f"chip_fail@{0.2 * span_us:.0f}:chip=0,"
+                         f"until={0.6 * span_us:.0f}"),
+            parse_inject(f"straggler@{0.3 * span_us:.0f}:chip=1,factor=2.0,"
+                         f"until={0.7 * span_us:.0f}"),
+        ]
+        ft = FaultTolerance(timeout_us=0.4 * span_us, max_retries=2,
+                            shed_queue_depth=24)
+        simulator = ServingSimulator(
+            fleet, cache, policy="latency", batch_sizes=BATCHES,
+            max_wait_us=200.0, switch_cost=True, slos={model: 12.0},
+            faults=faults, fault_tolerance=ft,
+        )
+        return simulator.run(traffic.generate(),
+                             traffic_info=traffic.describe())
+
+    def hetero_fair_chaos():
+        models = ("resnet18", "squeezenet")
+        fleet = Fleet.from_spec("S:2,M:1")
+        cache = PlanCache(optimizer="dp")
+        cache.warmup(models, fleet.chip_names, BATCHES)
+        rate = 0.8 * fleet_capacity_rps(cache, fleet, models, BATCHES)
+        traffic = PoissonTraffic(models, num_requests=60, seed=5,
+                                 rate_rps=rate, model_weights=(0.6, 0.4))
+        faults = [parse_inject("chaos@0:seed=11,count=2,"
+                               "mtbf_us=4000,mttr_us=800")]
+        ft = FaultTolerance(timeout_us=9000.0, max_retries=1,
+                            retry_backoff_us=80.0)
+        simulator = ServingSimulator(
+            fleet, cache, policy="fair", batch_sizes=BATCHES,
+            max_wait_us=200.0, switch_cost=True,
+            slos={"resnet18": 10.0, "squeezenet": 3.0},
+            faults=faults, fault_tolerance=ft,
+        )
+        return simulator.run(traffic.generate(),
+                             traffic_info=traffic.describe())
+
+    def plain_open_latency():
+        model = "squeezenet"
+        fleet = Fleet.from_spec("M:2")
+        cache = PlanCache(optimizer="dp")
+        cache.warmup((model,), fleet.chip_names, BATCHES)
+        rate = 0.7 * fleet_capacity_rps(cache, fleet, (model,), BATCHES)
+        traffic = PoissonTraffic(model, num_requests=50, seed=7, rate_rps=rate)
+        simulator = ServingSimulator(
+            fleet, cache, policy="latency", batch_sizes=BATCHES,
+            max_wait_us=200.0, switch_cost=True,
+        )
+        return simulator.run(traffic.generate(),
+                             traffic_info=traffic.describe())
+
+    return {
+        "fault_retry_latency": fault_retry_latency,
+        "hetero_fair_chaos": hetero_fair_chaos,
+        "plain_open_latency": plain_open_latency,
+    }
+
+
+class TestPrePr7Pins:
+    """The control-plane PR's controller-off contract: with no
+    ``ControlConfig`` the simulator takes the exact pre-control code path —
+    fault-aware accounting included — and every report key is bit-identical
+    to the pre-control capture."""
+
+    @pytest.mark.parametrize("scenario", [
+        "fault_retry_latency",
+        "hetero_fair_chaos",
+        "plain_open_latency",
+    ])
+    def test_bit_identical(self, scenario):
+        expected = _load_pre_pr7()[scenario]
+        report = pre_pr7_scenarios()[scenario]()
         assert report.determinism_dict() == expected
