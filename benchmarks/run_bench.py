@@ -59,7 +59,8 @@ def main(argv=None) -> int:
     if os.environ.get("REPRO_BENCH_QUICK"):
         cmd += ["-k", "fig6_throughput or fig10_ga or dp_optimal or optimality_gap"
                       " or serving_throughput or serving_switch_cost"
-                      " or serving_faults or serving_control"]
+                      " or serving_faults or serving_control"
+                      " or serving_telemetry"]
     cmd += argv
 
     env = dict(os.environ)

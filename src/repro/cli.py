@@ -47,7 +47,12 @@ from repro.evaluation.sweeps import SweepRunner
 from repro.hardware.config import get_chip_config, hardware_configuration_table
 from repro.models import build_model, list_models
 from repro.search import OPTIMIZERS, validate_optimizer
-from repro.serialization import dump_compilation_result, dump_serving_report
+from repro.serialization import (
+    dump_chrome_trace,
+    dump_compilation_result,
+    dump_metrics_timeline,
+    dump_serving_report,
+)
 from repro.serve import (
     POLICIES,
     TRAFFIC_GENERATORS,
@@ -57,6 +62,7 @@ from repro.serve import (
     Fleet,
     PlanCache,
     ServingSimulator,
+    TelemetryConfig,
     TraceTraffic,
     fleet_capacity_rps,
     parse_inject,
@@ -69,6 +75,7 @@ from repro.sim.report import (
     render_execution_report,
     render_search_summary,
     render_serving_report,
+    render_timeline,
 )
 
 
@@ -207,6 +214,31 @@ def _parse_control(args: argparse.Namespace) -> Optional[ControlConfig]:
     )
 
 
+def _parse_telemetry(args: argparse.Namespace) -> Optional[TelemetryConfig]:
+    """Build the telemetry config from the serve flags (None = off).
+
+    The export flags need their producer armed: ``--metrics-out`` without a
+    ``--timeline-us`` interval (or ``--trace-out`` without
+    ``--trace-requests``) is an error rather than a silently empty file.
+    """
+    if args.metrics_out and args.timeline_us <= 0:
+        raise ValueError(
+            "--metrics-out needs a metrics timeline: set --timeline-us "
+            "to a positive window interval"
+        )
+    if args.trace_out and args.trace_requests <= 0:
+        raise ValueError(
+            "--trace-out needs request tracing: set --trace-requests "
+            "to a positive sampling stride"
+        )
+    config = TelemetryConfig(
+        timeline_interval_us=args.timeline_us,
+        trace_every=args.trace_requests,
+        streaming_percentiles=args.streaming_percentiles,
+    )
+    return config if config.active else None
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     error = _check_optimizer(args.optimizer)
     if error is not None:
@@ -222,6 +254,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         faults = [parse_inject(spec) for spec in (args.inject or ())]
         validate_fault_targets(faults, len(fleet.workers))
         control = _parse_control(args)
+        telemetry = _parse_telemetry(args)
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
@@ -303,6 +336,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             faults=faults,
             fault_tolerance=fault_tolerance,
             control=control,
+            telemetry=telemetry,
         )
         report = simulator.run(
             traffic if args.traffic == "closed" else requests,
@@ -317,9 +351,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {str(err).strip(chr(34))}", file=sys.stderr)
         return 2
     print(render_serving_report(report))
+    if report.timeline:
+        print("\nMetrics timeline:")
+        print(render_timeline(report.timeline))
     if args.output:
         dump_serving_report(report, args.output)
         print(f"\nfull serving report written to {args.output}")
+    # the export guards re-check the report, not just the flags: under
+    # REPRO_SERVE_TELEMETRY=0 the producers never ran and the artifacts
+    # would be empty shells, so the exports are skipped with a notice
+    if args.metrics_out:
+        if report.timeline:
+            dump_metrics_timeline(report.timeline, args.metrics_out)
+            print(f"metrics timeline written to {args.metrics_out}")
+        else:
+            print("telemetry disabled by REPRO_SERVE_TELEMETRY=0; "
+                  "no metrics written", file=sys.stderr)
+    if args.trace_out:
+        session = simulator.telemetry_session
+        if session is not None and session.tracer is not None:
+            dump_chrome_trace(session.tracer.chrome_trace(), args.trace_out)
+            print(f"request trace written to {args.trace_out} "
+                  f"(load in Perfetto / chrome://tracing)")
+        else:
+            print("telemetry disabled by REPRO_SERVE_TELEMETRY=0; "
+                  "no trace written", file=sys.stderr)
     return 0
 
 
@@ -499,6 +555,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--no-replace-plans", action="store_true",
                               help="disable plan re-placement after "
                                    "quarantine/scale events")
+    serve_parser.add_argument("--timeline-us", type=float, default=0.0,
+                              help="emit a metrics timeline with this window "
+                                   "interval in microseconds; 0 disables "
+                                   "(default: 0)")
+    serve_parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                              help="write the metrics timeline to this file "
+                                   "(.json or .csv; needs --timeline-us)")
+    serve_parser.add_argument("--streaming-percentiles", action="store_true",
+                              help="constant-memory P^2 percentile sketches for "
+                                   "the terminal report instead of storing "
+                                   "every latency sample (approximate)")
+    serve_parser.add_argument("--trace-requests", type=int, default=0,
+                              metavar="K",
+                              help="trace the lifecycle of every K-th request; "
+                                   "0 disables (default: 0)")
+    serve_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                              help="write sampled request traces as Chrome "
+                                   "trace-event JSON (needs --trace-requests)")
     serve_parser.add_argument("--trace", default=None,
                               help="trace file to replay (with --traffic trace)")
     serve_parser.add_argument("--record-trace", default=None, metavar="PATH",

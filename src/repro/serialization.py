@@ -186,8 +186,9 @@ def serving_report_to_dict(report: ServingReport) -> Dict[str, Any]:
     downtime columns) only when faults were injected or fault-tolerance
     machinery was active, and the ``control`` block (detections vs
     injected truth, hedge outcomes, scale events, re-placements) only when
-    the self-healing control plane ran — so dumps with every feature off
-    keep the original shape.
+    the self-healing control plane ran, and the ``timeline``/``telemetry``
+    blocks only when the telemetry layer ran — so dumps with every feature
+    off keep the original shape.
     """
     return report.as_dict()
 
@@ -196,6 +197,60 @@ def dump_serving_report(report: ServingReport, path: str) -> None:
     """Write a serving report to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(serving_report_to_dict(report), handle, indent=2)
+
+
+def timeline_to_csv(timeline: List[Dict[str, Any]]) -> str:
+    """Render a metrics timeline as CSV text (deterministic column order).
+
+    Columns are the union of every row's keys, first-seen order (all rows
+    share one shape in practice — the union is a safety net); the nested
+    per-model ``slo`` block flattens to one ``slo_<model>`` column each.
+    """
+    flat: List[Dict[str, Any]] = []
+    for row in timeline:
+        out: Dict[str, Any] = {}
+        for key, value in row.items():
+            if key == "slo" and isinstance(value, dict):
+                for model in sorted(value):
+                    out[f"slo_{model}"] = value[model]
+            else:
+                out[key] = value
+        flat.append(out)
+    columns: List[str] = []
+    for row in flat:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    lines = [",".join(columns)]
+    for row in flat:
+        lines.append(",".join(str(row.get(col, "")) for col in columns))
+    return "\n".join(lines) + "\n"
+
+
+def dump_metrics_timeline(timeline: List[Dict[str, Any]], path: str) -> None:
+    """Write a serving report's ``timeline`` block to JSON or CSV.
+
+    The format follows the extension: ``.csv`` gets the flat table from
+    :func:`timeline_to_csv`, anything else a sorted-key JSON array — both
+    byte-identical for a fixed seed (``repro serve --metrics-out``).
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        if path.lower().endswith(".csv"):
+            handle.write(timeline_to_csv(timeline))
+        else:
+            json.dump(timeline, handle, indent=2, sort_keys=True)
+
+
+def dump_chrome_trace(trace: Dict[str, Any], path: str) -> None:
+    """Write a Chrome trace-event object to a JSON file.
+
+    ``trace`` is :meth:`~repro.serve.telemetry.RequestTracer.chrome_trace`'s
+    return value; the dump is sorted-key and indented, so a fixed seed
+    produces a byte-identical artifact (``repro serve --trace-out``), and
+    the file loads directly in Perfetto / chrome://tracing.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=2, sort_keys=True)
 
 
 def load_result_dict(path: str) -> Dict[str, Any]:

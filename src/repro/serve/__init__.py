@@ -39,6 +39,16 @@ streams.  Four pieces, all deterministic for a fixed seed:
   re-placement across survivors via a small assignment solve.  Detections
   are scored against the injected fault ground truth in the report's
   ``control`` block.  Controller-off runs stay bit-identical.
+* :mod:`~repro.serve.telemetry` — the passive observability layer
+  (:class:`TelemetryConfig`): a :class:`Telemetry` registry the existing
+  stat surfaces plug into, a per-window metrics timeline sampled lazily
+  at window boundaries, constant-memory percentile sketches
+  (:class:`P2Quantile`, :class:`Log2Histogram`) with documented error
+  bounds vs the exact nearest-rank percentile, and every-K-th request
+  lifecycle tracing exported as Chrome trace-event JSON
+  (:class:`RequestTracer`).  Telemetry is a pure observer — telemetry-off
+  runs stay bit-identical, and the ``REPRO_SERVE_TELEMETRY=0`` gate drops
+  it wholesale.
 
 The CLI's ``repro serve`` subcommand routes here.
 """
@@ -80,6 +90,17 @@ from repro.serve.scheduler import (
     validate_policy,
 )
 from repro.serve.simulator import ServingReport, ServingSimulator
+from repro.serve.telemetry import (
+    Log2Histogram,
+    P2Quantile,
+    RequestTracer,
+    StreamingQuantiles,
+    Telemetry,
+    TelemetryConfig,
+    TelemetrySession,
+    TimelineAccumulator,
+    telemetry_enabled,
+)
 from repro.serve.traffic import (
     TRAFFIC_GENERATORS,
     BurstyTraffic,
@@ -115,16 +136,24 @@ __all__ = [
     "Fleet",
     "LatencyAwarePolicy",
     "LeastLoadedPolicy",
+    "Log2Histogram",
+    "P2Quantile",
     "POLICIES",
     "PlanCache",
     "PlanCacheStats",
     "PlanKey",
     "PoissonTraffic",
     "Request",
+    "RequestTracer",
     "SchedulingPolicy",
     "ServingReport",
     "ServingSimulator",
+    "StreamingQuantiles",
     "TRAFFIC_GENERATORS",
+    "Telemetry",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "TimelineAccumulator",
     "TraceTraffic",
     "TrafficGenerator",
     "degraded_dram",
@@ -140,6 +169,7 @@ __all__ = [
     "save_trace",
     "service_latency_ns",
     "switch_cost_enabled",
+    "telemetry_enabled",
     "validate_fault_targets",
     "validate_policy",
     "validate_traffic",

@@ -61,6 +61,7 @@ from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.serve.fleet import ChipWorker
 from repro.serve.plans import PlanKey
+from repro.sim.metrics import nearest_rank_percentile
 
 #: ``loaded_plan`` sentinel for a chip the autoscaler just added: unequal
 #: to every real :class:`PlanKey`, so the chip's first dispatch is a plan
@@ -194,12 +195,9 @@ class _ChipHealth:
     flaps: int = 0
 
 
-def percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sequence."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
-    return sorted_values[rank - 1]
+# Nearest-rank percentile shared with the simulator's terminal report and
+# the telemetry sketch tests — one definition of "p95" everywhere.
+percentile = nearest_rank_percentile
 
 
 def place_plans(

@@ -106,12 +106,21 @@ from repro.serve.fleet import (
 )
 from repro.serve.plans import CompiledPlan, PlanCache
 from repro.serve.scheduler import DynamicBatcher, SchedulingPolicy, make_policy
+from repro.serve.telemetry import (
+    TelemetryConfig,
+    TelemetrySession,
+    telemetry_enabled,
+)
 from repro.serve.traffic import ClosedLoopTraffic, Request, retry_request
+from repro.sim.metrics import nearest_rank_percentile
 
 #: deterministic event ordering at one instant: completions free chips
 #: first, then faults strike, then arrivals/retries queue, then timeouts
 #: abandon, then batch deadlines force dispatches, then the control plane
-#: ticks (so a tick always observes the settled state of its instant)
+#: ticks (so a tick always observes the settled state of its instant).
+#: Telemetry boundary samples need no heap events at all — they are taken
+#: lazily when the loop pops the first event *past* a window boundary,
+#: reading exactly the state a dedicated tick at that boundary would see.
 _EVENT_FREE, _EVENT_FAULT, _EVENT_ARRIVAL, _EVENT_TIMEOUT, _EVENT_DEADLINE = (
     0, 1, 2, 3, 4,
 )
@@ -120,13 +129,9 @@ _EVENT_CONTROL = 5
 #: smoothing factor of the per-model interarrival EMA
 _EMA_ALPHA = 0.2
 
-
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sequence."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
-    return sorted_values[rank - 1]
+#: nearest-rank percentile, shared with the control plane and the telemetry
+#: sketches (kept under the historical private name — tests import it here)
+_percentile = nearest_rank_percentile
 
 
 @dataclass
@@ -231,18 +236,27 @@ class ServingReport:
     #: control-plane block (detections vs injected truth, hedge outcomes,
     #: scale events, re-placements) — empty when no controller ran
     control: Dict[str, object] = field(default_factory=dict)
+    #: per-window metrics timeline rows (empty unless a timeline interval
+    #: was configured) — deterministic per seed
+    timeline: List[Dict[str, object]] = field(default_factory=list)
+    #: telemetry hub snapshot (counters/gauges/histograms + config echo)
+    #: — empty when no telemetry ran
+    telemetry: Dict[str, object] = field(default_factory=dict)
     plan_cache: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def determinism_dict(self) -> Dict[str, object]:
         """The seed-deterministic core of the report.
 
-        Everything except the plan-cache counters, which legitimately differ
-        between cold-cache and warm-cache runs of the same seed; the
-        fixed-seed replay tests compare exactly this dictionary.
+        Everything except the plan-cache counters and the telemetry hub
+        snapshot (whose gauges embed those same counters), which
+        legitimately differ between cold-cache and warm-cache runs of the
+        same seed; the fixed-seed replay tests compare exactly this
+        dictionary.  The ``timeline`` block *is* deterministic and stays.
         """
         data = self.as_dict()
         data.pop("plan_cache", None)
+        data.pop("telemetry", None)
         return data
 
     def as_dict(self) -> Dict[str, object]:
@@ -302,6 +316,10 @@ class ServingReport:
             }
         if self.control:
             data["control"] = dict(self.control)
+        if self.timeline:
+            data["timeline"] = [dict(row) for row in self.timeline]
+        if self.telemetry:
+            data["telemetry"] = dict(self.telemetry)
         data["plan_cache"] = dict(self.plan_cache)
         return data
 
@@ -346,6 +364,17 @@ class ServingSimulator:
     autoscaling and plan re-placement, all driven from a fixed control
     tick.  With none of the three in play the simulator runs the exact
     pre-fault code path, bit-identically.
+
+    ``telemetry`` configures the passive observability layer
+    (:class:`~repro.serve.telemetry.TelemetryConfig`): a per-window
+    metrics timeline, streaming percentile sketches and every-K-th
+    request lifecycle tracing.  Telemetry is a **pure observer** — it
+    reads simulation state and consumes no randomness, so a telemetry-on
+    run replays the telemetry-off event order exactly and its report is
+    bit-identical minus the new ``timeline``/``telemetry`` blocks
+    (dropped wholesale when ``REPRO_SERVE_TELEMETRY=0``).  The last run's
+    :class:`~repro.serve.telemetry.TelemetrySession` is kept on
+    ``telemetry_session`` so callers can export the Chrome trace.
     """
 
     def __init__(
@@ -361,6 +390,7 @@ class ServingSimulator:
         faults: Optional[Sequence[FaultEvent]] = None,
         fault_tolerance: Optional[FaultTolerance] = None,
         control: Optional[ControlConfig] = None,
+        telemetry: Optional[TelemetryConfig] = None,
     ) -> None:
         self.fleet = fleet
         self.plan_cache = plan_cache
@@ -382,6 +412,12 @@ class ServingSimulator:
             fault_tolerance if fault_tolerance is not None else FaultTolerance()
         )
         self.control = control if control is not None else ControlConfig()
+        self.telemetry = (
+            telemetry if telemetry is not None and telemetry_enabled()
+            else TelemetryConfig()
+        )
+        #: the last run's telemetry session (trace export reads it)
+        self.telemetry_session: Optional[TelemetrySession] = None
         if self.control.active and self.control.scale_chip is not None:
             get_chip_config(self.control.scale_chip)  # fail fast on bad names
         #: fleet size at construction — chips the autoscaler appended are
@@ -435,6 +471,16 @@ class ServingSimulator:
         #: always on under the control plane, whose hedging and quarantine
         #: need in-flight records.
         use_ft = bool(self._fault_schedule) or ft.active or use_control
+        #: the passive telemetry session (None when every knob is off, so
+        #: the hot path pays a single `is not None` check per hook site)
+        tele = (
+            TelemetrySession(self.telemetry, slo_models=sorted(self.slos))
+            if self.telemetry.active else None
+        )
+        self.telemetry_session = tele
+        #: constant-memory substitutes for the latency/wait sample lists
+        #: (only under --streaming-percentiles; None keeps the exact path)
+        stream = tele.stream if tele is not None else None
 
         # --- event heap: (time, kind, tie, seq, payload) ----------------
         # tie is the chip index for chip-bound events (free/fault), so
@@ -462,6 +508,26 @@ class ServingSimulator:
                 (first_arrival + interval_ns, _EVENT_CONTROL, 0, seq, None),
             )
             seq += 1
+        tele_interval_ns = (
+            self.telemetry.timeline_interval_us * 1e3 if tele is not None
+            else 0.0
+        )
+        #: index of the *next* timeline boundary — boundary k closes window
+        #: k - 1 at first_arrival + k * interval (multiplied out, never
+        #: accumulated, so boundary times carry no float drift).  Boundaries
+        #: are sampled lazily at event pops, never queued as heap events —
+        #: ``inf`` keeps the per-pop check to one always-false comparison
+        #: when the timeline is off.
+        tele_k = 1
+        tele_next_ns = math.inf
+        tele_sample = None
+        if tele is not None:
+            tele.start(first_arrival)
+            if tele_interval_ns > 0 and tele.timeline is not None:
+                tele_next_ns = first_arrival + tele_interval_ns
+                # bound once: the boundary sampler feeds the accumulator
+                # directly rather than through the session wrapper
+                tele_sample = tele.timeline.sample
 
         queues: Dict[str, Deque[Request]] = {}
         ema: Dict[str, float] = {}
@@ -492,6 +558,56 @@ class ServingSimulator:
         slo_running: Dict[str, List[int]] = {}
         failures = retries = timeouts_n = shed = lost = degraded = 0
         smallest_batch = self.batcher.batch_sizes[0]
+
+        ctl_snapshot_key: Optional[Tuple[int, ...]] = None
+        ctl_snapshot: Dict[str, object] = {}
+
+        def control_counters() -> Dict[str, object]:
+            """Cumulative control actuator counters (timeline deltas these).
+
+            Ticks where no counter moved get the *same dict object* back —
+            the timeline's delta pass short-circuits on identity, and
+            control actions are rare relative to tick frequency.
+            """
+            nonlocal ctl_snapshot_key, ctl_snapshot
+            current = (ctrl.quarantines, ctrl.readmissions, ctrl.hedges,
+                       ctrl.scale_ups, ctrl.scale_downs, ctrl.replacements)
+            if current != ctl_snapshot_key:
+                ctl_snapshot_key = current
+                ctl_snapshot = {
+                    "quarantines": current[0],
+                    "readmissions": current[1],
+                    "hedges": current[2],
+                    "scale_ups": current[3],
+                    "scale_downs": current[4],
+                    "replacements": current[5],
+                }
+            return ctl_snapshot
+
+        if tele is not None:
+            # existing stat surfaces register as lazy gauge sources — the
+            # hub re-reads them at every snapshot instead of copying state
+            tele.hub.register_source("plan_cache",
+                                     self.plan_cache.stats.as_dict)
+            tele.hub.register_source("fleet", lambda: {
+                "chips": len(self.fleet.workers),
+                "up": sum(1 for w in self.fleet.workers if w.up),
+                "busy_ms": sum(w.busy_ns for w in self.fleet.workers) * 1e-6,
+                "energy_mj": sum(
+                    w.energy_pj for w in self.fleet.workers) * 1e-9,
+                "plan_switches": sum(
+                    w.plan_switches for w in self.fleet.workers),
+            })
+            if use_ft:
+                tele.hub.register_source("faults", lambda: {
+                    "failures": failures,
+                    "retries": retries,
+                    "timeouts": timeouts_n,
+                    "shed": shed,
+                    "lost": lost,
+                })
+            if ctrl is not None:
+                tele.hub.register_source("control", control_counters)
 
         # hedging state (all of it empty unless the controller hedges):
         # request id -> chip its hedge copy is flying on; ids with a live
@@ -540,6 +656,8 @@ class ServingSimulator:
             if request.attempt >= ft.max_retries:
                 return False
             retries += 1
+            if tele is not None:
+                tele.retry(now, request)
             # a retry entering its final attempt may jump the queue
             # (``retry_priority``): losing it again loses it for good
             priority = (
@@ -603,6 +721,8 @@ class ServingSimulator:
                         hedge_outstanding.pop(rid, None)
                         if record.hedge:
                             ctrl.hedges_wasted += 1
+                        if tele is not None:
+                            tele.end_service(now, request, worker, "uncounted")
                         continue
                     if rid in hedged:
                         # first copy of a hedged request to complete wins
@@ -622,6 +742,8 @@ class ServingSimulator:
                                 change_depth(now, -1)
                                 hedge_outstanding.pop(rid, None)
                                 ctrl.hedges_cancelled += 1
+                                if tele is not None:
+                                    tele.queue_exit(now, request, "cancelled")
                             else:
                                 # the original is executing: when it
                                 # completes it goes uncounted
@@ -631,16 +753,24 @@ class ServingSimulator:
                             # finishes (or dies) uncounted
                             winners.add(rid)
                 total = now - origins.get(request.request_id, request.arrival_ns)
-                latencies.append(total)
-                waits.append(record.start_ns - request.arrival_ns)
+                wait_ns = record.start_ns - request.arrival_ns
                 slo_ok: Optional[bool] = None
                 if request.model in self.slos:
                     slo_ok = total <= self.slos[request.model] * 1e6
-                    by_model.setdefault(request.model, []).append(total)
                     running = slo_running.setdefault(request.model, [0, 0])
                     running[1] += 1
                     if slo_ok:
                         running[0] += 1
+                if stream is None:
+                    latencies.append(total)
+                    waits.append(wait_ns)
+                    if request.model in self.slos:
+                        by_model.setdefault(request.model, []).append(total)
+                else:
+                    stream.note(total, wait_ns, request.model, slo_ok)
+                if tele is not None:
+                    tele.completion(now, request, total, wait_ns, slo_ok,
+                                    worker)
                 if ctrl is not None:
                     ctrl.note_request(total, slo_ok)
                 if session is not None:
@@ -740,6 +870,9 @@ class ServingSimulator:
                         (completion, _EVENT_FREE, worker.index, seq, worker.index),
                     )
                     seq += 1
+                    if tele is not None:
+                        tele.dispatch(now, batch_requests, worker, model,
+                                      batch, completion, switched)
                     if use_ft:
                         for request in batch_requests:
                             queued_keys.discard(
@@ -779,12 +912,25 @@ class ServingSimulator:
                         worker.requests_served += served
                         worker.energy_pj += plan.energy_pj
                         for request in batch_requests:
-                            latencies.append(completion - request.arrival_ns)
-                            waits.append(now - request.arrival_ns)
+                            total = completion - request.arrival_ns
+                            slo_ok: Optional[bool] = None
                             if request.model in self.slos:
-                                by_model.setdefault(request.model, []).append(
-                                    completion - request.arrival_ns
+                                slo_ok = (
+                                    total <= self.slos[request.model] * 1e6
                                 )
+                            if stream is None:
+                                latencies.append(total)
+                                waits.append(now - request.arrival_ns)
+                                if request.model in self.slos:
+                                    by_model.setdefault(
+                                        request.model, []).append(total)
+                            else:
+                                stream.note(total, now - request.arrival_ns,
+                                            request.model, slo_ok)
+                            if tele is not None:
+                                tele.completion(completion, request, total,
+                                                now - request.arrival_ns,
+                                                slo_ok, worker)
                             if session is not None:
                                 follow_up = session.on_complete(request, completion)
                                 if follow_up is not None:
@@ -879,6 +1025,10 @@ class ServingSimulator:
                 health.expected_ns = completion
                 health.expected_epoch = worker.epoch
                 ctrl.hedges += 1
+                if tele is not None:
+                    tele.dispatch(now, [request], worker, model,
+                                  smallest_batch, completion, switched,
+                                  hedge=True)
                 return True
 
             for index in sorted(inflight):
@@ -998,9 +1148,36 @@ class ServingSimulator:
         # --- event loop -------------------------------------------------
         while events:
             now, kind, _, _, payload = heapq.heappop(events)
+            if now > tele_next_ns:
+                # lazily sample every timeline boundary strictly before
+                # this event.  State only changes when events process, and
+                # worker busy-until horizons are themselves future event
+                # times, so each boundary reads exactly the queue depth /
+                # utilisation / control counters a dedicated boundary tick
+                # would have seen — without the heap traffic.  Boundaries
+                # at exactly `now` wait: same-instant events settle first.
+                ctl_snap = control_counters() if ctrl is not None else None
+                workers = self.fleet.workers
+                while tele_next_ns < now:
+                    up_chips = 0
+                    busy = 0
+                    for w in workers:
+                        if w.up:
+                            up_chips += 1
+                            if w.busy_until_ns > tele_next_ns:
+                                busy += 1
+                    tele_sample(
+                        tele_k - 1, depth,
+                        busy / up_chips if up_chips else 0.0,
+                        ctl_snap,
+                    )
+                    tele_k += 1
+                    tele_next_ns = first_arrival + tele_k * tele_interval_ns
             if kind == _EVENT_ARRIVAL:
                 request = payload
                 model = request.model
+                if tele is not None:
+                    tele.arrival(now, request)
                 if request.attempt == 0:
                     previous = last_arrival.get(model)
                     if previous is not None:
@@ -1023,6 +1200,8 @@ class ServingSimulator:
                         origins[request.request_id] = request.arrival_ns
                         if should_shed(request, now):
                             shed += 1
+                            if tele is not None:
+                                tele.shed(now, request)
                             finish_without_service(request, now)
                             try_dispatch(now)
                             continue
@@ -1060,6 +1239,8 @@ class ServingSimulator:
                         worker.failures += 1
                         worker.down_since_ns = now
                         failures += 1
+                        if tele is not None:
+                            tele.fault(now, "fail", chip)
                         record = inflight.pop(chip, None)
                         if record is not None:
                             # the in-flight batch dies with the chip: its
@@ -1069,6 +1250,9 @@ class ServingSimulator:
                             worker.lost_batches += 1
                             worker.lost_requests += record.served
                             worker.lost_ns += now - record.start_ns
+                            if tele is not None:
+                                tele.batch_killed(now, record.requests,
+                                                  worker)
                             for request in record.requests:
                                 rid = request.request_id
                                 if ctrl is not None:
@@ -1088,6 +1272,8 @@ class ServingSimulator:
                                             orphaned.discard(rid)
                                             if not try_retry(request, now):
                                                 lost += 1
+                                                if tele is not None:
+                                                    tele.lost(now, request)
                                                 finish_without_service(
                                                     request, now)
                                         continue
@@ -1099,9 +1285,13 @@ class ServingSimulator:
                                         continue
                                 if not try_retry(request, now):
                                     lost += 1
+                                    if tele is not None:
+                                        tele.lost(now, request)
                                     finish_without_service(request, now)
                 elif action == ACTION_RECOVER:
                     if not worker.up:
+                        if tele is not None:
+                            tele.fault(now, "recover", chip)
                         worker.up = True
                         # recorded as a window, not a running sum: the
                         # report clamps every window to the simulation
@@ -1129,8 +1319,12 @@ class ServingSimulator:
                         queued_keys.discard(key)
                         queues[request.model].remove(request)
                         change_depth(now, -1)
+                        if tele is not None:
+                            tele.queue_exit(now, request, "timeout")
                         if not try_retry(request, now):
                             timeouts_n += 1
+                            if tele is not None:
+                                tele.timeout(now, request)
                             finish_without_service(request, now)
             elif kind == _EVENT_DEADLINE:
                 model = payload
@@ -1169,8 +1363,10 @@ class ServingSimulator:
                 # serve.  A finished run must not be kept alive by its own
                 # control ticks (they also never extend the makespan).
                 queued_total = sum(len(q) for q in queues.values())
-                has_external = any(k != _EVENT_CONTROL
-                                   for _, k, _, _, _ in events)
+                # the handler's own event is already popped and the chain
+                # re-arms one event at a time, so everything still in the
+                # heap is external — no scan needed
+                has_external = len(events) > 0
                 blocked_live = any(
                     w.up and w.index in ctrl.blocked
                     for w in self.fleet.workers)
@@ -1220,7 +1416,7 @@ class ServingSimulator:
         latencies.sort()
         waits.sort()
         total_energy_pj = sum(w.energy_pj for w in self.fleet.workers)
-        completed = len(latencies)
+        completed = stream.lat.count if stream is not None else len(latencies)
         per_chip = []
         for worker in self.fleet.workers:
             row: Dict[str, object] = {
@@ -1242,6 +1438,22 @@ class ServingSimulator:
             per_chip.append(row)
         slo_blocks: Dict[str, Dict[str, float]] = {}
         for model, target_ms in sorted(self.slos.items()):
+            if stream is not None:
+                sketch = stream.by_model.get(model)
+                count = sketch.count if sketch is not None else 0
+                slo_blocks[model] = {
+                    "target_ms": target_ms,
+                    "completed": count,
+                    "p50_ms": (sketch.percentile(50.0) * 1e-6
+                               if sketch is not None else 0.0),
+                    "p95_ms": (sketch.percentile(95.0) * 1e-6
+                               if sketch is not None else 0.0),
+                    "p99_ms": (sketch.percentile(99.0) * 1e-6
+                               if sketch is not None else 0.0),
+                    "attainment": (stream.attained.get(model, 0) / count
+                                   if count else 0.0),
+                }
+                continue
             model_latencies = sorted(by_model.get(model, []))
             count = len(model_latencies)
             target_ns = target_ms * 1e6
@@ -1254,6 +1466,49 @@ class ServingSimulator:
                 "p99_ms": _percentile(model_latencies, 99) * 1e-6,
                 "attainment": attained / count if count else 0.0,
             }
+        if stream is not None:
+            # constant-memory terminal report: P² sketch estimates stand in
+            # for the exact nearest-rank percentiles (documented error
+            # bound on :class:`~repro.serve.telemetry.P2Quantile`)
+            latency_ms = {
+                "mean": stream.lat.mean() * 1e-6,
+                "p50": stream.lat.percentile(50.0) * 1e-6,
+                "p95": stream.lat.percentile(95.0) * 1e-6,
+                "p99": stream.lat.percentile(99.0) * 1e-6,
+                "max": stream.lat.max * 1e-6,
+            }
+            wait_ms = {
+                "mean": stream.wait.mean() * 1e-6,
+                "p95": stream.wait.percentile(95.0) * 1e-6,
+                "max": stream.wait.max * 1e-6,
+            }
+        else:
+            latency_ms = {
+                "mean": (sum(latencies) / completed) * 1e-6 if completed else 0.0,
+                "p50": _percentile(latencies, 50) * 1e-6,
+                "p95": _percentile(latencies, 95) * 1e-6,
+                "p99": _percentile(latencies, 99) * 1e-6,
+                "max": latencies[-1] * 1e-6 if latencies else 0.0,
+            }
+            wait_ms = {
+                "mean": (sum(waits) / completed) * 1e-6 if completed else 0.0,
+                "p95": _percentile(waits, 95) * 1e-6,
+                "max": waits[-1] * 1e-6 if waits else 0.0,
+            }
+        timeline_rows: List[Dict[str, object]] = []
+        telemetry_block: Dict[str, object] = {}
+        if tele is not None:
+            up_end = sum(1 for w in self.fleet.workers if w.up)
+            busy_end = sum(1 for w in self.fleet.workers
+                           if w.up and w.busy_until_ns > end_ns)
+            timeline_rows = tele.finish(
+                end_ns, depth, busy_end / up_end if up_end else 0.0,
+                control_counters() if ctrl is not None else None,
+            )
+            # exact-mode hub histograms are batch-folded from the sample
+            # lists here rather than per completion (order-independent)
+            tele.fill_histograms(latencies, waits)
+            telemetry_block = tele.snapshot()
         traffic = dict(traffic_info or {})
         return ServingReport(
             fleet_spec=self.fleet.spec,
@@ -1269,18 +1524,8 @@ class ServingSimulator:
             makespan_ms=makespan_ns * 1e-6,
             throughput_rps=completed / span_s if span_s > 0 else 0.0,
             offered_rps=expected / offered_span_s if offered_span_s > 0 else 0.0,
-            latency_ms={
-                "mean": (sum(latencies) / completed) * 1e-6 if completed else 0.0,
-                "p50": _percentile(latencies, 50) * 1e-6,
-                "p95": _percentile(latencies, 95) * 1e-6,
-                "p99": _percentile(latencies, 99) * 1e-6,
-                "max": latencies[-1] * 1e-6 if latencies else 0.0,
-            },
-            wait_ms={
-                "mean": (sum(waits) / completed) * 1e-6 if completed else 0.0,
-                "p95": _percentile(waits, 95) * 1e-6,
-                "max": waits[-1] * 1e-6 if waits else 0.0,
-            },
+            latency_ms=latency_ms,
+            wait_ms=wait_ms,
             queue_depth={
                 "mean": depth_integral / makespan_ns if makespan_ns > 0 else 0.0,
                 "max": float(depth_max),
@@ -1308,5 +1553,7 @@ class ServingSimulator:
             availability=availability,
             control=(ctrl.as_dict(self.fleet.workers, self._base_workers)
                      if ctrl is not None else {}),
+            timeline=timeline_rows,
+            telemetry=telemetry_block,
             plan_cache=self.plan_cache.stats.as_dict(),
         )

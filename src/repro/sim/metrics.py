@@ -6,6 +6,21 @@ import math
 from typing import Iterable, Sequence
 
 
+def nearest_rank_percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    The exact (sample-storing) percentile definition every serving surface
+    shares: the simulator's terminal report, the control plane's hedge
+    budget and the telemetry sketches' accuracy tests all call this one
+    function, so "p95" means the same sample everywhere.  Returns 0.0 for
+    an empty sequence.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
 def throughput_inferences_per_sec(batch_size: int, total_latency_ns: float) -> float:
     """Inferences per second for a batch completing in ``total_latency_ns``."""
     if total_latency_ns <= 0:

@@ -216,4 +216,46 @@ def render_serving_report(report: "ServingReport") -> str:
             f"{int(cache.get('evictions', 0))} evicted, "
             f"{int(cache.get('size', 0))}/{int(cache.get('capacity', 0))} resident"
         )
+    telemetry = report.telemetry
+    if telemetry:
+        config = telemetry.get("config", {})
+        parts = []
+        if config.get("timeline_interval_us"):
+            parts.append(
+                f"{len(report.timeline)} windows every "
+                f"{config['timeline_interval_us']:g} us")
+        if config.get("trace_every"):
+            parts.append(f"tracing every {int(config['trace_every'])}th request")
+        if config.get("streaming_percentiles"):
+            parts.append("streaming percentiles (P^2 sketch)")
+        lines.append("  telemetry             : " + (", ".join(parts) or "on"))
     return "\n".join(lines)
+
+
+#: timeline columns always rendered, in order
+_TIMELINE_COLUMNS = [
+    "window", "t_ms", "arrivals", "completed", "throughput_rps",
+    "p50_ms", "p95_ms", "p99_ms", "queue_depth", "utilisation", "attainment",
+]
+#: event columns rendered only when some window has a nonzero count
+_TIMELINE_EVENT_COLUMNS = [
+    "failures", "recoveries", "shed", "timeouts", "lost", "retries",
+    "quarantines", "readmissions", "hedges", "scale_ups", "scale_downs",
+    "replacements",
+]
+
+
+def render_timeline(timeline: Sequence[Dict[str, object]]) -> str:
+    """Render a serving report's metrics timeline as an aligned table.
+
+    One row per window (headline metrics first); fault/control event
+    columns appear only when some window actually saw such an event, so a
+    quiet run prints a compact table.  Printed by ``repro serve`` under
+    ``--timeline-us``.
+    """
+    if not timeline:
+        return "(empty timeline)"
+    columns = list(_TIMELINE_COLUMNS)
+    columns += [col for col in _TIMELINE_EVENT_COLUMNS
+                if any(row.get(col) for row in timeline)]
+    return format_table(list(timeline), columns=columns)

@@ -232,6 +232,62 @@ class TestServeCommand:
         assert main(["serve", "--traffic", "trace", "--trace", str(unknown)]) == 2
         assert "unknown model" in capsys.readouterr().err
 
+    def test_serve_timeline_prints_and_dumps(self, capsys, tmp_path):
+        metrics_json = tmp_path / "metrics.json"
+        metrics_csv = tmp_path / "metrics.csv"
+        assert main(self.SERVE_ARGS + ["--timeline-us", "500",
+                                       "--metrics-out", str(metrics_json)]) == 0
+        out = capsys.readouterr().out
+        assert "Metrics timeline:" in out
+        assert "throughput_rps" in out
+        assert "telemetry" in out
+        timeline = json.loads(metrics_json.read_text())
+        assert timeline and timeline[0]["window"] == 0
+        assert main(self.SERVE_ARGS + ["--timeline-us", "500",
+                                       "--metrics-out", str(metrics_csv)]) == 0
+        capsys.readouterr()
+        header = metrics_csv.read_text().splitlines()[0]
+        assert header.startswith("window,t_ms,")
+
+    def test_serve_trace_requests_dumps_chrome_trace(self, capsys, tmp_path):
+        trace_out = tmp_path / "requests.json"
+        assert main(self.SERVE_ARGS + ["--trace-requests", "5",
+                                       "--trace-out", str(trace_out)]) == 0
+        capsys.readouterr()
+        trace = json.loads(trace_out.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        assert trace["traceEvents"]
+        assert all(event["ph"] in ("X", "i")
+                   for event in trace["traceEvents"])
+
+    def test_serve_streaming_percentiles_flag(self, capsys):
+        assert main(self.SERVE_ARGS + ["--streaming-percentiles"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming percentiles" in out
+        assert "p99" in out
+
+    def test_serve_telemetry_bad_inputs(self, capsys, tmp_path):
+        # output flags without the matching telemetry knob are exit-2
+        # config errors, not silently empty files
+        assert main(self.SERVE_ARGS +
+                    ["--metrics-out", str(tmp_path / "m.json")]) == 2
+        assert "--timeline-us" in capsys.readouterr().err
+        assert main(self.SERVE_ARGS +
+                    ["--trace-out", str(tmp_path / "t.json")]) == 2
+        assert "--trace-requests" in capsys.readouterr().err
+        assert main(self.SERVE_ARGS + ["--timeline-us", "-10"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_telemetry_env_off(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_TELEMETRY", "0")
+        metrics = tmp_path / "metrics.json"
+        assert main(self.SERVE_ARGS + ["--timeline-us", "500",
+                                       "--metrics-out", str(metrics)]) == 0
+        captured = capsys.readouterr()
+        assert "telemetry disabled" in captured.err
+        assert not metrics.exists()
+        assert "Metrics timeline:" not in captured.out
+
     def test_serve_switch_cost_sections(self, capsys, tmp_path):
         # switch cost is on by default: multiple batch sizes force plan
         # switches, which the report and the JSON dump must surface
