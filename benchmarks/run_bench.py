@@ -60,7 +60,7 @@ def main(argv=None) -> int:
         cmd += ["-k", "fig6_throughput or fig10_ga or dp_optimal or optimality_gap"
                       " or serving_throughput or serving_switch_cost"
                       " or serving_faults or serving_control"
-                      " or serving_telemetry"]
+                      " or serving_telemetry or serving_service"]
     cmd += argv
 
     env = dict(os.environ)

@@ -1,0 +1,115 @@
+"""Live observatory: watching a fault scenario stream window by window.
+
+``examples/telemetry.py`` reads a fault's dip/reaction/recovery off the
+*finished* timeline; this example watches the same story **live**.  It
+boots the observatory service in-process (:class:`ServerThread` — an
+asyncio REST + WebSocket server on an ephemeral port, stdlib only),
+submits a fault-injection scenario as the JSON spec a remote client
+would POST, and subscribes to the scenario's WebSocket stream.  Each
+timeline window arrives the moment the simulator can prove it final —
+the streamed rows concatenate byte-for-byte into the report's timeline
+block — interleaved with typed fault events and hub snapshots.
+
+Three things to notice:
+
+1. the chip-failure and recovery events arrive *between* window rows,
+   exactly where they land in simulated time;
+2. a mid-run command POSTed while the scenario runs (here: a second
+   injected straggler) joins the simulator's deterministic event order
+   and is recorded in the report's ``commands`` block;
+3. ``/metrics`` serves the same counters as Prometheus text exposition,
+   scrapable while the service is up.
+
+Run with::
+
+    PYTHONPATH=src python examples/observatory.py
+"""
+
+from repro.serve.service import ServerThread, WebSocketClient, request_json
+from repro.sim.report import render_timeline
+
+SPEC = {
+    "models": ["resnet18"],
+    "fleet": "M:3",
+    "policy": "latency",
+    "batches": [1, 2, 4, 8],
+    "seed": 11,
+    "traffic": {"kind": "poisson", "requests": 120, "utilization": 0.75},
+    "slo": {"resnet18": 12.0},
+    "inject": ["chip_fail@2000:chip=0,until=6000"],
+    "fault_tolerance": {"max_retries": 2, "timeout_us": 8000.0},
+    "control": {"interval_us": 500.0, "autoscale": "3:4"},
+    "telemetry": {"timeline_us": 500.0},
+}
+
+
+def main() -> None:
+    server = ServerThread(port=0)  # ephemeral port, returns once bound
+    try:
+        host, port = server.host, server.port
+        print(f"observatory listening on {host}:{port}")
+
+        status, body = request_json(host, port, "POST", "/scenarios", SPEC)
+        assert status == 201, body
+        job_id = body["id"]
+        print(f"submitted scenario {job_id}\n")
+
+        # a mid-run command: the observatory enqueues it thread-safely and
+        # the simulator drains it at its next event pop, so the mutation
+        # lands at a deterministic point of the event order
+        status, body = request_json(
+            host, port, "POST", f"/scenarios/{job_id}/commands",
+            {"op": "inject_fault",
+             "spec": "straggler@4000:chip=1,factor=3,until=7000"})
+        assert status in (201, 409), body  # 409 iff the run already ended
+
+        # follow the live stream: windows as they become final, events as
+        # they happen, the terminal report last (the generator ends when
+        # the server closes the stream after the report)
+        client = WebSocketClient(host, port, f"/scenarios/{job_id}/stream")
+        windows = []
+        report = None
+        for message in client.messages():
+            kind = message["type"]
+            if kind == "window":
+                row = message["data"]
+                windows.append(row)
+                print(f"  window {row['window']:>3}  "
+                      f"arrivals {row['arrivals']:>3}  "
+                      f"completed {row['completed']:>3}  "
+                      f"p95 {row['p95_ms']:6.2f} ms  "
+                      f"attainment {row['attainment']:.2f}")
+            elif kind == "event":
+                print(f"  event: {message['data']}")
+            elif kind == "report":
+                report = message["data"]
+        client.close()
+
+        assert report is not None
+        print(f"\nstreamed {len(windows)} windows; "
+              f"final timeline has {len(report['timeline'])} rows "
+              f"(identical — streaming never changes content)")
+        assert windows == report["timeline"]
+        if report.get("commands"):
+            print("mid-run commands recorded in the report:")
+            for entry in report["commands"]:
+                print(f"  {entry['op']}: {entry['status']}")
+
+        print("\nfinal timeline (middle elided):")
+        print(render_timeline(report["timeline"], max_rows=12))
+
+        status, text = request_json(host, port, "GET", "/metrics")
+        assert status == 200
+        lines = [line for line in text.splitlines()
+                 if line.startswith(("repro_serve_events_total",
+                                     "repro_serve_service_scenarios"))]
+        print("\n/metrics excerpt (Prometheus text exposition):")
+        for line in lines[:8]:
+            print(f"  {line}")
+    finally:
+        server.stop()
+        print("\nobservatory stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

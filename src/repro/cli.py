@@ -11,6 +11,11 @@ Subcommands
 ``serve``
     Simulate serving a request stream against a chip fleet using compiled
     partition plans (plan cache + dynamic batching + scheduling policy).
+``observe``
+    Run the live serving observatory: an asyncio REST + WebSocket service
+    that accepts scenario submissions, streams per-window telemetry while
+    they run, exposes Prometheus ``/metrics`` and takes mid-run commands.
+    ``--follow ID`` turns the same command into a terminal stream client.
 ``models``
     List the models available in the zoo with their weight footprints.
 ``chips``
@@ -31,12 +36,16 @@ Examples
         --slo resnet18=8 --slo lenet5=2
     python -m repro serve --model resnet18 --fleet M:2 \
         --inject chip_fail@500:chip=0,until=2000 --retries 2 --timeout-us 5000
+    python -m repro observe --port 8787
+    python -m repro observe --submit scenario.json --and-follow
     python -m repro models
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -353,7 +362,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(render_serving_report(report))
     if report.timeline:
         print("\nMetrics timeline:")
-        print(render_timeline(report.timeline))
+        print(render_timeline(report.timeline, max_rows=args.timeline_rows))
     if args.output:
         dump_serving_report(report, args.output)
         print(f"\nfull serving report written to {args.output}")
@@ -377,6 +386,105 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("telemetry disabled by REPRO_SERVE_TELEMETRY=0; "
                   "no trace written", file=sys.stderr)
     return 0
+
+
+async def _observe_serve(host: str, port: int) -> int:
+    """Run the observatory server until interrupted."""
+    from repro.serve.service import ObservatoryServer
+
+    server = ObservatoryServer(host=host, port=port)
+    bound_host, bound_port = await server.start()
+    base = f"http://{bound_host}:{bound_port}"
+    print(f"observatory listening on {base}")
+    print(f"  submit : curl -s -X POST --data @scenario.json {base}/scenarios")
+    print(f"  status : curl -s {base}/scenarios")
+    print(f"  follow : repro observe --host {bound_host} "
+          f"--port {bound_port} --follow <id>")
+    print(f"  metrics: curl -s {base}/metrics")
+    try:
+        await asyncio.Event().wait()  # serve until cancelled
+    finally:
+        await server.close()
+    return 0
+
+
+def _observe_follow(host: str, port: int, job_id: str,
+                    timeline_rows: int) -> int:
+    """Stream one scenario's windows to the terminal, then the report."""
+    from repro.serve.service import WebSocketClient, request_json
+
+    try:
+        client = WebSocketClient(host, port,
+                                 f"/scenarios/{job_id}/stream")
+    except (ConnectionError, OSError) as err:
+        print(f"error: cannot reach scenario {job_id!r} at "
+              f"{host}:{port}: {err}", file=sys.stderr)
+        return 2
+    windows: List[dict] = []
+    failed = False
+    try:
+        for message in client.messages():
+            kind = message.get("type")
+            data = message.get("data") or {}
+            if kind == "window":
+                windows.append(data)
+                print(f"  window {data.get('window'):>4}  "
+                      f"t={data.get('t_ms', 0.0):9.3f} ms  "
+                      f"arrivals={data.get('arrivals', 0):>4}  "
+                      f"completed={data.get('completed', 0):>4}  "
+                      f"p95={data.get('p95_ms', 0.0):7.3f} ms  "
+                      f"util={data.get('utilisation', 0.0):5.2f}")
+            elif kind == "event":
+                print(f"  event: {json.dumps(data, sort_keys=True)}")
+            elif kind == "error":
+                print(f"error: scenario failed:\n{data.get('error')}",
+                      file=sys.stderr)
+                failed = True
+            elif kind == "status":
+                print(f"  scenario {job_id} is {data.get('state')}")
+    finally:
+        client.close()
+    if failed:
+        return 1
+    print(f"\nstream closed after {len(windows)} windows; final timeline:")
+    status, payload = request_json(host, port, "GET",
+                                   f"/scenarios/{job_id}/report")
+    if status == 200 and isinstance(payload, dict):
+        timeline = payload.get("report", {}).get("timeline", [])
+        print(render_timeline(timeline, max_rows=timeline_rows))
+    else:
+        print(render_timeline(windows, max_rows=timeline_rows))
+    return 0
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    if args.submit:
+        from repro.serve.service import request_json
+
+        try:
+            with open(args.submit, "r", encoding="utf-8") as handle:
+                spec = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        status, payload = request_json(args.host, args.port, "POST",
+                                       "/scenarios", spec)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        if status != 201:
+            return 1
+        if args.follow is None and not args.and_follow:
+            return 0
+        job_id = payload["id"]
+        return _observe_follow(args.host, args.port, job_id,
+                               args.timeline_rows)
+    if args.follow is not None:
+        return _observe_follow(args.host, args.port, args.follow,
+                               args.timeline_rows)
+    try:
+        return asyncio.run(_observe_serve(args.host, args.port))
+    except KeyboardInterrupt:
+        print("\nobservatory stopped")
+        return 0
 
 
 def _cmd_models(_: argparse.Namespace) -> int:
@@ -559,6 +667,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="emit a metrics timeline with this window "
                                    "interval in microseconds; 0 disables "
                                    "(default: 0)")
+    serve_parser.add_argument("--timeline-rows", type=int, default=60,
+                              help="cap the printed timeline table at this "
+                                   "many rows, eliding the middle (exports "
+                                   "keep every window); 0 prints everything "
+                                   "(default: 60)")
     serve_parser.add_argument("--metrics-out", default=None, metavar="PATH",
                               help="write the metrics timeline to this file "
                                    "(.json or .csv; needs --timeline-us)")
@@ -580,6 +693,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--output", help="write the full serving report to this JSON file")
     add_ga_options(serve_parser, default_optimizer="dp")
     serve_parser.set_defaults(func=_cmd_serve)
+
+    observe_parser = subparsers.add_parser(
+        "observe",
+        help="run the live serving observatory (or follow / submit to one)",
+    )
+    observe_parser.add_argument("--host", default="127.0.0.1",
+                                help="bind / connect address "
+                                     "(default: 127.0.0.1)")
+    observe_parser.add_argument("--port", type=int, default=8787,
+                                help="service port; 0 binds an ephemeral "
+                                     "port (default: 8787)")
+    observe_parser.add_argument("--follow", default=None, metavar="ID",
+                                help="follow a running scenario's window "
+                                     "stream instead of serving")
+    observe_parser.add_argument("--submit", default=None, metavar="SPEC.json",
+                                help="submit a scenario spec file to a "
+                                     "running observatory")
+    observe_parser.add_argument("--and-follow", action="store_true",
+                                help="with --submit: follow the submitted "
+                                     "scenario's stream")
+    observe_parser.add_argument("--timeline-rows", type=int, default=60,
+                                help="cap the final timeline table at this "
+                                     "many rows (0 = everything; "
+                                     "default: 60)")
+    observe_parser.set_defaults(func=_cmd_observe)
 
     models_parser = subparsers.add_parser("models", help="list available models")
     models_parser.set_defaults(func=_cmd_models)

@@ -199,31 +199,70 @@ def dump_serving_report(report: ServingReport, path: str) -> None:
         json.dump(serving_report_to_dict(report), handle, indent=2)
 
 
+#: canonical timeline CSV column order: headline metrics, then event
+#: counters, then control deltas — the flattened ``slo_<model>`` columns
+#: slot in after ``attainment``; keys outside this list append sorted at
+#: the end (a forward-compatibility safety net, not an expected case)
+_TIMELINE_CSV_COLUMNS = [
+    "window", "t_ms", "arrivals", "completed", "throughput_rps",
+    "p50_ms", "p95_ms", "p99_ms", "queue_depth", "utilisation",
+    "attainment", "shed", "timeouts", "lost", "retries", "failures",
+    "recoveries", "quarantines", "readmissions", "hedges", "scale_ups",
+    "scale_downs", "replacements",
+]
+
+
+def _csv_cell(value: Any) -> str:
+    """One CSV cell: floats get a fixed ``.6f`` so the artifact is
+    byte-stable across platforms and float-repr changes; everything else
+    renders with ``str``."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, float):
+        return f"{value:.6f}"
+    return str(value)
+
+
 def timeline_to_csv(timeline: List[Dict[str, Any]]) -> str:
     """Render a metrics timeline as CSV text (deterministic column order).
 
-    Columns are the union of every row's keys, first-seen order (all rows
-    share one shape in practice — the union is a safety net); the nested
-    per-model ``slo`` block flattens to one ``slo_<model>`` column each.
+    Columns follow the canonical timeline order (headline metrics, event
+    counters, control deltas), restricted to keys some row actually has —
+    never the rows' dict-iteration order; the nested per-model ``slo``
+    block flattens to one ``slo_<model>`` column each, placed after
+    ``attainment``.  Floats are formatted with an explicit ``.6f`` so a
+    fixed seed yields a byte-identical artifact.
     """
     flat: List[Dict[str, Any]] = []
+    slo_columns: List[str] = []
     for row in timeline:
         out: Dict[str, Any] = {}
         for key, value in row.items():
             if key == "slo" and isinstance(value, dict):
                 for model in sorted(value):
-                    out[f"slo_{model}"] = value[model]
+                    column = f"slo_{model}"
+                    out[column] = value[model]
+                    if column not in slo_columns:
+                        slo_columns.append(column)
             else:
                 out[key] = value
         flat.append(out)
-    columns: List[str] = []
+    slo_columns.sort()
+    present = set()
     for row in flat:
-        for key in row:
-            if key not in columns:
-                columns.append(key)
+        present.update(row)
+    columns: List[str] = []
+    for column in _TIMELINE_CSV_COLUMNS:
+        if column in present:
+            columns.append(column)
+        if column == "attainment":
+            columns.extend(slo_columns)
+    columns.extend(sorted(present - set(columns)))
     lines = [",".join(columns)]
     for row in flat:
-        lines.append(",".join(str(row.get(col, "")) for col in columns))
+        lines.append(",".join(
+            _csv_cell(row[col]) if col in row else ""
+            for col in columns))
     return "\n".join(lines) + "\n"
 
 

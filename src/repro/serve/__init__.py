@@ -49,8 +49,17 @@ streams.  Four pieces, all deterministic for a fixed seed:
   (:class:`RequestTracer`).  Telemetry is a pure observer — telemetry-off
   runs stay bit-identical, and the ``REPRO_SERVE_TELEMETRY=0`` gate drops
   it wholesale.
+* :mod:`~repro.serve.service` — the live observatory: an asyncio REST +
+  WebSocket service (stdlib only) that runs scenarios on worker threads,
+  streams each timeline window the moment it is provably final, exposes
+  the telemetry hub as Prometheus text exposition at ``/metrics``, and
+  accepts mid-run commands (fault injection, policy swap, autoscale
+  bounds) through a thread-safe :class:`CommandQueue` drained inside the
+  simulator's deterministic event order.  Service-off runs stay
+  bit-identical — streaming only changes *when* windows render, never
+  what they contain.
 
-The CLI's ``repro serve`` subcommand routes here.
+The CLI's ``repro serve`` and ``repro observe`` subcommands route here.
 """
 
 from repro.serve.control import COLD_PLAN, ControlConfig, Controller, place_plans
@@ -89,7 +98,7 @@ from repro.serve.scheduler import (
     make_policy,
     validate_policy,
 )
-from repro.serve.simulator import ServingReport, ServingSimulator
+from repro.serve.simulator import CommandQueue, ServingReport, ServingSimulator
 from repro.serve.telemetry import (
     Log2Histogram,
     P2Quantile,
@@ -123,6 +132,7 @@ __all__ = [
     "COLD_PLAN",
     "ClosedLoopSession",
     "ClosedLoopTraffic",
+    "CommandQueue",
     "CompiledPlan",
     "ControlConfig",
     "Controller",

@@ -1,0 +1,106 @@
+"""Fan-out hub for live observatory telemetry.
+
+One :class:`BroadcastHub` lives on the service's event loop.  Producers
+(the scenario worker threads, via ``call_soon_threadsafe``) publish
+messages onto per-job topics; each WebSocket subscriber owns a
+:class:`Subscription` with a **bounded** queue.  A subscriber that cannot
+keep up never blocks the producer or other subscribers — the overflowing
+message is dropped and counted, exactly the back-pressure contract of the
+simulator's own shed path.
+
+Everything here is loop-thread-only (asyncio queues are not thread-safe);
+cross-thread producers must hop onto the loop first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, List, Optional
+
+
+class Subscription:
+    """One subscriber's bounded view of a topic."""
+
+    def __init__(self, topic: str, sub_id: int, maxsize: int) -> None:
+        self.topic = topic
+        self.sub_id = sub_id
+        self.queue: "asyncio.Queue[Optional[dict]]" = asyncio.Queue(
+            maxsize=maxsize)
+        #: messages dropped because this subscriber's queue was full
+        self.dropped = 0
+
+    def deliver(self, message: Optional[dict]) -> None:
+        """Enqueue without blocking; a full queue drops and counts."""
+        try:
+            self.queue.put_nowait(message)
+        except asyncio.QueueFull:
+            self.dropped += 1
+
+    async def get(self) -> Optional[dict]:
+        """Next message (``None`` is the hub's end-of-topic sentinel)."""
+        return await self.queue.get()
+
+
+class BroadcastHub:
+    """Topic-keyed fan-out with per-subscriber bounded queues."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._topics: Dict[str, List[Subscription]] = {}
+        self._ids = itertools.count(1)
+        #: totals across the hub's lifetime (for /metrics)
+        self.published = 0
+        self.dropped = 0
+
+    def subscribe(self, topic: str) -> Subscription:
+        subscription = Subscription(topic, next(self._ids), self.maxsize)
+        self._topics.setdefault(topic, []).append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        subscribers = self._topics.get(subscription.topic)
+        if not subscribers:
+            return
+        # the hub-level drop total must survive the subscriber
+        self.dropped += subscription.dropped
+        subscription.dropped = 0
+        try:
+            subscribers.remove(subscription)
+        except ValueError:
+            pass
+        if not subscribers:
+            del self._topics[subscription.topic]
+
+    def publish(self, topic: str, message: dict) -> int:
+        """Deliver to every subscriber of ``topic``; returns the fan-out."""
+        subscribers = self._topics.get(topic)
+        self.published += 1
+        if not subscribers:
+            return 0
+        for subscription in subscribers:
+            subscription.deliver(message)
+        return len(subscribers)
+
+    def close_topic(self, topic: str) -> None:
+        """Send the end-of-topic sentinel to every subscriber."""
+        for subscription in self._topics.get(topic, ()):
+            subscription.deliver(None)
+
+    def subscriber_count(self, topic: Optional[str] = None) -> int:
+        if topic is not None:
+            return len(self._topics.get(topic, ()))
+        return sum(len(subs) for subs in self._topics.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Hub totals plus drops still pending on live subscribers."""
+        live_dropped = sum(
+            subscription.dropped
+            for subscribers in self._topics.values()
+            for subscription in subscribers
+        )
+        return {
+            "published": self.published,
+            "dropped": self.dropped + live_dropped,
+            "subscribers": self.subscriber_count(),
+        }

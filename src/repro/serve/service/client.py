@@ -1,0 +1,147 @@
+"""Synchronous client helpers for the observatory.
+
+Used by the ``repro observe --follow`` terminal follower and the hermetic
+service tests: plain-socket HTTP requests and a minimal RFC 6455
+WebSocket client (client frames masked, as the spec requires).  Blocking
+sockets are the right shape here — the follower is a terminal loop, not a
+server.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import socket
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.serve.service.http import (
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    encode_frame,
+    websocket_accept,
+)
+
+
+def request_json(host: str, port: int, method: str, path: str,
+                 payload: Optional[object] = None,
+                 timeout: float = 30.0) -> Tuple[int, object]:
+    """One HTTP request; returns ``(status, decoded-JSON-or-text)``."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        if content_type.startswith("application/json"):
+            return response.status, json.loads(raw.decode("utf-8"))
+        return response.status, raw.decode("utf-8")
+    finally:
+        connection.close()
+
+
+class WebSocketClient:
+    """Blocking WebSocket client for the observatory stream endpoint."""
+
+    def __init__(self, host: str, port: int, path: str,
+                 timeout: float = 30.0) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        #: bytes received but not yet consumed — the recv that completes
+        #: the handshake headers may already carry the first frames (a
+        #: server replaying a finished job's backlog sends them
+        #: immediately), so nothing read can be discarded
+        self._buffer = b""
+        key = base64.b64encode(os.urandom(16)).decode("latin-1")
+        handshake = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n\r\n"
+        )
+        self.sock.sendall(handshake.encode("latin-1"))
+        head = self._read_until(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        if " 101 " not in f"{status_line} ":
+            raise ConnectionError(f"upgrade refused: {status_line}")
+        expected = websocket_accept(key)
+        accept = ""
+        for line in head.decode("latin-1").split("\r\n")[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "sec-websocket-accept":
+                accept = value.strip()
+        if accept != expected:
+            raise ConnectionError("bad Sec-WebSocket-Accept")
+
+    # ------------------------------------------------------------------
+    def _read_until(self, marker: bytes) -> bytes:
+        while marker not in self._buffer:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("socket closed during handshake")
+            self._buffer += chunk
+        head, self._buffer = self._buffer.split(marker, 1)
+        return head
+
+    def _read_exact(self, count: int) -> bytes:
+        while len(self._buffer) < count:
+            chunk = self.sock.recv(4096)
+            if not chunk:
+                raise ConnectionError("socket closed mid-frame")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:count], self._buffer[count:]
+        return data
+
+    def _read_frame(self) -> Tuple[int, bytes]:
+        first = self._read_exact(2)
+        opcode = first[0] & 0x0F
+        masked = bool(first[1] & 0x80)
+        length = first[1] & 0x7F
+        if length == 126:
+            length = int.from_bytes(self._read_exact(2), "big")
+        elif length == 127:
+            length = int.from_bytes(self._read_exact(8), "big")
+        key = self._read_exact(4) if masked else b""
+        payload = self._read_exact(length) if length else b""
+        if masked:
+            payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+        return opcode, payload
+
+    # ------------------------------------------------------------------
+    def messages(self) -> Iterator[Dict[str, object]]:
+        """Yield decoded JSON messages until the server closes."""
+        while True:
+            try:
+                opcode, payload = self._read_frame()
+            except ConnectionError:
+                return
+            if opcode == OP_CLOSE:
+                try:
+                    self.sock.sendall(
+                        encode_frame(OP_CLOSE, payload, mask=True))
+                except OSError:
+                    pass
+                return
+            if opcode == OP_PING:
+                self.sock.sendall(encode_frame(OP_PONG, payload, mask=True))
+                continue
+            if opcode != OP_TEXT:
+                continue
+            yield json.loads(payload.decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self.sock.sendall(encode_frame(OP_CLOSE, b"", mask=True))
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass

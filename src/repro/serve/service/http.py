@@ -1,0 +1,212 @@
+"""Minimal asyncio HTTP/1.1 + WebSocket plumbing (stdlib only).
+
+Just enough protocol for the observatory: one-shot HTTP requests
+(``Connection: close``) and RFC 6455 WebSocket upgrades for the telemetry
+stream.  No external dependencies — the accept key is SHA-1 + base64 per
+the spec, frames are parsed by hand, and the server only ever *sends*
+unmasked frames (server-to-client frames must not be masked) while
+requiring masked client frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+#: RFC 6455 §1.3 — the fixed GUID appended to the client key
+WS_MAGIC = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 426: "Upgrade Required",
+    500: "Internal Server Error",
+}
+
+#: request size guards (a telemetry service, not a general proxy)
+MAX_HEADER_BYTES = 16384
+MAX_BODY_BYTES = 1 << 20
+
+
+class BadRequest(ValueError):
+    """Malformed request — answered with a 400 and a closed connection."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        try:
+            return json.loads(self.body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from None
+
+
+@dataclass
+class Response:
+    """One HTTP response (always ``Connection: close``)."""
+
+    status: int = 200
+    content_type: str = "application/json"
+    body: bytes = b""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload: object, status: int = 200) -> "Response":
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return cls(status=status, body=body)
+
+    @classmethod
+    def text(cls, text: str, status: int = 200,
+             content_type: str = "text/plain; charset=utf-8") -> "Response":
+        return cls(status=status, content_type=content_type,
+                   body=text.encode("utf-8"))
+
+    @classmethod
+    def error(cls, status: int, message: str) -> "Response":
+        return cls.json({"error": message}, status=status)
+
+    def encode(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        lines.extend(f"{key}: {value}" for key, value in self.headers.items())
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream (``None`` on a closed socket)."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close before any request
+        raise BadRequest("truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequest("request head too large")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise BadRequest("undecodable request head") from None
+    request_line, _, header_text = text.partition("\r\n")
+    parts = request_line.split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {request_line!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+    headers: Dict[str, str] = {}
+    for line in header_text.strip().splitlines():
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise BadRequest("bad Content-Length")
+    body = await reader.readexactly(length) if length else b""
+    return Request(method=method, path=split.path, query=query,
+                   headers=headers, body=body)
+
+
+# ----------------------------------------------------------------------
+# WebSocket framing (RFC 6455)
+# ----------------------------------------------------------------------
+def websocket_accept(key: str) -> str:
+    """``Sec-WebSocket-Accept`` value for a client ``Sec-WebSocket-Key``."""
+    digest = hashlib.sha1((key + WS_MAGIC).encode("latin-1")).digest()
+    return base64.b64encode(digest).decode("latin-1")
+
+
+def is_websocket_upgrade(request: Request) -> bool:
+    connection = request.headers.get("connection", "").lower()
+    return (request.headers.get("upgrade", "").lower() == "websocket"
+            and "upgrade" in connection
+            and "sec-websocket-key" in request.headers)
+
+
+def websocket_handshake_response(request: Request) -> bytes:
+    key = request.headers["sec-websocket-key"]
+    lines = [
+        "HTTP/1.1 101 Switching Protocols",
+        "Upgrade: websocket",
+        "Connection: Upgrade",
+        f"Sec-WebSocket-Accept: {websocket_accept(key)}",
+    ]
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def encode_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One final (FIN=1) frame; servers never mask, clients must."""
+    header = bytearray([0x80 | (opcode & 0x0F)])
+    mask_bit = 0x80 if mask else 0
+    length = len(payload)
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += length.to_bytes(2, "big")
+    else:
+        header.append(mask_bit | 127)
+        header += length.to_bytes(8, "big")
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + payload
+
+
+def encode_text(message: str, mask: bool = False) -> bytes:
+    return encode_frame(OP_TEXT, message.encode("utf-8"), mask=mask)
+
+
+async def read_frame(reader: asyncio.StreamReader
+                     ) -> Optional[Tuple[int, bytes]]:
+    """Read one frame; ``None`` on a closed socket.  Fragmentation is not
+    supported (the observatory protocol sends whole JSON texts)."""
+    try:
+        first = await reader.readexactly(2)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    opcode = first[0] & 0x0F
+    masked = bool(first[1] & 0x80)
+    length = first[1] & 0x7F
+    try:
+        if length == 126:
+            length = int.from_bytes(await reader.readexactly(2), "big")
+        elif length == 127:
+            length = int.from_bytes(await reader.readexactly(8), "big")
+        if length > MAX_BODY_BYTES:
+            return None
+        key = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    if masked:
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return opcode, payload

@@ -1,0 +1,296 @@
+"""REST + WebSocket routes of the live observatory.
+
+Endpoints (all JSON unless noted)::
+
+    GET  /healthz                       liveness probe
+    GET  /scenarios                     list every job's status
+    POST /scenarios                     submit a scenario spec -> 201 {id}
+    GET  /scenarios/<id>                poll one job's status
+    GET  /scenarios/<id>/timeline       rolling timeline (streamed rows)
+    GET  /scenarios/<id>/events         fault / command events so far
+    GET  /scenarios/<id>/report         final report (409 while running)
+    POST /scenarios/<id>/commands       enqueue a mid-run command
+    GET  /metrics                       Prometheus text exposition
+    GET  /scenarios/<id>/stream         WebSocket: live window stream
+
+The WebSocket stream speaks newline-less JSON text frames shaped
+``{"type": "window" | "event" | "hub" | "status" | "report" | "error",
+"job": "<id>", "data": {...}}``; the server closes the socket after the
+terminal ``report``/``error`` message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+from typing import Optional, Tuple
+
+from repro.serve.service import http
+from repro.serve.service.jobs import COMPLETED, FAILED, Observatory
+from repro.serve.service.prometheus import render_prometheus
+
+#: commands a client may POST (validated here so a typo'd op is a 400,
+#: not a silently-rejected entry in the report)
+COMMAND_OPS = ("inject_fault", "set_policy", "autoscale_bounds")
+
+
+def route_request(observatory: Observatory,
+                  request: http.Request) -> http.Response:
+    """Dispatch one plain-HTTP request (WebSocket upgrades are handled
+    by the server before this is reached)."""
+    path = request.path.rstrip("/") or "/"
+    parts = [part for part in path.split("/") if part]
+
+    if path == "/healthz":
+        if request.method != "GET":
+            return http.Response.error(405, "use GET")
+        return http.Response.json({"ok": True})
+
+    if path == "/metrics":
+        if request.method != "GET":
+            return http.Response.error(405, "use GET")
+        text = render_prometheus(observatory.hub_snapshots(),
+                                 observatory.service_stats())
+        return http.Response.text(
+            text, content_type="text/plain; version=0.0.4; charset=utf-8")
+
+    if path == "/scenarios":
+        if request.method == "GET":
+            return http.Response.json(
+                {"scenarios": [job.status()
+                               for job in observatory.jobs.values()]})
+        if request.method == "POST":
+            spec = request.json()
+            if not isinstance(spec, dict):
+                return http.Response.error(400,
+                                           "scenario spec must be an object")
+            try:
+                job = observatory.submit(spec)
+            except (ValueError, KeyError) as exc:
+                return http.Response.error(400, str(exc))
+            return http.Response.json(job.status(), status=201)
+        return http.Response.error(405, "use GET or POST")
+
+    if parts and parts[0] == "scenarios" and len(parts) in (2, 3):
+        job = observatory.get(parts[1])
+        if job is None:
+            return http.Response.error(404, f"no scenario {parts[1]!r}")
+        tail = parts[2] if len(parts) == 3 else None
+        if tail is None:
+            if request.method != "GET":
+                return http.Response.error(405, "use GET")
+            return http.Response.json(job.status())
+        if tail == "timeline":
+            if request.method != "GET":
+                return http.Response.error(405, "use GET")
+            return http.Response.json({"id": job.job_id,
+                                       "state": job.state,
+                                       "timeline": job.windows})
+        if tail == "events":
+            if request.method != "GET":
+                return http.Response.error(405, "use GET")
+            return http.Response.json({"id": job.job_id,
+                                       "events": job.events})
+        if tail == "report":
+            if request.method != "GET":
+                return http.Response.error(405, "use GET")
+            if job.state == FAILED:
+                return http.Response.error(500, job.error or "failed")
+            if job.state != COMPLETED:
+                return http.Response.error(
+                    409, f"scenario {job.job_id} is {job.state}; "
+                         "the report exists once it completes")
+            return http.Response.json({"id": job.job_id,
+                                       "report": job.report})
+        if tail == "commands":
+            if request.method != "POST":
+                return http.Response.error(405, "use POST")
+            command = request.json()
+            if not isinstance(command, dict):
+                return http.Response.error(400, "command must be an object")
+            op = command.get("op")
+            if op not in COMMAND_OPS:
+                return http.Response.error(
+                    400, f"op must be one of: {', '.join(COMMAND_OPS)}")
+            if not observatory.command(job.job_id, command):
+                return http.Response.error(
+                    409, f"scenario {job.job_id} already finished")
+            return http.Response.json({"id": job.job_id, "queued": True},
+                                      status=201)
+        return http.Response.error(404, f"no route {request.path!r}")
+
+    return http.Response.error(404, f"no route {request.path!r}")
+
+
+class ObservatoryServer:
+    """The asyncio server tying routes, hub and WebSocket streams together."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 observatory: Optional[Observatory] = None) -> None:
+        self.host = host
+        self.port = port
+        self.observatory = observatory
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound (host, port) —
+        ``port=0`` binds an ephemeral port, reported here."""
+        if self.observatory is None:
+            self.observatory = Observatory(loop=asyncio.get_running_loop())
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.port = sockname[1]
+        return sockname[0], self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await http.read_request(reader)
+            except http.BadRequest as exc:
+                writer.write(http.Response.error(400, str(exc)).encode())
+                await writer.drain()
+                return
+            if request is None:
+                return
+            if http.is_websocket_upgrade(request):
+                await self._handle_websocket(request, reader, writer)
+                return
+            try:
+                response = route_request(self.observatory, request)
+            except http.BadRequest as exc:
+                response = http.Response.error(400, str(exc))
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_websocket(self, request: http.Request,
+                                reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        parts = [part for part in request.path.split("/") if part]
+        if (len(parts) != 3 or parts[0] != "scenarios"
+                or parts[2] != "stream"):
+            writer.write(http.Response.error(
+                404, "stream endpoint: /scenarios/<id>/stream").encode())
+            await writer.drain()
+            return
+        job = self.observatory.get(parts[1])
+        if job is None:
+            writer.write(http.Response.error(
+                404, f"no scenario {parts[1]!r}").encode())
+            await writer.drain()
+            return
+        writer.write(http.websocket_handshake_response(request))
+        await writer.drain()
+        subscription = self.observatory.subscribe(job.job_id)
+        #: drain client frames concurrently (close / ping while we stream)
+        reader_task = asyncio.ensure_future(self._drain_client(reader,
+                                                               writer))
+        try:
+            while True:
+                getter = asyncio.ensure_future(subscription.get())
+                done, _ = await asyncio.wait(
+                    {getter, reader_task},
+                    return_when=asyncio.FIRST_COMPLETED)
+                if reader_task in done and not getter.done():
+                    getter.cancel()
+                    break
+                message = getter.result()
+                if message is None:
+                    # end-of-topic sentinel: say goodbye cleanly
+                    writer.write(http.encode_frame(http.OP_CLOSE, b""))
+                    await writer.drain()
+                    break
+                writer.write(http.encode_text(
+                    json.dumps(message, sort_keys=True)))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.observatory.hub.unsubscribe(subscription)
+            if not reader_task.done():
+                reader_task.cancel()
+
+    @staticmethod
+    async def _drain_client(reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        """Answer pings and return when the client closes / disconnects."""
+        while True:
+            frame = await http.read_frame(reader)
+            if frame is None:
+                return
+            opcode, payload = frame
+            if opcode == http.OP_CLOSE:
+                try:
+                    writer.write(http.encode_frame(http.OP_CLOSE, payload))
+                    await writer.drain()
+                except ConnectionError:
+                    pass
+                return
+            if opcode == http.OP_PING:
+                writer.write(http.encode_frame(http.OP_PONG, payload))
+                await writer.drain()
+
+
+class ServerThread:
+    """Run an :class:`ObservatoryServer` on a background event loop.
+
+    The embedding helper tests and the CLI follower use: start one
+    service in-process, talk to it over real sockets, shut it down
+    cleanly — no sleeps, the constructor returns once the port is bound.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._server = ObservatoryServer(host=host, port=port)
+        started: "concurrent.futures.Future[Tuple[str, int]]" = (
+            concurrent.futures.Future())
+
+        def runner() -> None:
+            asyncio.set_event_loop(self._loop)
+            try:
+                address = self._loop.run_until_complete(self._server.start())
+            except BaseException as exc:  # bind failure reaches the caller
+                started.set_exception(exc)
+                return
+            started.set_result(address)
+            try:
+                self._loop.run_forever()
+            finally:
+                self._loop.close()
+
+        self._thread = threading.Thread(target=runner,
+                                        name="observatory", daemon=True)
+        self._thread.start()
+        self.host, self.port = started.result(timeout=30)
+
+    @property
+    def observatory(self) -> Observatory:
+        return self._server.observatory
+
+    def stop(self, timeout: float = 10.0) -> None:
+        loop = self._loop
+        future = asyncio.run_coroutine_threadsafe(self._server.close(), loop)
+        try:
+            future.result(timeout=timeout)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            self._thread.join(timeout=timeout)

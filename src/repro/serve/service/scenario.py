@@ -1,0 +1,317 @@
+"""JSON scenario specs for the live observatory.
+
+A scenario spec is one JSON object describing everything a ``repro
+serve`` invocation would: models, fleet, scheduling, traffic, SLOs,
+faults, fault tolerance, control plane and telemetry.  Validation is
+split in two:
+
+* :func:`validate_spec` — cheap structural checks (model names, fleet
+  spec, fault targets, traffic/policy names, config field names) run on
+  the service thread at submit time so a bad request gets a ``400``
+  immediately;
+* :func:`build_scenario` — the expensive part (plan-cache warmup, rate
+  auto-derivation) runs later on the scenario's worker thread.
+
+Example spec::
+
+    {
+      "models": ["resnet18"],
+      "fleet": "M:2",
+      "policy": "latency",
+      "batches": [1, 2, 4, 8],
+      "seed": 0,
+      "traffic": {"kind": "poisson", "requests": 120, "utilization": 0.8},
+      "slo": {"resnet18": 12.0},
+      "inject": ["chip_fail@500:chip=0,until=2000"],
+      "fault_tolerance": {"timeout_us": 4000, "max_retries": 2},
+      "control": {"interval_us": 200, "autoscale": "1:4"},
+      "telemetry": {"timeline_us": 500}
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.fitness import FitnessMode
+from repro.models import list_models
+from repro.search import validate_optimizer
+from repro.serve import (
+    TRAFFIC_GENERATORS,
+    ClosedLoopTraffic,
+    ControlConfig,
+    FaultTolerance,
+    Fleet,
+    PlanCache,
+    ServingSimulator,
+    TelemetryConfig,
+    fleet_capacity_rps,
+    parse_inject,
+    validate_fault_targets,
+    validate_policy,
+)
+from repro.serve.traffic import Request, TrafficGenerator, validate_traffic
+
+#: traffic kinds the service accepts (``trace`` needs a server-side file —
+#: out of scope for a JSON submission API)
+SERVICE_TRAFFIC_KINDS = ("poisson", "bursty", "diurnal", "closed")
+
+#: a submitted scenario with no ``telemetry`` block still streams — the
+#: observatory exists to watch windows, so a default interval applies
+DEFAULT_TIMELINE_US = 500.0
+
+
+def _config_from(cls, block: Dict[str, object], label: str):
+    """Instantiate a config dataclass from a JSON block, strictly.
+
+    Unknown keys are an error (a typo'd knob must not silently no-op);
+    the dataclass's own ``__post_init__`` validation supplies the value
+    checks.
+    """
+    if not isinstance(block, dict):
+        raise ValueError(f"{label} must be an object")
+    known = {field.name for field in dataclasses.fields(cls)}
+    unknown = sorted(set(block) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {label} key(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}")
+    try:
+        return cls(**block)
+    except TypeError as exc:
+        raise ValueError(f"bad {label} block: {exc}") from None
+
+
+def _control_from(block: Dict[str, object]) -> ControlConfig:
+    """Control block; ``autoscale`` accepts the CLI's ``"MIN:MAX"`` form."""
+    if not isinstance(block, dict):
+        raise ValueError("control must be an object")
+    block = dict(block)
+    autoscale = block.get("autoscale")
+    if isinstance(autoscale, str):
+        lo, sep, hi = autoscale.partition(":")
+        try:
+            if not sep:
+                raise ValueError(autoscale)
+            block["min_chips"], block["max_chips"] = int(lo), int(hi)
+        except ValueError:
+            raise ValueError(
+                f"bad control.autoscale {autoscale!r}; expected MIN:MAX "
+                "chip counts") from None
+        block["autoscale"] = True
+    return _config_from(ControlConfig, block, "control")
+
+
+def _telemetry_from(block: Optional[Dict[str, object]]) -> TelemetryConfig:
+    """Telemetry block (``timeline_us`` aliases ``timeline_interval_us``)."""
+    if block is None:
+        return TelemetryConfig(timeline_interval_us=DEFAULT_TIMELINE_US)
+    if not isinstance(block, dict):
+        raise ValueError("telemetry must be an object")
+    block = dict(block)
+    if "timeline_us" in block:
+        block["timeline_interval_us"] = block.pop("timeline_us")
+    if "timeline_interval_us" not in block:
+        block["timeline_interval_us"] = DEFAULT_TIMELINE_US
+    return _config_from(TelemetryConfig, block, "telemetry")
+
+
+@dataclass
+class ScenarioSpec:
+    """A validated (but not yet built) scenario submission."""
+
+    models: List[str]
+    fleet_spec: str
+    policy: str
+    batch_sizes: List[int]
+    max_wait_us: float
+    optimizer: str
+    mode: FitnessMode
+    cache_capacity: int
+    seed: int
+    traffic_kind: str
+    traffic_kwargs: Dict[str, object]
+    slos: Dict[str, float]
+    inject: List[str]
+    fault_tolerance: FaultTolerance
+    control: Optional[ControlConfig]
+    telemetry: TelemetryConfig
+    #: rate auto-derivation target when the spec gave no explicit rate
+    utilization: float
+    rate_rps: Optional[float]
+
+
+@dataclass
+class BuiltScenario:
+    """A fully built scenario, ready for ``simulator.run``."""
+
+    simulator: ServingSimulator
+    #: either the pregenerated request list or the closed-loop generator
+    workload: Union[Sequence[Request], ClosedLoopTraffic]
+    traffic_info: Dict[str, object]
+
+
+def validate_spec(raw: Dict[str, object]) -> ScenarioSpec:
+    """Cheap structural validation of a submitted scenario (raises
+    ``ValueError`` with a client-presentable message)."""
+    if not isinstance(raw, dict):
+        raise ValueError("scenario spec must be a JSON object")
+    known_keys = {
+        "models", "fleet", "policy", "batches", "max_wait_us", "optimizer",
+        "mode", "cache_capacity", "seed", "traffic", "slo", "inject",
+        "fault_tolerance", "control", "telemetry",
+    }
+    unknown = sorted(set(raw) - known_keys)
+    if unknown:
+        raise ValueError(
+            f"unknown spec key(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known_keys))}")
+
+    models = raw.get("models") or ["resnet18"]
+    if not isinstance(models, list) or not models:
+        raise ValueError("models must be a non-empty list of model names")
+    available = set(list_models())
+    for model in models:
+        if model not in available:
+            raise ValueError(
+                f"unknown model {model!r}; available: "
+                + ", ".join(sorted(available)))
+
+    fleet_spec = str(raw.get("fleet", "M:1"))
+    fleet = Fleet.from_spec(fleet_spec)  # raises ValueError on a bad spec
+
+    policy = str(raw.get("policy", "latency"))
+    validate_policy(policy)
+
+    optimizer = str(raw.get("optimizer", "dp"))
+    validate_optimizer(optimizer)
+
+    mode_name = str(raw.get("mode", "latency"))
+    if mode_name not in ("latency", "edp"):
+        raise ValueError(f"mode must be 'latency' or 'edp', got {mode_name!r}")
+    mode = FitnessMode.EDP if mode_name == "edp" else FitnessMode.LATENCY
+
+    batches = raw.get("batches") or [1, 2, 4, 8, 16]
+    if (not isinstance(batches, list)
+            or not all(isinstance(b, int) and b > 0 for b in batches)):
+        raise ValueError("batches must be a list of positive integers")
+    batch_sizes = sorted(set(batches))
+
+    cache_capacity = int(raw.get("cache_capacity", 64))
+    seed = int(raw.get("seed", 0))
+    max_wait_us = float(raw.get("max_wait_us", 200.0))
+
+    traffic = raw.get("traffic") or {}
+    if not isinstance(traffic, dict):
+        raise ValueError("traffic must be an object")
+    traffic = dict(traffic)
+    kind = str(traffic.pop("kind", "poisson"))
+    validate_traffic(kind)
+    if kind not in SERVICE_TRAFFIC_KINDS:
+        raise ValueError(
+            f"traffic kind {kind!r} is not serveable over the API; "
+            f"use one of: {', '.join(SERVICE_TRAFFIC_KINDS)}")
+    num_requests = int(traffic.pop("requests", 200))
+    if num_requests <= 0:
+        raise ValueError("traffic.requests must be positive")
+    rate_rps = traffic.pop("rate_rps", None)
+    rate_rps = float(rate_rps) if rate_rps is not None else None
+    utilization = float(traffic.pop("utilization", 0.7))
+    kwargs: Dict[str, object] = {"num_requests": num_requests, "seed": seed}
+    if kind == "closed":
+        kwargs["clients"] = int(traffic.pop("clients", 4))
+        kwargs["concurrency"] = int(traffic.pop("concurrency", 1))
+        kwargs["mean_think_s"] = float(traffic.pop("think_us", 200.0)) * 1e-6
+    if traffic:
+        raise ValueError(
+            "unknown traffic key(s): " + ", ".join(sorted(traffic)))
+
+    slo_block = raw.get("slo") or {}
+    if not isinstance(slo_block, dict):
+        raise ValueError("slo must be an object of MODEL: target_ms")
+    slos: Dict[str, float] = {}
+    for model, target in slo_block.items():
+        if model not in models:
+            raise ValueError(
+                f"slo names unknown model {model!r}; served models: "
+                + ", ".join(sorted(models)))
+        slos[model] = float(target)
+
+    inject = raw.get("inject") or []
+    if not isinstance(inject, list):
+        raise ValueError("inject must be a list of fault spec strings")
+    fault_events = [parse_inject(str(spec)) for spec in inject]
+    validate_fault_targets(fault_events, len(fleet.workers))
+
+    fault_tolerance = _config_from(
+        FaultTolerance, raw.get("fault_tolerance") or {}, "fault_tolerance")
+    control_block = raw.get("control")
+    control = _control_from(control_block) if control_block else None
+    telemetry = _telemetry_from(raw.get("telemetry"))
+    if telemetry.timeline_interval_us <= 0:
+        raise ValueError(
+            "telemetry.timeline_us must be positive: the observatory "
+            "streams per-window telemetry")
+
+    return ScenarioSpec(
+        models=[str(m) for m in models],
+        fleet_spec=fleet_spec,
+        policy=policy,
+        batch_sizes=batch_sizes,
+        max_wait_us=max_wait_us,
+        optimizer=optimizer,
+        mode=mode,
+        cache_capacity=cache_capacity,
+        seed=seed,
+        traffic_kind=kind,
+        traffic_kwargs=kwargs,
+        slos=slos,
+        inject=[str(spec) for spec in inject],
+        fault_tolerance=fault_tolerance,
+        control=control,
+        telemetry=telemetry,
+        utilization=utilization,
+        rate_rps=rate_rps,
+    )
+
+
+def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
+    """Build the simulator + workload (expensive: plan-cache warmup)."""
+    fleet = Fleet.from_spec(spec.fleet_spec)
+    cache = PlanCache(capacity=spec.cache_capacity, optimizer=spec.optimizer,
+                      mode=spec.mode)
+    cache.warmup(spec.models, fleet.chip_names, spec.batch_sizes)
+    kwargs = dict(spec.traffic_kwargs, models=spec.models)
+    if spec.traffic_kind != "closed":
+        rate = (spec.rate_rps if spec.rate_rps is not None
+                else spec.utilization * fleet_capacity_rps(
+                    cache, fleet, spec.models, spec.batch_sizes))
+        if spec.traffic_kind == "diurnal":
+            kwargs["base_rate_rps"] = rate
+        else:
+            kwargs["rate_rps"] = rate
+    generator: TrafficGenerator = TRAFFIC_GENERATORS[spec.traffic_kind](
+        **kwargs)
+    faults = [parse_inject(entry) for entry in spec.inject]
+    simulator = ServingSimulator(
+        fleet,
+        cache,
+        policy=spec.policy,
+        batch_sizes=spec.batch_sizes,
+        max_wait_us=spec.max_wait_us,
+        slos=spec.slos,
+        faults=faults,
+        fault_tolerance=spec.fault_tolerance,
+        control=spec.control,
+        telemetry=spec.telemetry,
+    )
+    workload: Union[Sequence[Request], ClosedLoopTraffic] = (
+        generator if isinstance(generator, ClosedLoopTraffic)
+        else generator.generate())
+    return BuiltScenario(
+        simulator=simulator,
+        workload=workload,
+        traffic_info=generator.describe(),
+    )

@@ -80,8 +80,9 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.hardware.config import get_chip_config
@@ -95,6 +96,8 @@ from repro.serve.faults import (
     FaultTolerance,
     faults_enabled,
     materialize,
+    parse_inject,
+    validate_fault_targets,
 )
 from repro.serve.fleet import (
     ChipWorker,
@@ -107,6 +110,7 @@ from repro.serve.fleet import (
 from repro.serve.plans import CompiledPlan, PlanCache
 from repro.serve.scheduler import DynamicBatcher, SchedulingPolicy, make_policy
 from repro.serve.telemetry import (
+    FLUSH_EVERY_BOUNDARIES,
     TelemetryConfig,
     TelemetrySession,
     telemetry_enabled,
@@ -161,6 +165,38 @@ class _Inflight:
     #: speculative hedge duplicate: its lone rider is also queued or
     #: in flight elsewhere, and only the first copy to complete is counted
     hedge: bool = False
+
+
+class CommandQueue:
+    """Thread-safe FIFO of mid-run commands for a live simulation.
+
+    The observatory's control endpoints ``put`` command dictionaries from
+    the service thread; the simulator ``drain``s the queue at its next
+    event pop, so a command lands at a well-defined point in the
+    deterministic event order (whatever instant the simulation had
+    reached).  The *arrival point* of a command depends on wall-clock
+    timing, so a commanded run is reproducible only given the same
+    command schedule — the report's ``commands`` block records exactly
+    when each one landed.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items: List[Dict[str, object]] = []
+
+    def put(self, command: Dict[str, object]) -> None:
+        """Enqueue one command dict (see ``ServingSimulator.run``)."""
+        with self._lock:
+            self._items.append(dict(command))
+
+    def drain(self) -> List[Dict[str, object]]:
+        """Pop every queued command in FIFO order (empty list if none)."""
+        if not self._items:  # racy peek: a late command drains next pop
+            return []
+        with self._lock:
+            items = self._items
+            self._items = []
+        return items
 
 
 @dataclass
@@ -236,6 +272,12 @@ class ServingReport:
     #: control-plane block (detections vs injected truth, hedge outcomes,
     #: scale events, re-placements) — empty when no controller ran
     control: Dict[str, object] = field(default_factory=dict)
+    #: mid-run commands applied (or rejected) by a live observatory run,
+    #: in application order with the simulation instant each one landed
+    #: at — empty for ordinary runs.  Command arrival instants depend on
+    #: wall-clock timing, so this block is excluded from the
+    #: determinism core.
+    commands: List[Dict[str, object]] = field(default_factory=list)
     #: per-window metrics timeline rows (empty unless a timeline interval
     #: was configured) — deterministic per seed
     timeline: List[Dict[str, object]] = field(default_factory=list)
@@ -257,6 +299,8 @@ class ServingReport:
         data = self.as_dict()
         data.pop("plan_cache", None)
         data.pop("telemetry", None)
+        # command arrival points depend on wall-clock service timing
+        data.pop("commands", None)
         return data
 
     def as_dict(self) -> Dict[str, object]:
@@ -316,6 +360,8 @@ class ServingReport:
             }
         if self.control:
             data["control"] = dict(self.control)
+        if self.commands:
+            data["commands"] = [dict(entry) for entry in self.commands]
         if self.timeline:
             data["timeline"] = [dict(row) for row in self.timeline]
         if self.telemetry:
@@ -418,6 +464,12 @@ class ServingSimulator:
         )
         #: the last run's telemetry session (trace export reads it)
         self.telemetry_session: Optional[TelemetrySession] = None
+        #: live-stream sink ``sink(kind, payload)`` — the observatory
+        #: attaches one before ``run`` so completed timeline windows,
+        #: fault events and command receipts stream out mid-run.  ``None``
+        #: (the default) keeps the pure batch path: telemetry renders the
+        #: whole timeline once at the end of the run.
+        self.stream_sink = None
         if self.control.active and self.control.scale_chip is not None:
             get_chip_config(self.control.scale_chip)  # fail fast on bad names
         #: fleet size at construction — chips the autoscaler appended are
@@ -434,6 +486,7 @@ class ServingSimulator:
         self,
         requests: Union[Sequence[Request], ClosedLoopTraffic],
         traffic_info: Optional[Dict[str, object]] = None,
+        commands: Optional[CommandQueue] = None,
     ) -> ServingReport:
         """Simulate serving the request stream; returns the full report.
 
@@ -442,6 +495,17 @@ class ServingSimulator:
         generator, whose clients issue each follow-up request only when
         the previous one completes — those arrivals are injected into the
         event heap mid-run.
+
+        ``commands`` is an optional :class:`CommandQueue` another thread
+        feeds while the run is live (the observatory's control
+        endpoints).  Supported ops: ``inject_fault`` (``spec`` in
+        ``parse_inject`` syntax, scheduled relative to the drain
+        instant), ``set_policy`` (``policy`` name), and
+        ``autoscale_bounds`` (``min_chips``/``max_chips``, requires an
+        active control plane).  Commands drain at event pops, so each
+        lands at a well-defined simulation instant recorded in the
+        report's ``commands`` block; configuration mutations are rolled
+        back after the run so the simulator instance stays reusable.
         """
         session = None
         if isinstance(requests, ClosedLoopTraffic):
@@ -478,6 +542,13 @@ class ServingSimulator:
             if self.telemetry.active else None
         )
         self.telemetry_session = tele
+        if tele is not None and self.stream_sink is not None:
+            tele.sink = self.stream_sink
+        # mid-run commands may swap the policy or the control config;
+        # roll both back after the run so the instance stays reusable
+        base_policy = self.policy
+        base_control = self.control
+        applied_commands: List[Dict[str, object]] = []
         #: constant-memory substitutes for the latency/wait sample lists
         #: (only under --streaming-percentiles; None keeps the exact path)
         stream = tele.stream if tele is not None else None
@@ -521,6 +592,8 @@ class ServingSimulator:
         tele_k = 1
         tele_next_ns = math.inf
         tele_sample = None
+        tele_flush = None
+        tele_flush_k = 0
         if tele is not None:
             tele.start(first_arrival)
             if tele_interval_ns > 0 and tele.timeline is not None:
@@ -528,6 +601,10 @@ class ServingSimulator:
                 # bound once: the boundary sampler feeds the accumulator
                 # directly rather than through the session wrapper
                 tele_sample = tele.timeline.sample
+                if tele.sink is not None:
+                    # a live observatory is watching: stream every window
+                    # proven final right after its boundary closes
+                    tele_flush = tele.flush_stream
 
         queues: Dict[str, Deque[Request]] = {}
         ema: Dict[str, float] = {}
@@ -1145,6 +1222,69 @@ class ServingSimulator:
             if applied:
                 ctrl.replacements += 1
 
+        def apply_command(command: Dict[str, object], now: float) -> None:
+            """Apply one observatory command at simulation instant ``now``.
+
+            Every command is recorded (applied or rejected) with the
+            instant it landed; rejections never raise — a bad command from
+            a live client must not kill the run.
+            """
+            nonlocal seq
+            op = str(command.get("op", ""))
+            entry: Dict[str, object] = {
+                "op": op,
+                "t_ms": (now - first_arrival) * 1e-6,
+            }
+            try:
+                if op == "inject_fault":
+                    if not use_ft:
+                        raise ValueError(
+                            "inject_fault needs a fault-aware run "
+                            "(fault_tolerance or control active)")
+                    spec = str(command["spec"])
+                    fault_events = [parse_inject(spec)]
+                    validate_fault_targets(fault_events,
+                                           len(self.fleet.workers))
+                    schedule = materialize(fault_events,
+                                           len(self.fleet.workers))
+                    for at_us, action, chip, factor in schedule:
+                        heapq.heappush(
+                            events,
+                            (now + at_us * 1e3, _EVENT_FAULT, chip, seq,
+                             (action, chip, factor)),
+                        )
+                        seq += 1
+                    entry["spec"] = spec
+                    entry["events"] = len(schedule)
+                elif op == "set_policy":
+                    name = str(command["policy"])
+                    new_policy = make_policy(name)
+                    new_policy.reset()
+                    self.policy = new_policy
+                    entry["policy"] = name
+                elif op == "autoscale_bounds":
+                    if ctrl is None:
+                        raise ValueError(
+                            "autoscale_bounds needs an active control "
+                            "plane")
+                    lo = int(command["min_chips"])
+                    hi = int(command["max_chips"])
+                    new_config = replace(self.control, autoscale=True,
+                                         min_chips=lo, max_chips=hi)
+                    self.control = new_config
+                    ctrl.config = new_config
+                    entry["min_chips"] = lo
+                    entry["max_chips"] = hi
+                else:
+                    raise ValueError(f"unknown command op {op!r}")
+                entry["status"] = "applied"
+            except (KeyError, TypeError, ValueError) as exc:
+                entry["status"] = "rejected"
+                entry["error"] = str(exc)
+            applied_commands.append(entry)
+            if tele is not None and tele.sink is not None:
+                tele.sink("event", dict(entry, type="command"))
+
         # --- event loop -------------------------------------------------
         while events:
             now, kind, _, _, payload = heapq.heappop(events)
@@ -1173,6 +1313,19 @@ class ServingSimulator:
                     )
                     tele_k += 1
                     tele_next_ns = first_arrival + tele_k * tele_interval_ns
+                if tele_flush is not None:
+                    # boundaries just closed at least one window — every
+                    # K-th one, render and stream the windows now provably
+                    # final against the current lower bound on the run end
+                    # (the counter lives here so skipped boundaries cost
+                    # one compare, not a call that early-returns)
+                    tele_flush_k += 1
+                    if tele_flush_k >= FLUSH_EVERY_BOUNDARIES:
+                        tele_flush_k = 0
+                        tele_flush(max(last_completion, last_arrival_ns))
+            if commands is not None:
+                for command in commands.drain():
+                    apply_command(command, now)
             if kind == _EVENT_ARRIVAL:
                 request = payload
                 model = request.model
@@ -1385,6 +1538,10 @@ class ServingSimulator:
             try_dispatch(now)
 
         # --- report -----------------------------------------------------
+        # roll back command-driven configuration swaps (the commands block
+        # records what ran); the report echoes the configured baseline
+        self.policy = base_policy
+        self.control = base_control
         # the clock starts at the first arrival, not t=0: replayed traces may
         # carry large epoch-style timestamps, and the idle prefix before the
         # first request exists must not dilute throughput/utilisation (the
@@ -1553,6 +1710,7 @@ class ServingSimulator:
             availability=availability,
             control=(ctrl.as_dict(self.fleet.workers, self._base_workers)
                      if ctrl is not None else {}),
+            commands=applied_commands,
             timeline=timeline_rows,
             telemetry=telemetry_block,
             plan_cache=self.plan_cache.stats.as_dict(),

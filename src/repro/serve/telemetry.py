@@ -54,6 +54,7 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -451,6 +452,20 @@ class _TimelineWindow:
 _CONTROL_KEYS = ("quarantines", "readmissions", "hedges",
                  "scale_ups", "scale_downs", "replacements")
 
+#: attempt a mid-run flush every K-th window boundary, not every one —
+#: per-boundary fold/scan call overhead on fine windows costs more than
+#: the flush itself, and an observatory is just as live receiving its
+#: windows a few simulated milliseconds later in small batches.  The
+#: simulator holds the counter (an integer compare per boundary beats a
+#: method call that early-returns); :meth:`TelemetrySession.finish`
+#: always drains whatever the cadence left behind.
+FLUSH_EVERY_BOUNDARIES = 32
+
+#: stream a hub snapshot alongside every K-th mid-run window flush — a
+#: peek materialises every gauge source and histogram, which on fine
+#: timeline windows would dwarf the flush itself if paid per batch
+_HUB_PEEK_EVERY = 16
+
 
 class TimelineAccumulator:
     """Buckets observations into fixed windows and renders one row each.
@@ -488,6 +503,37 @@ class TimelineAccumulator:
         #: integer compare instead of a dict probe
         self._last_index = -1
         self._last_window: Optional[_TimelineWindow] = None
+        # --- incremental rendering state ------------------------------
+        # rows() used to render every window in one end-of-run pass with
+        # the carry/delta bookkeeping in locals.  The same bookkeeping now
+        # lives on the instance so :meth:`flush_ready` can render finalised
+        # windows mid-run and :meth:`rows` renders only the remainder —
+        # the concatenation is byte-identical to the old single pass.
+        #: every row rendered so far, in window order
+        self._rendered: List[Dict[str, object]] = []
+        #: index of the next window to render
+        self._next_render = 0
+        #: windows strictly below this index were closed by a boundary
+        #: sample — the simulator samples boundary k only after popping an
+        #: event strictly past it, and every note is keyed at its event's
+        #: own timestamp (>= that pop time), so closed windows can never
+        #: receive another note
+        self._closed_upto = 0
+        self._carry_depth = 0
+        self._carry_util = 0.0
+        self._carry_control: Dict[str, object] = {}
+        self._previous_control: Dict[str, object] = self._carry_control
+        self._previous_values: Tuple[int, ...] = (0,) * len(_CONTROL_KEYS)
+        self._zero_deltas = dict.fromkeys(_CONTROL_KEYS, 0)
+        #: whether the run carries control-counter columns — constant per
+        #: run (the simulator passes the controller snapshot to *every*
+        #: boundary sample or to none), decided at the first render
+        self._has_control: Optional[bool] = None
+        self._empty_slo_block = {model: 0.0 for model in self.slo_models}
+        # quiet windows (the drain tail of a long run can have hundreds)
+        # share one read-only empty window instead of paying a fresh
+        # sketch construction each
+        self._empty_window = _TimelineWindow()
 
     # ------------------------------------------------------------------
     def start(self, origin_ns: float) -> None:
@@ -570,14 +616,148 @@ class TimelineAccumulator:
         (ticks where nothing changed may legally share one object;
         :meth:`rows` exploits that identity to skip zero deltas).
         """
-        self._samples[int(index)] = (
+        index = int(index)
+        self._samples[index] = (
             int(queue_depth), float(utilisation), control or {})
+        if index >= self._closed_upto:
+            self._closed_upto = index + 1
 
     # ------------------------------------------------------------------
+    def _render_one(self, index: int, span_ns: float) -> Dict[str, object]:
+        """Render window ``index`` as one report row (carry state advances).
+
+        ``span_ns`` only matters through ``min(window_end, span_ns)`` in
+        the throughput clip; every caller guarantees the window end is at
+        or below the span it passes, so a mid-run flush (which sees a
+        *lower bound* on the final span) renders the identical row the
+        end-of-run pass would have.
+        """
+        interval_ns = self.interval_ns
+        window = self._windows.get(index, self._empty_window)
+        sampled = self._samples.get(index)
+        if sampled is not None:
+            self._carry_depth, self._carry_util, self._carry_control = sampled
+        start_ns = index * interval_ns
+        completed = window.completions
+        # the window-rate guard: zero completions or zero elapsed time
+        # renders 0.0, never NaN / ZeroDivisionError
+        if completed:
+            elapsed_s = max(
+                0.0, min(start_ns + interval_ns, span_ns) - start_ns
+            ) * 1e-9
+            throughput = completed / elapsed_s if elapsed_s > 0 else 0.0
+            p50, p95, p99 = window.latency.quantiles((50.0, 95.0, 99.0))
+            p50 *= 1e-6
+            p95 *= 1e-6
+            p99 *= 1e-6
+        else:
+            throughput = 0.0
+            p50 = p95 = p99 = 0.0
+        if window.slo:
+            attained = sum(a for a, _ in window.slo.values())
+            measured = sum(c for _, c in window.slo.values())
+            attainment = attained / measured if measured else 0.0
+        else:
+            attainment = 0.0
+        row: Dict[str, object] = {
+            "window": index,
+            "t_ms": start_ns * 1e-6,
+            "arrivals": window.arrivals,
+            "completed": completed,
+            "throughput_rps": throughput,
+            "p50_ms": p50,
+            "p95_ms": p95,
+            "p99_ms": p99,
+            "queue_depth": self._carry_depth,
+            "utilisation": self._carry_util,
+            "attainment": attainment,
+            "shed": window.shed,
+            "timeouts": window.timeouts,
+            "lost": window.lost,
+            "retries": window.retries,
+            "failures": window.failures,
+            "recoveries": window.recoveries,
+        }
+        slo_models = self.slo_models
+        if slo_models:
+            if window.slo:
+                block: Dict[str, float] = {}
+                for model in slo_models:
+                    attained_m, measured_m = window.slo.get(model, (0, 0))
+                    block[model] = (attained_m / measured_m
+                                    if measured_m else 0.0)
+                row["slo"] = block
+            else:
+                row["slo"] = dict(self._empty_slo_block)
+        if self._has_control:
+            # delta bookkeeping: forward-filled rows (and ticks where the
+            # simulator handed back the same unchanged snapshot object)
+            # carry the identical cumulative dict, so identity alone proves
+            # every delta is zero — only a *new* snapshot pays the per-key
+            # reads
+            if self._carry_control is self._previous_control:
+                row.update(self._zero_deltas)
+            else:
+                current = self._carry_control
+                values = tuple(int(current.get(key, 0))
+                               for key in _CONTROL_KEYS)
+                for key, value, prev in zip(_CONTROL_KEYS, values,
+                                            self._previous_values):
+                    row[key] = value - prev
+                self._previous_values = values
+                self._previous_control = current
+        self._rendered.append(row)
+        self._next_render = index + 1
+        return row
+
+    def flush_ready(self, end_floor_ns: float) -> List[Dict[str, object]]:
+        """Render every window that can no longer change (mid-run flush).
+
+        ``end_floor_ns`` is the simulator's current ``max(last_completion,
+        last_arrival)`` — a monotone **lower bound** on the final run end.
+        A window is safe to flush when it is (a) closed by a boundary
+        sample (no further notes can land in it) and (b) strictly below
+        ``ceil(span_floor / interval) - 1`` — a lower bound on the final
+        row count, so the end-of-run flush can never overwrite it and its
+        elapsed time is a full interval either way.  Flushed rows are
+        final: :meth:`rows` renders only the remainder, and the
+        concatenation is byte-identical to one end-of-run pass.
+        """
+        if self.origin_ns is None:
+            return []
+        span_floor = float(end_floor_ns) - self.origin_ns
+        if span_floor <= 0:
+            return []
+        last_floor = int(math.ceil(span_floor / self.interval_ns)) - 1
+        limit = min(self._closed_upto, last_floor)
+        if self._next_render >= limit:
+            return []
+        if self._has_control is None:
+            self._has_control = any(s[2] for s in self._samples.values())
+        flushed: List[Dict[str, object]] = []
+        append = flushed.append
+        render = self._render_one
+        drop_window = self._windows.pop
+        drop_sample = self._samples.pop
+        for index in range(self._next_render, limit):
+            append(render(index, span_floor))
+            # a flushed window can never be touched again — drop its
+            # accumulators so a long streamed run stays bounded-memory
+            drop_window(index, None)
+            drop_sample(index, None)
+        # the note fast-path cache may point at a dropped window
+        self._last_index = -1
+        self._last_window = None
+        return flushed
+
     def rows(self, end_ns: float, queue_depth: int, utilisation: float,
              control: Optional[Dict[str, object]] = None
              ) -> List[Dict[str, object]]:
-        """Render every window through the end of the run as report rows."""
+        """Render every window through the end of the run as report rows.
+
+        Returns the **complete** timeline — any rows already streamed out
+        by :meth:`flush_ready` plus the freshly rendered remainder.
+        """
         if self.origin_ns is None:
             return []
         span_ns = max(0.0, float(end_ns) - self.origin_ns)
@@ -591,95 +771,15 @@ class TimelineAccumulator:
         if self._windows:
             last = max(last, max(self._windows))
         # the end-of-run flush is the final window's boundary sample
+        # (flush_ready's span floor guarantees every flushed window sits
+        # strictly below the final ``last``, so this never collides)
         self._samples[last] = (
             int(queue_depth), float(utilisation), control or {})
-        has_control = any(s[2] for s in self._samples.values())
-        carry_depth, carry_util = 0, 0.0
-        carry_control: Dict[str, object] = {}
-        # delta bookkeeping: forward-filled rows (and ticks where the
-        # simulator handed back the same unchanged snapshot object) carry
-        # the identical cumulative dict, so identity alone proves every
-        # delta is zero — only a *new* snapshot pays the per-key reads
-        previous_control = carry_control
-        previous_values = (0,) * len(_CONTROL_KEYS)
-        zero_deltas = dict.fromkeys(_CONTROL_KEYS, 0)
-        rows: List[Dict[str, object]] = []
-        slo_models = self.slo_models
-        empty_slo_block = {model: 0.0 for model in slo_models}
-        # quiet windows (the drain tail of a long run can have hundreds)
-        # share one read-only empty window instead of paying a fresh
-        # sketch construction each
-        empty_window = _TimelineWindow()
-        for index in range(last + 1):
-            window = self._windows.get(index, empty_window)
-            sampled = self._samples.get(index)
-            if sampled is not None:
-                carry_depth, carry_util, carry_control = sampled
-            start_ns = index * interval_ns
-            completed = window.completions
-            # the window-rate guard: zero completions or zero elapsed time
-            # renders 0.0, never NaN / ZeroDivisionError
-            if completed:
-                elapsed_s = max(
-                    0.0, min(start_ns + interval_ns, span_ns) - start_ns
-                ) * 1e-9
-                throughput = completed / elapsed_s if elapsed_s > 0 else 0.0
-                p50, p95, p99 = window.latency.quantiles((50.0, 95.0, 99.0))
-                p50 *= 1e-6
-                p95 *= 1e-6
-                p99 *= 1e-6
-            else:
-                throughput = 0.0
-                p50 = p95 = p99 = 0.0
-            if window.slo:
-                attained = sum(a for a, _ in window.slo.values())
-                measured = sum(c for _, c in window.slo.values())
-                attainment = attained / measured if measured else 0.0
-            else:
-                attainment = 0.0
-            row: Dict[str, object] = {
-                "window": index,
-                "t_ms": start_ns * 1e-6,
-                "arrivals": window.arrivals,
-                "completed": completed,
-                "throughput_rps": throughput,
-                "p50_ms": p50,
-                "p95_ms": p95,
-                "p99_ms": p99,
-                "queue_depth": carry_depth,
-                "utilisation": carry_util,
-                "attainment": attainment,
-                "shed": window.shed,
-                "timeouts": window.timeouts,
-                "lost": window.lost,
-                "retries": window.retries,
-                "failures": window.failures,
-                "recoveries": window.recoveries,
-            }
-            if slo_models:
-                if window.slo:
-                    block: Dict[str, float] = {}
-                    for model in slo_models:
-                        attained_m, measured_m = window.slo.get(model, (0, 0))
-                        block[model] = (attained_m / measured_m
-                                        if measured_m else 0.0)
-                    row["slo"] = block
-                else:
-                    row["slo"] = dict(empty_slo_block)
-            if has_control:
-                if carry_control is previous_control:
-                    row.update(zero_deltas)
-                else:
-                    current = carry_control
-                    values = tuple(int(current.get(key, 0))
-                                   for key in _CONTROL_KEYS)
-                    for key, value, prev in zip(_CONTROL_KEYS, values,
-                                                previous_values):
-                        row[key] = value - prev
-                    previous_values = values
-                    previous_control = current
-            rows.append(row)
-        return rows
+        if self._has_control is None:
+            self._has_control = any(s[2] for s in self._samples.values())
+        for index in range(self._next_render, last + 1):
+            self._render_one(index, span_ns)
+        return self._rendered
 
 
 # ----------------------------------------------------------------------
@@ -904,6 +1004,19 @@ class TelemetrySession:
         self._n_lost = 0
         self._n_failures = 0
         self._n_recoveries = 0
+        #: live-stream sink — the simulator attaches a callable
+        #: ``sink(kind, payload)`` when an observatory is watching the
+        #: run; completed windows, fault events and hub snapshots are
+        #: pushed through it mid-run.  ``None`` (the default) keeps the
+        #: pure batch end-of-run path.
+        self.sink: Optional[Callable[[str, Dict[str, object]], None]] = None
+        #: flush batches streamed so far — hub peeks ride along every
+        #: :data:`_HUB_PEEK_EVERY`-th batch (see :meth:`flush_stream`)
+        self._flush_batches = 0
+        # snapshot() drains the attribute counters into the hub while
+        # peek() merges them without draining; the lock keeps a hub read
+        # from another thread from seeing a half-drained state
+        self._counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def start(self, origin_ns: float) -> None:
@@ -966,6 +1079,9 @@ class TelemetrySession:
             self._n_failures += 1
         if self.timeline is not None:
             self.timeline.note_fault(ts_ns, action)
+        if self.sink is not None:
+            self.sink("event", {"type": "fault", "ts_ms": ts_ns * 1e-6,
+                                "action": action, "chip": chip_index})
 
     def dispatch(self, ts_ns: float, requests, worker, model: str,
                  batch: int, completion_ns: float, switched: bool,
@@ -1042,6 +1158,57 @@ class TelemetrySession:
             self.timeline.sample(index, queue_depth, utilisation, control)
 
     # ------------------------------------------------------------------
+    def _fold_pending(self) -> None:
+        """Fold the buffered exact-mode notes into the timeline windows.
+
+        Order is irrelevant: every per-window update is an addition, so
+        folding at a mid-run flush boundary and folding once at finish
+        render the identical rows.
+        """
+        if not (self._pending_arrivals or self._pending_completions):
+            return
+        timeline = self.timeline
+        note_arrival = timeline.note_arrival
+        for ts_ns in self._pending_arrivals:
+            note_arrival(ts_ns)
+        note_completion = timeline.note_completion
+        for record in self._pending_completions:
+            note_completion(*record)
+        self._pending_arrivals.clear()
+        self._pending_completions.clear()
+
+    def flush_stream(self, end_floor_ns: float) -> None:
+        """Push every newly-final window (and a hub peek) through the sink.
+
+        Called by the simulator at boundary-sample time when a sink is
+        attached.  ``end_floor_ns`` is the current lower bound on the run
+        end (``max(last_completion, last_arrival)``); windows the
+        accumulator proves final against that bound are rendered now and
+        streamed — the rendered rows are the exact objects the end-of-run
+        timeline block will contain.  The simulator only calls this every
+        :data:`FLUSH_EVERY_BOUNDARIES`-th boundary: the cadence shapes
+        *when* batches stream, never their content, and :meth:`finish`
+        always drains whatever remains.
+        """
+        timeline = self.timeline
+        sink = self.sink
+        if timeline is None or sink is None:
+            return
+        self._fold_pending()
+        flushed = timeline.flush_ready(end_floor_ns)
+        if not flushed:
+            return
+        for row in flushed:
+            sink("window", row)
+        # a hub peek walks every gauge source and histogram — per flush
+        # batch that would cost more than the flush itself on fine
+        # windows, so peeks ride along every K-th batch (the first one
+        # immediately, so a watcher sees counters as soon as windows
+        # flow; the report's telemetry block supplies the final state)
+        if self._flush_batches % _HUB_PEEK_EVERY == 0:
+            sink("hub", self.peek())
+        self._flush_batches += 1
+
     def finish(self, end_ns: float, queue_depth: int, utilisation: float,
                control: Optional[Dict[str, object]] = None
                ) -> List[Dict[str, object]]:
@@ -1049,18 +1216,15 @@ class TelemetrySession:
         timeline = self.timeline
         if timeline is None:
             return []
-        if self._pending_arrivals or self._pending_completions:
-            # fold the buffered notes in one warm pass (order is
-            # irrelevant: every per-window update is an addition)
-            note_arrival = timeline.note_arrival
-            for ts_ns in self._pending_arrivals:
-                note_arrival(ts_ns)
-            note_completion = timeline.note_completion
-            for record in self._pending_completions:
-                note_completion(*record)
-            self._pending_arrivals.clear()
-            self._pending_completions.clear()
-        return timeline.rows(end_ns, queue_depth, utilisation, control)
+        self._fold_pending()
+        already = timeline._next_render
+        rows = timeline.rows(end_ns, queue_depth, utilisation, control)
+        sink = self.sink
+        if sink is not None:
+            # stream the tail so subscribers saw every window exactly once
+            for row in rows[already:]:
+                sink("window", row)
+        return rows
 
     def fill_histograms(self, latencies: Sequence[float],
                         waits: Sequence[float]) -> None:
@@ -1077,13 +1241,8 @@ class TelemetrySession:
         self._latency_hist.extend(latencies)
         self._wait_hist.extend(waits)
 
-    def snapshot(self) -> Dict[str, object]:
-        """The report's ``telemetry`` block: hub snapshot + config echo."""
-        # drain the attribute-backed event counters into the hub so the
-        # snapshot (and any later hub read) sees them; draining keeps a
-        # second snapshot() call from double-counting
-        counters = self.hub._counters
-        for name, value in (
+    def _event_counter_items(self) -> Tuple[Tuple[str, int], ...]:
+        return (
             ("arrivals", self._n_arrivals),
             ("completions", self._n_completions),
             ("dispatches", self._n_dispatches),
@@ -1094,17 +1253,49 @@ class TelemetrySession:
             ("lost", self._n_lost),
             ("failures", self._n_failures),
             ("recoveries", self._n_recoveries),
-        ):
-            if value:
-                counters[name] = counters.get(name, 0) + value
-        self._n_arrivals = self._n_completions = 0
-        self._n_dispatches = self._n_hedge_dispatches = 0
-        self._n_shed = self._n_retries = self._n_timeouts = 0
-        self._n_lost = self._n_failures = self._n_recoveries = 0
-        snap = self.hub.snapshot()
-        snap["config"] = {
+        )
+
+    def _config_echo(self) -> Dict[str, object]:
+        return {
             "timeline_interval_us": self.config.timeline_interval_us,
             "trace_every": self.config.trace_every,
             "streaming_percentiles": self.config.streaming_percentiles,
         }
+
+    def snapshot(self) -> Dict[str, object]:
+        """The report's ``telemetry`` block: hub snapshot + config echo."""
+        # drain the attribute-backed event counters into the hub so the
+        # snapshot (and any later hub read) sees them; draining keeps a
+        # second snapshot() call from double-counting
+        with self._counter_lock:
+            counters = self.hub._counters
+            for name, value in self._event_counter_items():
+                if value:
+                    counters[name] = counters.get(name, 0) + value
+            self._n_arrivals = self._n_completions = 0
+            self._n_dispatches = self._n_hedge_dispatches = 0
+            self._n_shed = self._n_retries = self._n_timeouts = 0
+            self._n_lost = self._n_failures = self._n_recoveries = 0
+            snap = self.hub.snapshot()
+        snap["config"] = self._config_echo()
+        return snap
+
+    def peek(self) -> Dict[str, object]:
+        """Non-destructive mid-run hub view (same shape as :meth:`snapshot`).
+
+        The attribute-backed event counters are merged into the snapshot
+        *copy* instead of drained into the hub, so a later ``snapshot()``
+        (or another ``peek()``) never double-counts.
+        """
+        with self._counter_lock:
+            snap = self.hub.snapshot()
+            counters = snap["counters"]
+            for name, value in self._event_counter_items():
+                if value:
+                    counters[name] = counters.get(name, 0) + value
+        # merged names may be new — re-emit in sorted order to keep the
+        # hub's deterministic-snapshot contract
+        snap["counters"] = {name: counters[name]
+                            for name in sorted(counters)}
+        snap["config"] = self._config_echo()
         return snap

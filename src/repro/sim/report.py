@@ -245,17 +245,39 @@ _TIMELINE_EVENT_COLUMNS = [
 ]
 
 
-def render_timeline(timeline: Sequence[Dict[str, object]]) -> str:
+def render_timeline(timeline: Sequence[Dict[str, object]],
+                    max_rows: int = 0) -> str:
     """Render a serving report's metrics timeline as an aligned table.
 
     One row per window (headline metrics first); fault/control event
     columns appear only when some window actually saw such an event, so a
     quiet run prints a compact table.  Printed by ``repro serve`` under
     ``--timeline-us``.
+
+    ``max_rows`` caps the table for long runs (a fine-grained timeline
+    can have thousands of windows): when the timeline is longer, the
+    middle is elided with a marker row and the first/last windows are
+    kept — the head shows ramp-up, the tail shows the drain.  0 (the
+    default) renders everything.
     """
     if not timeline:
         return "(empty timeline)"
     columns = list(_TIMELINE_COLUMNS)
     columns += [col for col in _TIMELINE_EVENT_COLUMNS
                 if any(row.get(col) for row in timeline)]
-    return format_table(list(timeline), columns=columns)
+    rows = list(timeline)
+    elided = 0
+    if max_rows > 0 and len(rows) > max_rows:
+        # keep at least one head and one tail row whatever the cap
+        keep = max(2, max_rows)
+        head = (keep + 1) // 2
+        tail = keep - head
+        elided = len(rows) - keep
+        rows = rows[:head] + rows[len(rows) - tail:]
+        table_lines = format_table(rows, columns=columns).splitlines()
+        # line 0 is the header, line 1 the separator; the marker replaces
+        # the seam between the kept head and tail body rows
+        marker = f"... {elided} windows elided ..."
+        table_lines.insert(2 + head, marker)
+        return "\n".join(table_lines)
+    return format_table(rows, columns=columns)

@@ -293,7 +293,7 @@ class TestTimelineWindowGuards:
 # ----------------------------------------------------------------------
 # full-stack scenario helpers
 # ----------------------------------------------------------------------
-def _fault_scenario(telemetry=None, control=False):
+def _fault_scenario(telemetry=None, control=False, sink=None):
     """The PR 7 ``fault_retry_latency`` pin scenario, telemetry optional."""
     model = "resnet18"
     fleet = Fleet.from_spec("M:2")
@@ -318,8 +318,35 @@ def _fault_scenario(telemetry=None, control=False):
         faults=faults, fault_tolerance=ft, control=ctrl,
         telemetry=telemetry,
     )
+    if sink is not None:
+        simulator.stream_sink = sink
     report = simulator.run(traffic.generate(),
                            traffic_info=traffic.describe())
+    return simulator, report
+
+
+def _closed_hedge_scenario(telemetry=None):
+    """Closed-loop clients over a straggling fleet with hedging active —
+    the hardest accounting regime: arrivals are injected live by the
+    clients, stragglers trip timeouts/retries, and hedged duplicates must
+    still complete each request exactly once."""
+    model = "squeezenet"
+    fleet = Fleet.from_spec("M:3")
+    cache = PlanCache(optimizer="dp")
+    cache.warmup((model,), fleet.chip_names, (1, 2, 4, 8))
+    traffic = ClosedLoopTraffic(model, num_requests=150, seed=4,
+                                clients=12, concurrency=2)
+    simulator = ServingSimulator(
+        fleet, cache, policy="fifo", batch_sizes=(1, 2, 4, 8),
+        max_wait_us=100.0,
+        faults=[parse_inject("straggler@0:chip=0,factor=10")],
+        fault_tolerance=FaultTolerance(max_retries=1, timeout_us=800.0,
+                                       shed_queue_depth=10),
+        control=ControlConfig(interval_us=200.0, hedge_after_pct=60.0,
+                              hedge_min_samples=8),
+        telemetry=telemetry,
+    )
+    report = simulator.run(traffic, traffic_info=traffic.describe())
     return simulator, report
 
 
@@ -482,7 +509,22 @@ class TestTimelineBlock:
         text = timeline_to_csv(rows)
         header, body = text.strip().splitlines()
         assert header == "window,t_ms,slo_a,slo_b"
-        assert body == "0,0.0,1.0,0.5"
+        assert body == "0,0.000000,1.000000,0.500000"
+
+    def test_csv_column_order_is_canonical_not_dict_order(self):
+        # rows whose dict insertion order is scrambled still serialize in
+        # the canonical column order with explicit float formatting
+        rows = [
+            {"p95_ms": 2.5, "window": 1, "arrivals": 3, "t_ms": 0.5,
+             "completed": 2},
+            {"completed": 4, "t_ms": 1.0, "window": 2, "p95_ms": 1.25,
+             "arrivals": 5},
+        ]
+        text = timeline_to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "window,t_ms,arrivals,completed,p95_ms"
+        assert lines[1] == "1,0.500000,3,2,2.500000"
+        assert lines[2] == "2,1.000000,5,4,1.250000"
 
     def test_render_timeline_table(self):
         cfg = TelemetryConfig(timeline_interval_us=500.0)
@@ -688,3 +730,203 @@ class TestTelemetryConfig:
         assert block["gauges"]["faults"]["failures"] == report.failures
         assert block["histograms"]["latency_ns"]["count"] == report.completed
         assert block["config"]["timeline_interval_us"] == 500.0
+
+
+# ----------------------------------------------------------------------
+# incremental window streaming (the observatory's flush path)
+# ----------------------------------------------------------------------
+class TestIncrementalFlush:
+    def _feed(self, timeline):
+        """A note/sample schedule spanning several windows, with a stall
+        (no completions) in window 2 and a dispatch-time future
+        completion landing past the current instant."""
+        timeline.start(0.0)
+        timeline.note_arrival(100.0)
+        timeline.note_completion(400.0, 300.0, "m", True)
+        timeline.note_completion(2600.0, 700.0, "m", False)  # future ts
+        timeline.sample(0, queue_depth=3, utilisation=0.9)
+        timeline.note_arrival(1200.0)
+        timeline.sample(1, queue_depth=2, utilisation=0.6)
+        timeline.note_arrival(2300.0)
+        timeline.sample(2, queue_depth=1, utilisation=0.4)
+        timeline.note_arrival(3400.0)
+        timeline.note_completion(3600.0, 500.0, "m", True)
+
+    def test_flush_ready_then_rows_matches_one_shot(self):
+        batch = TimelineAccumulator(1000.0, slo_models=("m",))
+        self._feed(batch)
+        expected = batch.rows(4000.0, queue_depth=0, utilisation=0.1)
+
+        streamed = TimelineAccumulator(1000.0, slo_models=("m",))
+        streamed.start(0.0)
+        streamed.note_arrival(100.0)
+        streamed.note_completion(400.0, 300.0, "m", True)
+        streamed.note_completion(2600.0, 700.0, "m", False)
+        streamed.sample(0, queue_depth=3, utilisation=0.9)
+        early = streamed.flush_ready(400.0)  # floor too low: nothing final
+        assert early == []
+        streamed.note_arrival(1200.0)
+        streamed.sample(1, queue_depth=2, utilisation=0.6)
+        first = streamed.flush_ready(1500.0)
+        assert [row["window"] for row in first] == [0]
+        streamed.note_arrival(2300.0)
+        streamed.sample(2, queue_depth=1, utilisation=0.4)
+        second = streamed.flush_ready(2600.0)
+        assert [row["window"] for row in second] == [1]
+        streamed.note_arrival(3400.0)
+        streamed.note_completion(3600.0, 500.0, "m", True)
+        rows = streamed.rows(4000.0, queue_depth=0, utilisation=0.1)
+        assert json.dumps(rows, sort_keys=True) == \
+            json.dumps(expected, sort_keys=True)
+        # the mid-run flushes streamed a strict prefix, exactly once each
+        assert rows[:2] == first + second
+
+    def test_flushed_windows_are_dropped_from_memory(self):
+        timeline = TimelineAccumulator(1000.0)
+        timeline.start(0.0)
+        for k in range(6):
+            timeline.note_arrival(k * 1000.0 + 100.0)
+            timeline.sample(k, queue_depth=0, utilisation=0.0)
+        timeline.flush_ready(6000.0)
+        # every flushed window's accumulator is gone (bounded memory)
+        assert all(index >= 5 for index in timeline._windows)
+        # ...and a late note after the flush still lands correctly
+        timeline.note_arrival(6100.0)
+        rows = timeline.rows(6200.0, queue_depth=0, utilisation=0.0)
+        assert rows[6]["arrivals"] == 1
+
+    def test_streamed_windows_equal_final_timeline(self):
+        # full stack: a sink-attached fault scenario with a fine window —
+        # the streamed rows, concatenated, are byte-identical to the
+        # report's end-of-run timeline block
+        streamed = []
+        kinds = []
+
+        def sink(kind, payload):
+            kinds.append(kind)
+            if kind == "window":
+                streamed.append(payload)
+
+        _, report = _fault_scenario(
+            TelemetryConfig(timeline_interval_us=150.0), sink=sink)
+        assert json.dumps(streamed, sort_keys=True) == \
+            json.dumps(report.timeline, sort_keys=True)
+        # windows flushed mid-run, not just at finish: every mid-run
+        # flush batch is chased by a hub snapshot, and at least one
+        # window message precedes the last hub message
+        assert kinds.count("hub") >= 1
+        assert kinds.index("window") < len(kinds) - 1
+        # fault events streamed live too (this scenario injects two)
+        assert kinds.count("event") >= 2
+
+    def test_sink_attached_run_is_bit_identical(self):
+        cfg = TelemetryConfig(timeline_interval_us=150.0)
+        _, off = _fault_scenario(cfg)
+        _, on = _fault_scenario(cfg, sink=lambda kind, payload: None)
+        assert on.determinism_dict() == off.determinism_dict()
+
+
+# ----------------------------------------------------------------------
+# per-window conservation under the hardest accounting regime
+# ----------------------------------------------------------------------
+class TestWindowConservation:
+    def test_closed_loop_hedged_windows_conserve_fates(self):
+        cfg = TelemetryConfig(timeline_interval_us=300.0)
+        _, report = _closed_hedge_scenario(cfg)
+        rows = report.timeline
+        assert len(rows) >= 2
+        # the scenario actually exercises the hard paths
+        assert report.control["hedges"] > 0
+        assert report.timeouts + report.retries > 0
+
+        def total(key):
+            return sum(row[key] for row in rows)
+
+        # window sums reproduce the report's fate counters exactly:
+        # hedged requests complete once, retries are not re-arrivals
+        assert total("arrivals") == report.num_requests
+        assert total("completed") == report.completed
+        assert total("shed") == report.shed
+        assert total("timeouts") == report.timeouts
+        assert total("lost") == report.lost
+        assert total("hedges") == report.control["hedges"]
+        # every offered request met exactly one fate (closed-loop runs
+        # drain completely: nothing is left queued at the end)
+        assert (report.completed + report.shed + report.timeouts
+                + report.lost) == report.num_requests
+
+    def test_cumulative_fates_never_exceed_cumulative_arrivals(self):
+        cfg = TelemetryConfig(timeline_interval_us=300.0)
+        _, report = _closed_hedge_scenario(cfg)
+        seen = fated = 0
+        for row in report.timeline:
+            seen += row["arrivals"]
+            fated += (row["completed"] + row["shed"] + row["timeouts"]
+                      + row["lost"])
+            # a request's fate can only land at or after its arrival
+            # (dispatch-time accounting keys completions by their own
+            # future timestamp, which is >= the arrival's)
+            assert fated <= seen, row["window"]
+
+
+# ----------------------------------------------------------------------
+# timeline rendering at terminal width: middle elision
+# ----------------------------------------------------------------------
+class TestRenderTimelineElision:
+    def _rows(self, count):
+        return [
+            {"window": k, "t_ms": 0.5 * k, "arrivals": k, "completed": k,
+             "throughput_rps": 1.0, "p50_ms": 1.0, "p95_ms": 2.0,
+             "p99_ms": 3.0, "queue_depth": 0, "utilisation": 0.5,
+             "attainment": 1.0}
+            for k in range(count)
+        ]
+
+    def test_elides_middle_keeps_head_and_tail(self):
+        text = render_timeline(self._rows(20), max_rows=6)
+        lines = text.splitlines()
+        # header + separator + 6 kept rows + 1 marker
+        assert len(lines) == 9
+        assert lines[5].strip() == "... 14 windows elided ..."
+        body = [line for line in lines[2:] if "elided" not in line]
+        first_windows = [int(line.split()[0]) for line in body]
+        assert first_windows == [0, 1, 2, 17, 18, 19]
+
+    def test_odd_budget_favours_the_head(self):
+        text = render_timeline(self._rows(10), max_rows=5)
+        lines = text.splitlines()
+        assert lines[2 + 3].strip() == "... 5 windows elided ..."
+        body = [line for line in lines[2:] if "elided" not in line]
+        assert [int(line.split()[0]) for line in body] == [0, 1, 2, 8, 9]
+
+    def test_no_elision_when_rows_fit(self):
+        rows = self._rows(6)
+        assert render_timeline(rows, max_rows=6) == render_timeline(rows)
+        assert render_timeline(rows, max_rows=10) == render_timeline(rows)
+        assert "elided" not in render_timeline(rows, max_rows=6)
+
+    def test_zero_disables_and_tiny_budget_keeps_two(self):
+        rows = self._rows(12)
+        assert "elided" not in render_timeline(rows, max_rows=0)
+        text = render_timeline(rows, max_rows=1)
+        body = [line for line in text.splitlines()[2:]
+                if "elided" not in line]
+        # a budget below two still shows the first and last window
+        assert [int(line.split()[0]) for line in body] == [0, 11]
+
+
+# ----------------------------------------------------------------------
+# golden CSV artifact
+# ----------------------------------------------------------------------
+class TestGoldenCsv:
+    def test_fault_scenario_csv_matches_golden_file(self):
+        # the committed golden file pins column order *and* cell
+        # formatting: a drift in either (dict iteration order, float
+        # repr, a renamed column) fails here byte-for-byte
+        path = os.path.join(os.path.dirname(__file__), "data",
+                            "timeline_golden.csv")
+        with open(path, "r", encoding="utf-8", newline="") as handle:
+            golden = handle.read()
+        _, report = _fault_scenario(
+            TelemetryConfig(timeline_interval_us=500.0), control=True)
+        assert timeline_to_csv(report.timeline) == golden
