@@ -10,17 +10,16 @@ the experimental record.
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from repro import envflags
 from repro.core.ga import GAConfig
 from repro.evaluation.experiments import ExperimentConfig
 
 
 def benchmark_config() -> ExperimentConfig:
     """Experiment configuration used by the benchmark harness."""
-    if os.environ.get("COMPASS_PAPER_SCALE"):
+    if envflags.paper_scale_enabled():
         return ExperimentConfig()
     return ExperimentConfig.fast()
 

@@ -43,12 +43,15 @@ import subprocess
 import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro import envflags  # noqa: E402
 
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     date = datetime.date.today().strftime("%Y%m%d")
-    out = os.environ.get("REPRO_BENCH_OUT") or os.path.join(REPO_ROOT, f"BENCH_{date}.json")
+    out = envflags.bench_out() or os.path.join(REPO_ROOT, f"BENCH_{date}.json")
 
     cmd = [
         sys.executable, "-m", "pytest",
@@ -56,7 +59,7 @@ def main(argv=None) -> int:
         "-q",
         f"--benchmark-json={out}",
     ]
-    if os.environ.get("REPRO_BENCH_QUICK"):
+    if envflags.bench_quick_enabled():
         cmd += ["-k", "fig6_throughput or fig10_ga or dp_optimal or optimality_gap"
                       " or serving_throughput or serving_switch_cost"
                       " or serving_faults or serving_control"

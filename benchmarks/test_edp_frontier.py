@@ -16,8 +16,7 @@ mobilenet ≤ 5, alexnet ≤ 487, vgg16 ≤ 2924, and the registry-wide maximum
 
 from __future__ import annotations
 
-import os
-
+from repro import envflags
 from repro.evaluation.experiments import edp_frontier_sizes
 from repro.models import list_models
 from repro.search.dp import DEFAULT_MAX_FRONTIER
@@ -29,7 +28,7 @@ _HEAVY_PAIRS = {(m, c) for m in ("vgg11", "vgg16") for c in ("S", "L")}
 
 
 def test_edp_frontier_sizes_within_default_cap(experiment_config):
-    paper_scale = bool(os.environ.get("COMPASS_PAPER_SCALE"))
+    paper_scale = envflags.paper_scale_enabled()
     rows = []
     for model in list_models():
         for chip in ("S", "M", "L"):

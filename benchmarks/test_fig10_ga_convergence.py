@@ -6,11 +6,10 @@ within ~10 generations, and fitness keeps improving within that partition
 count afterwards.
 """
 
-import os
-
 import numpy as np
 import pytest
 
+from repro import envflags
 from repro.core.ga import GAConfig
 from repro.evaluation.experiments import fig10_ga_convergence
 
@@ -61,6 +60,6 @@ def test_fig10_ga_convergence(benchmark):
                        + result.span_stats["latency_hits"])
     assert latency_lookups > 0
     assert result.span_stats["latency_hit_rate"] > 0.3
-    if os.environ.get("REPRO_SPAN_MATRIX", "1") not in ("", "0"):
+    if envflags.span_matrix_enabled():
         # the dense span-matrix path carried the population scoring
         assert result.span_stats["matrix_fills"] + result.span_stats["matrix_hits"] > 0

@@ -27,8 +27,11 @@ import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from compare_bench import compare, load_means  # noqa: E402
+
+from repro import envflags  # noqa: E402
 
 
 def latest_baseline() -> str:
@@ -42,7 +45,7 @@ def latest_baseline() -> str:
 
 def main() -> int:
     baseline = latest_baseline()
-    threshold = float(os.environ.get("REPRO_BENCH_REGRESSION_PCT", "20"))
+    threshold = envflags.bench_regression_pct()
 
     _, baseline_profile = load_means(baseline)
     try:

@@ -1,0 +1,80 @@
+"""Committed baseline of grandfathered lint findings.
+
+A baseline entry is the :meth:`Finding.baseline_key` triple — ``(file,
+rule, message)``, deliberately *without* the line number so unrelated
+edits above a finding don't invalidate it.  The file is a multiset:
+``count`` matching findings are consumed per entry before further
+identical findings report.  Entries that no longer match anything are
+*stale* and surface in ``--stats`` / the JSON output so the baseline
+shrinks monotonically instead of fossilising.
+
+The committed file lives at the repo root (``lint_baseline.json``) and is
+discovered by walking up from the lint root, mirroring how the env-gate
+rule finds ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.engine import Finding
+
+#: default committed baseline filename, discovered at the project root
+BASELINE_FILENAME = "lint_baseline.json"
+
+BaselineKey = Tuple[str, str, str]
+
+
+def find_baseline(start: str) -> Optional[str]:
+    """Nearest ancestor ``lint_baseline.json`` of ``start`` (None if absent)."""
+    current = os.path.abspath(start)
+    if os.path.isfile(current):
+        current = os.path.dirname(current)
+    while True:
+        candidate = os.path.join(current, BASELINE_FILENAME)
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
+
+
+def load_baseline(path: Optional[str]) -> Dict[BaselineKey, int]:
+    """Baseline multiset from a JSON file (empty when path is None/missing)."""
+    if path is None or not os.path.isfile(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("version") != 1:
+        raise ValueError(f"{path}: not a version-1 lint baseline file")
+    counts: Dict[BaselineKey, int] = {}
+    for entry in data.get("findings", []):
+        key = (entry["file"], entry["rule"], entry["message"])
+        counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+    return counts
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Write the given findings as a fresh baseline file (sorted, counted)."""
+    counts: Dict[BaselineKey, int] = {}
+    for finding in findings:
+        key = finding.baseline_key()
+        counts[key] = counts.get(key, 0) + 1
+    entries: List[dict] = []
+    for (file, rule, message), count in sorted(counts.items()):
+        entry = {"file": file, "rule": rule, "message": message}
+        if count > 1:
+            entry["count"] = count
+        entries.append(entry)
+    payload = {
+        "version": 1,
+        "comment": ("grandfathered repro-lint findings; regenerate with "
+                    "`repro lint <paths> --write-baseline`"),
+        "findings": entries,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")

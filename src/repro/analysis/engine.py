@@ -1,0 +1,391 @@
+"""Core of the invariant linter: one parse + one visitor walk per file.
+
+The engine is deliberately small: a file is parsed once with :mod:`ast`,
+walked once in pre-order, and every node is offered to every rule active
+for that file.  Rules are plain classes (:class:`Rule`) instantiated fresh
+per file, so they may keep per-file state (e.g. "this ``.sum()`` call is
+wrapped in ``int()`` and therefore a count, not a float accumulation").
+
+The machinery a rule needs beyond the raw node lives on
+:class:`LintContext`:
+
+* ``rel_path`` — repo-relative posix path, the unit the scoping and the
+  baseline key on;
+* ``resolve_call`` / ``dotted_name`` — resolve an expression to a dotted
+  name *through the module's import aliases* (``np.random.default_rng``
+  resolves to ``numpy.random.default_rng``; ``from time import sleep as
+  zzz`` makes ``zzz()`` resolve to ``time.sleep``);
+* ``function_stack`` / ``in_async_function`` / ``current_args`` — where
+  the walk currently is, maintained by the engine;
+* ``is_awaited`` — whether a call node is the direct operand of ``await``
+  (used by the async-safety rule to tell ``await q.get()`` from a
+  blocking ``q.get()``).
+
+Suppressions are comment-driven, pyflakes-style::
+
+    something_flagged()  # repro-lint: disable=unseeded-rng
+    # repro-lint: disable-file=wall-clock   (anywhere in the file)
+
+``disable=all`` silences every rule on that line.  Suppressed findings are
+counted per rule (surfaced by ``repro lint --stats``) so a silently
+growing pile of suppressions is visible in CI logs.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint finding, the unit of reporting and baselining."""
+
+    file: str
+    line: int
+    rule_id: str
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Baseline identity: line numbers drift, (file, rule, message) don't."""
+        return (self.file, self.rule_id, self.message)
+
+
+#: rule id used for files that fail to parse
+PARSE_ERROR_RULE = "parse-error"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable(?P<scope>-file)?=(?P<ids>[A-Za-z0-9_,-]+)"
+)
+
+
+def path_matches(rel_path: str, patterns: Sequence[str]) -> bool:
+    """Whether a repo-relative path falls under any scope pattern.
+
+    Two pattern styles: ``repro/serve`` (a directory — matches every file
+    at any depth under a directory of that relative path) and
+    ``repro/serve/telemetry.py`` (one file, matched as a path suffix).
+    """
+    rel = "/" + rel_path.replace(os.sep, "/")
+    for pattern in patterns:
+        pat = "/" + pattern.strip("/")
+        if pattern.endswith(".py"):
+            if rel.endswith(pat):
+                return True
+        elif (pat + "/") in rel:
+            return True
+    return False
+
+
+class Rule:
+    """Base class of one lint rule.
+
+    Subclasses set ``rule_id``/``description``, optionally restrict
+    themselves with ``scopes`` (only matching files are visited) and
+    ``excludes`` (matching files are skipped), and implement
+    :meth:`visit`, yielding :class:`Finding`\\ s.  :meth:`finish` runs
+    after the walk for module-level checks.  A fresh instance is created
+    per linted file, so instance attributes are per-file state.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+    #: path patterns this rule is limited to (``None`` = every file)
+    scopes: Optional[Sequence[str]] = None
+    #: path patterns this rule skips even inside its scopes
+    excludes: Sequence[str] = ()
+
+    @classmethod
+    def applies_to(cls, rel_path: str) -> bool:
+        if cls.excludes and path_matches(rel_path, cls.excludes):
+            return False
+        if cls.scopes is None:
+            return True
+        return path_matches(rel_path, cls.scopes)
+
+    def visit(self, node: ast.AST, ctx: "LintContext") -> Iterable[Finding]:
+        return ()
+
+    def finish(self, ctx: "LintContext") -> Iterable[Finding]:
+        return ()
+
+
+class LintContext:
+    """Per-file state shared by every rule during the single walk."""
+
+    def __init__(self, path: str, rel_path: str, source: str,
+                 tree: ast.Module, project_root: Optional[str]) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: nearest ancestor directory containing ROADMAP.md (doc checks)
+        self.project_root = project_root
+        #: ``import numpy as np`` -> {"np": "numpy"}
+        self.imports: Dict[str, str] = {}
+        #: ``from time import sleep as zzz`` -> {"zzz": "time.sleep"}
+        self.from_imports: Dict[str, str] = {}
+        #: enclosing (Async)FunctionDef nodes, innermost last
+        self.function_stack: List[ast.AST] = []
+        #: enclosing ClassDef nodes, innermost last
+        self.class_stack: List[ast.AST] = []
+        #: ids of Call nodes that are the direct operand of ``await``
+        self._awaited_calls: Set[int] = set()
+        self._collect_imports(tree)
+
+    # ------------------------------------------------------------------
+    def _collect_imports(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.imports[name] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name
+                    self.from_imports[name] = f"{node.module}.{alias.name}"
+
+    # ------------------------------------------------------------------
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Dotted name of an attribute/name chain, resolved through imports.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng``;
+        a bare builtin like ``open`` resolves to ``open``.  Returns
+        ``None`` when the chain is not rooted at a plain name (e.g. a
+        call result or subscript).
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        root = self.imports.get(base) or self.from_imports.get(base) or base
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def resolve_call(self, node: ast.Call) -> Optional[str]:
+        """Dotted name of a call's callee (``None`` for computed callees)."""
+        return self.dotted_name(node.func)
+
+    # ------------------------------------------------------------------
+    @property
+    def in_function(self) -> bool:
+        return bool(self.function_stack)
+
+    @property
+    def in_async_function(self) -> bool:
+        """Whether the walk is inside an ``async def`` (at any nesting)."""
+        for func in reversed(self.function_stack):
+            if isinstance(func, ast.AsyncFunctionDef):
+                return True
+            if isinstance(func, ast.FunctionDef):
+                return False
+        return False
+
+    def current_args(self) -> List[str]:
+        """Parameter names of the innermost enclosing function."""
+        if not self.function_stack:
+            return []
+        args = self.function_stack[-1].args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return names
+
+    def is_awaited(self, node: ast.Call) -> bool:
+        return id(node) in self._awaited_calls
+
+    def note_awaited(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self._awaited_calls.add(id(node.value))
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+
+def scan_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Per-line and file-level suppression sets from lint comments."""
+    per_line: Dict[int, Set[str]] = {}
+    file_level: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group("ids").split(",") if part.strip()}
+        if match.group("scope"):
+            file_level |= ids
+        else:
+            per_line.setdefault(lineno, set()).update(ids)
+    return per_line, file_level
+
+
+def is_suppressed(finding: Finding, per_line: Dict[int, Set[str]],
+                  file_level: Set[str]) -> bool:
+    if "all" in file_level or finding.rule_id in file_level:
+        return True
+    ids = per_line.get(finding.line, ())
+    return "all" in ids or finding.rule_id in ids
+
+
+# ----------------------------------------------------------------------
+# the walk
+# ----------------------------------------------------------------------
+
+def _walk(node: ast.AST, ctx: LintContext, rules: Sequence[Rule],
+          findings: List[Finding]) -> None:
+    if isinstance(node, ast.Await):
+        ctx.note_awaited(node)
+    for rule in rules:
+        findings.extend(rule.visit(node, ctx))
+    is_function = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    is_class = isinstance(node, ast.ClassDef)
+    if is_function:
+        ctx.function_stack.append(node)
+    if is_class:
+        ctx.class_stack.append(node)
+    for child in ast.iter_child_nodes(node):
+        _walk(child, ctx, rules, findings)
+    if is_function:
+        ctx.function_stack.pop()
+    if is_class:
+        ctx.class_stack.pop()
+
+
+def find_project_root(start: str) -> Optional[str]:
+    """Nearest ancestor directory containing ROADMAP.md (for doc checks)."""
+    current = os.path.abspath(start)
+    if os.path.isfile(current):
+        current = os.path.dirname(current)
+    while True:
+        if os.path.isfile(os.path.join(current, "ROADMAP.md")):
+            return current
+        parent = os.path.dirname(current)
+        if parent == current:
+            return None
+        current = parent
+
+
+def lint_file(path: str, rel_path: str, rule_classes: Sequence[type],
+              project_root: Optional[str] = None
+              ) -> Tuple[List[Finding], List[Finding]]:
+    """Lint one file: returns ``(active_findings, suppressed_findings)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        finding = Finding(rel_path, error.lineno or 1, PARSE_ERROR_RULE,
+                          f"file does not parse: {error.msg}")
+        return [finding], []
+    if project_root is None:
+        project_root = find_project_root(path)
+    ctx = LintContext(path, rel_path, source, tree, project_root)
+    rules = [cls() for cls in rule_classes if cls.applies_to(rel_path)]
+    raw: List[Finding] = []
+    _walk(tree, ctx, rules, raw)
+    for rule in rules:
+        raw.extend(rule.finish(ctx))
+    per_line, file_level = scan_suppressions(source)
+    active = [f for f in raw if not is_suppressed(f, per_line, file_level)]
+    suppressed = [f for f in raw if is_suppressed(f, per_line, file_level)]
+    return active, suppressed
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every ``.py`` file under the given files/directories, sorted.
+
+    Deterministic order regardless of filesystem enumeration order — the
+    linter holds itself to the repo's own ordering contract.
+    """
+    seen: Set[str] = set()
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py") and path not in seen:
+                seen.add(path)
+                collected.append(path)
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("__pycache__", ".git")]
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                full = os.path.join(dirpath, filename)
+                if full not in seen:
+                    seen.add(full)
+                    collected.append(full)
+    return iter(sorted(collected))
+
+
+@dataclass
+class LintRun:
+    """Outcome of linting a set of paths (before/after baseline filtering)."""
+
+    #: findings neither suppressed inline nor baselined — these fail CI
+    reported: List[Finding] = field(default_factory=list)
+    #: findings matched (and consumed) by the committed baseline
+    baselined: List[Finding] = field(default_factory=list)
+    #: findings silenced by inline ``# repro-lint: disable=`` comments
+    suppressed: List[Finding] = field(default_factory=list)
+    #: baseline entries that no longer match any finding (stale — prune them)
+    stale_baseline: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: number of files linted
+    files: int = 0
+
+    @property
+    def all_findings(self) -> List[Finding]:
+        return sorted(self.reported + self.baselined)
+
+
+def run_lint(paths: Sequence[str], rule_classes: Sequence[type],
+             root: Optional[str] = None,
+             baseline: Optional[Dict[Tuple[str, str, str], int]] = None
+             ) -> LintRun:
+    """Lint ``paths``, returning findings split by suppression/baseline.
+
+    ``root`` anchors the repo-relative paths findings are keyed on
+    (default: the current working directory).  ``baseline`` is a
+    multiset of grandfathered finding keys (see :mod:`.baseline`): each
+    key consumes that many matching findings before the rest report.
+    """
+    root = os.path.abspath(root or os.getcwd())
+    remaining = dict(baseline or {})
+    run = LintRun()
+    for path in iter_python_files([os.path.abspath(p) for p in paths]):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        active, suppressed = lint_file(path, rel, rule_classes)
+        run.files += 1
+        run.suppressed.extend(suppressed)
+        for finding in sorted(active):
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                run.baselined.append(finding)
+            else:
+                run.reported.append(finding)
+    run.stale_baseline = sorted(key for key, count in remaining.items()
+                                if count > 0)
+    run.reported.sort()
+    return run

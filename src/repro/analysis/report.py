@@ -1,0 +1,139 @@
+"""Rendering of lint runs: text, JSON and the ``--stats`` table.
+
+The stats table follows the ``SpanTable.stats`` house style: per-rule
+counter rows plus a flat ``as_dict()`` for machine assertions, rendered
+through :func:`repro.sim.report.format_table` so CI logs line up with
+every other table the repo prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.analysis.engine import Finding, LintRun, PARSE_ERROR_RULE, Rule
+from repro.sim.report import format_table
+
+
+def render_text(run: LintRun, verbose_baseline: bool = False) -> str:
+    """Human-readable finding list, ``file:line: [rule] message`` per row."""
+    lines = [
+        f"{f.file}:{f.line}: [{f.rule_id}] {f.message}" for f in run.reported
+    ]
+    if verbose_baseline:
+        lines += [
+            f"{f.file}:{f.line}: [{f.rule_id}] (baselined) {f.message}"
+            for f in run.baselined
+        ]
+    summary = (f"{len(run.reported)} finding(s) in {run.files} file(s)"
+               f" ({len(run.baselined)} baselined,"
+               f" {len(run.suppressed)} suppressed inline)")
+    if run.stale_baseline:
+        summary += f", {len(run.stale_baseline)} stale baseline entr(y/ies)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(run: LintRun) -> str:
+    """Machine-readable run record (the ``--format json`` schema).
+
+    Schema (version 1): ``{"version", "files", "findings": [{"file",
+    "line", "rule", "message"}], "baselined", "suppressed",
+    "stale_baseline", "stats"}`` — ``findings`` holds only the entries
+    that fail the run; baselined/suppressed are included for drift
+    dashboards.
+    """
+    payload = {
+        "version": 1,
+        "files": run.files,
+        "findings": [f.as_dict() for f in run.reported],
+        "baselined": [f.as_dict() for f in run.baselined],
+        "suppressed": [f.as_dict() for f in run.suppressed],
+        "stale_baseline": [
+            {"file": file, "rule": rule, "message": message}
+            for file, rule, message in run.stale_baseline
+        ],
+        "stats": lint_stats(run).as_dict(),
+    }
+    return json.dumps(payload, indent=2)
+
+
+class LintStats:
+    """Per-rule finding/suppression counters in the SpanTable.stats style."""
+
+    def __init__(self, rows: List[Dict[str, object]]) -> None:
+        #: one dict per rule: rule/findings/baselined/suppressed/reported
+        self.rows = rows
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat ``{"<rule>.<counter>": n}`` mapping plus totals."""
+        flat: Dict[str, int] = {}
+        for row in self.rows:
+            rule = row["rule"]
+            for counter in ("findings", "baselined", "suppressed", "reported"):
+                flat[f"{rule}.{counter}"] = row[counter]
+        for counter in ("findings", "baselined", "suppressed", "reported"):
+            flat[f"total.{counter}"] = sum(row[counter] for row in self.rows)
+        return flat
+
+    def render(self) -> str:
+        total = {
+            "rule": "total",
+            "findings": sum(r["findings"] for r in self.rows),
+            "baselined": sum(r["baselined"] for r in self.rows),
+            "suppressed": sum(r["suppressed"] for r in self.rows),
+            "reported": sum(r["reported"] for r in self.rows),
+        }
+        return format_table(
+            self.rows + [total],
+            columns=("rule", "findings", "baselined", "suppressed",
+                     "reported"),
+        )
+
+
+def lint_stats(run: LintRun,
+               rule_classes: Optional[Sequence[Type[Rule]]] = None
+               ) -> LintStats:
+    """Per-rule counters of one run.
+
+    ``rule_classes`` fixes the row set (so rules with zero findings still
+    print a row — baseline drift in CI logs is visible as a row going to
+    zero, not a row disappearing); extra rule ids found in the run (e.g.
+    ``parse-error``) are appended.
+    """
+    order: List[str] = [cls.rule_id for cls in rule_classes or ()]
+    seen = set(order)
+    buckets: Dict[str, Dict[str, int]] = {
+        rule_id: {"findings": 0, "baselined": 0, "suppressed": 0,
+                  "reported": 0}
+        for rule_id in order
+    }
+
+    def bucket(finding: Finding) -> Dict[str, int]:
+        if finding.rule_id not in buckets:
+            buckets[finding.rule_id] = {"findings": 0, "baselined": 0,
+                                        "suppressed": 0, "reported": 0}
+            if finding.rule_id not in seen:
+                order.append(finding.rule_id)
+                seen.add(finding.rule_id)
+        return buckets[finding.rule_id]
+
+    for finding in run.reported:
+        row = bucket(finding)
+        row["findings"] += 1
+        row["reported"] += 1
+    for finding in run.baselined:
+        row = bucket(finding)
+        row["findings"] += 1
+        row["baselined"] += 1
+    for finding in run.suppressed:
+        row = bucket(finding)
+        row["findings"] += 1
+        row["suppressed"] += 1
+
+    rows = [{"rule": rule_id, **buckets[rule_id]} for rule_id in order]
+    return LintStats(rows)
+
+
+__all__ = ["render_text", "render_json", "lint_stats", "LintStats",
+           "PARSE_ERROR_RULE"]

@@ -1,0 +1,67 @@
+"""The repo-specific lint rules, one module per invariant family.
+
+``ALL_RULES`` is the engine's registry; ``repro lint --rule ID`` selects
+a subset by ``rule_id``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Type
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.asyncsafety import BlockingAsyncRule
+from repro.analysis.rules.envgate import EnvGateRule
+from repro.analysis.rules.identity import IdentityKeyRule
+from repro.analysis.rules.ordering import OrderedIterationRule
+from repro.analysis.rules.purity import TelemetryPurityRule
+from repro.analysis.rules.rng import UnseededRngRule
+from repro.analysis.rules.sums import SequentialSumRule
+from repro.analysis.rules.wallclock import WallClockRule
+
+#: every rule, in reporting order
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    WallClockRule,
+    UnseededRngRule,
+    OrderedIterationRule,
+    IdentityKeyRule,
+    SequentialSumRule,
+    TelemetryPurityRule,
+    BlockingAsyncRule,
+    EnvGateRule,
+)
+
+RULES_BY_ID: Dict[str, Type[Rule]] = {cls.rule_id: cls for cls in ALL_RULES}
+
+
+def select_rules(rule_ids: Optional[Sequence[str]] = None
+                 ) -> Tuple[Type[Rule], ...]:
+    """The rule classes for a ``--rule`` selection (all when empty).
+
+    Raises ``ValueError`` naming the unknown id and the valid ones, the
+    CLI's friendly exit-2 contract.
+    """
+    if not rule_ids:
+        return ALL_RULES
+    unknown = [rid for rid in rule_ids if rid not in RULES_BY_ID]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(sorted(unknown))} "
+            f"(valid: {', '.join(sorted(RULES_BY_ID))})"
+        )
+    wanted = set(rule_ids)
+    return tuple(cls for cls in ALL_RULES if cls.rule_id in wanted)
+
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "select_rules",
+    "WallClockRule",
+    "UnseededRngRule",
+    "OrderedIterationRule",
+    "IdentityKeyRule",
+    "SequentialSumRule",
+    "TelemetryPurityRule",
+    "BlockingAsyncRule",
+    "EnvGateRule",
+]

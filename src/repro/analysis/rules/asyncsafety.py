@@ -1,0 +1,94 @@
+"""``blocking-async``: no blocking calls inside observatory coroutines.
+
+``repro.serve.service`` runs one asyncio event loop for every WebSocket
+client, HTTP request and command submission; scenario simulations run on
+worker threads precisely so the loop never blocks.  One ``time.sleep``
+or synchronous socket/file call in a coroutine stalls *every* connected
+client.  Cross-thread traffic must ride the sanctioned paths — the
+``CommandQueue`` drained by the simulator and the ``BroadcastHub``'s
+``call_soon_threadsafe`` fan-out — never ad-hoc blocking primitives.
+
+Heuristics (inside ``async def`` only):
+
+* calls to a denylist of known-blocking callables (``time.sleep``,
+  ``subprocess.*``, ``socket.*`` constructors, ``open``, ...);
+* zero-argument ``.get()`` / ``.acquire()`` / ``.result()`` method calls
+  that are **not** awaited: ``dict.get()`` needs an argument, so a bare
+  ``x.get()`` is a queue read — either a blocking ``queue.Queue.get`` or
+  an ``asyncio.Queue.get`` missing its ``await``; both are findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import Finding, LintContext, Rule
+
+#: callables that block the event loop outright
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "socket.socket", "socket.create_connection", "socket.getaddrinfo",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "urllib.request.urlopen",
+    "os.system", "os.popen",
+    "open", "io.open",
+    "queue.Queue", "queue.SimpleQueue", "queue.LifoQueue",
+    "queue.PriorityQueue",
+})
+
+#: zero-arg method calls that read/lock and must be awaited variants
+_BLOCKING_METHODS = frozenset({"get", "acquire", "result"})
+
+#: asyncio wrappers whose call arguments are coroutine factories, not
+#: blocking calls (``ensure_future(sub.get())`` schedules, never blocks)
+_ASYNC_WRAPPERS = frozenset({
+    "asyncio.ensure_future", "asyncio.create_task", "asyncio.gather",
+    "asyncio.wait_for", "asyncio.shield", "asyncio.wait",
+})
+
+
+class BlockingAsyncRule(Rule):
+    rule_id = "blocking-async"
+    description = ("blocking calls (time.sleep, sync I/O, un-awaited queue "
+                   "gets/lock acquires) inside serve/service coroutines "
+                   "stall every connected client")
+    scopes = ("repro/serve/service",)
+
+    def __init__(self) -> None:
+        #: call nodes scheduled through asyncio wrappers (not blocking)
+        self._scheduled: set = set()
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if not isinstance(node, ast.Call) or not ctx.in_async_function:
+            return
+        dotted = ctx.resolve_call(node)
+        if dotted in _ASYNC_WRAPPERS:
+            # pre-order: seen before the argument calls are visited
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Call):
+                    self._scheduled.add(id(arg))
+            return
+        if dotted in BLOCKING_CALLS:
+            hint = ("use await asyncio.sleep(...)" if dotted == "time.sleep"
+                    else "route through the CommandQueue/BroadcastHub "
+                         "thread boundary or a worker thread")
+            yield Finding(
+                ctx.rel_path, node.lineno, self.rule_id,
+                f"{dotted}() blocks the event loop inside a coroutine; "
+                f"{hint}",
+            )
+            return
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS
+                and not node.args and not node.keywords
+                and not ctx.is_awaited(node)
+                and id(node) not in self._scheduled):
+            yield Finding(
+                ctx.rel_path, node.lineno, self.rule_id,
+                f"bare .{node.func.attr}() in a coroutine is either a "
+                "blocking thread-queue/lock call or a missing await; "
+                "await the asyncio variant or cross threads via the "
+                "sanctioned CommandQueue/BroadcastHub paths",
+            )

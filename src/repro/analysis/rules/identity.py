@@ -1,0 +1,55 @@
+"""``identity-key``: no ``id()`` / object-``hash()`` in orderings.
+
+``id()`` is an allocation address and object-default ``hash()`` derives
+from it: both vary run to run, so a sort key or a heap tie-breaker built
+on them produces a different order for the same seed.  The simulator's
+event heap learned this the hard way — its tie component is the chip
+index, never object identity (ROADMAP, "deterministic total order").
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.engine import Finding, LintContext, Rule
+
+#: callables whose ordering arguments must be identity-free
+_KEYED_CALLS = frozenset({"sorted", "min", "max"})
+_HEAP_CALLS = frozenset({
+    "heapq.heappush", "heapq.heappushpop", "heapq.heapreplace",
+})
+
+
+def _identity_calls(subtree: ast.AST, ctx: LintContext) -> Iterator[ast.Call]:
+    for node in ast.walk(subtree):
+        if (isinstance(node, ast.Call)
+                and ctx.resolve_call(node) in ("id", "hash")):
+            yield node
+
+
+class IdentityKeyRule(Rule):
+    rule_id = "identity-key"
+    description = ("id()/hash() inside sort keys or heap tuples vary per "
+                   "process and break deterministic ordering")
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        dotted = ctx.resolve_call(node)
+        ordering_subtrees = []
+        if (dotted in _KEYED_CALLS
+                or (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "sort")):
+            ordering_subtrees = [kw.value for kw in node.keywords
+                                 if kw.arg == "key"]
+        elif dotted in _HEAP_CALLS and len(node.args) >= 2:
+            ordering_subtrees = [node.args[1]]
+        for subtree in ordering_subtrees:
+            for call in _identity_calls(subtree, ctx):
+                name = ctx.resolve_call(call)
+                yield Finding(
+                    ctx.rel_path, call.lineno, self.rule_id,
+                    f"{name}() in an ordering position varies per process; "
+                    "order by a stable field (index, name, sequence number)",
+                )

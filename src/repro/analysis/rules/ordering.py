@@ -1,0 +1,69 @@
+"""``ordered-iteration``: no order-sensitive iteration over unordered sets.
+
+The serving simulator, the search engines and the perf layer all feed
+iteration results into order-sensitive machinery (event heaps, sequential
+sums, deterministic reports).  Set iteration order depends on
+``PYTHONHASHSEED`` for str/bytes keys and on insertion history otherwise,
+so a ``for chip in failed_chips:`` over a ``set`` can reorder events
+between two runs of the *same seed*.  Iterate ``sorted(...)`` views (the
+repo-wide idiom — see ``sorted(inflight)`` in the simulator), and iterate
+dicts directly instead of calling ``.keys()`` so the reader knows
+insertion order is the contract being relied on.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.engine import Finding, LintContext, Rule
+
+
+def _iter_exprs(node: ast.AST) -> Iterator[ast.expr]:
+    """The iterable expressions a node loops over, if any."""
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        yield node.iter
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                           ast.GeneratorExp)):
+        for generator in node.generators:
+            yield generator.iter
+
+
+class OrderedIterationRule(Rule):
+    rule_id = "ordered-iteration"
+    description = ("iteration over set()/set literals/dict.keys() feeding "
+                   "order-sensitive serve/search/perf code; iterate "
+                   "sorted(...) instead")
+    scopes = ("repro/serve", "repro/search", "repro/perf")
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        for iter_expr in _iter_exprs(node):
+            finding = self._check_iterable(iter_expr, ctx)
+            if finding is not None:
+                yield finding
+
+    def _check_iterable(self, expr: ast.expr,
+                        ctx: LintContext) -> "Finding | None":
+        if isinstance(expr, ast.Set):
+            return Finding(
+                ctx.rel_path, expr.lineno, self.rule_id,
+                "iterating a set literal: order is hash-dependent; "
+                "iterate sorted(...) or a tuple",
+            )
+        if isinstance(expr, ast.Call):
+            dotted = ctx.resolve_call(expr)
+            if dotted in ("set", "frozenset"):
+                return Finding(
+                    ctx.rel_path, expr.lineno, self.rule_id,
+                    f"iterating {dotted}(...): order is hash-dependent; "
+                    "iterate sorted(...) instead",
+                )
+            if (isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr == "keys" and not expr.args):
+                return Finding(
+                    ctx.rel_path, expr.lineno, self.rule_id,
+                    "iterating .keys(): iterate the dict itself (insertion "
+                    "order) or sorted(...) if the order feeds report/event "
+                    "state",
+                )
+        return None

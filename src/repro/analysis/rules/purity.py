@@ -1,0 +1,167 @@
+"""``telemetry-purity``: observers observe, they never mutate.
+
+The load-bearing invariant of the telemetry layer and of the live
+observatory is that they are *pure observers*: a telemetry-on run leaves
+the simulated outcome bit-identical to a telemetry-off run
+(``tests/test_telemetry.py`` pins it dynamically).  This rule enforces
+the static precondition: code in ``serve/telemetry.py`` and
+``serve/service/`` may read simulator/fleet/scheduler state passed to it
+but may not *assign* attributes (or subscripts) on those foreign
+objects.
+
+What counts as *own* state (not flagged):
+
+* ``self.*`` / ``cls.*`` and locals the function constructed;
+* a parameter rebound to a fresh local first (``block = dict(block)``
+  then mutated — the copy idiom);
+* a parameter whose annotation names a class the observer layer itself
+  defines — in the same module, or imported from the same package
+  (``job: ScenarioJob`` in the service's job manager is the service's
+  own record, not simulator state).  Unannotated parameters are treated
+  as foreign: annotate or restructure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, Optional, Set
+
+from repro.analysis.engine import Finding, LintContext, Rule
+
+
+def _chain_root(node: ast.expr) -> Optional[ast.Name]:
+    """Base Name of an attribute/subscript chain (``a.b[0].c`` -> ``a``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+def _mutation_targets(node: ast.AST) -> Iterator[ast.expr]:
+    if isinstance(node, ast.Assign):
+        yield from node.targets
+    elif isinstance(node, ast.AugAssign):
+        yield node.target
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        yield node.target
+    elif isinstance(node, ast.Delete):
+        yield from node.targets
+
+
+def _local_bindings(func: ast.AST) -> Set[str]:
+    """Plain names the function rebinds (excluding nested function bodies)."""
+    bound: Set[str] = set()
+
+    def scan(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Store):
+                bound.add(child.id)
+            scan(child)
+
+    for stmt in getattr(func, "body", ()):
+        scan(stmt)
+        if isinstance(stmt, ast.Name) and isinstance(stmt.ctx, ast.Store):
+            bound.add(stmt.id)
+    return bound
+
+
+def _annotation_names(annotation: Optional[ast.expr]) -> Set[str]:
+    """Class-name candidates mentioned by a parameter annotation."""
+    if annotation is None:
+        return set()
+    names: Set[str] = set()
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value.split("[")[0].strip())
+    return names
+
+
+class TelemetryPurityRule(Rule):
+    rule_id = "telemetry-purity"
+    description = ("telemetry/service code assigning attributes on foreign "
+                   "objects (function parameters); observers must not "
+                   "mutate simulator/fleet/scheduler state")
+    scopes = ("repro/serve/telemetry.py", "repro/serve/service")
+
+    def __init__(self) -> None:
+        #: per-function-node cache of locally rebound names
+        self._rebound: Dict[int, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    def _own_package(self, ctx: LintContext) -> str:
+        """Dotted package of the linted file (``repro.serve.service``)."""
+        rel = ctx.rel_path.replace("\\", "/")
+        parts = rel.split("/")
+        if "repro" in parts:
+            parts = parts[parts.index("repro"):]
+        if parts and parts[-1].endswith(".py"):
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def _module_classes(self, ctx: LintContext) -> Set[str]:
+        cached = getattr(ctx, "_purity_module_classes", None)
+        if cached is None:
+            cached = {node.name for node in ast.walk(ctx.tree)
+                      if isinstance(node, ast.ClassDef)}
+            ctx._purity_module_classes = cached
+        return cached
+
+    def _param_annotation(self, func: ast.AST, name: str
+                          ) -> Optional[ast.expr]:
+        args = func.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.arg == name:
+                return arg.annotation
+        return None
+
+    def _is_own_type(self, func: ast.AST, name: str,
+                     ctx: LintContext) -> bool:
+        candidates = _annotation_names(self._param_annotation(func, name))
+        if not candidates:
+            return False
+        own_classes = self._module_classes(ctx)
+        package = self._own_package(ctx)
+        for candidate in candidates:
+            if candidate in own_classes:
+                return True
+            imported_from = ctx.from_imports.get(candidate, "")
+            if package and imported_from.startswith(package + "."):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if not ctx.function_stack:
+            return
+        func = ctx.function_stack[-1]
+        params = set(ctx.current_args()) - {"self", "cls"}
+        if not params:
+            return
+        for target in _mutation_targets(node):
+            elements = (target.elts
+                        if isinstance(target, (ast.Tuple, ast.List))
+                        else [target])
+            for element in elements:
+                if not isinstance(element, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = _chain_root(element)
+                if root is None or root.id not in params:
+                    continue
+                if id(func) not in self._rebound:
+                    self._rebound[id(func)] = _local_bindings(func)
+                if root.id in self._rebound[id(func)]:
+                    continue  # rebound to a local copy first
+                if self._is_own_type(func, root.id, ctx):
+                    continue  # annotated with an observer-owned class
+                yield Finding(
+                    ctx.rel_path, element.lineno, self.rule_id,
+                    f"assignment onto foreign object '{root.id}' (a "
+                    "function parameter): telemetry/service code is a pure "
+                    "observer — record into own state instead",
+                )

@@ -1,0 +1,59 @@
+"""``unseeded-rng``: randomness must flow from a seeded generator.
+
+The repo's determinism contract (ROADMAP "Batched randomness") is that
+every random draw comes from a ``np.random.Generator`` constructed from
+an explicit seed and passed down as an argument.  The module-global
+``random.*`` / ``np.random.*`` convenience functions share hidden global
+state: any draw from them is invisible to the seed plumbing and breaks
+fixed-seed replay the moment call order shifts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import Finding, LintContext, Rule
+
+#: seeded-generator constructors: fine *with* an explicit seed argument
+SEEDED_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng", "numpy.random.Generator",
+    "numpy.random.SeedSequence", "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM", "numpy.random.Philox",
+    "numpy.random.SFC64", "numpy.random.MT19937",
+    "numpy.random.RandomState", "random.Random",
+})
+
+
+class UnseededRngRule(Rule):
+    rule_id = "unseeded-rng"
+    description = ("module-global random.* / np.random.* draws and unseeded "
+                   "generator constructions; RNG must flow from a seeded "
+                   "generator argument")
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        dotted = ctx.resolve_call(node)
+        if dotted is None:
+            return
+        if dotted in SEEDED_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                yield Finding(
+                    ctx.rel_path, node.lineno, self.rule_id,
+                    f"{dotted}() constructed without a seed draws OS entropy; "
+                    "pass an explicit seed (or thread a seeded generator in)",
+                )
+            return
+        if dotted.startswith("numpy.random."):
+            yield Finding(
+                ctx.rel_path, node.lineno, self.rule_id,
+                f"{dotted}() uses numpy's hidden global RNG state; draw from "
+                "a seeded np.random.Generator passed as an argument",
+            )
+        elif dotted.startswith("random.") and dotted.count(".") == 1:
+            yield Finding(
+                ctx.rel_path, node.lineno, self.rule_id,
+                f"{dotted}() uses the stdlib module-global RNG; draw from a "
+                "seeded generator passed as an argument",
+            )

@@ -1,0 +1,46 @@
+"""``wall-clock``: no wall-clock reads outside the benchmark harness.
+
+Every simulator, search engine and serving run in this repo is pinned to
+fixed-seed bit-identity; a single ``time.time()`` on a hot path turns a
+replayable report into a flake.  Simulated time flows from traffic
+generators and event timestamps, never from the host clock — only the
+benchmark harness (``benchmarks/``) is allowed to measure real elapsed
+time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.engine import Finding, LintContext, Rule
+
+#: callees that read the host clock
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.today",
+    "datetime.datetime.utcnow", "datetime.date.today",
+})
+
+
+class WallClockRule(Rule):
+    rule_id = "wall-clock"
+    description = ("wall-clock reads (time.time, perf_counter, datetime.now, "
+                   "...) break fixed-seed bit-identity; benchmarks only")
+    excludes = ("benchmarks",)
+
+    def visit(self, node: ast.AST, ctx: LintContext) -> Iterable[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        dotted = ctx.resolve_call(node)
+        if dotted in WALL_CLOCK_CALLS:
+            yield Finding(
+                ctx.rel_path, node.lineno, self.rule_id,
+                f"wall-clock read {dotted}() breaks fixed-seed determinism; "
+                "derive time from seeded traffic/event timestamps "
+                "(benchmarks are the only sanctioned timers)",
+            )

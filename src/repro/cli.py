@@ -16,6 +16,13 @@ Subcommands
     that accepts scenario submissions, streams per-window telemetry while
     they run, exposes Prometheus ``/metrics`` and takes mid-run commands.
     ``--follow ID`` turns the same command into a terminal stream client.
+``lint``
+    Run the AST-based invariant linter (:mod:`repro.analysis`) over the
+    given paths: determinism (wall clock, unseeded RNG, unordered
+    iteration, identity sort keys), sequential-sum bit-identity,
+    telemetry purity, async-safety of the observatory, and the
+    ``repro.envflags`` env-gate registry.  Exits 1 on non-baselined
+    findings.
 ``models``
     List the models available in the zoo with their weight footprints.
 ``chips``
@@ -38,6 +45,7 @@ Examples
         --inject chip_fail@500:chip=0,until=2000 --retries 2 --timeout-us 5000
     python -m repro observe --port 8787
     python -m repro observe --submit scenario.json --and-follow
+    python -m repro lint src/ --stats
     python -m repro models
 """
 
@@ -46,9 +54,11 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
+from repro import analysis
 from repro.core.compiler import compile_model
 from repro.core.fitness import FitnessMode
 from repro.core.ga import GAConfig
@@ -509,6 +519,52 @@ def _cmd_chips(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    try:
+        rule_classes = analysis.select_rules(args.rule)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    # repo-relative finding paths anchor at the project root (the nearest
+    # ancestor with ROADMAP.md) so baseline keys don't depend on the cwd
+    anchor = analysis.find_baseline(paths[0])
+    root = (os.path.dirname(anchor) if anchor
+            else analysis.find_project_root(paths[0])) or os.getcwd()
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        baseline_path = analysis.find_baseline(paths[0])
+    try:
+        baseline = ({} if args.no_baseline or args.write_baseline
+                    else analysis.load_baseline(baseline_path))
+    except (ValueError, OSError, KeyError) as error:
+        print(f"error: bad baseline file: {error}", file=sys.stderr)
+        return 2
+
+    run = analysis.run_lint(paths, rule_classes, root=root, baseline=baseline)
+
+    if args.write_baseline:
+        target = baseline_path or os.path.join(root, analysis.BASELINE_FILENAME)
+        analysis.save_baseline(target, run.reported)
+        print(f"baseline with {len(run.reported)} finding(s) written to {target}")
+        return 0
+
+    if args.format == "json":
+        print(analysis.render_json(run))
+    else:
+        print(analysis.render_text(run))
+    if args.stats:
+        stats = analysis.lint_stats(run, rule_classes)
+        out = sys.stderr if args.format == "json" else sys.stdout
+        print(stats.render(), file=out)
+    return 1 if run.reported else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -718,6 +774,35 @@ def build_parser() -> argparse.ArgumentParser:
                                      "many rows (0 = everything; "
                                      "default: 60)")
     observe_parser.set_defaults(func=_cmd_observe)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically check the repo's determinism/purity/concurrency "
+             "invariants",
+    )
+    lint_parser.add_argument("paths", nargs="*", metavar="PATH",
+                             help="files/directories to lint "
+                                  "(default: src/ if present, else .)")
+    lint_parser.add_argument("--format", default="text",
+                             choices=["text", "json"],
+                             help="finding output format (default: text)")
+    lint_parser.add_argument("--rule", action="append", metavar="ID",
+                             help="restrict to this rule id (repeatable); "
+                                  "see README 'Static analysis' for the list")
+    lint_parser.add_argument("--baseline", default=None, metavar="PATH",
+                             help="baseline file of grandfathered findings "
+                                  "(default: nearest lint_baseline.json "
+                                  "above the first path)")
+    lint_parser.add_argument("--no-baseline", action="store_true",
+                             help="ignore any baseline file (report "
+                                  "everything)")
+    lint_parser.add_argument("--write-baseline", action="store_true",
+                             help="write the current findings as the new "
+                                  "baseline instead of reporting them")
+    lint_parser.add_argument("--stats", action="store_true",
+                             help="print per-rule finding/suppression "
+                                  "counts (SpanTable.stats house style)")
+    lint_parser.set_defaults(func=_cmd_lint)
 
     models_parser = subparsers.add_parser("models", help="list available models")
     models_parser.set_defaults(func=_cmd_models)

@@ -19,12 +19,12 @@ path; both paths are bit-identical.
 from __future__ import annotations
 
 import enum
-import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import envflags
 from repro.core.decomposition import ModelDecomposition
 from repro.core.partition import Partition, PartitionGroup
 from repro.hardware.chip import ChipConfig
@@ -143,7 +143,7 @@ class FitnessEvaluator:
         # the dense matrix layer rides on the span table; default on, opt
         # out per evaluator or globally with REPRO_SPAN_MATRIX=0
         if use_span_matrix is None:
-            use_span_matrix = os.environ.get("REPRO_SPAN_MATRIX", "1") not in ("", "0")
+            use_span_matrix = envflags.span_matrix_enabled()
         self.span_matrix: Optional[SpanMatrix] = (
             span_matrix_for(decomposition, dram_config)
             if (use_span_table and use_span_matrix)

@@ -9,12 +9,12 @@ the paper-scale settings are the defaults of :class:`GAConfig`.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import envflags
 from repro.core.baselines import greedy_partition, layerwise_partition
 from repro.core.compiler import CompilerOptions, CompassCompiler
 from repro.core.decomposition import decompose_model
@@ -81,7 +81,7 @@ def make_sweep_runner(
     when only one worker is available.
     """
     if parallel is None:
-        parallel = os.environ.get("REPRO_PARALLEL_SWEEPS", "0") not in ("", "0")
+        parallel = envflags.parallel_sweeps_enabled()
     if parallel:
         return ParallelSweepRunner(
             ga_config=config.ga_config, input_size=config.input_size,

@@ -33,11 +33,12 @@ twin without editing the spec.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro import envflags
 
 #: recognised ``--inject`` event kinds
 FAULT_KINDS = ("chip_fail", "chip_recover", "straggler", "dram_degrade", "chaos")
@@ -56,7 +57,7 @@ def faults_enabled() -> bool:
     injected event while keeping the fault-tolerance knobs (timeout, retry,
     shedding) active — the fault-free twin of a scenario.
     """
-    return os.environ.get("REPRO_SERVE_FAULTS", "1") not in ("", "0")
+    return envflags.serve_faults_enabled()
 
 
 @dataclass(frozen=True)

@@ -35,10 +35,10 @@ non-volatile, so the restarted chip still holds the plan it had.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+from repro import envflags
 from repro.hardware.config import get_chip_config
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
@@ -54,7 +54,7 @@ def switch_cost_enabled() -> bool:
     the pre-switch-cost serving model, pinned bit-identical in
     ``tests/test_serve.py``.
     """
-    return os.environ.get("REPRO_SERVE_SWITCH_COST", "1") not in ("", "0")
+    return envflags.serve_switch_cost_enabled()
 
 
 def is_plan_switch(plan: "CompiledPlan", worker: "ChipWorker",

@@ -213,7 +213,8 @@ class ObservatoryServer:
                 if reader_task in done and not getter.done():
                     getter.cancel()
                     break
-                message = getter.result()
+                # non-blocking: asyncio.wait above guarantees getter is done
+                message = getter.result()  # repro-lint: disable=blocking-async
                 if message is None:
                     # end-of-topic sentinel: say goodbye cleanly
                     writer.write(http.encode_frame(http.OP_CLOSE, b""))

@@ -53,10 +53,11 @@ seed.  Gate globally with ``REPRO_SERVE_TELEMETRY=0``.
 from __future__ import annotations
 
 import math
-import os
 import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import envflags
 
 from repro.sim.metrics import nearest_rank_percentile
 
@@ -70,7 +71,7 @@ def telemetry_enabled() -> bool:
     to ``0`` to drop every telemetry config wholesale — the simulator then
     takes the exact telemetry-off code path regardless of flags.
     """
-    return os.environ.get("REPRO_SERVE_TELEMETRY", "1") != "0"
+    return envflags.serve_telemetry_enabled()
 
 
 @dataclass(frozen=True)

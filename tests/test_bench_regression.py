@@ -13,10 +13,12 @@ import sys
 
 import pytest
 
+from repro import envflags
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 pytestmark = pytest.mark.skipif(
-    not os.environ.get("REPRO_CHECK_BENCH"),
+    not envflags.check_bench_enabled(),
     reason="benchmark regression check is opt-in: set REPRO_CHECK_BENCH=1",
 )
 
